@@ -1,0 +1,124 @@
+// Command dmxcli is an interactive (or scripted) shell for the dmx
+// engine's SQL-ish statement language.
+//
+// Usage:
+//
+//	dmxcli [-log wal.log] [-disk data.db] [-recover] [script.sql ...]
+//
+// With script files it executes them and exits; otherwise it reads
+// statements from stdin, one per line (a trailing backslash continues a
+// statement on the next line).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"dmx"
+)
+
+func main() {
+	logPath := flag.String("log", "", "persist the recovery log to this file")
+	diskPath := flag.String("disk", "", "back the buffer pool with this file")
+	doRecover := flag.Bool("recover", false, "replay the log at startup")
+	flag.Parse()
+
+	db, err := dmx.Open(dmx.Config{LogPath: *logPath, DiskPath: *diskPath, Recover: *doRecover})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dmxcli:", err)
+		os.Exit(1)
+	}
+	defer db.Close()
+	session := db.NewSession()
+
+	if flag.NArg() > 0 {
+		for _, path := range flag.Args() {
+			f, err := os.Open(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "dmxcli:", err)
+				os.Exit(1)
+			}
+			if err := run(session, f, os.Stdout, false); err != nil {
+				f.Close()
+				fmt.Fprintln(os.Stderr, "dmxcli:", err)
+				os.Exit(1)
+			}
+			f.Close()
+		}
+		return
+	}
+	fmt.Println("dmx shell — statements end at end of line; \\ continues; ctrl-D exits")
+	if err := run(session, os.Stdin, os.Stdout, true); err != nil {
+		fmt.Fprintln(os.Stderr, "dmxcli:", err)
+		os.Exit(1)
+	}
+}
+
+// run executes statements from r, writing results to w. In interactive
+// mode errors are printed and the loop continues; in script mode the
+// first error stops execution.
+func run(session *dmx.Session, r io.Reader, w io.Writer, interactive bool) error {
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	var pending strings.Builder
+	for {
+		if interactive {
+			if session.InTxn() {
+				fmt.Fprint(w, "dmx*> ")
+			} else {
+				fmt.Fprint(w, "dmx> ")
+			}
+		}
+		if !scanner.Scan() {
+			return scanner.Err()
+		}
+		line := scanner.Text()
+		if cont := strings.HasSuffix(line, "\\"); cont {
+			pending.WriteString(strings.TrimSuffix(line, "\\"))
+			pending.WriteByte(' ')
+			continue
+		}
+		pending.WriteString(line)
+		stmt := strings.TrimSpace(pending.String())
+		pending.Reset()
+		if stmt == "" || strings.HasPrefix(stmt, "--") {
+			continue
+		}
+		res, err := session.Exec(stmt)
+		if err != nil {
+			if interactive {
+				fmt.Fprintln(w, "error:", err)
+				continue
+			}
+			return fmt.Errorf("%q: %w", stmt, err)
+		}
+		printResult(w, res)
+	}
+}
+
+func printResult(w io.Writer, res *dmx.Result) {
+	switch {
+	case res.Columns != nil:
+		fmt.Fprintln(w, strings.Join(res.Columns, " | "))
+		for _, row := range res.Rows {
+			cells := make([]string, len(row))
+			for i, v := range row {
+				cells[i] = v.String()
+			}
+			fmt.Fprintln(w, strings.Join(cells, " | "))
+		}
+		fmt.Fprintf(w, "(%d rows", len(res.Rows))
+		if res.Explain != "" {
+			fmt.Fprintf(w, "; plan: %s", res.Explain)
+		}
+		fmt.Fprintln(w, ")")
+	case res.Message != "":
+		fmt.Fprintln(w, res.Message)
+	default:
+		fmt.Fprintf(w, "(%d affected)\n", res.Affected)
+	}
+}

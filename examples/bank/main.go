@@ -1,0 +1,130 @@
+// Command bank exercises the integrity-constraint and trigger attachments
+// on a small banking schema: referential integrity with cascading deletes
+// (branch → account → movement), a deferred constraint checked before the
+// transaction prepares, an audit trigger cascading modifications into a
+// second relation, and a precomputed per-branch balance maintained by the
+// aggregate attachment.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dmx"
+	"dmx/internal/att/aggmv"
+	"dmx/internal/core"
+)
+
+func main() {
+	db, err := dmx.Open(dmx.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	db.RegisterTrigger("audit", func(env *dmx.Env, tx *dmx.Txn, ev dmx.TriggerEvent, rd *dmx.RelDesc, key dmx.Key, o, n dmx.Record) error {
+		audit, err := env.OpenRelationByName("audit")
+		if err != nil {
+			return err
+		}
+		what := "change"
+		if n == nil {
+			what = "delete"
+		} else if o == nil {
+			what = "insert"
+		}
+		_, err = audit.Insert(tx, dmx.Record{dmx.Str(rd.Name), dmx.Str(what)})
+		return err
+	})
+
+	mustExec(db,
+		"CREATE TABLE audit (rel STRING, what STRING) USING append", // write-once audit medium
+		"CREATE TABLE branch (bno INT NOT NULL, city STRING) USING memory",
+		"CREATE TABLE account (ano INT NOT NULL, bno INT, balance FLOAT) USING btree WITH (key=ano)",
+		"CREATE TABLE movement (mno INT NOT NULL, ano INT, amount FLOAT) USING heap",
+
+		// Referential integrity: account.bno -> branch.bno with cascade,
+		// movement.ano -> account.ano with cascade; child-side checks are
+		// deferred so batch loads may insert children first.
+		"CREATE ATTACHMENT refint ON account WITH (name=fk_acct, role=child, on=bno, peer=branch, peerkey=bno, timing=deferred)",
+		"CREATE ATTACHMENT refint ON branch WITH (name=pk_branch, role=parent, on=bno, peer=account, peerkey=bno, action=cascade)",
+		"CREATE ATTACHMENT refint ON movement WITH (name=fk_mov, role=child, on=ano, peer=account, peerkey=ano)",
+		"CREATE ATTACHMENT refint ON account WITH (name=pk_acct, role=parent, on=ano, peer=movement, peerkey=ano, action=cascade)",
+
+		// Precomputed per-branch balances and an audit trigger.
+		"CREATE ATTACHMENT aggregate ON account WITH (name=branch_balance, group=bno, value=balance)",
+		"CREATE ATTACHMENT trigger ON account WITH (name=acct_audit, call=audit)",
+	)
+
+	fmt.Println("== batch load (children before parents: the deferred check passes at commit) ==")
+	mustExec(db,
+		"BEGIN",
+		"INSERT INTO account VALUES (100, 1, 500.0), (101, 1, 250.0), (102, 2, 900.0)",
+		"INSERT INTO branch VALUES (1, 'Almaden'), (2, 'Toronto')",
+		"INSERT INTO movement VALUES (9000, 100, 500.0), (9001, 101, 250.0), (9002, 102, 900.0)",
+		"COMMIT",
+	)
+
+	printBalances(db)
+
+	fmt.Println("== a dangling account is rejected when the transaction tries to commit ==")
+	if _, err := db.Exec(
+		"BEGIN",
+		"INSERT INTO account VALUES (999, 42, 1.0)",
+		"COMMIT",
+	); err != nil {
+		fmt.Println("   commit failed as expected:", err)
+	}
+
+	fmt.Println("== cascading delete: closing branch 1 removes its accounts and their movements ==")
+	mustExec(db, "DELETE FROM branch WHERE bno = 1")
+	for _, q := range []string{
+		"SELECT * FROM branch",
+		"SELECT ano FROM account",
+		"SELECT mno FROM movement",
+	} {
+		res, err := db.Exec(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("   %-28s -> %d rows\n", q, len(res.Rows))
+	}
+	printBalances(db)
+
+	res, err := db.Exec("SELECT * FROM audit")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("== audit trail (append-only medium) has %d entries ==\n", len(res.Rows))
+	for _, row := range res.Rows {
+		fmt.Println("  ", row)
+	}
+}
+
+// printBalances reads the precomputed per-branch aggregate directly from
+// the attachment instance.
+func printBalances(db *dmx.DB) {
+	rel, err := db.Relation("account")
+	if err != nil {
+		log.Fatal(err)
+	}
+	instAny, err := db.Env.AttachmentInstance(rel.Desc(), core.AttAggMV)
+	if err != nil {
+		log.Fatal(err)
+	}
+	inst := instAny.(*aggmv.Instance)
+	fmt.Println("   precomputed balances:")
+	for _, bno := range []int64{1, 2} {
+		sum, count, err := inst.Lookup("branch_balance", dmx.Int(bno))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("     branch %d: %8.2f across %d accounts\n", bno, sum, count)
+	}
+}
+
+func mustExec(db *dmx.DB, stmts ...string) {
+	if _, err := db.Exec(stmts...); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,77 @@
+// Command publish demonstrates the read-only "database publishing"
+// storage method the paper motivates with optical disks: a reference
+// relation is pressed once (append-only load), after which updates and
+// deletes are refused by the medium while reads and index attachments
+// work normally.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dmx"
+)
+
+func main() {
+	db, err := dmx.Open(dmx.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	mustExec(db,
+		"CREATE TABLE encyclopedia (id INT NOT NULL, title STRING, body STRING) USING append",
+	)
+
+	fmt.Println("== pressing the disk (the publishing load) ==")
+	rel, err := db.Relation("encyclopedia")
+	if err != nil {
+		log.Fatal(err)
+	}
+	tx := db.Begin()
+	titles := []string{"Aardvark", "Btrees", "Codd", "Databases", "Extensibility", "Filtering", "Guttman"}
+	for i, title := range titles {
+		if _, err := rel.Insert(tx, dmx.Record{
+			dmx.Int(int64(i)), dmx.Str(title), dmx.Str("article body for " + title),
+		}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("   pressed %d articles\n", len(titles))
+
+	// Secondary access paths can be attached to published media: the
+	// index is maintained at press time and read-only thereafter.
+	mustExec(db, "CREATE INDEX bytitle ON encyclopedia (title)")
+
+	fmt.Println("== readers query the published relation ==")
+	res, err := db.Exec("SELECT id, title FROM encyclopedia WHERE title = 'Codd'")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("   lookup plan: %s\n", res.Explain)
+	for _, row := range res.Rows {
+		fmt.Println("  ", row)
+	}
+
+	fmt.Println("== the medium refuses modifications ==")
+	if _, err := db.Exec("UPDATE encyclopedia SET title = 'Changed' WHERE id = 0"); err != nil {
+		fmt.Println("   update refused:", err)
+	}
+	if _, err := db.Exec("DELETE FROM encyclopedia WHERE id = 0"); err != nil {
+		fmt.Println("   delete refused:", err)
+	}
+	res, err = db.Exec("SELECT * FROM encyclopedia")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("   still %d articles, untouched\n", len(res.Rows))
+}
+
+func mustExec(db *dmx.DB, stmts ...string) {
+	if _, err := db.Exec(stmts...); err != nil {
+		log.Fatal(err)
+	}
+}

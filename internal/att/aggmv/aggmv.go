@@ -1,0 +1,319 @@
+// Package aggmv implements the precomputed-aggregate attachment: an
+// attachment with associated storage maintaining "precomputed function
+// values for data stored in relations" — grouped SUM and COUNT over a
+// value column, kept exact under inserts, updates, deletes, vetoes, and
+// rollback via logged deltas.
+package aggmv
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sync"
+
+	"dmx/internal/att/attutil"
+	"dmx/internal/core"
+	"dmx/internal/txn"
+	"dmx/internal/types"
+)
+
+// Name is the DDL name of the attachment type.
+const Name = "aggregate"
+
+func init() {
+	core.RegisterAttachment(&core.AttachmentOps{
+		ID:   core.AttAggMV,
+		Name: Name,
+		ValidateAttrs: func(env *core.Env, rd *core.RelDesc, attrs core.AttrList) error {
+			if err := attrs.CheckAllowed(Name, "name", "group", "value"); err != nil {
+				return err
+			}
+			_, _, err := parseAttrs(rd, attrs)
+			return err
+		},
+		Create: func(env *core.Env, tx *txn.Txn, rd *core.RelDesc, prior []byte, attrs core.AttrList) ([]byte, error) {
+			groupField, valueField, err := parseAttrs(rd, attrs)
+			if err != nil {
+				return nil, err
+			}
+			extra := binary.BigEndian.AppendUint16(nil, uint16(groupField+1)) // +1: 0 means global
+			extra = binary.BigEndian.AppendUint16(extra, uint16(valueField))
+			return attutil.AddDef(prior, attutil.IndexDef{
+				Name:  attutil.InstanceName(attrs, prior),
+				Extra: extra,
+			})
+		},
+		Drop: func(env *core.Env, tx *txn.Txn, rd *core.RelDesc, prior []byte, attrs core.AttrList) ([]byte, error) {
+			name, ok := attrs.Get("name")
+			if !ok {
+				return nil, nil
+			}
+			return attutil.RemoveDef(prior, name)
+		},
+		Open: func(env *core.Env, rd *core.RelDesc) (core.AttachmentInstance, error) {
+			inst := &Instance{env: env, rd: rd, groups: make(map[uint32]map[string]*agg)}
+			if err := inst.Reconfigure(rd); err != nil {
+				return nil, err
+			}
+			return inst, nil
+		},
+		Build: func(env *core.Env, tx *txn.Txn, rd *core.RelDesc) error {
+			sm, err := env.StorageInstance(rd)
+			if err != nil {
+				return err
+			}
+			if sm.RecordCount() == 0 {
+				return nil
+			}
+			instAny, err := env.AttachmentInstance(rd, core.AttAggMV)
+			if err != nil {
+				return err
+			}
+			inst := instAny.(*Instance)
+			scan, err := sm.OpenScan(tx, core.ScanOptions{})
+			if err != nil {
+				return err
+			}
+			defer scan.Close()
+			for {
+				key, r, ok, err := scan.Next()
+				if err != nil {
+					return err
+				}
+				if !ok {
+					return nil
+				}
+				if err := inst.OnInsert(tx, key, r); err != nil {
+					return err
+				}
+			}
+		},
+	})
+}
+
+func parseAttrs(rd *core.RelDesc, attrs core.AttrList) (groupField, valueField int, err error) {
+	groupField = -1
+	if g, ok := attrs.Get("group"); ok && g != "" {
+		groupField = rd.Schema.ColIndex(g)
+		if groupField < 0 {
+			return 0, 0, fmt.Errorf("aggmv: group column %q not in schema", g)
+		}
+	}
+	v, ok := attrs.Get("value")
+	if !ok {
+		return 0, 0, fmt.Errorf("aggmv: a value=<column> attribute is required")
+	}
+	valueField = rd.Schema.ColIndex(v)
+	if valueField < 0 {
+		return 0, 0, fmt.Errorf("aggmv: value column %q not in schema", v)
+	}
+	k := rd.Schema.Cols[valueField].Kind
+	if k != types.KindInt && k != types.KindFloat {
+		return 0, 0, fmt.Errorf("aggmv: value column %q is not numeric", v)
+	}
+	return groupField, valueField, nil
+}
+
+type defCfg struct {
+	seq        uint32
+	name       string
+	groupField int // -1 = global aggregate
+	valueField int
+}
+
+type agg struct {
+	sum   float64
+	count int64
+}
+
+// Instance services every aggregate instance on one relation.
+type Instance struct {
+	env *core.Env
+	rd  *core.RelDesc
+
+	mu     sync.Mutex
+	defs   []defCfg
+	groups map[uint32]map[string]*agg // by Seq: group key -> aggregate
+}
+
+// Reconfigure implements core.Reconfigurer.
+func (a *Instance) Reconfigure(rd *core.RelDesc) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	field := rd.AttDesc[core.AttAggMV]
+	a.defs = nil
+	if field == nil {
+		return nil
+	}
+	_, defs, err := attutil.DecodeDefs(field)
+	if err != nil {
+		return err
+	}
+	for _, d := range defs {
+		if len(d.Extra) < 4 {
+			return fmt.Errorf("aggmv: corrupt descriptor for %q", d.Name)
+		}
+		a.defs = append(a.defs, defCfg{
+			seq:        d.Seq,
+			name:       d.Name,
+			groupField: int(binary.BigEndian.Uint16(d.Extra)) - 1,
+			valueField: int(binary.BigEndian.Uint16(d.Extra[2:])),
+		})
+		if a.groups[d.Seq] == nil {
+			a.groups[d.Seq] = make(map[string]*agg)
+		}
+	}
+	return nil
+}
+
+func (a *Instance) groupKey(d defCfg, rec types.Record) types.Key {
+	if d.groupField < 0 {
+		return types.Key{}
+	}
+	return types.EncodeKeyValues(rec[d.groupField])
+}
+
+// delta payload: EntryKey = group key, RecKey = 8-byte sum delta bits +
+// 8-byte count delta.
+func encodeDelta(sum float64, count int64) types.Key {
+	out := make(types.Key, 16)
+	binary.BigEndian.PutUint64(out, math.Float64bits(sum))
+	binary.BigEndian.PutUint64(out[8:], uint64(count))
+	return out
+}
+
+func decodeDelta(b types.Key) (float64, int64, error) {
+	if len(b) != 16 {
+		return 0, 0, fmt.Errorf("aggmv: bad delta payload length %d", len(b))
+	}
+	return math.Float64frombits(binary.BigEndian.Uint64(b)),
+		int64(binary.BigEndian.Uint64(b[8:])), nil
+}
+
+func (a *Instance) applyDelta(tx *txn.Txn, d defCfg, group types.Key, sum float64, count int64) error {
+	if err := core.LogAttachment(tx, a.rd, core.AttAggMV, core.EntryPayload{
+		Op: core.ModUpdate, Instance: int(d.seq), EntryKey: group, RecKey: encodeDelta(sum, count),
+	}); err != nil {
+		return err
+	}
+	a.mu.Lock()
+	a.applyLocked(d.seq, group, sum, count)
+	a.mu.Unlock()
+	return nil
+}
+
+func (a *Instance) applyLocked(seq uint32, group types.Key, sum float64, count int64) {
+	gm := a.groups[seq]
+	if gm == nil {
+		gm = make(map[string]*agg)
+		a.groups[seq] = gm
+	}
+	g := gm[string(group)]
+	if g == nil {
+		g = &agg{}
+		gm[string(group)] = g
+	}
+	g.sum += sum
+	g.count += count
+	if g.count == 0 && g.sum == 0 {
+		delete(gm, string(group))
+	}
+}
+
+// OnInsert implements core.AttachmentInstance.
+func (a *Instance) OnInsert(tx *txn.Txn, key types.Key, rec types.Record) error {
+	a.mu.Lock()
+	defs := a.defs
+	a.mu.Unlock()
+	for _, d := range defs {
+		if err := a.applyDelta(tx, d, a.groupKey(d, rec), rec[d.valueField].AsFloat(), 1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// OnUpdate implements core.AttachmentInstance.
+func (a *Instance) OnUpdate(tx *txn.Txn, oldKey, newKey types.Key, oldRec, newRec types.Record) error {
+	a.mu.Lock()
+	defs := a.defs
+	a.mu.Unlock()
+	for _, d := range defs {
+		oldGroup, newGroup := a.groupKey(d, oldRec), a.groupKey(d, newRec)
+		oldVal, newVal := oldRec[d.valueField].AsFloat(), newRec[d.valueField].AsFloat()
+		if oldGroup.Equal(newGroup) {
+			if oldVal == newVal {
+				continue
+			}
+			if err := a.applyDelta(tx, d, newGroup, newVal-oldVal, 0); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := a.applyDelta(tx, d, oldGroup, -oldVal, -1); err != nil {
+			return err
+		}
+		if err := a.applyDelta(tx, d, newGroup, newVal, 1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// OnDelete implements core.AttachmentInstance.
+func (a *Instance) OnDelete(tx *txn.Txn, key types.Key, oldRec types.Record) error {
+	a.mu.Lock()
+	defs := a.defs
+	a.mu.Unlock()
+	for _, d := range defs {
+		if err := a.applyDelta(tx, d, a.groupKey(d, oldRec), -oldRec[d.valueField].AsFloat(), -1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ApplyLogged implements core.AttachmentInstance.
+func (a *Instance) ApplyLogged(payload []byte, undo bool) error {
+	p, err := core.DecodeEntry(payload)
+	if err != nil {
+		return err
+	}
+	sum, count, err := decodeDelta(p.RecKey)
+	if err != nil {
+		return err
+	}
+	if undo {
+		sum, count = -sum, -count
+	}
+	a.mu.Lock()
+	a.applyLocked(uint32(p.Instance), p.EntryKey, sum, count)
+	a.mu.Unlock()
+	return nil
+}
+
+// Lookup returns the precomputed SUM and COUNT for the named instance and
+// group value (pass types.Null() for a global aggregate).
+func (a *Instance) Lookup(name string, group types.Value) (sum float64, count int64, err error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for _, d := range a.defs {
+		if d.name != name {
+			continue
+		}
+		key := types.Key{}
+		if d.groupField >= 0 {
+			key = types.EncodeKeyValues(group)
+		}
+		if g := a.groups[d.seq][string(key)]; g != nil {
+			return g.sum, g.count, nil
+		}
+		return 0, 0, nil
+	}
+	return 0, 0, fmt.Errorf("aggmv: %w: instance %q", core.ErrNotFound, name)
+}
+
+var (
+	_ core.AttachmentInstance = (*Instance)(nil)
+	_ core.Reconfigurer       = (*Instance)(nil)
+)

@@ -1,0 +1,116 @@
+package attutil
+
+import (
+	"testing"
+
+	"dmx/internal/core"
+	"dmx/internal/types"
+)
+
+func TestDefsRoundTrip(t *testing.T) {
+	defs := []IndexDef{
+		{Seq: 1, Name: "a", Fields: []int{0, 2}, Unique: true, Extra: []byte{9}},
+		{Seq: 7, Name: "b", Fields: nil, Unique: false, Extra: nil},
+	}
+	enc := EncodeDefs(8, defs)
+	next, got, err := DecodeDefs(enc)
+	if err != nil || next != 8 || len(got) != 2 {
+		t.Fatalf("decode: %v next=%d n=%d", err, next, len(got))
+	}
+	if got[0].Seq != 1 || got[0].Name != "a" || !got[0].Unique || len(got[0].Fields) != 2 || got[0].Extra[0] != 9 {
+		t.Fatalf("def 0 = %+v", got[0])
+	}
+	if got[1].Seq != 7 || got[1].Name != "b" {
+		t.Fatalf("def 1 = %+v", got[1])
+	}
+	if _, _, err := DecodeDefs([]byte{1, 2}); err == nil {
+		t.Error("truncated defs accepted")
+	}
+}
+
+func TestAddRemoveDef(t *testing.T) {
+	field, err := AddDef(nil, IndexDef{Name: "first", Fields: []int{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	field, err = AddDef(field, IndexDef{Name: "second", Fields: []int{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, defs, _ := DecodeDefs(field)
+	if len(defs) != 2 || defs[0].Seq != 1 || defs[1].Seq != 2 {
+		t.Fatalf("defs = %+v", defs)
+	}
+	// Duplicate names rejected (case-insensitive).
+	if _, err := AddDef(field, IndexDef{Name: "FIRST"}); err == nil {
+		t.Fatal("duplicate name accepted")
+	}
+	// Remove middle; Seq numbering of survivors unchanged.
+	field, err = RemoveDef(field, "first")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, defs, _ = DecodeDefs(field)
+	if len(defs) != 1 || defs[0].Name != "second" || defs[0].Seq != 2 {
+		t.Fatalf("after remove = %+v", defs)
+	}
+	// Seq counter continues: a new def does not reuse seq 1.
+	field, _ = AddDef(field, IndexDef{Name: "third"})
+	_, defs, _ = DecodeDefs(field)
+	if defs[1].Seq != 3 {
+		t.Fatalf("seq reuse: %+v", defs)
+	}
+	// Removing the last instance yields nil (NULL descriptor field).
+	field, _ = RemoveDef(field, "second")
+	field, err = RemoveDef(field, "third")
+	if err != nil || field != nil {
+		t.Fatalf("final remove: %v %v", field, err)
+	}
+	if _, err := RemoveDef(EncodeDefs(1, nil), "ghost"); err == nil {
+		t.Fatal("removing unknown def should fail")
+	}
+}
+
+func TestParseColumns(t *testing.T) {
+	s := types.MustSchema(
+		types.Column{Name: "a", Kind: types.KindInt},
+		types.Column{Name: "b", Kind: types.KindString},
+	)
+	fields, err := ParseColumns(s, core.AttrList{"on": "b, a"})
+	if err != nil || len(fields) != 2 || fields[0] != 1 || fields[1] != 0 {
+		t.Fatalf("ParseColumns = %v, %v", fields, err)
+	}
+	if _, err := ParseColumns(s, core.AttrList{}); err == nil {
+		t.Error("missing on= accepted")
+	}
+	if _, err := ParseColumns(s, core.AttrList{"on": "zzz"}); err == nil {
+		t.Error("unknown column accepted")
+	}
+}
+
+func TestInstanceName(t *testing.T) {
+	if got := InstanceName(core.AttrList{"name": "custom"}, nil); got != "custom" {
+		t.Errorf("explicit name = %q", got)
+	}
+	if got := InstanceName(nil, nil); got != "ix1" {
+		t.Errorf("default name = %q", got)
+	}
+	field, _ := AddDef(nil, IndexDef{Name: "x"})
+	if got := InstanceName(nil, field); got != "ix2" {
+		t.Errorf("second default name = %q", got)
+	}
+}
+
+func TestFieldsChanged(t *testing.T) {
+	oldRec := types.Record{types.Int(1), types.Str("a"), types.Float(2)}
+	same := types.Record{types.Int(1), types.Str("a"), types.Float(9)}
+	if FieldsChanged([]int{0, 1}, oldRec, same) {
+		t.Error("unchanged fields reported changed")
+	}
+	if !FieldsChanged([]int{2}, oldRec, same) {
+		t.Error("changed field missed")
+	}
+	if !FieldsChanged([]int{5}, oldRec, same) {
+		t.Error("out-of-range field should be treated as changed")
+	}
+}

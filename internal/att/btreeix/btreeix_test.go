@@ -1,0 +1,282 @@
+package btreeix_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"dmx/internal/att/btreeix"
+	"dmx/internal/core"
+	_ "dmx/internal/sm/memsm"
+	"dmx/internal/types"
+	"dmx/internal/wal"
+)
+
+func schema() *types.Schema {
+	return types.MustSchema(
+		types.Column{Name: "id", Kind: types.KindInt, NotNull: true},
+		types.Column{Name: "dept", Kind: types.KindString},
+		types.Column{Name: "salary", Kind: types.KindFloat},
+	)
+}
+
+func setup(t *testing.T, env *core.Env, indexAttrs ...core.AttrList) *core.Relation {
+	t.Helper()
+	tx := env.Begin()
+	rd, err := env.CreateRelation(tx, "emp", schema(), "memory", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, attrs := range indexAttrs {
+		if rd, err = env.CreateAttachment(tx, "emp", "btree", attrs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	r, _ := env.OpenRelation(rd)
+	return r
+}
+
+func rec(id int64, dept string, salary float64) types.Record {
+	return types.Record{types.Int(id), types.Str(dept), types.Float(salary)}
+}
+
+func inst(t *testing.T, r *core.Relation) *btreeix.Instance {
+	t.Helper()
+	a, err := r.Env().AttachmentInstance(r.Desc(), core.AttBTree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a.(*btreeix.Instance)
+}
+
+func TestMaintainedOnModifications(t *testing.T) {
+	env := core.NewEnv(core.Config{})
+	r := setup(t, env, core.AttrList{"name": "bydept", "on": "dept"})
+	tx := env.Begin()
+	k1, _ := r.Insert(tx, rec(1, "eng", 100))
+	r.Insert(tx, rec(2, "eng", 200))
+	r.Insert(tx, rec(3, "ops", 300))
+	ix := inst(t, r)
+	if ix.EntryCount(0) != 3 {
+		t.Fatalf("entries = %d", ix.EntryCount(0))
+	}
+	// Lookup by index key prefix.
+	keys, err := ix.LookupByKey(tx, 0, types.EncodeKeyValues(types.Str("eng")))
+	if err != nil || len(keys) != 2 {
+		t.Fatalf("lookup eng = %v, %v", keys, err)
+	}
+	// Update moving dept moves the entry.
+	r.Update(tx, k1, rec(1, "ops", 100))
+	keys, _ = ix.LookupByKey(tx, 0, types.EncodeKeyValues(types.Str("ops")))
+	if len(keys) != 2 {
+		t.Fatalf("lookup ops after move = %d", len(keys))
+	}
+	// Delete removes the entry.
+	r.Delete(tx, k1)
+	keys, _ = ix.LookupByKey(tx, 0, types.EncodeKeyValues(types.Str("ops")))
+	if len(keys) != 1 {
+		t.Fatalf("lookup ops after delete = %d", len(keys))
+	}
+	tx.Commit()
+}
+
+func TestUpdateSkipsUnchangedIndexedFields(t *testing.T) {
+	env := core.NewEnv(core.Config{})
+	r := setup(t, env, core.AttrList{"name": "bydept", "on": "dept"})
+	tx := env.Begin()
+	k, _ := r.Insert(tx, rec(1, "eng", 100))
+	logBefore := env.Log.Len()
+	// Salary-only update: the B-tree update procedure must detect that no
+	// indexed field changed and skip index maintenance.
+	if _, err := r.Update(tx, k, rec(1, "eng", 999)); err != nil {
+		t.Fatal(err)
+	}
+	attRecords := 0
+	for _, lr := range env.Log.Records()[logBefore:] {
+		if lr.Kind == wal.RecUpdate && lr.Owner.Class == wal.OwnerAttachment {
+			attRecords++
+		}
+	}
+	if attRecords != 0 {
+		t.Fatalf("index logged %d records for a non-indexed update", attRecords)
+	}
+	tx.Commit()
+}
+
+func TestMultipleInstances(t *testing.T) {
+	env := core.NewEnv(core.Config{})
+	r := setup(t, env,
+		core.AttrList{"name": "bydept", "on": "dept"},
+		core.AttrList{"name": "bysalary", "on": "salary"},
+	)
+	tx := env.Begin()
+	r.Insert(tx, rec(1, "eng", 100))
+	r.Insert(tx, rec(2, "ops", 50))
+	ix := inst(t, r)
+	if ix.InstanceCount() != 2 {
+		t.Fatalf("instances = %d", ix.InstanceCount())
+	}
+	if ix.EntryCount(0) != 2 || ix.EntryCount(1) != 2 {
+		t.Fatalf("entries = %d, %d", ix.EntryCount(0), ix.EntryCount(1))
+	}
+	// Access via "B-tree number 1" (the salary index).
+	keys, err := ix.LookupByKey(tx, 1, types.EncodeKeyValues(types.Float(50)))
+	if err != nil || len(keys) != 1 {
+		t.Fatalf("salary lookup = %v, %v", keys, err)
+	}
+	tx.Commit()
+}
+
+func TestUniqueIndexVetoes(t *testing.T) {
+	env := core.NewEnv(core.Config{})
+	r := setup(t, env, core.AttrList{"name": "uid", "on": "id", "unique": "true"})
+	tx := env.Begin()
+	r.Insert(tx, rec(1, "eng", 100))
+	_, err := r.Insert(tx, rec(1, "ops", 200))
+	var ve *core.VetoError
+	if !errors.As(err, &ve) || !errors.Is(err, btreeix.ErrUniqueViolation) {
+		t.Fatalf("want unique veto, got %v", err)
+	}
+	// The vetoed insert must be fully undone (storage and index).
+	if r.Storage().RecordCount() != 1 || inst(t, r).EntryCount(0) != 1 {
+		t.Fatal("partial effects left after unique veto")
+	}
+	tx.Commit()
+}
+
+func TestBuildIndexesExistingRecords(t *testing.T) {
+	env := core.NewEnv(core.Config{})
+	r := setup(t, env)
+	tx := env.Begin()
+	for i := 0; i < 20; i++ {
+		r.Insert(tx, rec(int64(i), "eng", float64(i)))
+	}
+	if _, err := env.CreateAttachment(tx, "emp", "btree", core.AttrList{"name": "late", "on": "id"}); err != nil {
+		t.Fatal(err)
+	}
+	tx.Commit()
+	r2, _ := env.OpenRelationByName("emp")
+	if got := inst(t, r2).EntryCount(0); got != 20 {
+		t.Fatalf("built entries = %d", got)
+	}
+}
+
+func TestCreateIndexAbortUnwindsBuild(t *testing.T) {
+	env := core.NewEnv(core.Config{})
+	r := setup(t, env)
+	load := env.Begin()
+	for i := 0; i < 10; i++ {
+		r.Insert(load, rec(int64(i), "eng", 1))
+	}
+	load.Commit()
+
+	tx := env.Begin()
+	if _, err := env.CreateAttachment(tx, "emp", "btree", core.AttrList{"name": "doomed", "on": "id"}); err != nil {
+		t.Fatal(err)
+	}
+	tx.Abort()
+	cur, _ := env.Cat.ByName("emp")
+	if cur.HasAttachment(core.AttBTree) {
+		t.Fatal("descriptor should be restored after abort")
+	}
+}
+
+func TestIndexScanOrderAndKeys(t *testing.T) {
+	env := core.NewEnv(core.Config{})
+	r := setup(t, env, core.AttrList{"name": "bysalary", "on": "salary"})
+	tx := env.Begin()
+	for _, s := range []float64{30, 10, 20} {
+		r.Insert(tx, rec(int64(s), "eng", s))
+	}
+	scan, err := r.OpenAccessScan(tx, core.AttBTree, 0, core.ScanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var salaries []float64
+	for {
+		recKey, ixFields, ok, err := scan.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		// The access path returns the record key; fetch the record
+		// directly via the storage method (access path zero).
+		full, err := r.Fetch(tx, recKey, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !types.Equal(ixFields[0], full[2]) {
+			t.Fatalf("index key field %v != record field %v", ixFields[0], full[2])
+		}
+		salaries = append(salaries, full[2].AsFloat())
+	}
+	if len(salaries) != 3 || salaries[0] != 10 || salaries[1] != 20 || salaries[2] != 30 {
+		t.Fatalf("index order = %v", salaries)
+	}
+	tx.Commit()
+}
+
+func TestAbortRestoresIndex(t *testing.T) {
+	env := core.NewEnv(core.Config{})
+	r := setup(t, env, core.AttrList{"name": "bydept", "on": "dept"})
+	tx := env.Begin()
+	r.Insert(tx, rec(1, "eng", 1))
+	tx.Commit()
+
+	tx2 := env.Begin()
+	r.Insert(tx2, rec(2, "eng", 2))
+	tx2.Abort()
+	if got := inst(t, r).EntryCount(0); got != 1 {
+		t.Fatalf("entries after abort = %d", got)
+	}
+}
+
+func TestRecoveryRebuildsIndex(t *testing.T) {
+	log := wal.New()
+	env := core.NewEnv(core.Config{Log: log})
+	r := setup(t, env, core.AttrList{"name": "bydept", "on": "dept"})
+	tx := env.Begin()
+	for i := 0; i < 15; i++ {
+		r.Insert(tx, rec(int64(i), fmt.Sprintf("d%d", i%3), 1))
+	}
+	tx.Commit()
+
+	env2 := core.NewEnv(core.Config{Log: log})
+	if err := env2.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := env2.OpenRelationByName("emp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx2 := env2.Begin()
+	ix := inst(t, r2)
+	if ix.EntryCount(0) != 15 {
+		t.Fatalf("recovered entries = %d", ix.EntryCount(0))
+	}
+	keys, err := ix.LookupByKey(tx2, 0, types.EncodeKeyValues(types.Str("d1")))
+	if err != nil || len(keys) != 5 {
+		t.Fatalf("recovered lookup = %v, %v", keys, err)
+	}
+	tx2.Commit()
+}
+
+func TestLookupViaRelationAPI(t *testing.T) {
+	env := core.NewEnv(core.Config{})
+	r := setup(t, env, core.AttrList{"name": "bydept", "on": "dept"})
+	tx := env.Begin()
+	r.Insert(tx, rec(1, "eng", 1))
+	keys, err := r.LookupAccess(tx, core.AttBTree, 0, types.EncodeKeyValues(types.Str("eng")))
+	if err != nil || len(keys) != 1 {
+		t.Fatalf("LookupAccess = %v, %v", keys, err)
+	}
+	if _, err := r.LookupAccess(tx, core.AttBTree, 9, nil); err == nil {
+		t.Fatal("bad instance accepted")
+	}
+	tx.Commit()
+}

@@ -1,0 +1,192 @@
+// Package check implements the single-record integrity constraint
+// attachment: a common-service-encoded predicate, stored in the
+// attachment descriptor, that is tested whenever records of the relation
+// are inserted or updated. A record failing any constraint instance
+// vetoes the modification, which the common recovery log then undoes.
+package check
+
+import (
+	"fmt"
+	"sync"
+
+	"dmx/internal/att/attutil"
+	"dmx/internal/core"
+	"dmx/internal/expr"
+	"dmx/internal/txn"
+	"dmx/internal/types"
+)
+
+// Name is the DDL name of the attachment type.
+const Name = "check"
+
+// ErrViolation is the veto reason for failed constraints.
+var ErrViolation = fmt.Errorf("check: integrity constraint violated")
+
+func init() {
+	core.RegisterAttachment(&core.AttachmentOps{
+		ID:   core.AttCheck,
+		Name: Name,
+		ValidateAttrs: func(env *core.Env, rd *core.RelDesc, attrs core.AttrList) error {
+			return attrs.CheckAllowed(Name, "name", "predicate")
+		},
+		Create: func(env *core.Env, tx *txn.Txn, rd *core.RelDesc, prior []byte, attrs core.AttrList) ([]byte, error) {
+			pred, err := PredicateFromAttrs(env, attrs)
+			if err != nil {
+				return nil, err
+			}
+			return attutil.AddDef(prior, attutil.IndexDef{
+				Name:  attutil.InstanceName(attrs, prior),
+				Extra: pred.AppendEncode(nil),
+			})
+		},
+		Drop: func(env *core.Env, tx *txn.Txn, rd *core.RelDesc, prior []byte, attrs core.AttrList) ([]byte, error) {
+			name, ok := attrs.Get("name")
+			if !ok {
+				return nil, nil
+			}
+			return attutil.RemoveDef(prior, name)
+		},
+		Open: func(env *core.Env, rd *core.RelDesc) (core.AttachmentInstance, error) {
+			inst := &Instance{env: env}
+			if err := inst.Reconfigure(rd); err != nil {
+				return nil, err
+			}
+			return inst, nil
+		},
+		Build: func(env *core.Env, tx *txn.Txn, rd *core.RelDesc) error {
+			// Adding a constraint to a populated relation validates the
+			// existing records; a violation vetoes the DDL.
+			sm, err := env.StorageInstance(rd)
+			if err != nil {
+				return err
+			}
+			if sm.RecordCount() == 0 {
+				return nil
+			}
+			instAny, err := env.AttachmentInstance(rd, core.AttCheck)
+			if err != nil {
+				return err
+			}
+			inst := instAny.(*Instance)
+			scan, err := sm.OpenScan(tx, core.ScanOptions{})
+			if err != nil {
+				return err
+			}
+			defer scan.Close()
+			for {
+				key, r, ok, err := scan.Next()
+				if err != nil {
+					return err
+				}
+				if !ok {
+					return nil
+				}
+				if err := inst.OnInsert(tx, key, r); err != nil {
+					return err
+				}
+			}
+		},
+	})
+}
+
+// attrPredicates carries pre-parsed predicates from the DDL layer (which
+// parses the textual predicate) to Create through the attribute list.
+var attrPredicates sync.Map // key string -> *expr.Expr
+
+// RegisterPredicate stashes a parsed predicate under a token that can be
+// passed as the predicate= attribute value. The DDL front end uses this to
+// hand structured predicates through the string-valued attribute list.
+func RegisterPredicate(token string, e *expr.Expr) {
+	attrPredicates.Store(token, e)
+}
+
+// PredicateFromAttrs resolves the predicate= attribute: either a token
+// registered via RegisterPredicate or a hex-encoded predicate.
+func PredicateFromAttrs(env *core.Env, attrs core.AttrList) (*expr.Expr, error) {
+	tok, ok := attrs.Get("predicate")
+	if !ok || tok == "" {
+		return nil, fmt.Errorf("check: a predicate= attribute is required")
+	}
+	if v, ok := attrPredicates.Load(tok); ok {
+		return v.(*expr.Expr), nil
+	}
+	return nil, fmt.Errorf("check: unknown predicate token %q (register it first)", tok)
+}
+
+// constraint is one decoded instance.
+type constraint struct {
+	name string
+	pred *expr.Expr
+}
+
+// Instance services every check constraint on one relation.
+type Instance struct {
+	env *core.Env
+
+	mu          sync.Mutex
+	constraints []constraint
+}
+
+// Reconfigure implements core.Reconfigurer.
+func (c *Instance) Reconfigure(rd *core.RelDesc) error {
+	field := rd.AttDesc[core.AttCheck]
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.constraints = nil
+	if field == nil {
+		return nil
+	}
+	_, defs, err := attutil.DecodeDefs(field)
+	if err != nil {
+		return err
+	}
+	for _, d := range defs {
+		pred, _, err := expr.Decode(d.Extra)
+		if err != nil {
+			return fmt.Errorf("check: constraint %q: %w", d.Name, err)
+		}
+		c.constraints = append(c.constraints, constraint{name: d.Name, pred: pred})
+	}
+	return nil
+}
+
+func (c *Instance) test(rec types.Record) error {
+	c.mu.Lock()
+	cons := c.constraints
+	c.mu.Unlock()
+	for _, con := range cons {
+		ok, err := c.env.Eval.EvalBool(con.pred, rec, nil)
+		if err != nil {
+			return fmt.Errorf("check: constraint %q: %w", con.name, err)
+		}
+		if !ok {
+			return fmt.Errorf("%w: %q fails for %v", ErrViolation, con.name, rec)
+		}
+	}
+	return nil
+}
+
+// OnInsert implements core.AttachmentInstance.
+func (c *Instance) OnInsert(tx *txn.Txn, key types.Key, rec types.Record) error {
+	return c.test(rec)
+}
+
+// OnUpdate implements core.AttachmentInstance.
+func (c *Instance) OnUpdate(tx *txn.Txn, oldKey, newKey types.Key, oldRec, newRec types.Record) error {
+	return c.test(newRec)
+}
+
+// OnDelete implements core.AttachmentInstance: deletes cannot violate a
+// single-record constraint.
+func (c *Instance) OnDelete(tx *txn.Txn, key types.Key, oldRec types.Record) error {
+	return nil
+}
+
+// ApplyLogged implements core.AttachmentInstance: constraints have no
+// associated storage.
+func (c *Instance) ApplyLogged(payload []byte, undo bool) error { return nil }
+
+var (
+	_ core.AttachmentInstance = (*Instance)(nil)
+	_ core.Reconfigurer       = (*Instance)(nil)
+)

@@ -1,0 +1,158 @@
+package check_test
+
+import (
+	"errors"
+	"testing"
+
+	"dmx/internal/att/check"
+	"dmx/internal/core"
+	"dmx/internal/expr"
+	_ "dmx/internal/sm/memsm"
+	"dmx/internal/types"
+)
+
+func schema() *types.Schema {
+	return types.MustSchema(
+		types.Column{Name: "id", Kind: types.KindInt, NotNull: true},
+		types.Column{Name: "salary", Kind: types.KindFloat},
+	)
+}
+
+func rec(id int64, salary float64) types.Record {
+	return types.Record{types.Int(id), types.Float(salary)}
+}
+
+func setup(t *testing.T, env *core.Env, preds map[string]*expr.Expr) *core.Relation {
+	t.Helper()
+	tx := env.Begin()
+	if _, err := env.CreateRelation(tx, "emp", schema(), "memory", nil); err != nil {
+		t.Fatal(err)
+	}
+	for name, p := range preds {
+		check.RegisterPredicate("tok:"+name, p)
+		if _, err := env.CreateAttachment(tx, "emp", "check",
+			core.AttrList{"name": name, "predicate": "tok:" + name}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tx.Commit()
+	r, _ := env.OpenRelationByName("emp")
+	return r
+}
+
+func TestConstraintVetoesInsertAndUpdate(t *testing.T) {
+	env := core.NewEnv(core.Config{})
+	positive := expr.Gt(expr.Field(1), expr.Const(types.Float(0)))
+	r := setup(t, env, map[string]*expr.Expr{"positive_salary": positive})
+
+	tx := env.Begin()
+	k, err := r.Insert(tx, rec(1, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = r.Insert(tx, rec(2, -5))
+	var ve *core.VetoError
+	if !errors.As(err, &ve) || !errors.Is(err, check.ErrViolation) {
+		t.Fatalf("want constraint veto, got %v", err)
+	}
+	if r.Storage().RecordCount() != 1 {
+		t.Fatal("vetoed insert left effects")
+	}
+	if _, err := r.Update(tx, k, rec(1, -1)); err == nil {
+		t.Fatal("violating update accepted")
+	}
+	got, _ := r.Fetch(tx, k, nil, nil)
+	if got[1].AsFloat() != 100 {
+		t.Fatal("record corrupted by vetoed update")
+	}
+	// Deletes are never constrained.
+	if err := r.Delete(tx, k); err != nil {
+		t.Fatal(err)
+	}
+	tx.Commit()
+}
+
+func TestMultipleConstraints(t *testing.T) {
+	env := core.NewEnv(core.Config{})
+	r := setup(t, env, map[string]*expr.Expr{
+		"pos": expr.Gt(expr.Field(1), expr.Const(types.Float(0))),
+		"cap": expr.Lt(expr.Field(1), expr.Const(types.Float(1000))),
+	})
+	tx := env.Begin()
+	if _, err := r.Insert(tx, rec(1, 500)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Insert(tx, rec(2, 5000)); err == nil {
+		t.Fatal("cap constraint did not fire")
+	}
+	if _, err := r.Insert(tx, rec(3, -1)); err == nil {
+		t.Fatal("pos constraint did not fire")
+	}
+	tx.Commit()
+}
+
+func TestAddingConstraintValidatesExistingRecords(t *testing.T) {
+	env := core.NewEnv(core.Config{})
+	tx := env.Begin()
+	env.CreateRelation(tx, "emp", schema(), "memory", nil)
+	r, _ := env.OpenRelationByName("emp")
+	r.Insert(tx, rec(1, -50)) // violates the constraint to come
+	tx.Commit()
+
+	check.RegisterPredicate("tok:late", expr.Gt(expr.Field(1), expr.Const(types.Float(0))))
+	tx2 := env.Begin()
+	if _, err := env.CreateAttachment(tx2, "emp", "check",
+		core.AttrList{"name": "late", "predicate": "tok:late"}); err == nil {
+		t.Fatal("constraint on violating data accepted")
+	}
+	tx2.Abort()
+}
+
+func TestConstraintUsesRegisteredFunctions(t *testing.T) {
+	env := core.NewEnv(core.Config{})
+	env.Eval.Register("iseven", func(args []types.Value) (types.Value, error) {
+		return types.Bool(args[0].AsInt()%2 == 0), nil
+	})
+	r := setup(t, env, map[string]*expr.Expr{
+		"even_id": expr.Call("iseven", expr.Field(0)),
+	})
+	tx := env.Begin()
+	if _, err := r.Insert(tx, rec(2, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Insert(tx, rec(3, 1)); err == nil {
+		t.Fatal("function constraint did not fire")
+	}
+	tx.Commit()
+}
+
+func TestMissingAndUnknownPredicate(t *testing.T) {
+	env := core.NewEnv(core.Config{})
+	tx := env.Begin()
+	env.CreateRelation(tx, "emp", schema(), "memory", nil)
+	if _, err := env.CreateAttachment(tx, "emp", "check", nil); err == nil {
+		t.Fatal("missing predicate accepted")
+	}
+	if _, err := env.CreateAttachment(tx, "emp", "check",
+		core.AttrList{"predicate": "no-such-token"}); err == nil {
+		t.Fatal("unknown token accepted")
+	}
+	tx.Commit()
+}
+
+func TestDropConstraint(t *testing.T) {
+	env := core.NewEnv(core.Config{})
+	r := setup(t, env, map[string]*expr.Expr{
+		"pos": expr.Gt(expr.Field(1), expr.Const(types.Float(0))),
+	})
+	tx := env.Begin()
+	if _, err := env.DropAttachment(tx, "emp", "check", core.AttrList{"name": "pos"}); err != nil {
+		t.Fatal(err)
+	}
+	r2, _ := env.OpenRelationByName("emp")
+	if _, err := r2.Insert(tx, rec(1, -5)); err != nil {
+		t.Fatalf("constraint should be gone: %v", err)
+	}
+	_ = r
+	tx.Commit()
+}

@@ -1,0 +1,356 @@
+// Package joinidx implements the join-index attachment (Valduriez 1985) —
+// the paper's example that "access paths need not be limited to a single
+// table". A join index over relations A and B on an equi-join column
+// maintains the correspondence between record keys of A and B whose join
+// values match.
+//
+// One logical join index is realised as an attachment instance on each
+// participating relation; the two instances share a value → record-key
+// structure registered per environment, each maintaining its own side as
+// a side effect of its relation's modifications. Matching record-key
+// pairs are enumerated directly from the shared structure, so an
+// equi-join needs no scan of either relation.
+package joinidx
+
+import (
+	"fmt"
+	"sync"
+
+	"dmx/internal/att/attutil"
+	"dmx/internal/core"
+	"dmx/internal/txn"
+	"dmx/internal/types"
+)
+
+// Name is the DDL name of the attachment type.
+const Name = "joinindex"
+
+const stateKey = "joinidx.shared"
+
+// shared is one logical join index's two-sided structure.
+type shared struct {
+	mu    sync.Mutex
+	sides map[uint32]map[string][]types.Key // relID -> join value -> record keys
+}
+
+type stateRegistry struct {
+	mu      sync.Mutex
+	byIndex map[string]*shared
+}
+
+func sharedFor(env *core.Env, indexName string) *shared {
+	var reg *stateRegistry
+	if v, ok := env.ExtState(stateKey); ok {
+		reg = v.(*stateRegistry)
+	} else {
+		reg = &stateRegistry{byIndex: make(map[string]*shared)}
+		env.SetExtState(stateKey, reg)
+	}
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	s, ok := reg.byIndex[indexName]
+	if !ok {
+		s = &shared{sides: make(map[uint32]map[string][]types.Key)}
+		reg.byIndex[indexName] = s
+	}
+	return s
+}
+
+func init() {
+	core.RegisterAttachment(&core.AttachmentOps{
+		ID:   core.AttJoin,
+		Name: Name,
+		ValidateAttrs: func(env *core.Env, rd *core.RelDesc, attrs core.AttrList) error {
+			if err := attrs.CheckAllowed(Name, "name", "on", "peer"); err != nil {
+				return err
+			}
+			if _, ok := attrs.Get("name"); !ok {
+				return fmt.Errorf("joinidx: a name=<join index> attribute is required (shared by both sides)")
+			}
+			if _, ok := attrs.Get("peer"); !ok {
+				return fmt.Errorf("joinidx: a peer=<relation> attribute is required")
+			}
+			_, err := attutil.ParseColumns(rd.Schema, attrs)
+			return err
+		},
+		Create: func(env *core.Env, tx *txn.Txn, rd *core.RelDesc, prior []byte, attrs core.AttrList) ([]byte, error) {
+			fields, err := attutil.ParseColumns(rd.Schema, attrs)
+			if err != nil {
+				return nil, err
+			}
+			name, _ := attrs.Get("name")
+			peer, _ := attrs.Get("peer")
+			return attutil.AddDef(prior, attutil.IndexDef{
+				Name:   name,
+				Fields: fields,
+				Extra:  []byte(peer),
+			})
+		},
+		Drop: func(env *core.Env, tx *txn.Txn, rd *core.RelDesc, prior []byte, attrs core.AttrList) ([]byte, error) {
+			name, ok := attrs.Get("name")
+			if !ok {
+				return nil, nil
+			}
+			return attutil.RemoveDef(prior, name)
+		},
+		Open: func(env *core.Env, rd *core.RelDesc) (core.AttachmentInstance, error) {
+			inst := &Instance{env: env, rd: rd}
+			if err := inst.Reconfigure(rd); err != nil {
+				return nil, err
+			}
+			return inst, nil
+		},
+		Build: func(env *core.Env, tx *txn.Txn, rd *core.RelDesc) error {
+			sm, err := env.StorageInstance(rd)
+			if err != nil {
+				return err
+			}
+			if sm.RecordCount() == 0 {
+				return nil
+			}
+			instAny, err := env.AttachmentInstance(rd, core.AttJoin)
+			if err != nil {
+				return err
+			}
+			inst := instAny.(*Instance)
+			scan, err := sm.OpenScan(tx, core.ScanOptions{})
+			if err != nil {
+				return err
+			}
+			defer scan.Close()
+			for {
+				key, r, ok, err := scan.Next()
+				if err != nil {
+					return err
+				}
+				if !ok {
+					return nil
+				}
+				if err := inst.OnInsert(tx, key, r); err != nil {
+					return err
+				}
+			}
+		},
+	})
+}
+
+type defCfg struct {
+	def     attutil.IndexDef
+	peerRel string
+	state   *shared
+}
+
+// Instance services every join-index side on one relation.
+type Instance struct {
+	env *core.Env
+	rd  *core.RelDesc
+
+	mu   sync.Mutex
+	defs []defCfg
+}
+
+// Reconfigure implements core.Reconfigurer.
+func (ix *Instance) Reconfigure(rd *core.RelDesc) error {
+	field := rd.AttDesc[core.AttJoin]
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	ix.rd = rd
+	ix.defs = nil
+	if field == nil {
+		return nil
+	}
+	_, defs, err := attutil.DecodeDefs(field)
+	if err != nil {
+		return err
+	}
+	for _, d := range defs {
+		ix.defs = append(ix.defs, defCfg{
+			def:     d,
+			peerRel: string(d.Extra),
+			state:   sharedFor(ix.env, d.Name),
+		})
+	}
+	return nil
+}
+
+func (ix *Instance) snapshot() []defCfg {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	return ix.defs
+}
+
+func (s *shared) apply(relID uint32, op core.ModOp, val types.Key, recKey types.Key) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	side := s.sides[relID]
+	if side == nil {
+		side = make(map[string][]types.Key)
+		s.sides[relID] = side
+	}
+	bucket := side[string(val)]
+	if op == core.ModInsert {
+		side[string(val)] = append(bucket, recKey.Clone())
+		return
+	}
+	for i, k := range bucket {
+		if k.Equal(recKey) {
+			bucket = append(bucket[:i], bucket[i+1:]...)
+			break
+		}
+	}
+	if len(bucket) == 0 {
+		delete(side, string(val))
+	} else {
+		side[string(val)] = bucket
+	}
+}
+
+func (ix *Instance) apply(tx *txn.Txn, d defCfg, op core.ModOp, rec types.Record, recKey types.Key) error {
+	val := types.EncodeKeyFields(rec, d.def.Fields)
+	if err := core.LogAttachment(tx, ix.rd, core.AttJoin, core.EntryPayload{
+		Op: op, Instance: int(d.def.Seq), EntryKey: val, RecKey: recKey,
+	}); err != nil {
+		return err
+	}
+	d.state.apply(ix.rd.RelID, op, val, recKey)
+	return nil
+}
+
+// OnInsert implements core.AttachmentInstance.
+func (ix *Instance) OnInsert(tx *txn.Txn, key types.Key, rec types.Record) error {
+	for _, d := range ix.snapshot() {
+		if err := ix.apply(tx, d, core.ModInsert, rec, key); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// OnUpdate implements core.AttachmentInstance.
+func (ix *Instance) OnUpdate(tx *txn.Txn, oldKey, newKey types.Key, oldRec, newRec types.Record) error {
+	keyMoved := !oldKey.Equal(newKey)
+	for _, d := range ix.snapshot() {
+		if !keyMoved && !attutil.FieldsChanged(d.def.Fields, oldRec, newRec) {
+			continue
+		}
+		if err := ix.apply(tx, d, core.ModDelete, oldRec, oldKey); err != nil {
+			return err
+		}
+		if err := ix.apply(tx, d, core.ModInsert, newRec, newKey); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// OnDelete implements core.AttachmentInstance.
+func (ix *Instance) OnDelete(tx *txn.Txn, key types.Key, oldRec types.Record) error {
+	for _, d := range ix.snapshot() {
+		if err := ix.apply(tx, d, core.ModDelete, oldRec, key); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ApplyLogged implements core.AttachmentInstance.
+func (ix *Instance) ApplyLogged(payload []byte, undo bool) error {
+	p, err := core.DecodeEntry(payload)
+	if err != nil {
+		return err
+	}
+	op := p.Op
+	if undo {
+		if op == core.ModInsert {
+			op = core.ModDelete
+		} else {
+			op = core.ModInsert
+		}
+	}
+	for _, d := range ix.snapshot() {
+		if int(d.def.Seq) == p.Instance {
+			d.state.apply(ix.rd.RelID, op, p.EntryKey, p.RecKey)
+			return nil
+		}
+	}
+	return fmt.Errorf("joinidx: log record for unknown instance %d", p.Instance)
+}
+
+// Pair is one matched record-key pair of a join index.
+type Pair struct {
+	Own  types.Key // record key in this instance's relation
+	Peer types.Key // record key in the peer relation
+}
+
+// Pairs enumerates the matched record-key pairs of the named join index,
+// from this relation's perspective. The peer relation's side must have
+// been built (its attachment instance opened and maintained).
+func (ix *Instance) Pairs(name string) ([]Pair, error) {
+	for _, d := range ix.snapshot() {
+		if d.def.Name != name {
+			continue
+		}
+		peerRD, ok := ix.env.Cat.ByName(d.peerRel)
+		if !ok {
+			return nil, fmt.Errorf("joinidx: %w: peer relation %q", core.ErrNotFound, d.peerRel)
+		}
+		d.state.mu.Lock()
+		defer d.state.mu.Unlock()
+		own := d.state.sides[ix.rd.RelID]
+		peer := d.state.sides[peerRD.RelID]
+		var out []Pair
+		for val, ownKeys := range own {
+			peerKeys := peer[val]
+			for _, ok1 := range ownKeys {
+				for _, pk := range peerKeys {
+					out = append(out, Pair{Own: ok1.Clone(), Peer: pk.Clone()})
+				}
+			}
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("joinidx: %w: instance %q", core.ErrNotFound, name)
+}
+
+// PeerKeys returns the peer-relation record keys whose join value matches
+// val (an order-preserving key encoding of the join columns).
+func (ix *Instance) PeerKeys(name string, val types.Key) ([]types.Key, error) {
+	for _, d := range ix.snapshot() {
+		if d.def.Name != name {
+			continue
+		}
+		peerRD, ok := ix.env.Cat.ByName(d.peerRel)
+		if !ok {
+			return nil, fmt.Errorf("joinidx: %w: peer relation %q", core.ErrNotFound, d.peerRel)
+		}
+		d.state.mu.Lock()
+		defer d.state.mu.Unlock()
+		bucket := d.state.sides[peerRD.RelID][string(val)]
+		out := make([]types.Key, len(bucket))
+		for i, k := range bucket {
+			out[i] = k.Clone()
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("joinidx: %w: instance %q", core.ErrNotFound, name)
+}
+
+var (
+	_ core.AttachmentInstance = (*Instance)(nil)
+	_ core.Reconfigurer       = (*Instance)(nil)
+)
+
+// PairKeys enumerates matched (own, peer) record-key pairs of the named
+// join index as plain key arrays — the structural interface the query
+// planner consumes.
+func (ix *Instance) PairKeys(name string) ([][2]types.Key, error) {
+	pairs, err := ix.Pairs(name)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][2]types.Key, len(pairs))
+	for i, p := range pairs {
+		out[i] = [2]types.Key{p.Own, p.Peer}
+	}
+	return out, nil
+}

@@ -1,0 +1,310 @@
+package refint_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"dmx/internal/att/refint"
+	"dmx/internal/core"
+	_ "dmx/internal/sm/memsm"
+	"dmx/internal/types"
+)
+
+func deptSchema() *types.Schema {
+	return types.MustSchema(
+		types.Column{Name: "dno", Kind: types.KindInt, NotNull: true},
+		types.Column{Name: "name", Kind: types.KindString},
+	)
+}
+
+func empSchema() *types.Schema {
+	return types.MustSchema(
+		types.Column{Name: "eno", Kind: types.KindInt, NotNull: true},
+		types.Column{Name: "dno", Kind: types.KindInt},
+	)
+}
+
+func dept(dno int64, name string) types.Record {
+	return types.Record{types.Int(dno), types.Str(name)}
+}
+
+func emp(eno, dno int64) types.Record {
+	return types.Record{types.Int(eno), types.Int(dno)}
+}
+
+// setupFK wires dept (parent) and emp (child) with the given parent action
+// and child timing.
+func setupFK(t *testing.T, env *core.Env, act, tim string) (*core.Relation, *core.Relation) {
+	t.Helper()
+	tx := env.Begin()
+	if _, err := env.CreateRelation(tx, "dept", deptSchema(), "memory", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := env.CreateRelation(tx, "emp", empSchema(), "memory", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := env.CreateAttachment(tx, "emp", "refint", core.AttrList{
+		"name": "fk_emp_dept", "role": "child", "on": "dno",
+		"peer": "dept", "peerkey": "dno", "timing": tim,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := env.CreateAttachment(tx, "dept", "refint", core.AttrList{
+		"name": "pk_dept_emp", "role": "parent", "on": "dno",
+		"peer": "emp", "peerkey": "dno", "action": act,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	tx.Commit()
+	d, _ := env.OpenRelationByName("dept")
+	e, _ := env.OpenRelationByName("emp")
+	return d, e
+}
+
+func TestChildInsertRequiresParent(t *testing.T) {
+	env := core.NewEnv(core.Config{})
+	d, e := setupFK(t, env, "restrict", "immediate")
+	tx := env.Begin()
+	d.Insert(tx, dept(10, "eng"))
+	if _, err := e.Insert(tx, emp(1, 10)); err != nil {
+		t.Fatal(err)
+	}
+	_, err := e.Insert(tx, emp(2, 99))
+	var ve *core.VetoError
+	if !errors.As(err, &ve) || !errors.Is(err, refint.ErrNoParent) {
+		t.Fatalf("want no-parent veto, got %v", err)
+	}
+	if e.Storage().RecordCount() != 1 {
+		t.Fatal("vetoed insert left effects")
+	}
+	// NULL foreign keys are not checked.
+	if _, err := e.Insert(tx, types.Record{types.Int(3), types.Null()}); err != nil {
+		t.Fatalf("NULL FK rejected: %v", err)
+	}
+	tx.Commit()
+}
+
+func TestChildUpdateChecked(t *testing.T) {
+	env := core.NewEnv(core.Config{})
+	d, e := setupFK(t, env, "restrict", "immediate")
+	tx := env.Begin()
+	d.Insert(tx, dept(10, "eng"))
+	d.Insert(tx, dept(20, "ops"))
+	k, _ := e.Insert(tx, emp(1, 10))
+	if _, err := e.Update(tx, k, emp(1, 20)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Update(tx, k, emp(1, 77)); err == nil {
+		t.Fatal("update to missing parent accepted")
+	}
+	tx.Commit()
+}
+
+func TestRestrictBlocksParentDelete(t *testing.T) {
+	env := core.NewEnv(core.Config{})
+	d, e := setupFK(t, env, "restrict", "immediate")
+	tx := env.Begin()
+	dk, _ := d.Insert(tx, dept(10, "eng"))
+	e.Insert(tx, emp(1, 10))
+	err := d.Delete(tx, dk)
+	if !errors.Is(err, refint.ErrHasChildren) {
+		t.Fatalf("want restrict veto, got %v", err)
+	}
+	// The vetoed delete is undone: parent still present.
+	if d.Storage().RecordCount() != 1 {
+		t.Fatal("parent lost after vetoed delete")
+	}
+	tx.Commit()
+}
+
+func TestCascadeDelete(t *testing.T) {
+	env := core.NewEnv(core.Config{})
+	d, e := setupFK(t, env, "cascade", "immediate")
+	tx := env.Begin()
+	dk, _ := d.Insert(tx, dept(10, "eng"))
+	d.Insert(tx, dept(20, "ops"))
+	for i := 0; i < 5; i++ {
+		e.Insert(tx, emp(int64(i), 10))
+	}
+	e.Insert(tx, emp(9, 20))
+	if err := d.Delete(tx, dk); err != nil {
+		t.Fatal(err)
+	}
+	if e.Storage().RecordCount() != 1 {
+		t.Fatalf("children after cascade = %d", e.Storage().RecordCount())
+	}
+	tx.Commit()
+}
+
+func TestMultiLevelCascade(t *testing.T) {
+	// dept -> emp -> timecard: deleting the dept cascades two levels.
+	env := core.NewEnv(core.Config{})
+	d, e := setupFK(t, env, "cascade", "immediate")
+	tx := env.Begin()
+	tcSchema := types.MustSchema(
+		types.Column{Name: "tno", Kind: types.KindInt, NotNull: true},
+		types.Column{Name: "eno", Kind: types.KindInt},
+	)
+	if _, err := env.CreateRelation(tx, "timecard", tcSchema, "memory", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := env.CreateAttachment(tx, "emp", "refint", core.AttrList{
+		"name": "pk_emp_tc", "role": "parent", "on": "eno",
+		"peer": "timecard", "peerkey": "eno", "action": "cascade",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	tc, _ := env.OpenRelationByName("timecard")
+	e, _ = env.OpenRelationByName("emp") // refresh descriptor
+
+	dk, _ := d.Insert(tx, dept(10, "eng"))
+	e.Insert(tx, emp(1, 10))
+	e.Insert(tx, emp(2, 10))
+	tc.Insert(tx, types.Record{types.Int(100), types.Int(1)})
+	tc.Insert(tx, types.Record{types.Int(101), types.Int(1)})
+	tc.Insert(tx, types.Record{types.Int(102), types.Int(2)})
+
+	if err := d.Delete(tx, dk); err != nil {
+		t.Fatal(err)
+	}
+	if e.Storage().RecordCount() != 0 || tc.Storage().RecordCount() != 0 {
+		t.Fatalf("after 2-level cascade: emp=%d tc=%d",
+			e.Storage().RecordCount(), tc.Storage().RecordCount())
+	}
+	tx.Commit()
+}
+
+func TestCascadeBlockedDeepVetoUnwindsAll(t *testing.T) {
+	// dept -cascade-> emp -restrict-> timecard: the deep restrict vetoes
+	// the whole cascading delete, and every already-deleted child is
+	// restored by the common log.
+	env := core.NewEnv(core.Config{})
+	d, e := setupFK(t, env, "cascade", "immediate")
+	tx := env.Begin()
+	tcSchema := types.MustSchema(
+		types.Column{Name: "tno", Kind: types.KindInt, NotNull: true},
+		types.Column{Name: "eno", Kind: types.KindInt},
+	)
+	env.CreateRelation(tx, "timecard", tcSchema, "memory", nil)
+	if _, err := env.CreateAttachment(tx, "emp", "refint", core.AttrList{
+		"name": "pk_emp_tc", "role": "parent", "on": "eno",
+		"peer": "timecard", "peerkey": "eno", "action": "restrict",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	tc, _ := env.OpenRelationByName("timecard")
+	e, _ = env.OpenRelationByName("emp")
+
+	dk, _ := d.Insert(tx, dept(10, "eng"))
+	e.Insert(tx, emp(1, 10))
+	e.Insert(tx, emp(2, 10))
+	tc.Insert(tx, types.Record{types.Int(100), types.Int(2)}) // blocks emp 2
+
+	err := d.Delete(tx, dk)
+	if err == nil {
+		t.Fatal("deep restrict should veto")
+	}
+	// Everything restored.
+	if d.Storage().RecordCount() != 1 || e.Storage().RecordCount() != 2 || tc.Storage().RecordCount() != 1 {
+		t.Fatalf("after deep veto: dept=%d emp=%d tc=%d",
+			d.Storage().RecordCount(), e.Storage().RecordCount(), tc.Storage().RecordCount())
+	}
+	tx.Commit()
+}
+
+func TestDeferredCheckRunsAtCommit(t *testing.T) {
+	env := core.NewEnv(core.Config{})
+	d, e := setupFK(t, env, "restrict", "deferred")
+	// Insert the child BEFORE the parent: immediate checking would veto,
+	// deferred checking passes because the parent exists by commit.
+	tx := env.Begin()
+	if _, err := e.Insert(tx, emp(1, 10)); err != nil {
+		t.Fatalf("deferred insert should not check immediately: %v", err)
+	}
+	d.Insert(tx, dept(10, "eng"))
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// And a violation surfaces at commit, turning it into an abort.
+	tx2 := env.Begin()
+	if _, err := e.Insert(tx2, emp(2, 99)); err != nil {
+		t.Fatal(err)
+	}
+	err := tx2.Commit()
+	if !errors.Is(err, refint.ErrNoParent) {
+		t.Fatalf("commit should fail the deferred check, got %v", err)
+	}
+	if e.Storage().RecordCount() != 1 {
+		t.Fatalf("aborted txn left children: %d", e.Storage().RecordCount())
+	}
+}
+
+func TestParentKeyUpdateTreatedAsRemoval(t *testing.T) {
+	env := core.NewEnv(core.Config{})
+	d, e := setupFK(t, env, "restrict", "immediate")
+	tx := env.Begin()
+	dk, _ := d.Insert(tx, dept(10, "eng"))
+	e.Insert(tx, emp(1, 10))
+	if _, err := d.Update(tx, dk, dept(11, "eng")); err == nil {
+		t.Fatal("parent key change with children accepted under restrict")
+	}
+	// Renaming without key change is fine.
+	if _, err := d.Update(tx, dk, dept(10, "engineering")); err != nil {
+		t.Fatal(err)
+	}
+	tx.Commit()
+}
+
+func TestValidation(t *testing.T) {
+	env := core.NewEnv(core.Config{})
+	tx := env.Begin()
+	env.CreateRelation(tx, "dept", deptSchema(), "memory", nil)
+	env.CreateRelation(tx, "emp", empSchema(), "memory", nil)
+	bad := []core.AttrList{
+		{"role": "sibling", "on": "dno", "peer": "dept", "peerkey": "dno"},
+		{"role": "child", "on": "dno"},
+		{"role": "child", "on": "dno", "peer": "ghost", "peerkey": "dno"},
+		{"role": "child", "on": "dno", "peer": "dept"},
+		{"role": "child", "on": "dno", "peer": "dept", "peerkey": "dno,name"},
+		{"role": "child", "on": "dno", "peer": "dept", "peerkey": "dno", "action": "explode"},
+		{"role": "child", "on": "dno", "peer": "dept", "peerkey": "dno", "timing": "someday"},
+	}
+	for i, attrs := range bad {
+		if _, err := env.CreateAttachment(tx, "emp", "refint", attrs); err == nil {
+			t.Errorf("case %d: bad attrs accepted: %v", i, attrs)
+		}
+	}
+	tx.Commit()
+}
+
+func TestSelfReferencingCascade(t *testing.T) {
+	// An org chart: employee.manager references employee.eno.
+	env := core.NewEnv(core.Config{})
+	s := types.MustSchema(
+		types.Column{Name: "eno", Kind: types.KindInt, NotNull: true},
+		types.Column{Name: "mgr", Kind: types.KindInt},
+	)
+	tx := env.Begin()
+	env.CreateRelation(tx, "staff", s, "memory", nil)
+	if _, err := env.CreateAttachment(tx, "staff", "refint", core.AttrList{
+		"name": "org", "role": "parent", "on": "eno",
+		"peer": "staff", "peerkey": "mgr", "action": "cascade",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	r, _ := env.OpenRelationByName("staff")
+	boss, _ := r.Insert(tx, types.Record{types.Int(1), types.Null()})
+	r.Insert(tx, types.Record{types.Int(2), types.Int(1)})
+	r.Insert(tx, types.Record{types.Int(3), types.Int(2)})
+	r.Insert(tx, types.Record{types.Int(4), types.Int(2)})
+	if err := r.Delete(tx, boss); err != nil {
+		t.Fatal(err)
+	}
+	if r.Storage().RecordCount() != 0 {
+		t.Fatalf("self-cascade left %d", r.Storage().RecordCount())
+	}
+	tx.Commit()
+	_ = fmt.Sprint()
+}

@@ -1,0 +1,462 @@
+// Package rtreeix implements the R-tree spatial access path attachment.
+// It recognises the ENCLOSES and OVERLAPS spatial predicates in the query
+// planner's eligible-predicate list and reports a low cost for them, as
+// the paper describes ("the R-tree access path will recognize the
+// ENCLOSES predicate and report a low cost").
+//
+// Access-path keys are 32-byte box encodings; LookupByKey and OpenScan
+// interpret ScanOptions.Start as the query box and ScanOptions.End as a
+// one-byte search mode.
+package rtreeix
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"dmx/internal/att/attutil"
+	"dmx/internal/core"
+	"dmx/internal/expr"
+	"dmx/internal/rtree"
+	"dmx/internal/txn"
+	"dmx/internal/types"
+)
+
+// Name is the DDL name of the attachment type.
+const Name = "rtree"
+
+// ModeKey encodes a search mode as the scan End key.
+func ModeKey(m rtree.Mode) types.Key { return types.Key{byte(m)} }
+
+func init() {
+	core.RegisterAttachment(&core.AttachmentOps{
+		ID:   core.AttRTree,
+		Name: Name,
+		ValidateAttrs: func(env *core.Env, rd *core.RelDesc, attrs core.AttrList) error {
+			if err := attrs.CheckAllowed(Name, "name", "on"); err != nil {
+				return err
+			}
+			fields, err := attutil.ParseColumns(rd.Schema, attrs)
+			if err != nil {
+				return err
+			}
+			if len(fields) != 1 || rd.Schema.Cols[fields[0]].Kind != types.KindBytes {
+				return fmt.Errorf("rtreeix: exactly one BYTES (box) column is required")
+			}
+			return nil
+		},
+		Create: func(env *core.Env, tx *txn.Txn, rd *core.RelDesc, prior []byte, attrs core.AttrList) ([]byte, error) {
+			fields, err := attutil.ParseColumns(rd.Schema, attrs)
+			if err != nil {
+				return nil, err
+			}
+			return attutil.AddDef(prior, attutil.IndexDef{
+				Name:   attutil.InstanceName(attrs, prior),
+				Fields: fields,
+			})
+		},
+		Drop: func(env *core.Env, tx *txn.Txn, rd *core.RelDesc, prior []byte, attrs core.AttrList) ([]byte, error) {
+			name, ok := attrs.Get("name")
+			if !ok {
+				return nil, nil
+			}
+			return attutil.RemoveDef(prior, name)
+		},
+		Open: func(env *core.Env, rd *core.RelDesc) (core.AttachmentInstance, error) {
+			inst := &Instance{env: env, rd: rd, trees: make(map[uint32]*rtree.Tree)}
+			if err := inst.Reconfigure(rd); err != nil {
+				return nil, err
+			}
+			return inst, nil
+		},
+		Build: func(env *core.Env, tx *txn.Txn, rd *core.RelDesc) error {
+			sm, err := env.StorageInstance(rd)
+			if err != nil {
+				return err
+			}
+			if sm.RecordCount() == 0 {
+				return nil
+			}
+			instAny, err := env.AttachmentInstance(rd, core.AttRTree)
+			if err != nil {
+				return err
+			}
+			inst := instAny.(*Instance)
+			scan, err := sm.OpenScan(tx, core.ScanOptions{})
+			if err != nil {
+				return err
+			}
+			defer scan.Close()
+			for {
+				key, r, ok, err := scan.Next()
+				if err != nil {
+					return err
+				}
+				if !ok {
+					return nil
+				}
+				if err := inst.OnInsert(tx, key, r); err != nil {
+					return err
+				}
+			}
+		},
+	})
+}
+
+// Instance services every R-tree instance on one relation.
+type Instance struct {
+	env *core.Env
+	rd  *core.RelDesc
+
+	mu    sync.Mutex
+	defs  []attutil.IndexDef
+	trees map[uint32]*rtree.Tree
+}
+
+// Reconfigure implements core.Reconfigurer.
+func (ix *Instance) Reconfigure(rd *core.RelDesc) error {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	field := rd.AttDesc[core.AttRTree]
+	if field == nil {
+		ix.defs = nil
+		return nil
+	}
+	_, defs, err := attutil.DecodeDefs(field)
+	if err != nil {
+		return err
+	}
+	ix.defs = defs
+	for _, d := range defs {
+		if ix.trees[d.Seq] == nil {
+			ix.trees[d.Seq] = rtree.New()
+		}
+	}
+	return nil
+}
+
+func (ix *Instance) boxOf(d attutil.IndexDef, rec types.Record) (expr.Box, bool, error) {
+	v := rec[d.Fields[0]]
+	if v.IsNull() {
+		return expr.Box{}, false, nil
+	}
+	b, err := expr.DecodeBox(v)
+	if err != nil {
+		return expr.Box{}, false, err
+	}
+	return b, true, nil
+}
+
+func (ix *Instance) apply(tx *txn.Txn, d attutil.IndexDef, op core.ModOp, box expr.Box, recKey types.Key) error {
+	if err := core.LogAttachment(tx, ix.rd, core.AttRTree, core.EntryPayload{
+		Op: op, Instance: int(d.Seq), EntryKey: types.Key(box.Value().B), RecKey: recKey,
+	}); err != nil {
+		return err
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if op == core.ModInsert {
+		ix.trees[d.Seq].Insert(box, recKey)
+	} else {
+		ix.trees[d.Seq].Delete(box, recKey)
+	}
+	return nil
+}
+
+// OnInsert implements core.AttachmentInstance.
+func (ix *Instance) OnInsert(tx *txn.Txn, key types.Key, rec types.Record) error {
+	ix.mu.Lock()
+	defs := ix.defs
+	ix.mu.Unlock()
+	for _, d := range defs {
+		box, ok, err := ix.boxOf(d, rec)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			continue
+		}
+		if err := ix.apply(tx, d, core.ModInsert, box, key); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// OnUpdate implements core.AttachmentInstance.
+func (ix *Instance) OnUpdate(tx *txn.Txn, oldKey, newKey types.Key, oldRec, newRec types.Record) error {
+	ix.mu.Lock()
+	defs := ix.defs
+	ix.mu.Unlock()
+	keyMoved := !oldKey.Equal(newKey)
+	for _, d := range defs {
+		if !keyMoved && !attutil.FieldsChanged(d.Fields, oldRec, newRec) {
+			continue
+		}
+		oldBox, hadOld, err := ix.boxOf(d, oldRec)
+		if err != nil {
+			return err
+		}
+		newBox, hasNew, err := ix.boxOf(d, newRec)
+		if err != nil {
+			return err
+		}
+		if hadOld {
+			if err := ix.apply(tx, d, core.ModDelete, oldBox, oldKey); err != nil {
+				return err
+			}
+		}
+		if hasNew {
+			if err := ix.apply(tx, d, core.ModInsert, newBox, newKey); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// OnDelete implements core.AttachmentInstance.
+func (ix *Instance) OnDelete(tx *txn.Txn, key types.Key, oldRec types.Record) error {
+	ix.mu.Lock()
+	defs := ix.defs
+	ix.mu.Unlock()
+	for _, d := range defs {
+		box, ok, err := ix.boxOf(d, oldRec)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			continue
+		}
+		if err := ix.apply(tx, d, core.ModDelete, box, key); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ApplyLogged implements core.AttachmentInstance.
+func (ix *Instance) ApplyLogged(payload []byte, undo bool) error {
+	p, err := core.DecodeEntry(payload)
+	if err != nil {
+		return err
+	}
+	box, err := expr.DecodeBox(types.Bytes(p.EntryKey))
+	if err != nil {
+		return err
+	}
+	op := p.Op
+	if undo {
+		if op == core.ModInsert {
+			op = core.ModDelete
+		} else {
+			op = core.ModInsert
+		}
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	tree := ix.trees[uint32(p.Instance)]
+	if tree == nil {
+		tree = rtree.New()
+		ix.trees[uint32(p.Instance)] = tree
+	}
+	if op == core.ModInsert {
+		tree.Insert(box, p.RecKey)
+	} else {
+		tree.Delete(box, p.RecKey)
+	}
+	return nil
+}
+
+func (ix *Instance) defAt(instance int) (attutil.IndexDef, error) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if instance < 0 || instance >= len(ix.defs) {
+		return attutil.IndexDef{}, fmt.Errorf("rtreeix: %w: instance %d of %d", core.ErrNotFound, instance, len(ix.defs))
+	}
+	return ix.defs[instance], nil
+}
+
+func (ix *Instance) search(instance int, key types.Key, mode rtree.Mode) ([]rtree.Entry, error) {
+	d, err := ix.defAt(instance)
+	if err != nil {
+		return nil, err
+	}
+	query, err := expr.DecodeBox(types.Bytes(key))
+	if err != nil {
+		return nil, err
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	var out []rtree.Entry
+	ix.trees[d.Seq].Search(query, mode, func(e rtree.Entry) bool {
+		out = append(out, e)
+		return true
+	})
+	return out, nil
+}
+
+// LookupByKey implements core.AccessPath: the key is a 32-byte query box;
+// the search mode defaults to Overlaps.
+func (ix *Instance) LookupByKey(tx *txn.Txn, instance int, key types.Key) ([]types.Key, error) {
+	entries, err := ix.search(instance, key, rtree.Overlaps)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]types.Key, len(entries))
+	for i, e := range entries {
+		out[i] = types.Key(e.Payload).Clone()
+	}
+	return out, nil
+}
+
+// OpenScan implements core.AccessPath: Start carries the query box, End
+// the one-byte mode (from ModeKey). Results are snapshotted at open;
+// positions are indexes into the snapshot.
+func (ix *Instance) OpenScan(tx *txn.Txn, instance int, opts core.ScanOptions) (core.Scan, error) {
+	if len(opts.Start) != 32 {
+		return nil, fmt.Errorf("rtreeix: scan Start must be a 32-byte query box")
+	}
+	mode := rtree.Overlaps
+	if len(opts.End) == 1 && opts.End[0] >= 1 && opts.End[0] <= 3 {
+		mode = rtree.Mode(opts.End[0])
+	}
+	entries, err := ix.search(instance, opts.Start, mode)
+	if err != nil {
+		return nil, err
+	}
+	return &spatialScan{entries: entries}, nil
+}
+
+// EstimateCost implements core.AccessPath: recognises spatial conjuncts.
+func (ix *Instance) EstimateCost(req core.CostRequest) core.CostEstimate {
+	ix.mu.Lock()
+	defs := ix.defs
+	ix.mu.Unlock()
+	best := core.CostEstimate{Usable: false, IO: math.Inf(1), CPU: math.Inf(1)}
+	for i, d := range defs {
+		for ci, c := range req.Conjuncts {
+			query, mode, ok := MatchSpatialConjunct(c, d.Fields[0])
+			if !ok {
+				continue
+			}
+			ix.mu.Lock()
+			tree := ix.trees[d.Seq]
+			n := float64(tree.Len())
+			height := float64(tree.Height())
+			sel := 0.1
+			if bounds, okb := tree.Bounds(); okb && bounds.Area() > 0 {
+				sel = math.Min(1, query.Area()/bounds.Area())
+			}
+			ix.mu.Unlock()
+			est := core.CostEstimate{
+				Usable: true, Instance: i, Handled: []int{ci},
+				CPU: height + n*sel, IO: n * sel * 0.05,
+				Selectivity: sel,
+				Start:       types.Key(query.Value().B),
+				End:         ModeKey(mode),
+			}
+			if est.Total() < best.Total() || !best.Usable {
+				best = est
+			}
+		}
+	}
+	return best
+}
+
+// MatchSpatialConjunct recognises ENCLOSES/OVERLAPS conjuncts over the
+// given box field with a constant query box, returning the query and mode.
+func MatchSpatialConjunct(c *expr.Expr, boxField int) (expr.Box, rtree.Mode, bool) {
+	if c == nil || len(c.Args) != 2 {
+		return expr.Box{}, 0, false
+	}
+	a, b := c.Args[0], c.Args[1]
+	decode := func(e *expr.Expr) (expr.Box, bool) {
+		if e.Op != expr.OpConst {
+			return expr.Box{}, false
+		}
+		box, err := expr.DecodeBox(e.Val)
+		return box, err == nil
+	}
+	switch c.Op {
+	case expr.OpOverlaps:
+		if a.Op == expr.OpField && a.Field == boxField {
+			if q, ok := decode(b); ok {
+				return q, rtree.Overlaps, true
+			}
+		}
+		if b.Op == expr.OpField && b.Field == boxField {
+			if q, ok := decode(a); ok {
+				return q, rtree.Overlaps, true
+			}
+		}
+	case expr.OpEncloses:
+		// ENCLOSES(query, field): entries within the query box.
+		if b.Op == expr.OpField && b.Field == boxField {
+			if q, ok := decode(a); ok {
+				return q, rtree.Within, true
+			}
+		}
+		// ENCLOSES(field, query): entries containing the query box.
+		if a.Op == expr.OpField && a.Field == boxField {
+			if q, ok := decode(b); ok {
+				return q, rtree.Contains, true
+			}
+		}
+	}
+	return expr.Box{}, 0, false
+}
+
+// InstanceCount implements core.AccessPath.
+func (ix *Instance) InstanceCount() int {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	return len(ix.defs)
+}
+
+var (
+	_ core.AttachmentInstance = (*Instance)(nil)
+	_ core.AccessPath         = (*Instance)(nil)
+	_ core.Reconfigurer       = (*Instance)(nil)
+)
+
+// spatialScan iterates a snapshot of search results.
+type spatialScan struct {
+	entries []rtree.Entry
+	next    int
+	closed  bool
+}
+
+// Next implements core.Scan: returns the record key and a one-field
+// record holding the entry's box.
+func (s *spatialScan) Next() (types.Key, types.Record, bool, error) {
+	if s.closed {
+		return nil, nil, false, fmt.Errorf("rtreeix: scan is closed")
+	}
+	if s.next >= len(s.entries) {
+		return nil, nil, false, nil
+	}
+	e := s.entries[s.next]
+	s.next++
+	return types.Key(e.Payload).Clone(), types.Record{e.Box.Value()}, true, nil
+}
+
+// Pos implements core.Scan.
+func (s *spatialScan) Pos() core.ScanPos {
+	return core.ScanPos{byte(s.next >> 24), byte(s.next >> 16), byte(s.next >> 8), byte(s.next)}
+}
+
+// Restore implements core.Scan.
+func (s *spatialScan) Restore(pos core.ScanPos) error {
+	if len(pos) != 4 {
+		return fmt.Errorf("rtreeix: bad scan position")
+	}
+	s.next = int(pos[0])<<24 | int(pos[1])<<16 | int(pos[2])<<8 | int(pos[3])
+	return nil
+}
+
+// Close implements core.Scan.
+func (s *spatialScan) Close() error {
+	s.closed = true
+	return nil
+}

@@ -1,0 +1,178 @@
+// Package stats implements the statistics-maintenance attachment. The
+// paper notes attachments "may have associated storage … even to maintain
+// statistics about relations"; this one keeps a transactionally correct
+// record count plus per-column minimum/maximum watermarks that the query
+// planner consults for cardinality estimates.
+//
+// The count is logged (so vetoed, aborted, and partially rolled back
+// modifications adjust it exactly); the min/max watermarks are monotone
+// approximations refreshed only by inserts and updates, which is the
+// usual statistics trade-off.
+package stats
+
+import (
+	"sync"
+
+	"dmx/internal/att/attutil"
+	"dmx/internal/core"
+	"dmx/internal/txn"
+	"dmx/internal/types"
+)
+
+// Name is the DDL name of the attachment type.
+const Name = "stats"
+
+func init() {
+	core.RegisterAttachment(&core.AttachmentOps{
+		ID:   core.AttStats,
+		Name: Name,
+		ValidateAttrs: func(env *core.Env, rd *core.RelDesc, attrs core.AttrList) error {
+			return attrs.CheckAllowed(Name, "name")
+		},
+		Create: func(env *core.Env, tx *txn.Txn, rd *core.RelDesc, prior []byte, attrs core.AttrList) ([]byte, error) {
+			if prior != nil {
+				return prior, nil // one statistics instance per relation
+			}
+			return attutil.AddDef(nil, attutil.IndexDef{Name: "stats"})
+		},
+		Open: func(env *core.Env, rd *core.RelDesc) (core.AttachmentInstance, error) {
+			return &Instance{rd: rd, mins: make(map[int]types.Value), maxs: make(map[int]types.Value)}, nil
+		},
+		Build: func(env *core.Env, tx *txn.Txn, rd *core.RelDesc) error {
+			sm, err := env.StorageInstance(rd)
+			if err != nil {
+				return err
+			}
+			if sm.RecordCount() == 0 {
+				return nil
+			}
+			instAny, err := env.AttachmentInstance(rd, core.AttStats)
+			if err != nil {
+				return err
+			}
+			inst := instAny.(*Instance)
+			scan, err := sm.OpenScan(tx, core.ScanOptions{})
+			if err != nil {
+				return err
+			}
+			defer scan.Close()
+			for {
+				key, r, ok, err := scan.Next()
+				if err != nil {
+					return err
+				}
+				if !ok {
+					return nil
+				}
+				if err := inst.OnInsert(tx, key, r); err != nil {
+					return err
+				}
+			}
+		},
+	})
+}
+
+// Instance maintains statistics for one relation.
+type Instance struct {
+	rd *core.RelDesc
+
+	mu    sync.Mutex
+	count int64
+	mins  map[int]types.Value
+	maxs  map[int]types.Value
+}
+
+// Snapshot is the statistics view handed to the planner.
+type Snapshot struct {
+	Count int64
+	Mins  map[int]types.Value
+	Maxs  map[int]types.Value
+}
+
+// Snapshot returns the current statistics.
+func (s *Instance) Snapshot() Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := Snapshot{Count: s.count, Mins: make(map[int]types.Value), Maxs: make(map[int]types.Value)}
+	for k, v := range s.mins {
+		out.Mins[k] = v
+	}
+	for k, v := range s.maxs {
+		out.Maxs[k] = v
+	}
+	return out
+}
+
+func (s *Instance) logDelta(tx *txn.Txn, delta int) error {
+	op := core.ModInsert
+	if delta < 0 {
+		op = core.ModDelete
+	}
+	return core.LogAttachment(tx, s.rd, core.AttStats, core.EntryPayload{Op: op})
+}
+
+func (s *Instance) observe(rec types.Record) {
+	for i, v := range rec {
+		if v.IsNull() {
+			continue
+		}
+		if cur, ok := s.mins[i]; !ok || types.Compare(v, cur) < 0 {
+			s.mins[i] = v
+		}
+		if cur, ok := s.maxs[i]; !ok || types.Compare(v, cur) > 0 {
+			s.maxs[i] = v
+		}
+	}
+}
+
+// OnInsert implements core.AttachmentInstance.
+func (s *Instance) OnInsert(tx *txn.Txn, key types.Key, rec types.Record) error {
+	if err := s.logDelta(tx, 1); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.count++
+	s.observe(rec)
+	s.mu.Unlock()
+	return nil
+}
+
+// OnUpdate implements core.AttachmentInstance.
+func (s *Instance) OnUpdate(tx *txn.Txn, oldKey, newKey types.Key, oldRec, newRec types.Record) error {
+	s.mu.Lock()
+	s.observe(newRec)
+	s.mu.Unlock()
+	return nil
+}
+
+// OnDelete implements core.AttachmentInstance.
+func (s *Instance) OnDelete(tx *txn.Txn, key types.Key, oldRec types.Record) error {
+	if err := s.logDelta(tx, -1); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.count--
+	s.mu.Unlock()
+	return nil
+}
+
+// ApplyLogged implements core.AttachmentInstance.
+func (s *Instance) ApplyLogged(payload []byte, undo bool) error {
+	p, err := core.DecodeEntry(payload)
+	if err != nil {
+		return err
+	}
+	delta := int64(1)
+	if p.Op == core.ModDelete {
+		delta = -1
+	}
+	if undo {
+		delta = -delta
+	}
+	s.mu.Lock()
+	s.count += delta
+	s.mu.Unlock()
+	return nil
+}
+
+var _ core.AttachmentInstance = (*Instance)(nil)

@@ -1,0 +1,236 @@
+// Package trigger implements the trigger attachment: attached procedures
+// that fire as side effects of relation modifications and may take
+// arbitrary actions inside the database (cascading modifications through
+// the same generic interfaces) or outside it, and may veto the
+// modification by returning an error.
+//
+// Trigger bodies are Go functions registered per environment under a
+// name; the attachment descriptor stores the name and the event mask.
+// (The 1987 system would link trigger procedures in "at the factory";
+// registration at startup is the Go equivalent.)
+package trigger
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"dmx/internal/att/attutil"
+	"dmx/internal/core"
+	"dmx/internal/txn"
+	"dmx/internal/types"
+)
+
+// Name is the DDL name of the attachment type.
+const Name = "trigger"
+
+// Event says which modification fired the trigger.
+type Event uint8
+
+// Trigger events.
+const (
+	OnInsert Event = 1 << iota
+	OnUpdate
+	OnDelete
+)
+
+// Func is a trigger body. key/oldRec/newRec follow the attached-procedure
+// convention (old on update+delete, new on update+insert). Returning an
+// error vetoes the triggering modification.
+type Func func(env *core.Env, tx *txn.Txn, ev Event, rel *core.RelDesc, key types.Key, oldRec, newRec types.Record) error
+
+const registryKey = "trigger.registry"
+
+type registry struct {
+	mu    sync.Mutex
+	funcs map[string]Func
+}
+
+func funcs(env *core.Env) *registry {
+	if v, ok := env.ExtState(registryKey); ok {
+		return v.(*registry)
+	}
+	r := &registry{funcs: make(map[string]Func)}
+	env.SetExtState(registryKey, r)
+	return r
+}
+
+// Register installs a trigger body under name in env.
+func Register(env *core.Env, name string, fn Func) {
+	r := funcs(env)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.funcs[strings.ToLower(name)] = fn
+}
+
+func lookup(env *core.Env, name string) (Func, error) {
+	r := funcs(env)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fn, ok := r.funcs[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("trigger: no registered function %q", name)
+	}
+	return fn, nil
+}
+
+func parseEvents(attrs core.AttrList) (Event, error) {
+	spec, ok := attrs.Get("events")
+	if !ok || spec == "" {
+		return OnInsert | OnUpdate | OnDelete, nil
+	}
+	var mask Event
+	for _, e := range strings.Split(spec, ",") {
+		switch strings.ToLower(strings.TrimSpace(e)) {
+		case "insert":
+			mask |= OnInsert
+		case "update":
+			mask |= OnUpdate
+		case "delete":
+			mask |= OnDelete
+		default:
+			return 0, fmt.Errorf("trigger: unknown event %q", e)
+		}
+	}
+	return mask, nil
+}
+
+func init() {
+	core.RegisterAttachment(&core.AttachmentOps{
+		ID:   core.AttTrigger,
+		Name: Name,
+		ValidateAttrs: func(env *core.Env, rd *core.RelDesc, attrs core.AttrList) error {
+			if err := attrs.CheckAllowed(Name, "name", "call", "events"); err != nil {
+				return err
+			}
+			call, ok := attrs.Get("call")
+			if !ok {
+				return fmt.Errorf("trigger: a call=<function> attribute is required")
+			}
+			if _, err := lookup(env, call); err != nil {
+				return err
+			}
+			_, err := parseEvents(attrs)
+			return err
+		},
+		Create: func(env *core.Env, tx *txn.Txn, rd *core.RelDesc, prior []byte, attrs core.AttrList) ([]byte, error) {
+			call, ok := attrs.Get("call")
+			if !ok {
+				return nil, fmt.Errorf("trigger: a call=<function> attribute is required")
+			}
+			if _, err := lookup(env, call); err != nil {
+				return nil, err
+			}
+			mask, err := parseEvents(attrs)
+			if err != nil {
+				return nil, err
+			}
+			extra := append([]byte{byte(mask)}, call...)
+			return attutil.AddDef(prior, attutil.IndexDef{
+				Name:  attutil.InstanceName(attrs, prior),
+				Extra: extra,
+			})
+		},
+		Drop: func(env *core.Env, tx *txn.Txn, rd *core.RelDesc, prior []byte, attrs core.AttrList) ([]byte, error) {
+			name, ok := attrs.Get("name")
+			if !ok {
+				return nil, nil
+			}
+			return attutil.RemoveDef(prior, name)
+		},
+		Open: func(env *core.Env, rd *core.RelDesc) (core.AttachmentInstance, error) {
+			inst := &Instance{env: env, rd: rd}
+			if err := inst.Reconfigure(rd); err != nil {
+				return nil, err
+			}
+			return inst, nil
+		},
+	})
+}
+
+type instanceDef struct {
+	name string
+	mask Event
+	call string
+}
+
+// Instance services every trigger instance on one relation.
+type Instance struct {
+	env *core.Env
+	rd  *core.RelDesc
+
+	mu   sync.Mutex
+	defs []instanceDef
+}
+
+// Reconfigure implements core.Reconfigurer.
+func (in *Instance) Reconfigure(rd *core.RelDesc) error {
+	field := rd.AttDesc[core.AttTrigger]
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.rd = rd
+	in.defs = nil
+	if field == nil {
+		return nil
+	}
+	_, defs, err := attutil.DecodeDefs(field)
+	if err != nil {
+		return err
+	}
+	for _, d := range defs {
+		if len(d.Extra) < 1 {
+			return fmt.Errorf("trigger: corrupt descriptor for %q", d.Name)
+		}
+		in.defs = append(in.defs, instanceDef{
+			name: d.Name,
+			mask: Event(d.Extra[0]),
+			call: string(d.Extra[1:]),
+		})
+	}
+	return nil
+}
+
+func (in *Instance) fire(tx *txn.Txn, ev Event, key types.Key, oldRec, newRec types.Record) error {
+	in.mu.Lock()
+	defs := in.defs
+	rd := in.rd
+	in.mu.Unlock()
+	for _, d := range defs {
+		if d.mask&ev == 0 {
+			continue
+		}
+		fn, err := lookup(in.env, d.call)
+		if err != nil {
+			return err
+		}
+		if err := fn(in.env, tx, ev, rd, key, oldRec, newRec); err != nil {
+			return fmt.Errorf("trigger %q: %w", d.name, err)
+		}
+	}
+	return nil
+}
+
+// OnInsert implements core.AttachmentInstance.
+func (in *Instance) OnInsert(tx *txn.Txn, key types.Key, rec types.Record) error {
+	return in.fire(tx, OnInsert, key, nil, rec)
+}
+
+// OnUpdate implements core.AttachmentInstance.
+func (in *Instance) OnUpdate(tx *txn.Txn, oldKey, newKey types.Key, oldRec, newRec types.Record) error {
+	return in.fire(tx, OnUpdate, newKey, oldRec, newRec)
+}
+
+// OnDelete implements core.AttachmentInstance.
+func (in *Instance) OnDelete(tx *txn.Txn, key types.Key, oldRec types.Record) error {
+	return in.fire(tx, OnDelete, key, oldRec, nil)
+}
+
+// ApplyLogged implements core.AttachmentInstance: triggers have no
+// associated storage (their database actions are logged by the relations
+// they modify, so cascaded effects unwind with the transaction).
+func (in *Instance) ApplyLogged(payload []byte, undo bool) error { return nil }
+
+var (
+	_ core.AttachmentInstance = (*Instance)(nil)
+	_ core.Reconfigurer       = (*Instance)(nil)
+)

@@ -1,0 +1,148 @@
+package trigger_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"dmx/internal/att/trigger"
+	"dmx/internal/core"
+	_ "dmx/internal/sm/memsm"
+	"dmx/internal/txn"
+	"dmx/internal/types"
+)
+
+func schema() *types.Schema {
+	return types.MustSchema(
+		types.Column{Name: "id", Kind: types.KindInt, NotNull: true},
+		types.Column{Name: "val", Kind: types.KindString},
+	)
+}
+
+func rec(id int64, val string) types.Record {
+	return types.Record{types.Int(id), types.Str(val)}
+}
+
+func TestTriggerFiresPerEventMask(t *testing.T) {
+	env := core.NewEnv(core.Config{})
+	var events []string
+	trigger.Register(env, "audit", func(_ *core.Env, _ *txn.Txn, ev trigger.Event, rd *core.RelDesc, key types.Key, oldRec, newRec types.Record) error {
+		switch ev {
+		case trigger.OnInsert:
+			if newRec == nil || oldRec != nil {
+				t.Error("insert trigger args wrong")
+			}
+			events = append(events, "ins")
+		case trigger.OnUpdate:
+			if newRec == nil || oldRec == nil {
+				t.Error("update trigger args wrong")
+			}
+			events = append(events, "upd")
+		case trigger.OnDelete:
+			if newRec != nil || oldRec == nil {
+				t.Error("delete trigger args wrong")
+			}
+			events = append(events, "del")
+		}
+		return nil
+	})
+	tx := env.Begin()
+	env.CreateRelation(tx, "t", schema(), "memory", nil)
+	if _, err := env.CreateAttachment(tx, "t", "trigger",
+		core.AttrList{"name": "aud", "call": "audit", "events": "insert,delete"}); err != nil {
+		t.Fatal(err)
+	}
+	r, _ := env.OpenRelationByName("t")
+	k, _ := r.Insert(tx, rec(1, "a"))
+	r.Update(tx, k, rec(1, "b")) // not in mask
+	r.Delete(tx, k)
+	tx.Commit()
+	if len(events) != 2 || events[0] != "ins" || events[1] != "del" {
+		t.Fatalf("events = %v", events)
+	}
+}
+
+func TestTriggerVetoUndoesModification(t *testing.T) {
+	env := core.NewEnv(core.Config{})
+	boom := errors.New("forbidden")
+	trigger.Register(env, "guard", func(_ *core.Env, _ *txn.Txn, _ trigger.Event, _ *core.RelDesc, _ types.Key, _, newRec types.Record) error {
+		if newRec != nil && newRec[1].S == "bad" {
+			return boom
+		}
+		return nil
+	})
+	tx := env.Begin()
+	env.CreateRelation(tx, "t", schema(), "memory", nil)
+	env.CreateAttachment(tx, "t", "trigger", core.AttrList{"call": "guard"})
+	r, _ := env.OpenRelationByName("t")
+	if _, err := r.Insert(tx, rec(1, "good")); err != nil {
+		t.Fatal(err)
+	}
+	_, err := r.Insert(tx, rec(2, "bad"))
+	var ve *core.VetoError
+	if !errors.As(err, &ve) || !errors.Is(err, boom) {
+		t.Fatalf("want trigger veto, got %v", err)
+	}
+	if r.Storage().RecordCount() != 1 {
+		t.Fatal("vetoed insert left effects")
+	}
+	tx.Commit()
+}
+
+func TestTriggerCascadesIntoOtherRelation(t *testing.T) {
+	// The paper: attachments "may access or modify other data in the
+	// database by calling the appropriate storage method or attachment
+	// routines — in this manner, modifications may cascade".
+	env := core.NewEnv(core.Config{})
+	trigger.Register(env, "audit_log", func(env *core.Env, tx *txn.Txn, ev trigger.Event, rd *core.RelDesc, key types.Key, oldRec, newRec types.Record) error {
+		audit, err := env.OpenRelationByName("audit")
+		if err != nil {
+			return err
+		}
+		_, err = audit.Insert(tx, rec(newRec[0].AsInt(), fmt.Sprintf("%s@%s", "insert", rd.Name)))
+		return err
+	})
+	tx := env.Begin()
+	env.CreateRelation(tx, "audit", schema(), "memory", nil)
+	env.CreateRelation(tx, "t", schema(), "memory", nil)
+	if _, err := env.CreateAttachment(tx, "t", "trigger",
+		core.AttrList{"call": "audit_log", "events": "insert"}); err != nil {
+		t.Fatal(err)
+	}
+	r, _ := env.OpenRelationByName("t")
+	r.Insert(tx, rec(7, "x"))
+	tx.Commit()
+
+	audit, _ := env.OpenRelationByName("audit")
+	if audit.Storage().RecordCount() != 1 {
+		t.Fatal("cascaded insert missing")
+	}
+
+	// And an abort unwinds the cascaded modification too.
+	tx2 := env.Begin()
+	r.Insert(tx2, rec(8, "y"))
+	tx2.Abort()
+	if audit.Storage().RecordCount() != 1 {
+		t.Fatal("cascaded insert not rolled back")
+	}
+}
+
+func TestUnknownFunctionAndEventRejected(t *testing.T) {
+	env := core.NewEnv(core.Config{})
+	tx := env.Begin()
+	env.CreateRelation(tx, "t", schema(), "memory", nil)
+	if _, err := env.CreateAttachment(tx, "t", "trigger", core.AttrList{"call": "nope"}); err == nil {
+		t.Fatal("unknown function accepted")
+	}
+	trigger.Register(env, "fn", func(*core.Env, *txn.Txn, trigger.Event, *core.RelDesc, types.Key, types.Record, types.Record) error {
+		return nil
+	})
+	if _, err := env.CreateAttachment(tx, "t", "trigger",
+		core.AttrList{"call": "fn", "events": "explode"}); err == nil {
+		t.Fatal("unknown event accepted")
+	}
+	if _, err := env.CreateAttachment(tx, "t", "trigger", nil); err == nil {
+		t.Fatal("missing call accepted")
+	}
+	tx.Commit()
+}

@@ -1,0 +1,255 @@
+// Package unique implements the uniqueness-constraint attachment: an
+// integrity constraint with associated storage (a hash set of key values)
+// that vetoes modifications introducing duplicate values in the
+// constrained columns.
+package unique
+
+import (
+	"fmt"
+	"sync"
+
+	"dmx/internal/att/attutil"
+	"dmx/internal/core"
+	"dmx/internal/txn"
+	"dmx/internal/types"
+)
+
+// Name is the DDL name of the attachment type.
+const Name = "unique"
+
+// ErrViolation is the veto reason for duplicate values.
+var ErrViolation = fmt.Errorf("unique: uniqueness constraint violated")
+
+func init() {
+	core.RegisterAttachment(&core.AttachmentOps{
+		ID:   core.AttUnique,
+		Name: Name,
+		ValidateAttrs: func(env *core.Env, rd *core.RelDesc, attrs core.AttrList) error {
+			if err := attrs.CheckAllowed(Name, "name", "on"); err != nil {
+				return err
+			}
+			_, err := attutil.ParseColumns(rd.Schema, attrs)
+			return err
+		},
+		Create: func(env *core.Env, tx *txn.Txn, rd *core.RelDesc, prior []byte, attrs core.AttrList) ([]byte, error) {
+			fields, err := attutil.ParseColumns(rd.Schema, attrs)
+			if err != nil {
+				return nil, err
+			}
+			return attutil.AddDef(prior, attutil.IndexDef{
+				Name:   attutil.InstanceName(attrs, prior),
+				Fields: fields,
+				Unique: true,
+			})
+		},
+		Drop: func(env *core.Env, tx *txn.Txn, rd *core.RelDesc, prior []byte, attrs core.AttrList) ([]byte, error) {
+			name, ok := attrs.Get("name")
+			if !ok {
+				return nil, nil
+			}
+			return attutil.RemoveDef(prior, name)
+		},
+		Open: func(env *core.Env, rd *core.RelDesc) (core.AttachmentInstance, error) {
+			inst := &Instance{env: env, rd: rd, sets: make(map[uint32]map[string]int)}
+			if err := inst.Reconfigure(rd); err != nil {
+				return nil, err
+			}
+			return inst, nil
+		},
+		Build: func(env *core.Env, tx *txn.Txn, rd *core.RelDesc) error {
+			sm, err := env.StorageInstance(rd)
+			if err != nil {
+				return err
+			}
+			if sm.RecordCount() == 0 {
+				return nil
+			}
+			instAny, err := env.AttachmentInstance(rd, core.AttUnique)
+			if err != nil {
+				return err
+			}
+			inst := instAny.(*Instance)
+			scan, err := sm.OpenScan(tx, core.ScanOptions{})
+			if err != nil {
+				return err
+			}
+			defer scan.Close()
+			for {
+				key, r, ok, err := scan.Next()
+				if err != nil {
+					return err
+				}
+				if !ok {
+					return nil
+				}
+				if err := inst.OnInsert(tx, key, r); err != nil {
+					return err
+				}
+			}
+		},
+	})
+}
+
+// Instance services every uniqueness constraint on one relation. Sets are
+// reference-counted so a same-transaction delete+insert of the same value
+// replays correctly in either undo direction.
+type Instance struct {
+	env *core.Env
+	rd  *core.RelDesc
+
+	mu   sync.Mutex
+	defs []attutil.IndexDef
+	sets map[uint32]map[string]int // by Seq: key value -> count
+}
+
+// Reconfigure implements core.Reconfigurer.
+func (u *Instance) Reconfigure(rd *core.RelDesc) error {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	field := rd.AttDesc[core.AttUnique]
+	if field == nil {
+		u.defs = nil
+		return nil
+	}
+	_, defs, err := attutil.DecodeDefs(field)
+	if err != nil {
+		return err
+	}
+	u.defs = defs
+	for _, d := range defs {
+		if u.sets[d.Seq] == nil {
+			u.sets[d.Seq] = make(map[string]int)
+		}
+	}
+	return nil
+}
+
+func (u *Instance) add(tx *txn.Txn, d attutil.IndexDef, rec types.Record) error {
+	// NULL values do not participate in uniqueness (SQL convention).
+	for _, f := range d.Fields {
+		if rec[f].IsNull() {
+			return nil
+		}
+	}
+	key := types.EncodeKeyFields(rec, d.Fields)
+	u.mu.Lock()
+	n := u.sets[d.Seq][string(key)]
+	u.mu.Unlock()
+	if n > 0 {
+		return fmt.Errorf("%w: %q value %v", ErrViolation, d.Name, rec.Project(d.Fields))
+	}
+	if err := core.LogAttachment(tx, u.rd, core.AttUnique, core.EntryPayload{
+		Op: core.ModInsert, Instance: int(d.Seq), EntryKey: key,
+	}); err != nil {
+		return err
+	}
+	u.mu.Lock()
+	u.sets[d.Seq][string(key)]++
+	u.mu.Unlock()
+	return nil
+}
+
+func (u *Instance) remove(tx *txn.Txn, d attutil.IndexDef, rec types.Record) error {
+	for _, f := range d.Fields {
+		if rec[f].IsNull() {
+			return nil
+		}
+	}
+	key := types.EncodeKeyFields(rec, d.Fields)
+	if err := core.LogAttachment(tx, u.rd, core.AttUnique, core.EntryPayload{
+		Op: core.ModDelete, Instance: int(d.Seq), EntryKey: key,
+	}); err != nil {
+		return err
+	}
+	u.mu.Lock()
+	u.applyLocked(d.Seq, core.ModDelete, key)
+	u.mu.Unlock()
+	return nil
+}
+
+func (u *Instance) applyLocked(seq uint32, op core.ModOp, key types.Key) {
+	set := u.sets[seq]
+	if set == nil {
+		set = make(map[string]int)
+		u.sets[seq] = set
+	}
+	if op == core.ModInsert {
+		set[string(key)]++
+		return
+	}
+	if set[string(key)] <= 1 {
+		delete(set, string(key))
+	} else {
+		set[string(key)]--
+	}
+}
+
+// OnInsert implements core.AttachmentInstance.
+func (u *Instance) OnInsert(tx *txn.Txn, key types.Key, rec types.Record) error {
+	u.mu.Lock()
+	defs := u.defs
+	u.mu.Unlock()
+	for _, d := range defs {
+		if err := u.add(tx, d, rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// OnUpdate implements core.AttachmentInstance.
+func (u *Instance) OnUpdate(tx *txn.Txn, oldKey, newKey types.Key, oldRec, newRec types.Record) error {
+	u.mu.Lock()
+	defs := u.defs
+	u.mu.Unlock()
+	for _, d := range defs {
+		if !attutil.FieldsChanged(d.Fields, oldRec, newRec) {
+			continue
+		}
+		if err := u.remove(tx, d, oldRec); err != nil {
+			return err
+		}
+		if err := u.add(tx, d, newRec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// OnDelete implements core.AttachmentInstance.
+func (u *Instance) OnDelete(tx *txn.Txn, key types.Key, oldRec types.Record) error {
+	u.mu.Lock()
+	defs := u.defs
+	u.mu.Unlock()
+	for _, d := range defs {
+		if err := u.remove(tx, d, oldRec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ApplyLogged implements core.AttachmentInstance.
+func (u *Instance) ApplyLogged(payload []byte, undo bool) error {
+	p, err := core.DecodeEntry(payload)
+	if err != nil {
+		return err
+	}
+	op := p.Op
+	if undo {
+		if op == core.ModInsert {
+			op = core.ModDelete
+		} else {
+			op = core.ModInsert
+		}
+	}
+	u.mu.Lock()
+	u.applyLocked(uint32(p.Instance), op, p.EntryKey)
+	u.mu.Unlock()
+	return nil
+}
+
+var (
+	_ core.AttachmentInstance = (*Instance)(nil)
+	_ core.Reconfigurer       = (*Instance)(nil)
+)

@@ -1,0 +1,151 @@
+package unique_test
+
+import (
+	"errors"
+	"testing"
+
+	"dmx/internal/att/unique"
+	"dmx/internal/core"
+	_ "dmx/internal/sm/memsm"
+	"dmx/internal/types"
+	"dmx/internal/wal"
+)
+
+func schema() *types.Schema {
+	return types.MustSchema(
+		types.Column{Name: "id", Kind: types.KindInt, NotNull: true},
+		types.Column{Name: "email", Kind: types.KindString},
+	)
+}
+
+func rec(id int64, email string) types.Record {
+	return types.Record{types.Int(id), types.Str(email)}
+}
+
+func nullEmail(id int64) types.Record {
+	return types.Record{types.Int(id), types.Null()}
+}
+
+func setup(t *testing.T, env *core.Env) *core.Relation {
+	t.Helper()
+	tx := env.Begin()
+	env.CreateRelation(tx, "users", schema(), "memory", nil)
+	if _, err := env.CreateAttachment(tx, "users", "unique", core.AttrList{"name": "umail", "on": "email"}); err != nil {
+		t.Fatal(err)
+	}
+	tx.Commit()
+	r, _ := env.OpenRelationByName("users")
+	return r
+}
+
+func TestDuplicateVetoed(t *testing.T) {
+	env := core.NewEnv(core.Config{})
+	r := setup(t, env)
+	tx := env.Begin()
+	if _, err := r.Insert(tx, rec(1, "a@x")); err != nil {
+		t.Fatal(err)
+	}
+	_, err := r.Insert(tx, rec(2, "a@x"))
+	var ve *core.VetoError
+	if !errors.As(err, &ve) || !errors.Is(err, unique.ErrViolation) {
+		t.Fatalf("want unique veto, got %v", err)
+	}
+	if r.Storage().RecordCount() != 1 {
+		t.Fatal("vetoed insert left effects")
+	}
+	tx.Commit()
+}
+
+func TestNullsDoNotParticipate(t *testing.T) {
+	env := core.NewEnv(core.Config{})
+	r := setup(t, env)
+	tx := env.Begin()
+	if _, err := r.Insert(tx, nullEmail(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Insert(tx, nullEmail(2)); err != nil {
+		t.Fatalf("multiple NULLs should be allowed: %v", err)
+	}
+	tx.Commit()
+}
+
+func TestDeleteFreesValueUpdateMovesIt(t *testing.T) {
+	env := core.NewEnv(core.Config{})
+	r := setup(t, env)
+	tx := env.Begin()
+	k, _ := r.Insert(tx, rec(1, "a@x"))
+	r.Delete(tx, k)
+	if _, err := r.Insert(tx, rec(2, "a@x")); err != nil {
+		t.Fatalf("value should be free after delete: %v", err)
+	}
+	k3, _ := r.Insert(tx, rec(3, "b@x"))
+	if _, err := r.Update(tx, k3, rec(3, "a@x")); err == nil {
+		t.Fatal("update into duplicate accepted")
+	}
+	if _, err := r.Update(tx, k3, rec(3, "c@x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Insert(tx, rec(4, "b@x")); err != nil {
+		t.Fatalf("old value should be free after update away: %v", err)
+	}
+	tx.Commit()
+}
+
+func TestAbortRestoresSet(t *testing.T) {
+	env := core.NewEnv(core.Config{})
+	r := setup(t, env)
+	tx := env.Begin()
+	r.Insert(tx, rec(1, "a@x"))
+	tx.Commit()
+
+	tx2 := env.Begin()
+	k, _ := r.Insert(tx2, rec(2, "b@x"))
+	r.Delete(tx2, k)
+	tx2.Abort()
+
+	tx3 := env.Begin()
+	// After abort, b@x must be free and a@x still taken.
+	if _, err := r.Insert(tx3, rec(3, "b@x")); err != nil {
+		t.Fatalf("b@x should be free: %v", err)
+	}
+	if _, err := r.Insert(tx3, rec(4, "a@x")); err == nil {
+		t.Fatal("a@x should still be taken")
+	}
+	tx3.Commit()
+}
+
+func TestBuildRejectsExistingDuplicates(t *testing.T) {
+	env := core.NewEnv(core.Config{})
+	tx := env.Begin()
+	env.CreateRelation(tx, "users", schema(), "memory", nil)
+	r, _ := env.OpenRelationByName("users")
+	r.Insert(tx, rec(1, "dup@x"))
+	r.Insert(tx, rec(2, "dup@x"))
+	if _, err := env.CreateAttachment(tx, "users", "unique", core.AttrList{"on": "email"}); err == nil {
+		t.Fatal("constraint built over duplicates")
+	}
+	tx.Abort()
+}
+
+func TestRecoveryRestoresSet(t *testing.T) {
+	log := wal.New()
+	env := core.NewEnv(core.Config{Log: log})
+	r := setup(t, env)
+	tx := env.Begin()
+	r.Insert(tx, rec(1, "a@x"))
+	tx.Commit()
+
+	env2 := core.NewEnv(core.Config{Log: log})
+	if err := env2.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	r2, _ := env2.OpenRelationByName("users")
+	tx2 := env2.Begin()
+	if _, err := r2.Insert(tx2, rec(2, "a@x")); err == nil {
+		t.Fatal("recovered set lost the taken value")
+	}
+	if _, err := r2.Insert(tx2, rec(3, "new@x")); err != nil {
+		t.Fatal(err)
+	}
+	tx2.Commit()
+}

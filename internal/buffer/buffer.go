@@ -1,0 +1,199 @@
+// Package buffer implements the shared buffer pool.
+//
+// Storage methods and attachments with paged representations pin pages in
+// the pool, read or mutate the frame contents in place (the common
+// predicate-evaluation service is invoked on these buffer-resident field
+// values, so qualifying records need never be copied out just to be
+// filtered), mark them dirty, and unpin them. Clean and dirty frames are
+// evicted LRU when the pool is full.
+package buffer
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+
+	"dmx/internal/pagefile"
+)
+
+// Frame is a pooled page. The Data slice aliases pool memory; it is valid
+// only while the frame is pinned.
+type Frame struct {
+	ID    pagefile.PageID
+	Data  []byte
+	pins  int
+	dirty bool
+	lru   *list.Element
+}
+
+// Stats counts pool traffic.
+type Stats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+}
+
+// Pool is a fixed-capacity page buffer over one Disk. It is safe for
+// concurrent use; callers serialise access to a given page's contents with
+// the lock manager.
+type Pool struct {
+	mu       sync.Mutex
+	disk     pagefile.Disk
+	capacity int
+	frames   map[pagefile.PageID]*Frame
+	lru      *list.List // unpinned frames, front = LRU victim
+	stats    Stats
+}
+
+// NewPool returns a pool of the given frame capacity over disk.
+func NewPool(disk pagefile.Disk, capacity int) *Pool {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Pool{
+		disk:     disk,
+		capacity: capacity,
+		frames:   make(map[pagefile.PageID]*Frame, capacity),
+		lru:      list.New(),
+	}
+}
+
+// Disk returns the underlying device.
+func (p *Pool) Disk() pagefile.Disk { return p.disk }
+
+// Pin fetches the page into the pool (reading from disk on a miss) and
+// pins it. Every Pin must be matched by an Unpin.
+func (p *Pool) Pin(id pagefile.PageID) (*Frame, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if f, ok := p.frames[id]; ok {
+		p.stats.Hits++
+		p.pinLocked(f)
+		return f, nil
+	}
+	p.stats.Misses++
+	f, err := p.frameForLocked(id)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.disk.ReadPage(id, f.Data); err != nil {
+		p.discardLocked(f)
+		return nil, err
+	}
+	return f, nil
+}
+
+// NewPage allocates a fresh zero page on disk and returns it pinned.
+func (p *Pool) NewPage() (*Frame, error) {
+	id, err := p.disk.Allocate()
+	if err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	f, err := p.frameForLocked(id)
+	if err != nil {
+		return nil, err
+	}
+	for i := range f.Data {
+		f.Data[i] = 0
+	}
+	f.dirty = true
+	return f, nil
+}
+
+// frameForLocked finds or evicts a frame for id and returns it pinned with
+// undefined contents.
+func (p *Pool) frameForLocked(id pagefile.PageID) (*Frame, error) {
+	if len(p.frames) >= p.capacity {
+		if err := p.evictLocked(); err != nil {
+			return nil, err
+		}
+	}
+	f := &Frame{ID: id, Data: make([]byte, pagefile.PageSize), pins: 1}
+	p.frames[id] = f
+	return f, nil
+}
+
+func (p *Pool) evictLocked() error {
+	el := p.lru.Front()
+	if el == nil {
+		return fmt.Errorf("buffer: pool exhausted: all %d frames pinned", p.capacity)
+	}
+	victim := el.Value.(*Frame)
+	if victim.dirty {
+		if err := p.disk.WritePage(victim.ID, victim.Data); err != nil {
+			return err
+		}
+		victim.dirty = false
+	}
+	p.lru.Remove(el)
+	victim.lru = nil
+	delete(p.frames, victim.ID)
+	p.stats.Evictions++
+	return nil
+}
+
+func (p *Pool) pinLocked(f *Frame) {
+	if f.lru != nil {
+		p.lru.Remove(f.lru)
+		f.lru = nil
+	}
+	f.pins++
+}
+
+func (p *Pool) discardLocked(f *Frame) {
+	delete(p.frames, f.ID)
+}
+
+// Unpin releases one pin; dirty records that the caller mutated the frame.
+// Fully unpinned frames become eviction candidates.
+func (p *Pool) Unpin(f *Frame, dirty bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if dirty {
+		f.dirty = true
+	}
+	f.pins--
+	if f.pins < 0 {
+		panic("buffer: unpin of unpinned frame")
+	}
+	if f.pins == 0 {
+		f.lru = p.lru.PushBack(f)
+	}
+}
+
+// FlushAll writes every dirty frame back to disk (frames stay pooled).
+func (p *Pool) FlushAll() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, f := range p.frames {
+		if f.dirty {
+			if err := p.disk.WritePage(f.ID, f.Data); err != nil {
+				return err
+			}
+			f.dirty = false
+		}
+	}
+	return nil
+}
+
+// Stats returns cumulative pool statistics.
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// PinnedCount returns the number of frames currently pinned (for tests).
+func (p *Pool) PinnedCount() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for _, f := range p.frames {
+		if f.pins > 0 {
+			n++
+		}
+	}
+	return n
+}

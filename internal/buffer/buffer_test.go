@@ -1,0 +1,188 @@
+package buffer
+
+import (
+	"testing"
+
+	"dmx/internal/pagefile"
+)
+
+func newPool(t *testing.T, capacity, pages int) (*Pool, *pagefile.MemDisk) {
+	t.Helper()
+	d := pagefile.NewMemDisk()
+	for i := 0; i < pages; i++ {
+		if _, err := d.Allocate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return NewPool(d, capacity), d
+}
+
+func TestPinMissThenHit(t *testing.T) {
+	p, _ := newPool(t, 4, 2)
+	f, err := p.Pin(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Unpin(f, false)
+	f2, err := p.Pin(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Unpin(f2, false)
+	s := p.Stats()
+	if s.Misses != 1 || s.Hits != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if f != f2 {
+		t.Fatal("hit should return the same frame")
+	}
+}
+
+func TestDirtyWritebackOnEviction(t *testing.T) {
+	p, d := newPool(t, 1, 3)
+	f, _ := p.Pin(0)
+	f.Data[0] = 0x5A
+	p.Unpin(f, true)
+
+	// Pinning another page evicts page 0, writing it back.
+	g, _ := p.Pin(1)
+	p.Unpin(g, false)
+	if p.Stats().Evictions != 1 {
+		t.Fatalf("evictions = %d", p.Stats().Evictions)
+	}
+	buf := make([]byte, pagefile.PageSize)
+	d.ReadPage(0, buf)
+	if buf[0] != 0x5A {
+		t.Fatal("dirty page not written back on eviction")
+	}
+
+	// Re-pin page 0: contents must round trip through disk.
+	h, _ := p.Pin(0)
+	if h.Data[0] != 0x5A {
+		t.Fatal("contents lost after eviction")
+	}
+	p.Unpin(h, false)
+}
+
+func TestCleanEvictionSkipsWrite(t *testing.T) {
+	p, d := newPool(t, 1, 2)
+	f, _ := p.Pin(0)
+	p.Unpin(f, false)
+	g, _ := p.Pin(1)
+	p.Unpin(g, false)
+	if d.Stats().Writes != 0 {
+		t.Fatal("clean eviction should not write")
+	}
+}
+
+func TestPoolExhaustion(t *testing.T) {
+	p, _ := newPool(t, 2, 3)
+	a, _ := p.Pin(0)
+	b, _ := p.Pin(1)
+	if _, err := p.Pin(2); err == nil {
+		t.Fatal("pinning beyond capacity with all frames pinned should fail")
+	}
+	p.Unpin(a, false)
+	c, err := p.Pin(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Unpin(b, false)
+	p.Unpin(c, false)
+}
+
+func TestLRUOrder(t *testing.T) {
+	p, _ := newPool(t, 2, 3)
+	a, _ := p.Pin(0)
+	p.Unpin(a, false)
+	b, _ := p.Pin(1)
+	p.Unpin(b, false)
+	// Touch page 0 so page 1 is LRU.
+	a2, _ := p.Pin(0)
+	p.Unpin(a2, false)
+	c, _ := p.Pin(2) // must evict page 1
+	p.Unpin(c, false)
+	// Page 0 should still be a hit.
+	hitsBefore := p.Stats().Hits
+	f, _ := p.Pin(0)
+	p.Unpin(f, false)
+	if p.Stats().Hits != hitsBefore+1 {
+		t.Fatal("page 0 should have remained pooled (page 1 was LRU)")
+	}
+}
+
+func TestNewPage(t *testing.T) {
+	p, d := newPool(t, 4, 0)
+	f, err := p.NewPage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.ID != 0 || d.NumPages() != 1 {
+		t.Fatalf("NewPage id=%d pages=%d", f.ID, d.NumPages())
+	}
+	f.Data[3] = 0x77
+	p.Unpin(f, true)
+	if err := p.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, pagefile.PageSize)
+	d.ReadPage(0, buf)
+	if buf[3] != 0x77 {
+		t.Fatal("FlushAll did not persist")
+	}
+}
+
+func TestMultiplePins(t *testing.T) {
+	p, _ := newPool(t, 2, 2)
+	f1, _ := p.Pin(0)
+	f2, _ := p.Pin(0)
+	if f1 != f2 {
+		t.Fatal("same page should share a frame")
+	}
+	p.Unpin(f1, false)
+	if p.PinnedCount() != 1 {
+		t.Fatal("frame should still be pinned once")
+	}
+	p.Unpin(f2, false)
+	if p.PinnedCount() != 0 {
+		t.Fatal("frame should be unpinned")
+	}
+}
+
+func TestUnpinUnderflowPanics(t *testing.T) {
+	p, _ := newPool(t, 2, 1)
+	f, _ := p.Pin(0)
+	p.Unpin(f, false)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on unpin underflow")
+		}
+	}()
+	p.Unpin(f, false)
+}
+
+func TestPinMissingPageFails(t *testing.T) {
+	p, _ := newPool(t, 2, 1)
+	if _, err := p.Pin(42); err == nil {
+		t.Fatal("pin of nonexistent page should fail")
+	}
+	// Failure must not leak a frame.
+	f, err := p.Pin(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Unpin(f, false)
+}
+
+func TestDiskAccessor(t *testing.T) {
+	d := pagefile.NewMemDisk()
+	p := NewPool(d, 0) // capacity clamps to 1
+	if p.Disk() != d {
+		t.Fatal("Disk accessor")
+	}
+	f, err := p.NewPage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Unpin(f, false)
+}

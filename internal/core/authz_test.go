@@ -1,0 +1,140 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"dmx/internal/core"
+	_ "dmx/internal/sm/memsm"
+	"dmx/internal/types"
+)
+
+func TestAuthzDisabledAllowsEverything(t *testing.T) {
+	env := core.NewEnv(core.Config{})
+	rd := mkRel(t, env, "t", "memory")
+	r, _ := env.OpenRelation(rd)
+	tx := env.Begin() // no user, authz disabled
+	if _, err := r.Insert(tx, rec(1, "x")); err != nil {
+		t.Fatal(err)
+	}
+	tx.Commit()
+}
+
+func TestAuthzEnforcesPrivileges(t *testing.T) {
+	env := core.NewEnv(core.Config{})
+	env.Authz.Enable()
+
+	// Alice creates the relation and is granted ADMIN automatically.
+	txA := env.Begin()
+	txA.SetUser("alice")
+	rd, err := env.CreateRelation(txA, "t", testSchema(), "memory", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, _ := env.OpenRelation(rd)
+	key, err := r.Insert(txA, rec(1, "by alice"))
+	if err != nil {
+		t.Fatalf("creator write: %v", err)
+	}
+	if err := txA.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Bob has nothing: reads and writes are refused uniformly.
+	txB := env.Begin()
+	txB.SetUser("bob")
+	if _, err := r.Insert(txB, rec(2, "by bob")); err == nil || !strings.Contains(err.Error(), "lacks WRITE") {
+		t.Fatalf("unauthorized insert: %v", err)
+	}
+	if _, err := r.Fetch(txB, key, nil, nil); err == nil {
+		t.Fatal("unauthorized fetch accepted")
+	}
+	if _, err := r.OpenScan(txB, core.ScanOptions{}); err == nil {
+		t.Fatal("unauthorized scan accepted")
+	}
+	if _, err := env.CreateAttachment(txB, "t", "veto", nil); err == nil {
+		t.Fatal("unauthorized DDL accepted")
+	}
+	if err := env.DropRelation(txB, "t"); err == nil {
+		t.Fatal("unauthorized drop accepted")
+	}
+
+	// READ lets bob read but not write.
+	env.Authz.Grant("bob", rd.RelID, core.PrivRead)
+	if _, err := r.Fetch(txB, key, nil, nil); err != nil {
+		t.Fatalf("granted read: %v", err)
+	}
+	if _, err := r.Insert(txB, rec(2, "by bob")); err == nil {
+		t.Fatal("read grant allowed a write")
+	}
+
+	// WRITE implies READ; ADMIN implies WRITE.
+	env.Authz.Grant("bob", rd.RelID, core.PrivWrite)
+	if _, err := r.Insert(txB, rec(2, "by bob")); err != nil {
+		t.Fatalf("granted write: %v", err)
+	}
+	if _, err := env.DropAttachment(txB, "t", "veto", nil); err == nil {
+		t.Fatal("write grant allowed DDL")
+	}
+	env.Authz.Grant("bob", rd.RelID, core.PrivAdmin)
+	if _, err := env.CreateAttachment(txB, "t", "veto", nil); err != nil {
+		t.Fatalf("granted admin: %v", err)
+	}
+	txB.Commit()
+
+	// Revoke removes everything.
+	env.Authz.Revoke("bob", rd.RelID)
+	txB2 := env.Begin()
+	txB2.SetUser("bob")
+	if _, err := r.Fetch(txB2, key, nil, nil); err == nil {
+		t.Fatal("revoked user still reads")
+	}
+	txB2.Commit()
+}
+
+func TestAuthzIsUniformAcrossStorageMethods(t *testing.T) {
+	// The same check covers every storage method: no extension carries
+	// authorization code of its own.
+	env := core.NewEnv(core.Config{})
+	env.Authz.Enable()
+	for _, sm := range []string{"memory", "temp"} {
+		tx := env.Begin()
+		tx.SetUser("owner")
+		rd, err := env.CreateRelation(tx, "rel_"+sm, testSchema(), sm, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tx.Commit()
+		r, _ := env.OpenRelation(rd)
+		tx2 := env.Begin()
+		tx2.SetUser("intruder")
+		if _, err := r.Insert(tx2, rec(1, "x")); err == nil {
+			t.Fatalf("%s: unauthorized insert accepted", sm)
+		}
+		tx2.Commit()
+	}
+}
+
+func TestAuthzGrantKeepsStrongest(t *testing.T) {
+	env := core.NewEnv(core.Config{})
+	env.Authz.Enable()
+	env.Authz.Grant("u", 1, core.PrivAdmin)
+	env.Authz.Grant("u", 1, core.PrivRead) // must not downgrade
+	rd := &core.RelDesc{RelID: 1, Name: "x"}
+	tx := env.Begin()
+	tx.SetUser("u")
+	if err := env.Authz.Check(tx, rd, core.PrivAdmin); err != nil {
+		t.Fatalf("grant downgraded: %v", err)
+	}
+	tx.Commit()
+}
+
+func TestPrivilegeString(t *testing.T) {
+	for _, p := range []core.Privilege{core.PrivNone, core.PrivRead, core.PrivWrite, core.PrivAdmin, core.Privilege(9)} {
+		if p.String() == "" {
+			t.Error("empty privilege name")
+		}
+	}
+}
+
+var _ = types.Int // keep types import stable if helpers move

@@ -1,0 +1,288 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"dmx/internal/buffer"
+	"dmx/internal/expr"
+	"dmx/internal/lock"
+	"dmx/internal/pagefile"
+	"dmx/internal/txn"
+	"dmx/internal/wal"
+)
+
+// Metrics counts extension activity; the experiment harness reads these to
+// validate the paper's tuple-at-a-time call-volume claims.
+type Metrics struct {
+	SMCalls  atomic.Int64 // storage method generic operation invocations
+	AttCalls atomic.Int64 // attached procedure invocations
+	Fetches  atomic.Int64 // direct-by-key accesses
+	Scans    atomic.Int64 // key-sequential accesses opened
+	Vetoes   atomic.Int64 // vetoed relation modifications
+}
+
+// Config assembles an environment.
+type Config struct {
+	// Registry of linked-in extensions; nil means DefaultRegistry.
+	Registry *Registry
+	// Log is the common recovery log; nil means a fresh in-memory log.
+	Log *wal.Log
+	// Disk backs the shared buffer pool; nil means a fresh MemDisk.
+	Disk pagefile.Disk
+	// PoolFrames is the buffer pool capacity (default 256 frames).
+	PoolFrames int
+}
+
+// Env is the database execution environment storage method and attachment
+// extensions are embedded in: the common log, lock manager, transaction
+// manager, buffer pool, predicate evaluator, catalog, and the procedure
+// vectors. Env implements wal.Undoer and wal.Redoer, dispatching log
+// records to the owning extension.
+type Env struct {
+	Reg     *Registry
+	Log     *wal.Log
+	Locks   *lock.Manager
+	Txns    *txn.Manager
+	Pool    *buffer.Pool
+	Eval    *expr.Evaluator
+	Cat     *Catalog
+	Authz   *Authz
+	Metrics Metrics
+
+	mu       sync.Mutex
+	smInst   map[uint32]StorageInstance
+	attInst  map[attKey]*attEntry
+	extState map[string]any
+}
+
+// ExtState returns the extension-private environment state stored under
+// key. Extensions use it for per-environment singletons such as foreign
+// database connections.
+func (env *Env) ExtState(key string) (any, bool) {
+	env.mu.Lock()
+	defer env.mu.Unlock()
+	v, ok := env.extState[key]
+	return v, ok
+}
+
+// SetExtState stores extension-private environment state under key.
+func (env *Env) SetExtState(key string, v any) {
+	env.mu.Lock()
+	defer env.mu.Unlock()
+	env.extState[key] = v
+}
+
+type attKey struct {
+	rel uint32
+	att AttID
+}
+
+type attEntry struct {
+	version uint64
+	inst    AttachmentInstance
+}
+
+// NewEnv builds an environment from cfg.
+func NewEnv(cfg Config) *Env {
+	if cfg.Registry == nil {
+		cfg.Registry = DefaultRegistry
+	}
+	if cfg.Log == nil {
+		cfg.Log = wal.New()
+	}
+	if cfg.Disk == nil {
+		cfg.Disk = pagefile.NewMemDisk()
+	}
+	if cfg.PoolFrames == 0 {
+		cfg.PoolFrames = 256
+	}
+	locks := lock.NewManager()
+	env := &Env{
+		Reg:      cfg.Registry,
+		Log:      cfg.Log,
+		Locks:    locks,
+		Txns:     txn.NewManager(cfg.Log, locks),
+		Pool:     buffer.NewPool(cfg.Disk, cfg.PoolFrames),
+		Eval:     expr.NewEvaluator(),
+		smInst:   make(map[uint32]StorageInstance),
+		attInst:  make(map[attKey]*attEntry),
+		extState: make(map[string]any),
+	}
+	env.Cat = NewCatalog(env)
+	env.Authz = newAuthz()
+	env.Txns.Undoer = env
+	return env
+}
+
+// Begin starts a transaction in this environment.
+func (env *Env) Begin() *txn.Txn { return env.Txns.Begin() }
+
+// StorageInstance returns the (cached) runtime storage instance for rd,
+// opening it through the storage-method procedure vector on first use.
+// Storage instances live until the relation is dropped: their in-memory
+// state is authoritative between restarts (durability comes from the log).
+func (env *Env) StorageInstance(rd *RelDesc) (StorageInstance, error) {
+	env.mu.Lock()
+	if inst, ok := env.smInst[rd.RelID]; ok {
+		env.mu.Unlock()
+		return inst, nil
+	}
+	env.mu.Unlock()
+
+	ops := env.Reg.StorageOps(rd.SM)
+	if ops == nil {
+		return nil, fmt.Errorf("core: relation %q uses unregistered storage method %d", rd.Name, rd.SM)
+	}
+	inst, err := ops.Open(env, rd)
+	if err != nil {
+		return nil, fmt.Errorf("core: open storage for %q: %w", rd.Name, err)
+	}
+	env.mu.Lock()
+	defer env.mu.Unlock()
+	if prior, ok := env.smInst[rd.RelID]; ok {
+		return prior, nil // lost a race; keep the first instance
+	}
+	env.smInst[rd.RelID] = inst
+	return inst, nil
+}
+
+// AttachmentInstance returns the (cached) runtime instance servicing all
+// of attachment type id's instances on rd, reconfiguring it when the
+// relation descriptor version has moved.
+func (env *Env) AttachmentInstance(rd *RelDesc, id AttID) (AttachmentInstance, error) {
+	k := attKey{rel: rd.RelID, att: id}
+	env.mu.Lock()
+	e, ok := env.attInst[k]
+	env.mu.Unlock()
+	if ok {
+		if e.version >= rd.Version {
+			// Same version, or the caller holds a stale descriptor from an
+			// old bound plan: the cached instance reflects current state.
+			return e.inst, nil
+		}
+		if rc, canReconf := e.inst.(Reconfigurer); canReconf {
+			if err := rc.Reconfigure(rd); err != nil {
+				return nil, err
+			}
+			e.version = rd.Version
+			return e.inst, nil
+		}
+		// Instance cannot reconfigure: fall through and reopen.
+	}
+	ops := env.Reg.AttachmentOps(id)
+	if ops == nil {
+		return nil, fmt.Errorf("core: relation %q has unregistered attachment type %d", rd.Name, id)
+	}
+	inst, err := ops.Open(env, rd)
+	if err != nil {
+		return nil, fmt.Errorf("core: open attachment %q on %q: %w", ops.Name, rd.Name, err)
+	}
+	env.mu.Lock()
+	defer env.mu.Unlock()
+	if prior, ok := env.attInst[k]; ok && prior.version == rd.Version {
+		return prior.inst, nil
+	}
+	env.attInst[k] = &attEntry{version: rd.Version, inst: inst}
+	return inst, nil
+}
+
+// Reconfigurer is implemented by attachment instances that can absorb a
+// descriptor change (instances added or dropped) without losing the state
+// of surviving instances.
+type Reconfigurer interface {
+	Reconfigure(rd *RelDesc) error
+}
+
+// DropInstances evicts all cached instances for a dropped relation.
+func (env *Env) DropInstances(relID uint32) {
+	env.mu.Lock()
+	defer env.mu.Unlock()
+	delete(env.smInst, relID)
+	for k := range env.attInst {
+		if k.rel == relID {
+			delete(env.attInst, k)
+		}
+	}
+}
+
+// InvalidateRelation forces cached attachment instances for relID to
+// reconfigure against the current catalog descriptor. The catalog calls it
+// after descriptor changes, including those made by log-driven undo.
+func (env *Env) InvalidateRelation(relID uint32) error {
+	rd, ok := env.Cat.Get(relID)
+	if !ok {
+		env.DropInstances(relID)
+		return nil
+	}
+	env.mu.Lock()
+	var toReconf []AttachmentInstance
+	for k, e := range env.attInst {
+		if k.rel == relID && e.version != rd.Version {
+			if _, canReconf := e.inst.(Reconfigurer); canReconf {
+				e.version = rd.Version
+				toReconf = append(toReconf, e.inst)
+			} else {
+				delete(env.attInst, k)
+			}
+		}
+	}
+	env.mu.Unlock()
+	for _, inst := range toReconf {
+		if err := inst.(Reconfigurer).Reconfigure(rd); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Undo implements wal.Undoer: the common recovery log drives the storage
+// method and attachment implementations to undo the effects of a logged
+// modification, dispatching through the procedure vectors.
+func (env *Env) Undo(txnID wal.TxnID, owner wal.Owner, payload []byte) error {
+	return env.applyLogged(owner, payload, true)
+}
+
+// Redo implements wal.Redoer for restart recovery. Compensation records
+// re-apply the inverse of the logged modification.
+func (env *Env) Redo(txnID wal.TxnID, owner wal.Owner, payload []byte, compensation bool) error {
+	return env.applyLogged(owner, payload, compensation)
+}
+
+func (env *Env) applyLogged(owner wal.Owner, payload []byte, undo bool) error {
+	switch owner.Class {
+	case wal.OwnerSystem:
+		return env.Cat.ApplySystemLogged(payload, undo)
+	case wal.OwnerStorage:
+		rd, ok := env.Cat.Get(owner.RelID)
+		if !ok {
+			return fmt.Errorf("core: log record for unknown relation %d", owner.RelID)
+		}
+		inst, err := env.StorageInstance(rd)
+		if err != nil {
+			return err
+		}
+		return inst.ApplyLogged(payload, undo)
+	case wal.OwnerAttachment:
+		rd, ok := env.Cat.Get(owner.RelID)
+		if !ok {
+			return fmt.Errorf("core: log record for unknown relation %d", owner.RelID)
+		}
+		inst, err := env.AttachmentInstance(rd, AttID(owner.ExtID))
+		if err != nil {
+			return err
+		}
+		return inst.ApplyLogged(payload, undo)
+	default:
+		return fmt.Errorf("core: log record with unknown owner class %d", owner.Class)
+	}
+}
+
+// Recover performs restart recovery over the environment's log: history is
+// repeated in LSN order (including catalog DDL, so relation descriptors
+// exist before their data records replay), then loser transactions are
+// rolled back — all dispatched through the extension procedure vectors.
+func (env *Env) Recover() error {
+	return env.Log.Recover(env, env)
+}

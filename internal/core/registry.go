@@ -1,0 +1,114 @@
+package core
+
+import "fmt"
+
+// Registry holds the procedure vectors: for each generic operation class
+// there is a vector of operation tables with an entry per storage method
+// or attachment type, indexed by the extension's small-integer identifier.
+// Activation of the appropriate extension from a relation descriptor is a
+// constant-time array index.
+//
+// Extensions are bound into the system "at the factory": each extension
+// package installs its table in the default registry from init(), and
+// linking the package into the binary makes the extension available.
+type Registry struct {
+	sm  [MaxStorageMethods]*StorageOps
+	att [MaxAttachmentTypes]*AttachmentOps
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// RegisterStorageMethod installs ops at its identifier. It panics on
+// identifier collisions or out-of-range identifiers: registration happens
+// at link time (init), where misconfiguration is a programming error.
+func (r *Registry) RegisterStorageMethod(ops *StorageOps) {
+	if ops.ID == 0 || int(ops.ID) >= MaxStorageMethods {
+		panic(fmt.Sprintf("core: storage method %q has out-of-range id %d", ops.Name, ops.ID))
+	}
+	if r.sm[ops.ID] != nil {
+		panic(fmt.Sprintf("core: storage method id %d already registered (%q vs %q)",
+			ops.ID, r.sm[ops.ID].Name, ops.Name))
+	}
+	r.sm[ops.ID] = ops
+}
+
+// RegisterAttachment installs ops at its identifier; panics on collision.
+func (r *Registry) RegisterAttachment(ops *AttachmentOps) {
+	if ops.ID == 0 || int(ops.ID) >= MaxAttachmentTypes {
+		panic(fmt.Sprintf("core: attachment %q has out-of-range id %d", ops.Name, ops.ID))
+	}
+	if r.att[ops.ID] != nil {
+		panic(fmt.Sprintf("core: attachment id %d already registered (%q vs %q)",
+			ops.ID, r.att[ops.ID].Name, ops.Name))
+	}
+	r.att[ops.ID] = ops
+}
+
+// StorageOps returns the operation table for id (nil if unregistered).
+func (r *Registry) StorageOps(id SMID) *StorageOps {
+	if int(id) >= MaxStorageMethods {
+		return nil
+	}
+	return r.sm[id]
+}
+
+// AttachmentOps returns the operation table for id (nil if unregistered).
+func (r *Registry) AttachmentOps(id AttID) *AttachmentOps {
+	if int(id) >= MaxAttachmentTypes {
+		return nil
+	}
+	return r.att[id]
+}
+
+// StorageMethodByName resolves a DDL storage method name (nil if unknown).
+func (r *Registry) StorageMethodByName(name string) *StorageOps {
+	for _, ops := range r.sm {
+		if ops != nil && ops.Name == name {
+			return ops
+		}
+	}
+	return nil
+}
+
+// AttachmentByName resolves a DDL attachment type name (nil if unknown).
+func (r *Registry) AttachmentByName(name string) *AttachmentOps {
+	for _, ops := range r.att {
+		if ops != nil && ops.Name == name {
+			return ops
+		}
+	}
+	return nil
+}
+
+// StorageMethodNames lists registered storage method names in id order.
+func (r *Registry) StorageMethodNames() []string {
+	var out []string
+	for _, ops := range r.sm {
+		if ops != nil {
+			out = append(out, ops.Name)
+		}
+	}
+	return out
+}
+
+// AttachmentNames lists registered attachment type names in id order.
+func (r *Registry) AttachmentNames() []string {
+	var out []string
+	for _, ops := range r.att {
+		if ops != nil {
+			out = append(out, ops.Name)
+		}
+	}
+	return out
+}
+
+// DefaultRegistry is the factory registry extension packages install into
+// from init(). Environments default to it.
+var DefaultRegistry = NewRegistry()
+
+// RegisterStorageMethod installs ops into the default registry.
+func RegisterStorageMethod(ops *StorageOps) { DefaultRegistry.RegisterStorageMethod(ops) }
+
+// RegisterAttachment installs ops into the default registry.
+func RegisterAttachment(ops *AttachmentOps) { DefaultRegistry.RegisterAttachment(ops) }

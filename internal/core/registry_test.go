@@ -1,0 +1,102 @@
+package core_test
+
+import (
+	"testing"
+
+	"dmx/internal/core"
+)
+
+func TestRegistryLookupAndNames(t *testing.T) {
+	reg := core.NewRegistry()
+	reg.RegisterStorageMethod(&core.StorageOps{ID: 2, Name: "alpha"})
+	reg.RegisterStorageMethod(&core.StorageOps{ID: 5, Name: "beta"})
+	reg.RegisterAttachment(&core.AttachmentOps{ID: 3, Name: "gamma"})
+
+	if reg.StorageOps(2).Name != "alpha" || reg.StorageOps(1) != nil || reg.StorageOps(200) != nil {
+		t.Fatal("StorageOps lookup")
+	}
+	if reg.AttachmentOps(3).Name != "gamma" || reg.AttachmentOps(4) != nil || reg.AttachmentOps(200) != nil {
+		t.Fatal("AttachmentOps lookup")
+	}
+	if reg.StorageMethodByName("beta").ID != 5 || reg.StorageMethodByName("nope") != nil {
+		t.Fatal("StorageMethodByName")
+	}
+	if reg.AttachmentByName("gamma").ID != 3 || reg.AttachmentByName("nope") != nil {
+		t.Fatal("AttachmentByName")
+	}
+	smNames := reg.StorageMethodNames()
+	if len(smNames) != 2 || smNames[0] != "alpha" || smNames[1] != "beta" {
+		t.Fatalf("StorageMethodNames = %v", smNames)
+	}
+	if attNames := reg.AttachmentNames(); len(attNames) != 1 || attNames[0] != "gamma" {
+		t.Fatalf("AttachmentNames = %v", attNames)
+	}
+}
+
+func expectPanic(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", what)
+		}
+	}()
+	fn()
+}
+
+func TestRegistryRejectsBadRegistrations(t *testing.T) {
+	reg := core.NewRegistry()
+	reg.RegisterStorageMethod(&core.StorageOps{ID: 2, Name: "a"})
+	expectPanic(t, "sm collision", func() {
+		reg.RegisterStorageMethod(&core.StorageOps{ID: 2, Name: "b"})
+	})
+	expectPanic(t, "sm id 0", func() {
+		reg.RegisterStorageMethod(&core.StorageOps{ID: 0, Name: "z"})
+	})
+	expectPanic(t, "sm id out of range", func() {
+		reg.RegisterStorageMethod(&core.StorageOps{ID: core.MaxStorageMethods, Name: "z"})
+	})
+	reg.RegisterAttachment(&core.AttachmentOps{ID: 2, Name: "a"})
+	expectPanic(t, "att collision", func() {
+		reg.RegisterAttachment(&core.AttachmentOps{ID: 2, Name: "b"})
+	})
+	expectPanic(t, "att id 0", func() {
+		reg.RegisterAttachment(&core.AttachmentOps{ID: 0, Name: "z"})
+	})
+}
+
+func TestAttrList(t *testing.T) {
+	attrs := core.AttrList{"Key": "eno", "Fill": "90"}
+	if v, ok := attrs.Get("key"); !ok || v != "eno" {
+		t.Fatal("case-insensitive Get")
+	}
+	if _, ok := attrs.Get("missing"); ok {
+		t.Fatal("missing Get")
+	}
+	keys := attrs.Keys()
+	if len(keys) != 2 || keys[0] != "Fill" || keys[1] != "Key" {
+		t.Fatalf("Keys = %v", keys)
+	}
+	if err := attrs.CheckAllowed("x", "key", "fill"); err != nil {
+		t.Fatalf("CheckAllowed: %v", err)
+	}
+	if err := attrs.CheckAllowed("x", "key"); err == nil {
+		t.Fatal("disallowed attribute accepted")
+	}
+}
+
+func TestVetoErrorUnwrap(t *testing.T) {
+	inner := core.ErrReadOnly
+	ve := &core.VetoError{Extension: "append", Reason: inner}
+	if ve.Error() == "" || ve.Unwrap() != inner {
+		t.Fatal("VetoError plumbing")
+	}
+}
+
+func TestCostEstimateTotal(t *testing.T) {
+	if (core.CostEstimate{IO: 1}).Total() != 10 {
+		t.Fatal("one page I/O should weigh 10 CPU units")
+	}
+	if (core.CostEstimate{CPU: 3}).Total() != 3 {
+		t.Fatal("CPU units weigh 1")
+	}
+}

@@ -1,0 +1,331 @@
+package core
+
+import (
+	"fmt"
+
+	"dmx/internal/expr"
+	"dmx/internal/lock"
+	"dmx/internal/txn"
+	"dmx/internal/types"
+	"dmx/internal/wal"
+)
+
+// Relation is the runtime handle for operating on a relation through its
+// descriptor. Modifications execute in the architecture's two steps: the
+// storage method operation first (selected through the storage-method
+// procedure vector by the descriptor's storage method identifier), then
+// the attached procedures of every attachment type with instances on the
+// relation, in attachment-identifier order. Any attachment can veto the
+// modification, in which case the common recovery log drives the storage
+// method and attachments to undo the partial effects.
+type Relation struct {
+	env *Env
+	rd  *RelDesc
+	sm  StorageInstance
+}
+
+// OpenRelation returns a runtime handle for rd. The descriptor may come
+// from the catalog or from a bound query plan.
+func (env *Env) OpenRelation(rd *RelDesc) (*Relation, error) {
+	sm, err := env.StorageInstance(rd)
+	if err != nil {
+		return nil, err
+	}
+	return &Relation{env: env, rd: rd, sm: sm}, nil
+}
+
+// OpenRelationByName resolves name in the catalog and opens it.
+func (env *Env) OpenRelationByName(name string) (*Relation, error) {
+	rd, ok := env.Cat.ByName(name)
+	if !ok {
+		return nil, fmt.Errorf("%w: relation %q", ErrNotFound, name)
+	}
+	return env.OpenRelation(rd)
+}
+
+// Desc returns the relation descriptor this handle operates through.
+func (r *Relation) Desc() *RelDesc { return r.rd }
+
+// Storage returns the underlying storage instance.
+func (r *Relation) Storage() StorageInstance { return r.sm }
+
+// Env returns the owning environment.
+func (r *Relation) Env() *Env { return r.env }
+
+// Insert stores rec, then presents the new record and its newly assigned
+// record key to each attachment type with instances on the relation.
+func (r *Relation) Insert(tx *txn.Txn, rec types.Record) (types.Key, error) {
+	if err := r.env.Authz.Check(tx, r.rd, PrivWrite); err != nil {
+		return nil, err
+	}
+	if err := r.rd.Schema.Validate(rec); err != nil {
+		return nil, err
+	}
+	if err := tx.Lock(lock.RelResource(r.rd.RelID), lock.ModeIX); err != nil {
+		return nil, err
+	}
+	mark := r.env.Log.LastLSN(tx.ID())
+	r.env.Metrics.SMCalls.Add(1)
+	key, err := r.sm.Insert(tx, rec)
+	if err != nil {
+		return nil, r.vetoed(tx, mark, r.smName(), err)
+	}
+	if err := tx.Lock(lock.KeyResource(r.rd.RelID, key), lock.ModeX); err != nil {
+		return nil, err
+	}
+	if err := r.notify(tx, func(inst AttachmentInstance) error {
+		return inst.OnInsert(tx, key, rec)
+	}, mark); err != nil {
+		return nil, err
+	}
+	return key, nil
+}
+
+// Update replaces the record at key with newRec. The old record value is
+// fetched and presented, with both record keys, to the attached
+// procedures. The returned key is the record's (possibly new) record key.
+func (r *Relation) Update(tx *txn.Txn, key types.Key, newRec types.Record) (types.Key, error) {
+	if err := r.env.Authz.Check(tx, r.rd, PrivWrite); err != nil {
+		return nil, err
+	}
+	if err := r.rd.Schema.Validate(newRec); err != nil {
+		return nil, err
+	}
+	if err := tx.Lock(lock.RelResource(r.rd.RelID), lock.ModeIX); err != nil {
+		return nil, err
+	}
+	if err := tx.Lock(lock.KeyResource(r.rd.RelID, key), lock.ModeX); err != nil {
+		return nil, err
+	}
+	oldRec, err := r.sm.FetchByKey(tx, key, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	mark := r.env.Log.LastLSN(tx.ID())
+	r.env.Metrics.SMCalls.Add(1)
+	newKey, err := r.sm.Update(tx, key, oldRec, newRec)
+	if err != nil {
+		return nil, r.vetoed(tx, mark, r.smName(), err)
+	}
+	if !newKey.Equal(key) {
+		if err := tx.Lock(lock.KeyResource(r.rd.RelID, newKey), lock.ModeX); err != nil {
+			return nil, err
+		}
+	}
+	if err := r.notify(tx, func(inst AttachmentInstance) error {
+		return inst.OnUpdate(tx, key, newKey, oldRec, newRec)
+	}, mark); err != nil {
+		return nil, err
+	}
+	return newKey, nil
+}
+
+// Delete removes the record at key, presenting the old record value and
+// key to the attached procedures.
+func (r *Relation) Delete(tx *txn.Txn, key types.Key) error {
+	if err := r.env.Authz.Check(tx, r.rd, PrivWrite); err != nil {
+		return err
+	}
+	if err := tx.Lock(lock.RelResource(r.rd.RelID), lock.ModeIX); err != nil {
+		return err
+	}
+	if err := tx.Lock(lock.KeyResource(r.rd.RelID, key), lock.ModeX); err != nil {
+		return err
+	}
+	oldRec, err := r.sm.FetchByKey(tx, key, nil, nil)
+	if err != nil {
+		return err
+	}
+	mark := r.env.Log.LastLSN(tx.ID())
+	r.env.Metrics.SMCalls.Add(1)
+	if err := r.sm.Delete(tx, key, oldRec); err != nil {
+		return r.vetoed(tx, mark, r.smName(), err)
+	}
+	return r.notify(tx, func(inst AttachmentInstance) error {
+		return inst.OnDelete(tx, key, oldRec)
+	}, mark)
+}
+
+// notify runs the attached procedures for every attachment type with
+// instances on the relation, in identifier order, vetoing on error.
+func (r *Relation) notify(tx *txn.Txn, call func(AttachmentInstance) error, mark MarkLSN) error {
+	for i := 1; i < MaxAttachmentTypes; i++ {
+		if r.rd.AttDesc[i] == nil {
+			continue
+		}
+		id := AttID(i)
+		inst, err := r.env.AttachmentInstance(r.rd, id)
+		if err != nil {
+			return err
+		}
+		r.env.Metrics.AttCalls.Add(1)
+		if err := call(inst); err != nil {
+			return r.vetoed(tx, mark, r.env.Reg.AttachmentOps(id).Name, err)
+		}
+	}
+	return nil
+}
+
+// MarkLSN marks a statement-level rollback point: the transaction's last
+// LSN before a relation modification began.
+type MarkLSN = wal.LSN
+
+// vetoed undoes the partial effects of the current relation modification
+// through the common recovery log and wraps the veto reason.
+func (r *Relation) vetoed(tx *txn.Txn, mark MarkLSN, extension string, reason error) error {
+	r.env.Metrics.Vetoes.Add(1)
+	if ve, ok := reason.(*VetoError); ok {
+		// A cascaded modification already vetoed and rolled back deeper
+		// effects; unwind the rest back to this statement's mark.
+		if err := r.env.Log.Rollback(tx.ID(), mark, r.env); err != nil {
+			return fmt.Errorf("core: rollback of vetoed modification failed: %v (veto: %w)", err, ve)
+		}
+		return ve
+	}
+	if err := r.env.Log.Rollback(tx.ID(), mark, r.env); err != nil {
+		return fmt.Errorf("core: rollback of vetoed modification failed: %v (veto: %w)", err, reason)
+	}
+	return &VetoError{Extension: extension, Reason: reason}
+}
+
+func (r *Relation) smName() string {
+	if ops := r.env.Reg.StorageOps(r.rd.SM); ops != nil {
+		return ops.Name
+	}
+	return fmt.Sprintf("storage-method-%d", r.rd.SM)
+}
+
+// Fetch is the direct-by-key access to the stored record: selected fields
+// are returned after the filter is applied against the buffer-resident
+// record by the storage method.
+func (r *Relation) Fetch(tx *txn.Txn, key types.Key, fields []int, filter *expr.Expr) (types.Record, error) {
+	if err := r.env.Authz.Check(tx, r.rd, PrivRead); err != nil {
+		return nil, err
+	}
+	if err := tx.Lock(lock.RelResource(r.rd.RelID), lock.ModeIS); err != nil {
+		return nil, err
+	}
+	if err := tx.Lock(lock.KeyResource(r.rd.RelID, key), lock.ModeS); err != nil {
+		return nil, err
+	}
+	r.env.Metrics.Fetches.Add(1)
+	return r.sm.FetchByKey(tx, key, fields, filter)
+}
+
+// OpenScan starts a key-sequential access through the storage method
+// (access path zero). The scan participates in the common services: it is
+// closed at transaction termination, its position is saved when a rollback
+// point is established and restored after partial rollback.
+func (r *Relation) OpenScan(tx *txn.Txn, opts ScanOptions) (Scan, error) {
+	if err := r.env.Authz.Check(tx, r.rd, PrivRead); err != nil {
+		return nil, err
+	}
+	if err := tx.Lock(lock.RelResource(r.rd.RelID), lock.ModeS); err != nil {
+		return nil, err
+	}
+	r.env.Metrics.Scans.Add(1)
+	s, err := r.sm.OpenScan(tx, opts)
+	if err != nil {
+		return nil, err
+	}
+	return manageScan(tx, s)
+}
+
+// OpenAccessScan starts a key-sequential access through access path
+// (attachment type id, instance). It returns record keys (and stored
+// access-path key fields) in access-path key order; records are then
+// fetched directly via the storage method.
+func (r *Relation) OpenAccessScan(tx *txn.Txn, id AttID, instance int, opts ScanOptions) (Scan, error) {
+	if err := r.env.Authz.Check(tx, r.rd, PrivRead); err != nil {
+		return nil, err
+	}
+	if err := tx.Lock(lock.RelResource(r.rd.RelID), lock.ModeS); err != nil {
+		return nil, err
+	}
+	inst, err := r.env.AttachmentInstance(r.rd, id)
+	if err != nil {
+		return nil, err
+	}
+	ap, ok := inst.(AccessPath)
+	if !ok {
+		return nil, fmt.Errorf("core: attachment type %d is not an access path", id)
+	}
+	r.env.Metrics.Scans.Add(1)
+	s, err := ap.OpenScan(tx, instance, opts)
+	if err != nil {
+		return nil, err
+	}
+	return manageScan(tx, s)
+}
+
+// LookupAccess is the direct-by-key access through an access path: it
+// returns the record keys mapped from the given access-path key.
+func (r *Relation) LookupAccess(tx *txn.Txn, id AttID, instance int, key types.Key) ([]types.Key, error) {
+	if err := r.env.Authz.Check(tx, r.rd, PrivRead); err != nil {
+		return nil, err
+	}
+	if err := tx.Lock(lock.RelResource(r.rd.RelID), lock.ModeIS); err != nil {
+		return nil, err
+	}
+	inst, err := r.env.AttachmentInstance(r.rd, id)
+	if err != nil {
+		return nil, err
+	}
+	ap, ok := inst.(AccessPath)
+	if !ok {
+		return nil, fmt.Errorf("core: attachment type %d is not an access path", id)
+	}
+	r.env.Metrics.Fetches.Add(1)
+	return ap.LookupByKey(tx, instance, key)
+}
+
+// managedScan wires a scan into the transaction event services.
+type managedScan struct {
+	Scan
+	closed bool
+	saved  map[string]ScanPos
+}
+
+func manageScan(tx *txn.Txn, s Scan) (Scan, error) {
+	ms := &managedScan{Scan: s, saved: make(map[string]ScanPos)}
+	// All key-sequential accesses terminate at transaction termination
+	// (locks are released there).
+	if err := tx.Subscribe(txn.EventEnd, func(*txn.Txn, string) error {
+		return ms.Close()
+	}); err != nil {
+		return nil, err
+	}
+	// When a rollback point is established the scan position is captured;
+	// it is retained until used to restore the position after a partial
+	// rollback (position changes are not logged, for performance).
+	if err := tx.Subscribe(txn.EventSavepoint, func(_ *txn.Txn, name string) error {
+		if !ms.closed {
+			ms.saved[name] = ms.Pos()
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	if err := tx.Subscribe(txn.EventPartialRollback, func(_ *txn.Txn, name string) error {
+		if ms.closed {
+			return nil
+		}
+		if pos, ok := ms.saved[name]; ok {
+			return ms.Restore(pos)
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return ms, nil
+}
+
+// Close is idempotent; the transaction-end subscriber may fire after an
+// explicit close.
+func (ms *managedScan) Close() error {
+	if ms.closed {
+		return nil
+	}
+	ms.closed = true
+	return ms.Scan.Close()
+}

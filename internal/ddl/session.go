@@ -1,0 +1,542 @@
+package ddl
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dmx/internal/core"
+	"dmx/internal/expr"
+	"dmx/internal/plan"
+	"dmx/internal/txn"
+	"dmx/internal/types"
+)
+
+// Result is the outcome of executing one statement.
+type Result struct {
+	Columns  []string
+	Rows     []types.Record
+	Affected int
+	Message  string
+	Explain  string
+}
+
+// Session executes statements against an environment. Queries are bound
+// once and the saved execution plans are reused whenever the same query
+// text is executed again; invalidated plans re-translate automatically.
+// A session is confined to one goroutine.
+type Session struct {
+	env     *core.Env
+	planner *plan.Planner
+	tx      *txn.Txn
+	plans   map[string]*plan.Bound
+	user    string
+}
+
+// SetUser attaches a user identity to the session; transactions the
+// session starts carry it for the uniform authorization facility.
+func (s *Session) SetUser(user string) { s.user = user }
+
+// NewSession returns a session over env.
+func NewSession(env *core.Env) *Session {
+	return &Session{env: env, planner: plan.New(env), plans: make(map[string]*plan.Bound)}
+}
+
+// Env exposes the underlying environment.
+func (s *Session) Env() *core.Env { return s.env }
+
+// InTxn reports whether an explicit transaction is open.
+func (s *Session) InTxn() bool { return s.tx != nil }
+
+// Exec parses and executes one statement. Outside an explicit BEGIN,
+// each statement runs in its own transaction.
+func (s *Session) Exec(src string) (*Result, error) {
+	stmt, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	switch st := stmt.(type) {
+	case Begin:
+		if s.tx != nil {
+			return nil, fmt.Errorf("ddl: transaction already open")
+		}
+		s.tx = s.env.Begin()
+		s.tx.SetUser(s.user)
+		return &Result{Message: "BEGIN"}, nil
+	case Commit:
+		if s.tx == nil {
+			return nil, fmt.Errorf("ddl: no open transaction")
+		}
+		err := s.tx.Commit()
+		s.tx = nil
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Message: "COMMIT"}, nil
+	case Rollback:
+		if s.tx == nil {
+			return nil, fmt.Errorf("ddl: no open transaction")
+		}
+		err := s.tx.Abort()
+		s.tx = nil
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Message: "ROLLBACK"}, nil
+	case Savepoint:
+		if s.tx == nil {
+			return nil, fmt.Errorf("ddl: SAVEPOINT requires an open transaction")
+		}
+		if _, err := s.tx.Savepoint(st.Name); err != nil {
+			return nil, err
+		}
+		return &Result{Message: "SAVEPOINT " + st.Name}, nil
+	case RollbackTo:
+		if s.tx == nil {
+			return nil, fmt.Errorf("ddl: ROLLBACK TO requires an open transaction")
+		}
+		if err := s.tx.RollbackTo(st.Name); err != nil {
+			return nil, err
+		}
+		return &Result{Message: "ROLLBACK TO " + st.Name}, nil
+	case SetUser:
+		s.user = st.Name
+		if s.tx != nil {
+			s.tx.SetUser(st.Name)
+		}
+		return &Result{Message: "SET USER " + st.Name}, nil
+	case Grant:
+		return s.execGrant(st)
+	case Revoke:
+		rd, ok := s.env.Cat.ByName(st.Table)
+		if !ok {
+			return nil, fmt.Errorf("ddl: %w: table %q", core.ErrNotFound, st.Table)
+		}
+		s.env.Authz.Revoke(st.User, rd.RelID)
+		return &Result{Message: fmt.Sprintf("REVOKE ON %s FROM %s", st.Table, st.User)}, nil
+	case ShowCatalog:
+		names := s.env.Cat.List()
+		sort.Strings(names)
+		res := &Result{Columns: []string{"table"}}
+		for _, n := range names {
+			res.Rows = append(res.Rows, types.Record{types.Str(n)})
+		}
+		return res, nil
+	}
+
+	var res *Result
+	runErr := s.withTxn(func(tx *txn.Txn) error {
+		var err error
+		res, err = s.execInTxn(tx, stmt, src)
+		return err
+	})
+	if runErr != nil {
+		return nil, runErr
+	}
+	return res, nil
+}
+
+// execGrant applies a GRANT statement; granting requires ADMIN on the
+// relation when authorization is enabled.
+func (s *Session) execGrant(st Grant) (*Result, error) {
+	rd, ok := s.env.Cat.ByName(st.Table)
+	if !ok {
+		return nil, fmt.Errorf("ddl: %w: table %q", core.ErrNotFound, st.Table)
+	}
+	var priv core.Privilege
+	switch strings.ToLower(st.Privilege) {
+	case "read":
+		priv = core.PrivRead
+	case "write":
+		priv = core.PrivWrite
+	case "admin":
+		priv = core.PrivAdmin
+	default:
+		return nil, fmt.Errorf("ddl: privilege must be READ, WRITE, or ADMIN, got %q", st.Privilege)
+	}
+	if s.env.Authz.Enabled() {
+		tx := s.env.Begin()
+		tx.SetUser(s.user)
+		err := s.env.Authz.Check(tx, rd, core.PrivAdmin)
+		tx.Commit()
+		if err != nil {
+			return nil, err
+		}
+	}
+	s.env.Authz.Grant(st.User, rd.RelID, priv)
+	return &Result{Message: fmt.Sprintf("GRANT %s ON %s TO %s",
+		strings.ToUpper(st.Privilege), st.Table, st.User)}, nil
+}
+
+// withTxn runs fn in the session's open transaction, or in a fresh
+// autocommit transaction.
+func (s *Session) withTxn(fn func(tx *txn.Txn) error) error {
+	if s.tx != nil {
+		return fn(s.tx)
+	}
+	tx := s.env.Begin()
+	tx.SetUser(s.user)
+	if err := fn(tx); err != nil {
+		tx.Abort()
+		return err
+	}
+	return tx.Commit()
+}
+
+func (s *Session) execInTxn(tx *txn.Txn, stmt Stmt, src string) (*Result, error) {
+	switch st := stmt.(type) {
+	case CreateTable:
+		if _, err := s.env.CreateRelation(tx, st.Name, st.Schema, st.Using, st.Attrs); err != nil {
+			return nil, err
+		}
+		return &Result{Message: fmt.Sprintf("CREATE TABLE %s (USING %s)", st.Name, st.Using)}, nil
+	case CreateAttachment:
+		if _, err := s.env.CreateAttachment(tx, st.Table, st.Type, st.Attrs); err != nil {
+			return nil, err
+		}
+		return &Result{Message: fmt.Sprintf("CREATE ATTACHMENT %s ON %s", st.Type, st.Table)}, nil
+	case DropTable:
+		if err := s.env.DropRelation(tx, st.Name); err != nil {
+			return nil, err
+		}
+		return &Result{Message: "DROP TABLE " + st.Name}, nil
+	case DropAttachment:
+		if _, err := s.env.DropAttachment(tx, st.Table, st.Type, st.Attrs); err != nil {
+			return nil, err
+		}
+		return &Result{Message: fmt.Sprintf("DROP ATTACHMENT %s ON %s", st.Type, st.Table)}, nil
+	case Insert:
+		rel, err := s.env.OpenRelationByName(st.Table)
+		if err != nil {
+			return nil, err
+		}
+		for _, rec := range st.Rows {
+			if _, err := rel.Insert(tx, rec); err != nil {
+				return nil, err
+			}
+		}
+		return &Result{Affected: len(st.Rows), Message: fmt.Sprintf("INSERT %d", len(st.Rows))}, nil
+	case Select:
+		return s.execSelect(tx, st, src)
+	case Update:
+		return s.execUpdate(tx, st)
+	case Delete:
+		return s.execDelete(tx, st)
+	default:
+		return nil, fmt.Errorf("ddl: unhandled statement %T", stmt)
+	}
+}
+
+// planFor returns the cached bound plan for the statement text, binding it
+// on first use (the "query binding" approach: translations are retained
+// and reused across executions).
+func (s *Session) planFor(src string, build func() (plan.Query, []string, error)) (*plan.Bound, []string, error) {
+	key := strings.TrimSpace(src)
+	q, cols, err := build()
+	if err != nil {
+		return nil, nil, err
+	}
+	if b, ok := s.plans[key]; ok {
+		return b, cols, nil
+	}
+	b, err := s.planner.Plan(q)
+	if err != nil {
+		return nil, nil, err
+	}
+	s.plans[key] = b
+	return b, cols, nil
+}
+
+func (s *Session) execSelect(tx *txn.Txn, st Select, src string) (*Result, error) {
+	b, cols, err := s.planFor(src, func() (plan.Query, []string, error) {
+		return s.buildQuery(st)
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Pull only LIMIT rows when no sort will reorder them afterwards.
+	pullLimit := -1
+	if st.Limit >= 0 && !st.Count &&
+		(st.OrderBy == nil || (b.Ordered() && !st.OrderDesc)) {
+		pullLimit = st.Limit
+	}
+	rs, rerr := b.Execute(tx)
+	rows, err := collectLimit(rs, rerr, pullLimit)
+	if err != nil {
+		return nil, err
+	}
+	if st.Count {
+		return &Result{
+			Columns: []string{"count"},
+			Rows:    []types.Record{{types.Int(int64(len(rows)))}},
+			Explain: b.Explain(),
+		}, nil
+	}
+	if st.OrderBy != nil && !(b.Ordered() && !st.OrderDesc) {
+		idx, err := orderColumn(cols, *st.OrderBy)
+		if err != nil {
+			return nil, err
+		}
+		sort.SliceStable(rows, func(i, j int) bool {
+			c := types.Compare(rows[i][idx], rows[j][idx])
+			if st.OrderDesc {
+				return c > 0
+			}
+			return c < 0
+		})
+	}
+	if st.Limit >= 0 && len(rows) > st.Limit {
+		rows = rows[:st.Limit]
+	}
+	return &Result{Columns: cols, Rows: rows, Explain: b.Explain()}, nil
+}
+
+// collectLimit drains up to limit rows (all when limit < 0).
+func collectLimit(rows plan.Rows, err error, limit int) ([]types.Record, error) {
+	if err != nil {
+		return nil, err
+	}
+	defer rows.Close()
+	var out []types.Record
+	for limit < 0 || len(out) < limit {
+		rec, ok, err := rows.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+// orderColumn resolves an ORDER BY reference against the result columns
+// (which are plain names for single-table queries and table.column names
+// for joins).
+func orderColumn(cols []string, ref colRef) (int, error) {
+	want := ref.Column
+	if ref.Table != "" {
+		want = ref.Table + "." + ref.Column
+	}
+	for i, c := range cols {
+		if strings.EqualFold(c, want) {
+			return i, nil
+		}
+		// Unqualified references match a qualified output column by suffix.
+		if ref.Table == "" && strings.HasSuffix(strings.ToLower(c), "."+strings.ToLower(want)) {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("ddl: ORDER BY column %q is not in the select list", want)
+}
+
+// buildQuery resolves a Select statement into a planner query.
+func (s *Session) buildQuery(st Select) (plan.Query, []string, error) {
+	outerRD, ok := s.env.Cat.ByName(st.Table)
+	if !ok {
+		return plan.Query{}, nil, fmt.Errorf("ddl: %w: table %q", core.ErrNotFound, st.Table)
+	}
+	q := plan.Query{Table: st.Table}
+	where, err := st.Where.bind(outerRD.Schema, st.Table)
+	if err != nil {
+		return plan.Query{}, nil, err
+	}
+	q.Filter = where
+	// Ascending single-table ORDER BY is offered to the planner, which may
+	// pick an access path that delivers the order and saves the sort; a
+	// LIMIT makes a streaming ordered access attractive (top-k).
+	if st.Join == nil && st.OrderBy != nil && !st.OrderDesc {
+		if i := outerRD.Schema.ColIndex(st.OrderBy.Column); i >= 0 {
+			q.OrderBy = []int{i}
+			if st.Limit > 0 {
+				q.Limit = st.Limit
+			}
+		}
+	}
+
+	if st.Join == nil {
+		var cols []string
+		if st.Columns == nil {
+			for _, c := range outerRD.Schema.Cols {
+				cols = append(cols, c.Name)
+			}
+		} else {
+			q.Fields = nil
+			for _, ref := range st.Columns {
+				i := outerRD.Schema.ColIndex(ref.Column)
+				if i < 0 {
+					return plan.Query{}, nil, fmt.Errorf("ddl: unknown column %q", ref.Column)
+				}
+				q.Fields = append(q.Fields, i)
+				cols = append(cols, ref.Column)
+			}
+		}
+		return q, cols, nil
+	}
+
+	// Join: resolve the ON columns to sides.
+	j := st.Join
+	innerRD, ok := s.env.Cat.ByName(j.Table)
+	if !ok {
+		return plan.Query{}, nil, fmt.Errorf("ddl: %w: table %q", core.ErrNotFound, j.Table)
+	}
+	spec := &plan.JoinSpec{Table: j.Table, JoinIndex: j.JoinIndex}
+	resolve := func(ref colRef) (side string, idx int, err error) {
+		if ref.Table != "" {
+			switch {
+			case strings.EqualFold(ref.Table, st.Table):
+				side = "outer"
+			case strings.EqualFold(ref.Table, j.Table):
+				side = "inner"
+			default:
+				return "", 0, fmt.Errorf("ddl: unknown table qualifier %q", ref.Table)
+			}
+		} else {
+			if outerRD.Schema.ColIndex(ref.Column) >= 0 {
+				side = "outer"
+			} else {
+				side = "inner"
+			}
+		}
+		if side == "outer" {
+			idx = outerRD.Schema.ColIndex(ref.Column)
+		} else {
+			idx = innerRD.Schema.ColIndex(ref.Column)
+		}
+		if idx < 0 {
+			return "", 0, fmt.Errorf("ddl: unknown column %q", ref.Column)
+		}
+		return side, idx, nil
+	}
+	lSide, lIdx, err := resolve(j.LeftCol)
+	if err != nil {
+		return plan.Query{}, nil, err
+	}
+	rSide, rIdx, err := resolve(j.RightCol)
+	if err != nil {
+		return plan.Query{}, nil, err
+	}
+	switch {
+	case lSide == "outer" && rSide == "inner":
+		spec.OuterCol, spec.InnerCol = lIdx, rIdx
+	case lSide == "inner" && rSide == "outer":
+		spec.OuterCol, spec.InnerCol = rIdx, lIdx
+	default:
+		return plan.Query{}, nil, fmt.Errorf("ddl: join ON must relate the two tables")
+	}
+
+	// Projection: outer columns first, then inner (result record layout).
+	var cols []string
+	if st.Columns == nil {
+		for _, c := range outerRD.Schema.Cols {
+			cols = append(cols, st.Table+"."+c.Name)
+		}
+		for _, c := range innerRD.Schema.Cols {
+			cols = append(cols, j.Table+"."+c.Name)
+		}
+	} else {
+		var outerRefs, innerRefs []colRef
+		for _, ref := range st.Columns {
+			side, _, err := resolve(ref)
+			if err != nil {
+				return plan.Query{}, nil, err
+			}
+			if side == "outer" {
+				outerRefs = append(outerRefs, ref)
+			} else {
+				innerRefs = append(innerRefs, ref)
+			}
+		}
+		for _, ref := range outerRefs {
+			q.Fields = append(q.Fields, outerRD.Schema.ColIndex(ref.Column))
+			cols = append(cols, st.Table+"."+ref.Column)
+		}
+		for _, ref := range innerRefs {
+			spec.Fields = append(spec.Fields, innerRD.Schema.ColIndex(ref.Column))
+			cols = append(cols, j.Table+"."+ref.Column)
+		}
+	}
+	q.Join = spec
+	return q, cols, nil
+}
+
+// matchKeys scans the table and returns the record keys satisfying where.
+func (s *Session) matchKeys(tx *txn.Txn, table string, where *rawExpr) (*core.Relation, []types.Key, error) {
+	rel, err := s.env.OpenRelationByName(table)
+	if err != nil {
+		return nil, nil, err
+	}
+	filter, err := where.bind(rel.Desc().Schema, table)
+	if err != nil {
+		return nil, nil, err
+	}
+	scan, err := rel.OpenScan(tx, core.ScanOptions{Filter: filter, Fields: []int{}})
+	if err != nil {
+		return nil, nil, err
+	}
+	defer scan.Close()
+	var keys []types.Key
+	for {
+		k, _, ok, err := scan.Next()
+		if err != nil {
+			return nil, nil, err
+		}
+		if !ok {
+			return rel, keys, nil
+		}
+		keys = append(keys, k)
+	}
+}
+
+func (s *Session) execUpdate(tx *txn.Txn, st Update) (*Result, error) {
+	rel, keys, err := s.matchKeys(tx, st.Table, st.Where)
+	if err != nil {
+		return nil, err
+	}
+	schema := rel.Desc().Schema
+	// Bind SET expressions.
+	setters := map[int]*expr.Expr{}
+	for col, raw := range st.Set {
+		i := schema.ColIndex(col)
+		if i < 0 {
+			return nil, fmt.Errorf("ddl: unknown column %q", col)
+		}
+		e, err := raw.bind(schema, st.Table)
+		if err != nil {
+			return nil, err
+		}
+		setters[i] = e
+	}
+	for _, key := range keys {
+		oldRec, err := rel.Fetch(tx, key, nil, nil)
+		if err != nil {
+			return nil, err
+		}
+		newRec := oldRec.Clone()
+		for i, e := range setters {
+			v, err := s.env.Eval.Eval(e, oldRec, nil)
+			if err != nil {
+				return nil, err
+			}
+			newRec[i] = v
+		}
+		if _, err := rel.Update(tx, key, newRec); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{Affected: len(keys), Message: fmt.Sprintf("UPDATE %d", len(keys))}, nil
+}
+
+func (s *Session) execDelete(tx *txn.Txn, st Delete) (*Result, error) {
+	rel, keys, err := s.matchKeys(tx, st.Table, st.Where)
+	if err != nil {
+		return nil, err
+	}
+	for _, key := range keys {
+		if err := rel.Delete(tx, key); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{Affected: len(keys), Message: fmt.Sprintf("DELETE %d", len(keys))}, nil
+}

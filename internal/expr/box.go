@@ -1,0 +1,81 @@
+package expr
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"dmx/internal/types"
+)
+
+// Box is a 2-D axis-aligned rectangle used by the spatial predicates
+// ENCLOSES and OVERLAPS and by the R-tree access path attachment. Boxes
+// travel through the common record representation as 32-byte BYTES values.
+type Box struct {
+	XMin, YMin, XMax, YMax float64
+}
+
+// NewBox returns a box, normalising the corner order.
+func NewBox(x1, y1, x2, y2 float64) Box {
+	if x2 < x1 {
+		x1, x2 = x2, x1
+	}
+	if y2 < y1 {
+		y1, y2 = y2, y1
+	}
+	return Box{XMin: x1, YMin: y1, XMax: x2, YMax: y2}
+}
+
+// Encloses reports whether b fully contains o.
+func (b Box) Encloses(o Box) bool {
+	return b.XMin <= o.XMin && b.YMin <= o.YMin && b.XMax >= o.XMax && b.YMax >= o.YMax
+}
+
+// Overlaps reports whether b and o intersect (boundary contact counts).
+func (b Box) Overlaps(o Box) bool {
+	return b.XMin <= o.XMax && o.XMin <= b.XMax && b.YMin <= o.YMax && o.YMin <= b.YMax
+}
+
+// Area returns the box area.
+func (b Box) Area() float64 { return (b.XMax - b.XMin) * (b.YMax - b.YMin) }
+
+// Union returns the minimal box covering b and o.
+func (b Box) Union(o Box) Box {
+	return Box{
+		XMin: math.Min(b.XMin, o.XMin),
+		YMin: math.Min(b.YMin, o.YMin),
+		XMax: math.Max(b.XMax, o.XMax),
+		YMax: math.Max(b.YMax, o.YMax),
+	}
+}
+
+// Enlargement returns the area growth needed for b to cover o.
+func (b Box) Enlargement(o Box) float64 { return b.Union(o).Area() - b.Area() }
+
+// String renders the box for diagnostics.
+func (b Box) String() string {
+	return fmt.Sprintf("[%g,%g %g,%g]", b.XMin, b.YMin, b.XMax, b.YMax)
+}
+
+// Value encodes the box as a BYTES field value.
+func (b Box) Value() types.Value {
+	buf := make([]byte, 32)
+	binary.BigEndian.PutUint64(buf[0:], math.Float64bits(b.XMin))
+	binary.BigEndian.PutUint64(buf[8:], math.Float64bits(b.YMin))
+	binary.BigEndian.PutUint64(buf[16:], math.Float64bits(b.XMax))
+	binary.BigEndian.PutUint64(buf[24:], math.Float64bits(b.YMax))
+	return types.Bytes(buf)
+}
+
+// DecodeBox decodes a box from a BYTES field value.
+func DecodeBox(v types.Value) (Box, error) {
+	if v.K != types.KindBytes || len(v.B) != 32 {
+		return Box{}, fmt.Errorf("expr: value %v is not a 32-byte box", v)
+	}
+	return Box{
+		XMin: math.Float64frombits(binary.BigEndian.Uint64(v.B[0:])),
+		YMin: math.Float64frombits(binary.BigEndian.Uint64(v.B[8:])),
+		XMax: math.Float64frombits(binary.BigEndian.Uint64(v.B[16:])),
+		YMax: math.Float64frombits(binary.BigEndian.Uint64(v.B[24:])),
+	}, nil
+}

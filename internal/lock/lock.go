@@ -1,0 +1,350 @@
+// Package lock implements the system-supplied lock manager of the data
+// management extension architecture.
+//
+// The architecture assumes all storage method and attachment
+// implementations synchronise with locking-based concurrency control (a mix
+// with timestamp or validation schemes is not serialisable in general), so
+// a single lock manager is offered as a common service. It supports
+// hierarchical intention modes, in-place upgrades, FIFO queuing, and
+// system-wide deadlock detection over the waits-for graph; every lock is
+// held to transaction end and released by ReleaseAll.
+package lock
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"dmx/internal/wal"
+)
+
+// Mode is a lock mode.
+type Mode uint8
+
+// Lock modes, weakest to strongest.
+const (
+	ModeNone Mode = iota
+	ModeIS
+	ModeIX
+	ModeS
+	ModeX
+)
+
+// String returns the mode name.
+func (m Mode) String() string {
+	switch m {
+	case ModeNone:
+		return "NONE"
+	case ModeIS:
+		return "IS"
+	case ModeIX:
+		return "IX"
+	case ModeS:
+		return "S"
+	case ModeX:
+		return "X"
+	default:
+		return fmt.Sprintf("Mode(%d)", uint8(m))
+	}
+}
+
+// compatible reports whether two modes may be held simultaneously by
+// different transactions.
+func compatible(a, b Mode) bool {
+	switch a {
+	case ModeNone:
+		return true
+	case ModeIS:
+		return b != ModeX
+	case ModeIX:
+		return b == ModeIS || b == ModeIX || b == ModeNone
+	case ModeS:
+		return b == ModeIS || b == ModeS || b == ModeNone
+	case ModeX:
+		return b == ModeNone
+	default:
+		return false
+	}
+}
+
+// supremum returns the weakest mode at least as strong as both a and b.
+func supremum(a, b Mode) Mode {
+	if a == b {
+		return a
+	}
+	// Special case: IX ∨ S = SIX; we approximate SIX with X because the
+	// extension workloads here never need the distinction.
+	if (a == ModeIX && b == ModeS) || (a == ModeS && b == ModeIX) {
+		return ModeX
+	}
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// ErrDeadlock is returned to the transaction chosen as deadlock victim.
+var ErrDeadlock = errors.New("lock: deadlock detected; transaction chosen as victim")
+
+// ErrNotHeld is returned when downgrading or inspecting a lock that is not held.
+var ErrNotHeld = errors.New("lock: not held")
+
+// Resource names a lockable object: a relation, a record key within a
+// relation, or an extension-private resource string.
+type Resource struct {
+	Rel uint32
+	Key string // empty = relation-level lock
+}
+
+// String renders the resource for diagnostics.
+func (r Resource) String() string {
+	if r.Key == "" {
+		return fmt.Sprintf("rel(%d)", r.Rel)
+	}
+	return fmt.Sprintf("rel(%d)/key(%x)", r.Rel, r.Key)
+}
+
+// RelResource returns the relation-level resource for relID.
+func RelResource(relID uint32) Resource { return Resource{Rel: relID} }
+
+// KeyResource returns the record-level resource for a key within a relation.
+func KeyResource(relID uint32, key []byte) Resource {
+	return Resource{Rel: relID, Key: string(key)}
+}
+
+type request struct {
+	txn  wal.TxnID
+	mode Mode
+	done chan error // closed with nil on grant, error on deadlock victim
+}
+
+type lockState struct {
+	holders map[wal.TxnID]Mode
+	queue   []*request
+}
+
+// Manager is the lock manager. It is safe for concurrent use.
+type Manager struct {
+	mu    sync.Mutex
+	locks map[Resource]*lockState
+	held  map[wal.TxnID]map[Resource]Mode // per-txn held set for ReleaseAll
+	waits map[wal.TxnID]*request          // txn -> its single pending request
+}
+
+// NewManager returns an empty lock manager.
+func NewManager() *Manager {
+	return &Manager{
+		locks: make(map[Resource]*lockState),
+		held:  make(map[wal.TxnID]map[Resource]Mode),
+		waits: make(map[wal.TxnID]*request),
+	}
+}
+
+// Acquire obtains mode on res for txn, blocking until granted. If the wait
+// would close a cycle in the waits-for graph, the requesting transaction is
+// chosen as victim and ErrDeadlock is returned instead. Re-acquiring a
+// resource upgrades the held mode to the supremum.
+func (m *Manager) Acquire(txn wal.TxnID, res Resource, mode Mode) error {
+	m.mu.Lock()
+	ls := m.locks[res]
+	if ls == nil {
+		ls = &lockState{holders: make(map[wal.TxnID]Mode)}
+		m.locks[res] = ls
+	}
+	want := mode
+	holds := false
+	if cur, ok := ls.holders[txn]; ok {
+		holds = true
+		want = supremum(cur, mode)
+		if want == cur {
+			m.mu.Unlock()
+			return nil // already strong enough
+		}
+	}
+	// Grant immediately when compatible with the other holders; fresh
+	// requests additionally yield to an existing queue (FIFO fairness),
+	// while upgrades may bypass it.
+	if m.grantable(ls, txn, want) && (holds || len(ls.queue) == 0) {
+		m.grant(ls, txn, res, want)
+		m.mu.Unlock()
+		return nil
+	}
+	// Must wait. Upgrades jump the queue ahead of fresh requests so an
+	// S-holder upgrading to X cannot deadlock behind a newcomer; but if a
+	// grantable-now upgrade exists we handled it above.
+	req := &request{txn: txn, mode: want, done: make(chan error, 1)}
+	if holds {
+		ls.queue = append([]*request{req}, ls.queue...)
+	} else {
+		ls.queue = append(ls.queue, req)
+	}
+	m.waits[txn] = req
+	if m.wouldDeadlock(txn) {
+		m.removeRequest(ls, req)
+		delete(m.waits, txn)
+		m.mu.Unlock()
+		return ErrDeadlock
+	}
+	m.mu.Unlock()
+
+	err := <-req.done
+	m.mu.Lock()
+	delete(m.waits, txn)
+	m.mu.Unlock()
+	return err
+}
+
+// TryAcquire is Acquire without blocking: it returns false if the lock is
+// not immediately grantable.
+func (m *Manager) TryAcquire(txn wal.TxnID, res Resource, mode Mode) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ls := m.locks[res]
+	if ls == nil {
+		ls = &lockState{holders: make(map[wal.TxnID]Mode)}
+		m.locks[res] = ls
+	}
+	want := mode
+	if cur, ok := ls.holders[txn]; ok {
+		want = supremum(cur, mode)
+		if want == cur {
+			return true
+		}
+	} else if len(ls.queue) > 0 {
+		return false
+	}
+	if !m.grantable(ls, txn, want) {
+		return false
+	}
+	m.grant(ls, txn, res, want)
+	return true
+}
+
+// grantable reports whether txn may hold want on ls given the OTHER holders.
+func (m *Manager) grantable(ls *lockState, txn wal.TxnID, want Mode) bool {
+	for holder, held := range ls.holders {
+		if holder == txn {
+			continue
+		}
+		if !compatible(want, held) {
+			return false
+		}
+	}
+	return true
+}
+
+func (m *Manager) grant(ls *lockState, txn wal.TxnID, res Resource, mode Mode) {
+	ls.holders[txn] = mode
+	hm := m.held[txn]
+	if hm == nil {
+		hm = make(map[Resource]Mode)
+		m.held[txn] = hm
+	}
+	hm[res] = mode
+}
+
+func (m *Manager) removeRequest(ls *lockState, req *request) {
+	for i, r := range ls.queue {
+		if r == req {
+			ls.queue = append(ls.queue[:i], ls.queue[i+1:]...)
+			return
+		}
+	}
+}
+
+// ReleaseAll drops every lock txn holds and cancels any pending request.
+// Called by the transaction manager at commit or abort (all locks are
+// released at transaction termination).
+func (m *Manager) ReleaseAll(txn wal.TxnID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if req, ok := m.waits[txn]; ok {
+		for _, ls := range m.locks {
+			m.removeRequest(ls, req)
+		}
+		delete(m.waits, txn)
+		req.done <- fmt.Errorf("lock: transaction %d terminated while waiting", txn)
+	}
+	for res := range m.held[txn] {
+		ls := m.locks[res]
+		if ls == nil {
+			continue
+		}
+		delete(ls.holders, txn)
+		m.wake(ls, res)
+		if len(ls.holders) == 0 && len(ls.queue) == 0 {
+			delete(m.locks, res)
+		}
+	}
+	delete(m.held, txn)
+}
+
+// wake grants the longest compatible prefix of the queue.
+func (m *Manager) wake(ls *lockState, res Resource) {
+	for len(ls.queue) > 0 {
+		req := ls.queue[0]
+		if !m.grantable(ls, req.txn, req.mode) {
+			return
+		}
+		ls.queue = ls.queue[1:]
+		m.grant(ls, req.txn, res, req.mode)
+		req.done <- nil
+	}
+}
+
+// wouldDeadlock runs DFS over the waits-for graph starting from txn,
+// following waiter → incompatible holder edges.
+func (m *Manager) wouldDeadlock(start wal.TxnID) bool {
+	visited := map[wal.TxnID]bool{}
+	var dfs func(t wal.TxnID) bool
+	dfs = func(t wal.TxnID) bool {
+		req, waiting := m.waits[t]
+		if !waiting {
+			return false
+		}
+		// Find the resource this request queues on and its blockers.
+		for res, ls := range m.locks {
+			inQueue := false
+			for _, r := range ls.queue {
+				if r == req {
+					inQueue = true
+					break
+				}
+			}
+			if !inQueue {
+				continue
+			}
+			for holder, held := range ls.holders {
+				if holder == t || compatible(req.mode, held) {
+					continue
+				}
+				if holder == start {
+					return true
+				}
+				if !visited[holder] {
+					visited[holder] = true
+					if dfs(holder) {
+						return true
+					}
+				}
+			}
+			_ = res
+		}
+		return false
+	}
+	return dfs(start)
+}
+
+// HeldMode returns the mode txn holds on res (ModeNone if not held).
+func (m *Manager) HeldMode(txn wal.TxnID, res Resource) Mode {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.held[txn][res]
+}
+
+// HeldCount returns how many locks txn currently holds.
+func (m *Manager) HeldCount(txn wal.TxnID) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.held[txn])
+}

@@ -1,0 +1,316 @@
+package lock
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dmx/internal/wal"
+)
+
+func TestCompatibilityMatrix(t *testing.T) {
+	type row struct {
+		a, b Mode
+		want bool
+	}
+	cases := []row{
+		{ModeIS, ModeIS, true}, {ModeIS, ModeIX, true}, {ModeIS, ModeS, true}, {ModeIS, ModeX, false},
+		{ModeIX, ModeIS, true}, {ModeIX, ModeIX, true}, {ModeIX, ModeS, false}, {ModeIX, ModeX, false},
+		{ModeS, ModeIS, true}, {ModeS, ModeIX, false}, {ModeS, ModeS, true}, {ModeS, ModeX, false},
+		{ModeX, ModeIS, false}, {ModeX, ModeIX, false}, {ModeX, ModeS, false}, {ModeX, ModeX, false},
+		{ModeNone, ModeX, true},
+	}
+	for _, c := range cases {
+		if got := compatible(c.a, c.b); got != c.want {
+			t.Errorf("compatible(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestSupremum(t *testing.T) {
+	if supremum(ModeS, ModeS) != ModeS {
+		t.Error("S∨S")
+	}
+	if supremum(ModeIS, ModeX) != ModeX {
+		t.Error("IS∨X")
+	}
+	if supremum(ModeIX, ModeS) != ModeX || supremum(ModeS, ModeIX) != ModeX {
+		t.Error("IX∨S should promote to X (SIX approximation)")
+	}
+}
+
+func TestSharedThenExclusiveBlocks(t *testing.T) {
+	m := NewManager()
+	res := RelResource(1)
+	if err := m.Acquire(1, res, ModeS); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire(2, res, ModeS); err != nil {
+		t.Fatal(err) // S is shared
+	}
+	done := make(chan error, 1)
+	go func() { done <- m.Acquire(3, res, ModeX) }()
+	select {
+	case <-done:
+		t.Fatal("X granted while S held")
+	case <-time.After(20 * time.Millisecond):
+	}
+	m.ReleaseAll(1)
+	select {
+	case <-done:
+		t.Fatal("X granted while one S still held")
+	case <-time.After(20 * time.Millisecond):
+	}
+	m.ReleaseAll(2)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if m.HeldMode(3, res) != ModeX {
+		t.Fatal("txn 3 should hold X")
+	}
+	m.ReleaseAll(3)
+}
+
+func TestReacquireAndUpgrade(t *testing.T) {
+	m := NewManager()
+	res := RelResource(2)
+	if err := m.Acquire(1, res, ModeS); err != nil {
+		t.Fatal(err)
+	}
+	// Re-acquire same mode: no-op.
+	if err := m.Acquire(1, res, ModeS); err != nil {
+		t.Fatal(err)
+	}
+	// Upgrade in place when alone.
+	if err := m.Acquire(1, res, ModeX); err != nil {
+		t.Fatal(err)
+	}
+	if m.HeldMode(1, res) != ModeX {
+		t.Fatalf("mode = %v", m.HeldMode(1, res))
+	}
+	// Downgrade attempts keep the stronger mode.
+	if err := m.Acquire(1, res, ModeIS); err != nil {
+		t.Fatal(err)
+	}
+	if m.HeldMode(1, res) != ModeX {
+		t.Fatal("mode should remain X")
+	}
+	m.ReleaseAll(1)
+	if m.HeldCount(1) != 0 {
+		t.Fatal("HeldCount after release")
+	}
+}
+
+func TestUpgradeJumpsQueue(t *testing.T) {
+	m := NewManager()
+	res := RelResource(3)
+	if err := m.Acquire(1, res, ModeS); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire(2, res, ModeS); err != nil {
+		t.Fatal(err)
+	}
+	// Fresh X waits.
+	xDone := make(chan error, 1)
+	go func() { xDone <- m.Acquire(3, res, ModeX) }()
+	time.Sleep(10 * time.Millisecond)
+	// Holder 1 upgrades; must be served before the queued fresh X.
+	upDone := make(chan error, 1)
+	go func() { upDone <- m.Acquire(1, res, ModeX) }()
+	time.Sleep(10 * time.Millisecond)
+	m.ReleaseAll(2)
+	if err := <-upDone; err != nil {
+		t.Fatalf("upgrade: %v", err)
+	}
+	select {
+	case <-xDone:
+		t.Fatal("fresh X should still wait behind upgraded holder")
+	case <-time.After(20 * time.Millisecond):
+	}
+	m.ReleaseAll(1)
+	if err := <-xDone; err != nil {
+		t.Fatal(err)
+	}
+	m.ReleaseAll(3)
+}
+
+func TestIntentModesShare(t *testing.T) {
+	m := NewManager()
+	res := RelResource(4)
+	if err := m.Acquire(1, res, ModeIX); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire(2, res, ModeIX); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire(3, res, ModeIS); err != nil {
+		t.Fatal(err)
+	}
+	if m.TryAcquire(4, res, ModeS) {
+		t.Fatal("S should not coexist with IX")
+	}
+	m.ReleaseAll(1)
+	m.ReleaseAll(2)
+	if !m.TryAcquire(4, res, ModeS) {
+		t.Fatal("S should coexist with IS")
+	}
+	m.ReleaseAll(3)
+	m.ReleaseAll(4)
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	m := NewManager()
+	a, b := RelResource(10), RelResource(11)
+	if err := m.Acquire(1, a, ModeX); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire(2, b, ModeX); err != nil {
+		t.Fatal(err)
+	}
+	got1 := make(chan error, 1)
+	go func() { got1 <- m.Acquire(1, b, ModeX) }()
+	time.Sleep(20 * time.Millisecond) // let txn 1 queue
+	// txn 2 requesting a closes the cycle: 2→1→2. Victim is txn 2.
+	err := m.Acquire(2, a, ModeX)
+	if err != ErrDeadlock {
+		t.Fatalf("want ErrDeadlock, got %v", err)
+	}
+	// Victim aborts; txn 1 proceeds.
+	m.ReleaseAll(2)
+	if err := <-got1; err != nil {
+		t.Fatal(err)
+	}
+	m.ReleaseAll(1)
+}
+
+func TestUpgradeDeadlock(t *testing.T) {
+	m := NewManager()
+	res := RelResource(20)
+	if err := m.Acquire(1, res, ModeS); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire(2, res, ModeS); err != nil {
+		t.Fatal(err)
+	}
+	got1 := make(chan error, 1)
+	go func() { got1 <- m.Acquire(1, res, ModeX) }()
+	time.Sleep(20 * time.Millisecond)
+	// Second upgrader closes the cycle.
+	if err := m.Acquire(2, res, ModeX); err != ErrDeadlock {
+		t.Fatalf("want ErrDeadlock, got %v", err)
+	}
+	m.ReleaseAll(2)
+	if err := <-got1; err != nil {
+		t.Fatal(err)
+	}
+	m.ReleaseAll(1)
+}
+
+func TestReleaseAllCancelsWaiter(t *testing.T) {
+	m := NewManager()
+	res := RelResource(30)
+	if err := m.Acquire(1, res, ModeX); err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan error, 1)
+	go func() { got <- m.Acquire(2, res, ModeX) }()
+	time.Sleep(20 * time.Millisecond)
+	m.ReleaseAll(2) // txn 2 aborted while waiting
+	if err := <-got; err == nil {
+		t.Fatal("cancelled waiter should get an error")
+	}
+	m.ReleaseAll(1)
+	// Resource must be fully free now.
+	if !m.TryAcquire(3, res, ModeX) {
+		t.Fatal("resource should be free")
+	}
+	m.ReleaseAll(3)
+}
+
+func TestTryAcquire(t *testing.T) {
+	m := NewManager()
+	res := KeyResource(1, []byte("k"))
+	if !m.TryAcquire(1, res, ModeX) {
+		t.Fatal("first TryAcquire should succeed")
+	}
+	if m.TryAcquire(2, res, ModeS) {
+		t.Fatal("conflicting TryAcquire should fail")
+	}
+	if !m.TryAcquire(1, res, ModeS) {
+		t.Fatal("held-stronger TryAcquire should succeed")
+	}
+	m.ReleaseAll(1)
+}
+
+func TestKeyVsRelationResourcesIndependent(t *testing.T) {
+	m := NewManager()
+	if err := m.Acquire(1, RelResource(5), ModeIX); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire(1, KeyResource(5, []byte("a")), ModeX); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire(2, RelResource(5), ModeIX); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire(2, KeyResource(5, []byte("b")), ModeX); err != nil {
+		t.Fatal(err) // different key: no conflict
+	}
+	if m.TryAcquire(2, KeyResource(5, []byte("a")), ModeX) {
+		t.Fatal("same key should conflict")
+	}
+	m.ReleaseAll(1)
+	m.ReleaseAll(2)
+}
+
+func TestConcurrentIncrementSerialises(t *testing.T) {
+	m := NewManager()
+	res := RelResource(99)
+	var counter int64
+	var wg sync.WaitGroup
+	deadlocks := int64(0)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			txn := wal.TxnID(id + 1)
+			for i := 0; i < 50; i++ {
+				if err := m.Acquire(txn, res, ModeX); err != nil {
+					atomic.AddInt64(&deadlocks, 1)
+					m.ReleaseAll(txn)
+					continue
+				}
+				v := atomic.LoadInt64(&counter)
+				time.Sleep(time.Microsecond)
+				atomic.StoreInt64(&counter, v+1)
+				m.ReleaseAll(txn)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := atomic.LoadInt64(&counter) + deadlocks; got != 16*50 {
+		t.Fatalf("lost updates: counter+deadlocks = %d, want %d", got, 16*50)
+	}
+	if deadlocks != 0 {
+		t.Fatalf("single-resource X locking cannot deadlock, got %d", deadlocks)
+	}
+}
+
+func TestModeAndResourceStrings(t *testing.T) {
+	for _, mo := range []Mode{ModeNone, ModeIS, ModeIX, ModeS, ModeX, Mode(77)} {
+		if mo.String() == "" {
+			t.Error("empty mode name")
+		}
+	}
+	if RelResource(1).String() == "" || KeyResource(1, []byte("x")).String() == "" {
+		t.Error("empty resource name")
+	}
+}
+
+func TestHeldModeNotHeld(t *testing.T) {
+	m := NewManager()
+	if m.HeldMode(1, RelResource(1)) != ModeNone {
+		t.Fatal("unheld should be ModeNone")
+	}
+}

@@ -1,0 +1,111 @@
+package pagefile
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func exerciseDisk(t *testing.T, d Disk) {
+	t.Helper()
+	if d.NumPages() != 0 {
+		t.Fatal("fresh disk should be empty")
+	}
+	p0, err := d.Allocate()
+	if err != nil || p0 != 0 {
+		t.Fatalf("Allocate = %d, %v", p0, err)
+	}
+	p1, _ := d.Allocate()
+	if p1 != 1 || d.NumPages() != 2 {
+		t.Fatalf("second page = %d, NumPages = %d", p1, d.NumPages())
+	}
+
+	buf := make([]byte, PageSize)
+	buf[0], buf[PageSize-1] = 0xAB, 0xCD
+	if err := d.WritePage(p1, buf); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, PageSize)
+	if err := d.ReadPage(p1, got); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0xAB || got[PageSize-1] != 0xCD {
+		t.Fatal("page contents lost")
+	}
+	// Fresh page is zeroed.
+	if err := d.ReadPage(p0, got); err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range got {
+		if b != 0 {
+			t.Fatalf("fresh page dirty at %d", i)
+		}
+	}
+
+	// Bounds and size checks.
+	if err := d.ReadPage(99, got); err == nil {
+		t.Error("read past end accepted")
+	}
+	if err := d.WritePage(99, buf); err == nil {
+		t.Error("write past end accepted")
+	}
+	if err := d.ReadPage(p0, make([]byte, 10)); err == nil {
+		t.Error("short buffer read accepted")
+	}
+	if err := d.WritePage(p0, make([]byte, 10)); err == nil {
+		t.Error("short buffer write accepted")
+	}
+
+	s := d.Stats()
+	if s.Reads < 2 || s.Writes < 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestMemDisk(t *testing.T) {
+	d := NewMemDisk()
+	defer d.Close()
+	exerciseDisk(t, d)
+}
+
+func TestFileDisk(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "data.db")
+	d, err := OpenFileDisk(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exerciseDisk(t, d)
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: pages persist.
+	d2, err := OpenFileDisk(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if d2.NumPages() != 2 {
+		t.Fatalf("reopened NumPages = %d", d2.NumPages())
+	}
+	buf := make([]byte, PageSize)
+	if err := d2.ReadPage(1, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 0xAB {
+		t.Fatal("persisted contents lost")
+	}
+}
+
+func TestMemDiskWriteIsolation(t *testing.T) {
+	d := NewMemDisk()
+	p, _ := d.Allocate()
+	buf := make([]byte, PageSize)
+	buf[5] = 7
+	d.WritePage(p, buf)
+	buf[5] = 9 // mutating the caller's buffer must not affect the disk
+	got := make([]byte, PageSize)
+	d.ReadPage(p, got)
+	if got[5] != 7 {
+		t.Fatal("disk aliases caller buffer")
+	}
+}

@@ -1,0 +1,652 @@
+// Package plan implements the query planner and executor over the
+// extension architecture's generic interfaces.
+//
+// The planner hands each storage method and access-path attachment the
+// query's eligible predicates; the extensions judge their relevance and
+// report estimated I/O and CPU costs, and the planner picks the cheapest
+// path ("the query planner will be able to determine the cost of using a
+// storage method or attachment to scan a relation"). Access path zero is
+// the storage method itself; an access-path plan first obtains record
+// keys from the attachment and then fetches the records directly through
+// the storage method.
+//
+// Plans are *bound*: translation embeds the relation descriptors, so
+// execution touches no catalogs. Each bound plan records the identities
+// and versions of the relations and access paths it depends on;
+// executing a plan whose dependencies have changed automatically
+// re-translates it first.
+package plan
+
+import (
+	"fmt"
+	"math"
+
+	"dmx/internal/core"
+	"dmx/internal/expr"
+	"dmx/internal/txn"
+	"dmx/internal/types"
+)
+
+// Query is a select-project query over one table, optionally equi-joined
+// with a second.
+type Query struct {
+	Table  string
+	Filter *expr.Expr // over Table's columns
+	Fields []int      // projection over Table's columns (nil = all)
+	// OrderBy asks for records ordered (ascending) by these Table columns;
+	// the planner prefers an access path that delivers the order (check
+	// Bound.Ordered; the caller sorts when it reports false).
+	OrderBy []int
+	// Limit hints how many rows the caller will pull (0 = all). An ordered
+	// access streams, so with a small limit it beats scan-plus-sort even
+	// though a full ordered pass would not.
+	Limit int
+	Join  *JoinSpec
+}
+
+// JoinSpec describes an equi-join with an inner table. The result records
+// are the outer projection followed by the inner projection.
+type JoinSpec struct {
+	Table     string
+	OuterCol  int        // join column in the outer table
+	InnerCol  int        // join column in the inner table
+	Filter    *expr.Expr // over the inner table's columns
+	Fields    []int      // projection over the inner table's columns
+	JoinIndex string     // name of a join index to prefer, if it exists
+}
+
+// Rows is a tuple-at-a-time result cursor.
+type Rows interface {
+	Next() (types.Record, bool, error)
+	Close() error
+}
+
+// Planner translates queries against an environment.
+type Planner struct {
+	env *core.Env
+}
+
+// New returns a planner over env.
+func New(env *core.Env) *Planner { return &Planner{env: env} }
+
+// dep is one (relation, version) a bound plan depends on.
+type dep struct {
+	relID   uint32
+	version uint64
+}
+
+// Bound is a bound (translated) query plan.
+type Bound struct {
+	planner *Planner
+	query   Query
+	root    builder
+	deps    []dep
+	explain string
+	ordered bool
+	// Replans counts automatic re-translations (for the experiments).
+	Replans int
+}
+
+// Ordered reports whether the current translation delivers records in the
+// query's requested order (so the caller can skip its sort). Check it
+// after Execute: a re-translation may change the answer.
+func (b *Bound) Ordered() bool { return b.ordered }
+
+// builder constructs the operator tree for one execution.
+type builder func(tx *txn.Txn) (Rows, error)
+
+// Plan translates q into a bound plan.
+func (p *Planner) Plan(q Query) (*Bound, error) {
+	b := &Bound{planner: p, query: q}
+	if err := b.translate(); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// Explain describes the chosen access paths.
+func (b *Bound) Explain() string { return b.explain }
+
+// Execute validates the plan's dependencies (re-translating if any
+// relation or access path it uses changed or disappeared) and runs it.
+func (b *Bound) Execute(tx *txn.Txn) (Rows, error) {
+	if !b.valid() {
+		if err := b.translate(); err != nil {
+			return nil, fmt.Errorf("plan: re-translation failed: %w", err)
+		}
+		b.Replans++
+	}
+	return b.root(tx)
+}
+
+func (b *Bound) valid() bool {
+	for _, d := range b.deps {
+		rd, ok := b.planner.env.Cat.Get(d.relID)
+		if !ok || rd.Version != d.version {
+			return false
+		}
+	}
+	return true
+}
+
+// access describes a chosen single-table access path.
+type access struct {
+	rd       *core.RelDesc
+	useAtt   core.AttID // 0 = storage method (access path zero)
+	instance int
+	start    types.Key
+	end      types.Key
+	pushdown *expr.Expr // conjuncts the path does NOT handle (re-applied)
+	estimate core.CostEstimate
+}
+
+// chooseAccess asks the storage method and every access-path attachment
+// for a cost estimate and picks the cheapest.
+func (p *Planner) chooseAccess(rd *core.RelDesc, filter *expr.Expr, orderBy []int, limit int) (*access, error) {
+	conjuncts := expr.Conjuncts(filter)
+	req := core.CostRequest{Conjuncts: conjuncts, OrderBy: orderBy}
+
+	sm, err := p.env.StorageInstance(rd)
+	if err != nil {
+		return nil, err
+	}
+	req.RecordCount = sm.RecordCount()
+
+	// When an order is requested, accesses that do not deliver it pay the
+	// in-memory sort the caller will have to run; accesses that do deliver
+	// it stream, so a row limit scales their cost down (top-k queries).
+	adjusted := func(est core.CostEstimate) float64 {
+		t := est.Total()
+		if len(orderBy) == 0 {
+			return t
+		}
+		expected := float64(req.RecordCount) * est.Selectivity
+		if !est.Ordered {
+			return t + expected*math.Log2(expected+2)*0.1
+		}
+		if limit > 0 && expected > float64(limit) {
+			t *= float64(limit) / expected
+		}
+		return t
+	}
+
+	best := &access{rd: rd, useAtt: 0, estimate: sm.EstimateCost(req)}
+	bestHandled := best.estimate.Handled
+	best.start, best.end = best.estimate.Start, best.estimate.End
+
+	for _, attID := range rd.AttachmentTypes() {
+		inst, err := p.env.AttachmentInstance(rd, attID)
+		if err != nil {
+			return nil, err
+		}
+		ap, ok := inst.(core.AccessPath)
+		if !ok {
+			continue
+		}
+		est := ap.EstimateCost(req)
+		if !est.Usable {
+			continue
+		}
+		if !best.estimate.Usable || adjusted(est) < adjusted(best.estimate) {
+			best = &access{
+				rd: rd, useAtt: attID, instance: est.Instance,
+				start: est.Start, end: est.End, estimate: est,
+			}
+			bestHandled = est.Handled
+		}
+	}
+	// Conjuncts the chosen path does not handle are re-applied by the
+	// executor against the fetched records.
+	handled := map[int]bool{}
+	for _, h := range bestHandled {
+		handled[h] = true
+	}
+	var residual []*expr.Expr
+	for i, c := range conjuncts {
+		if !handled[i] {
+			residual = append(residual, c)
+		}
+	}
+	best.pushdown = expr.And(residual...)
+	return best, nil
+}
+
+func (a *access) describe(env *core.Env) string {
+	if a.useAtt == 0 {
+		ops := env.Reg.StorageOps(a.rd.SM)
+		return fmt.Sprintf("scan(%s via %s)", a.rd.Name, ops.Name)
+	}
+	ops := env.Reg.AttachmentOps(a.useAtt)
+	return fmt.Sprintf("access(%s via %s #%d)", a.rd.Name, ops.Name, a.instance)
+}
+
+// translate plans the query and captures dependencies.
+func (b *Bound) translate() error {
+	p := b.planner
+	b.deps = nil
+	rd, ok := p.env.Cat.ByName(b.query.Table)
+	if !ok {
+		return fmt.Errorf("plan: %w: relation %q", core.ErrNotFound, b.query.Table)
+	}
+	b.deps = append(b.deps, dep{rd.RelID, rd.Version})
+
+	outer, err := p.chooseAccess(rd, b.query.Filter, b.query.OrderBy, b.query.Limit)
+	if err != nil {
+		return err
+	}
+
+	if b.query.Join == nil {
+		b.explain = outer.describe(p.env)
+		b.ordered = outer.estimate.Ordered
+		if b.ordered {
+			b.explain += " [ordered]"
+		}
+		q := b.query
+		b.root = func(tx *txn.Txn) (Rows, error) {
+			return p.openAccess(tx, outer, q.Fields)
+		}
+		return nil
+	}
+	b.ordered = false
+
+	// Join planning.
+	j := b.query.Join
+	innerRD, ok := p.env.Cat.ByName(j.Table)
+	if !ok {
+		return fmt.Errorf("plan: %w: relation %q", core.ErrNotFound, j.Table)
+	}
+	b.deps = append(b.deps, dep{innerRD.RelID, innerRD.Version})
+
+	// Strategy 1: a join index connecting the two relations.
+	if j.JoinIndex != "" && rd.HasAttachment(core.AttJoin) {
+		b.explain = fmt.Sprintf("joinindex(%s ⋈ %s via %q)", rd.Name, innerRD.Name, j.JoinIndex)
+		q := b.query
+		b.root = func(tx *txn.Txn) (Rows, error) {
+			return p.openJoinIndex(tx, rd, innerRD, q)
+		}
+		return nil
+	}
+
+	// Strategy 2: index nested loops when the inner side has an access
+	// path usable for equality on the join column.
+	innerEqReq := core.CostRequest{Conjuncts: append(
+		expr.Conjuncts(j.Filter),
+		// A placeholder equality on the join column stands in for the
+		// outer value bound at run time.
+		expr.Eq(expr.Field(j.InnerCol), expr.Const(types.Int(0))),
+	)}
+	var probe *probeSpec
+	for _, attID := range innerRD.AttachmentTypes() {
+		inst, err := p.env.AttachmentInstance(innerRD, attID)
+		if err != nil {
+			return err
+		}
+		ap, ok := inst.(core.AccessPath)
+		if !ok {
+			continue
+		}
+		est := ap.EstimateCost(innerEqReq)
+		if !est.Usable {
+			continue
+		}
+		if probe == nil || est.Total() < probe.est.Total() {
+			probe = &probeSpec{attID: attID, instance: est.Instance, est: est}
+		}
+	}
+	// Also consider the inner storage method itself as a keyed path
+	// (B-tree-organised relations answer join-column probes directly).
+	innerSM, err := p.env.StorageInstance(innerRD)
+	if err != nil {
+		return err
+	}
+	smEst := innerSM.EstimateCost(innerEqReq)
+	innerN := innerSM.RecordCount()
+
+	q := b.query
+	if probe != nil {
+		b.explain = fmt.Sprintf("indexNL(%s ⟕probe %s via %s #%d)",
+			outer.describe(p.env), innerRD.Name, p.env.Reg.AttachmentOps(probe.attID).Name, probe.instance)
+		pr := *probe
+		b.root = func(tx *txn.Txn) (Rows, error) {
+			return p.openIndexNL(tx, outer, innerRD, pr, q)
+		}
+		return nil
+	}
+	_ = smEst
+	b.explain = fmt.Sprintf("nestedloop(%s × scan(%s), inner=%d)", outer.describe(p.env), innerRD.Name, innerN)
+	b.root = func(tx *txn.Txn) (Rows, error) {
+		return p.openNL(tx, outer, innerRD, q)
+	}
+	return nil
+}
+
+type probeSpec struct {
+	attID    core.AttID
+	instance int
+	est      core.CostEstimate
+}
+
+// --- executors ---
+
+// openAccess opens a single-table cursor over the chosen access path.
+func (p *Planner) openAccess(tx *txn.Txn, a *access, fields []int) (Rows, error) {
+	rel, err := p.env.OpenRelation(a.rd)
+	if err != nil {
+		return nil, err
+	}
+	if a.useAtt == 0 {
+		scan, err := rel.OpenScan(tx, core.ScanOptions{
+			Start: a.start, End: a.end, Filter: a.pushdown, Fields: fields,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return scanRows{scan: scan}, nil
+	}
+	inst, err := p.env.AttachmentInstance(a.rd, a.useAtt)
+	if err != nil {
+		return nil, err
+	}
+	ap := inst.(core.AccessPath)
+	// Hash indexes are direct-by-key only: probe, then fetch.
+	if _, err := ap.OpenScan(tx, a.instance, core.ScanOptions{Start: a.start, End: a.end}); err != nil {
+		keys, lerr := rel.LookupAccess(tx, a.useAtt, a.instance, a.start)
+		if lerr != nil {
+			return nil, lerr
+		}
+		return &fetchRows{tx: tx, rel: rel, keys: keys, filter: a.pushdown, fields: fields}, nil
+	}
+	scan, err := rel.OpenAccessScan(tx, a.useAtt, a.instance, core.ScanOptions{Start: a.start, End: a.end})
+	if err != nil {
+		return nil, err
+	}
+	return &indexFetchRows{tx: tx, rel: rel, scan: scan, filter: a.pushdown, fields: fields}, nil
+}
+
+// scanRows adapts a storage-method scan.
+type scanRows struct{ scan core.Scan }
+
+func (r scanRows) Next() (types.Record, bool, error) {
+	_, rec, ok, err := r.scan.Next()
+	return rec, ok, err
+}
+
+func (r scanRows) Close() error { return r.scan.Close() }
+
+// indexFetchRows drives an access-path scan and fetches each record
+// directly via the storage method (tuple at a time).
+type indexFetchRows struct {
+	tx     *txn.Txn
+	rel    *core.Relation
+	scan   core.Scan
+	filter *expr.Expr
+	fields []int
+}
+
+func (r *indexFetchRows) Next() (types.Record, bool, error) {
+	for {
+		recKey, _, ok, err := r.scan.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		rec, err := r.rel.Fetch(r.tx, recKey, r.fields, r.filter)
+		if err == core.ErrFiltered {
+			continue
+		}
+		if err != nil {
+			return nil, false, err
+		}
+		return rec, true, nil
+	}
+}
+
+func (r *indexFetchRows) Close() error { return r.scan.Close() }
+
+// fetchRows fetches a fixed key list (hash-probe results).
+type fetchRows struct {
+	tx     *txn.Txn
+	rel    *core.Relation
+	keys   []types.Key
+	filter *expr.Expr
+	fields []int
+}
+
+func (r *fetchRows) Next() (types.Record, bool, error) {
+	for len(r.keys) > 0 {
+		key := r.keys[0]
+		r.keys = r.keys[1:]
+		rec, err := r.rel.Fetch(r.tx, key, r.fields, r.filter)
+		if err == core.ErrFiltered {
+			continue
+		}
+		if err != nil {
+			return nil, false, err
+		}
+		return rec, true, nil
+	}
+	return nil, false, nil
+}
+
+func (r *fetchRows) Close() error { return nil }
+
+// openNL opens a naive nested-loop join: the inner relation is re-scanned
+// for every outer record (the tuple-at-a-time call volume of E2).
+func (p *Planner) openNL(tx *txn.Txn, outer *access, innerRD *core.RelDesc, q Query) (Rows, error) {
+	outerRows, err := p.openAccess(tx, outer, nil)
+	if err != nil {
+		return nil, err
+	}
+	innerRel, err := p.env.OpenRelation(innerRD)
+	if err != nil {
+		return nil, err
+	}
+	return &nlRows{
+		p: p, tx: tx, q: q, outer: outerRows, innerRel: innerRel,
+	}, nil
+}
+
+type nlRows struct {
+	p        *Planner
+	tx       *txn.Txn
+	q        Query
+	outer    Rows
+	innerRel *core.Relation
+
+	curOuter  types.Record
+	innerScan core.Scan
+}
+
+func (r *nlRows) Next() (types.Record, bool, error) {
+	j := r.q.Join
+	for {
+		if r.curOuter == nil {
+			rec, ok, err := r.outer.Next()
+			if err != nil || !ok {
+				return nil, ok, err
+			}
+			r.curOuter = rec
+			filter := expr.And(
+				expr.Eq(expr.Field(j.InnerCol), expr.Const(rec[j.OuterCol])),
+				j.Filter,
+			)
+			scan, err := r.innerRel.OpenScan(r.tx, core.ScanOptions{Filter: filter, Fields: j.Fields})
+			if err != nil {
+				return nil, false, err
+			}
+			r.innerScan = scan
+		}
+		_, inner, ok, err := r.innerScan.Next()
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			r.innerScan.Close()
+			r.curOuter, r.innerScan = nil, nil
+			continue
+		}
+		return joinRecords(r.curOuter, r.q.Fields, inner), true, nil
+	}
+}
+
+func (r *nlRows) Close() error {
+	if r.innerScan != nil {
+		r.innerScan.Close()
+	}
+	return r.outer.Close()
+}
+
+// joinRecords projects the outer record and appends the (already
+// projected) inner record.
+func joinRecords(outer types.Record, outerFields []int, inner types.Record) types.Record {
+	var out types.Record
+	if outerFields != nil {
+		out = outer.Project(outerFields)
+	} else {
+		out = append(types.Record(nil), outer...)
+	}
+	return append(out, inner...)
+}
+
+// openIndexNL opens an index nested-loop join probing the inner access
+// path with each outer join value.
+func (p *Planner) openIndexNL(tx *txn.Txn, outer *access, innerRD *core.RelDesc, probe probeSpec, q Query) (Rows, error) {
+	outerRows, err := p.openAccess(tx, outer, nil)
+	if err != nil {
+		return nil, err
+	}
+	innerRel, err := p.env.OpenRelation(innerRD)
+	if err != nil {
+		return nil, err
+	}
+	return &indexNLRows{
+		tx: tx, q: q, outer: outerRows, innerRel: innerRel, probe: probe,
+	}, nil
+}
+
+type indexNLRows struct {
+	tx       *txn.Txn
+	q        Query
+	outer    Rows
+	innerRel *core.Relation
+	probe    probeSpec
+
+	curOuter types.Record
+	pending  []types.Key
+}
+
+func (r *indexNLRows) Next() (types.Record, bool, error) {
+	j := r.q.Join
+	for {
+		if r.curOuter == nil {
+			rec, ok, err := r.outer.Next()
+			if err != nil || !ok {
+				return nil, ok, err
+			}
+			r.curOuter = rec
+			keys, err := r.innerRel.LookupAccess(r.tx, r.probe.attID, r.probe.instance,
+				types.EncodeKeyValues(rec[j.OuterCol]))
+			if err != nil {
+				return nil, false, err
+			}
+			r.pending = keys
+		}
+		if len(r.pending) == 0 {
+			r.curOuter = nil
+			continue
+		}
+		key := r.pending[0]
+		r.pending = r.pending[1:]
+		inner, err := r.innerRel.Fetch(r.tx, key, j.Fields, j.Filter)
+		if err == core.ErrFiltered {
+			continue
+		}
+		if err != nil {
+			return nil, false, err
+		}
+		return joinRecords(r.curOuter, r.q.Fields, inner), true, nil
+	}
+}
+
+func (r *indexNLRows) Close() error { return r.outer.Close() }
+
+// openJoinIndex executes the join by enumerating the join index's matched
+// record-key pairs and fetching both sides directly. The attachment is
+// addressed structurally (any attachment exposing PairKeys qualifies), so
+// the planner stays decoupled from the concrete join-index package.
+func (p *Planner) openJoinIndex(tx *txn.Txn, outerRD, innerRD *core.RelDesc, q Query) (Rows, error) {
+	inst, err := p.env.AttachmentInstance(outerRD, core.AttJoin)
+	if err != nil {
+		return nil, err
+	}
+	lister, ok := inst.(interface {
+		PairKeys(name string) ([][2]types.Key, error)
+	})
+	if !ok {
+		return nil, fmt.Errorf("plan: join index attachment does not enumerate pairs")
+	}
+	pairs, err := lister.PairKeys(q.Join.JoinIndex)
+	if err != nil {
+		return nil, err
+	}
+	outerRel, err := p.env.OpenRelation(outerRD)
+	if err != nil {
+		return nil, err
+	}
+	innerRel, err := p.env.OpenRelation(innerRD)
+	if err != nil {
+		return nil, err
+	}
+	return &joinIndexRows{tx: tx, q: q, outerRel: outerRel, innerRel: innerRel, pairs: pairs}, nil
+}
+
+type joinIndexRows struct {
+	tx       *txn.Txn
+	q        Query
+	outerRel *core.Relation
+	innerRel *core.Relation
+	pairs    [][2]types.Key
+}
+
+func (r *joinIndexRows) Next() (types.Record, bool, error) {
+	for len(r.pairs) > 0 {
+		pair := r.pairs[0]
+		r.pairs = r.pairs[1:]
+		outer, err := r.outerRel.Fetch(r.tx, pair[0], nil, r.q.Filter)
+		if err == core.ErrFiltered {
+			continue
+		}
+		if err != nil {
+			return nil, false, err
+		}
+		inner, err := r.innerRel.Fetch(r.tx, pair[1], r.q.Join.Fields, r.q.Join.Filter)
+		if err == core.ErrFiltered {
+			continue
+		}
+		if err != nil {
+			return nil, false, err
+		}
+		return joinRecords(outer, r.q.Fields, inner), true, nil
+	}
+	return nil, false, nil
+}
+
+func (r *joinIndexRows) Close() error { return nil }
+
+// Collect drains rows into a slice (test and example convenience).
+func Collect(rows Rows, err error) ([]types.Record, error) {
+	if err != nil {
+		return nil, err
+	}
+	defer rows.Close()
+	var out []types.Record
+	for {
+		rec, ok, err := rows.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return out, nil
+		}
+		out = append(out, rec)
+	}
+}

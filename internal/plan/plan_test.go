@@ -1,0 +1,494 @@
+package plan_test
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	_ "dmx/internal/att/btreeix"
+	_ "dmx/internal/att/hashidx"
+	_ "dmx/internal/att/joinidx"
+	_ "dmx/internal/att/rtreeix"
+	"dmx/internal/core"
+	"dmx/internal/expr"
+	"dmx/internal/plan"
+	_ "dmx/internal/sm/btreesm"
+	_ "dmx/internal/sm/heap"
+	_ "dmx/internal/sm/memsm"
+	"dmx/internal/types"
+)
+
+func empSchema() *types.Schema {
+	return types.MustSchema(
+		types.Column{Name: "eno", Kind: types.KindInt, NotNull: true},
+		types.Column{Name: "dno", Kind: types.KindInt},
+		types.Column{Name: "salary", Kind: types.KindFloat},
+	)
+}
+
+func deptSchema() *types.Schema {
+	return types.MustSchema(
+		types.Column{Name: "dno", Kind: types.KindInt, NotNull: true},
+		types.Column{Name: "name", Kind: types.KindString},
+	)
+}
+
+// loadEmp creates emp with n records: eno=i, dno=i%10, salary=i.
+func loadEmp(t *testing.T, env *core.Env, sm string, attrs core.AttrList, n int) *core.Relation {
+	t.Helper()
+	tx := env.Begin()
+	if _, err := env.CreateRelation(tx, "emp", empSchema(), sm, attrs); err != nil {
+		t.Fatal(err)
+	}
+	r, _ := env.OpenRelationByName("emp")
+	for i := 0; i < n; i++ {
+		if _, err := r.Insert(tx, types.Record{
+			types.Int(int64(i)), types.Int(int64(i % 10)), types.Float(float64(i)),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func runQuery(t *testing.T, env *core.Env, q plan.Query) ([]types.Record, *plan.Bound) {
+	t.Helper()
+	p := plan.New(env)
+	b, err := p.Plan(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := env.Begin()
+	defer tx.Commit()
+	rows, err := plan.Collect(b.Execute(tx))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rows, b
+}
+
+func TestScanPlanWhenNoIndex(t *testing.T) {
+	env := core.NewEnv(core.Config{})
+	loadEmp(t, env, "memory", nil, 100)
+	q := plan.Query{Table: "emp", Filter: expr.Eq(expr.Field(0), expr.Const(types.Int(7)))}
+	rows, b := runQuery(t, env, q)
+	if !strings.HasPrefix(b.Explain(), "scan(") {
+		t.Fatalf("explain = %s", b.Explain())
+	}
+	if len(rows) != 1 || rows[0][0].AsInt() != 7 {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestPlannerPicksBTreeIndexForEquality(t *testing.T) {
+	env := core.NewEnv(core.Config{})
+	loadEmp(t, env, "memory", nil, 1000)
+	tx := env.Begin()
+	if _, err := env.CreateAttachment(tx, "emp", "btree",
+		core.AttrList{"name": "byeno", "on": "eno", "unique": "true"}); err != nil {
+		t.Fatal(err)
+	}
+	tx.Commit()
+
+	q := plan.Query{Table: "emp", Filter: expr.Eq(expr.Field(0), expr.Const(types.Int(42)))}
+	rows, b := runQuery(t, env, q)
+	if !strings.Contains(b.Explain(), "btree") {
+		t.Fatalf("expected btree access, got %s", b.Explain())
+	}
+	if len(rows) != 1 || rows[0][0].AsInt() != 42 {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestIndexRangeScanWithResidual(t *testing.T) {
+	env := core.NewEnv(core.Config{})
+	loadEmp(t, env, "memory", nil, 100)
+	tx := env.Begin()
+	env.CreateAttachment(tx, "emp", "btree", core.AttrList{"name": "byeno", "on": "eno"})
+	tx.Commit()
+
+	// Range on eno (handled by index) AND predicate on dno (residual).
+	q := plan.Query{Table: "emp", Filter: expr.And(
+		expr.Lt(expr.Field(0), expr.Const(types.Int(50))),
+		expr.Eq(expr.Field(1), expr.Const(types.Int(3))),
+	)}
+	rows, b := runQuery(t, env, q)
+	if !strings.Contains(b.Explain(), "btree") {
+		t.Fatalf("explain = %s", b.Explain())
+	}
+	if len(rows) != 5 { // eno in {3,13,23,33,43}
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r[0].AsInt() >= 50 || r[1].AsInt() != 3 {
+			t.Fatalf("bad row %v", r)
+		}
+	}
+}
+
+func TestBTreeStorageMethodActsAsAccessPath(t *testing.T) {
+	env := core.NewEnv(core.Config{})
+	loadEmp(t, env, "btree", core.AttrList{"key": "eno"}, 500)
+	q := plan.Query{Table: "emp", Filter: expr.Eq(expr.Field(0), expr.Const(types.Int(123)))}
+	rows, b := runQuery(t, env, q)
+	if !strings.HasPrefix(b.Explain(), "scan(emp via btree") {
+		t.Fatalf("explain = %s", b.Explain())
+	}
+	if len(rows) != 1 || rows[0][0].AsInt() != 123 {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestHashIndexChosenForEquality(t *testing.T) {
+	env := core.NewEnv(core.Config{})
+	loadEmp(t, env, "heap", nil, 500)
+	tx := env.Begin()
+	env.CreateAttachment(tx, "emp", "hash", core.AttrList{"name": "hdno", "on": "dno"})
+	tx.Commit()
+
+	q := plan.Query{Table: "emp", Filter: expr.Eq(expr.Field(1), expr.Const(types.Int(4)))}
+	rows, b := runQuery(t, env, q)
+	if !strings.Contains(b.Explain(), "hash") {
+		t.Fatalf("explain = %s", b.Explain())
+	}
+	if len(rows) != 50 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+}
+
+func TestProjectionApplied(t *testing.T) {
+	env := core.NewEnv(core.Config{})
+	loadEmp(t, env, "memory", nil, 10)
+	q := plan.Query{Table: "emp", Fields: []int{2, 0}}
+	rows, _ := runQuery(t, env, q)
+	if len(rows) != 10 || len(rows[0]) != 2 {
+		t.Fatalf("rows = %v", rows)
+	}
+	if rows[0][0].K != types.KindFloat || rows[0][1].K != types.KindInt {
+		t.Fatalf("projection order wrong: %v", rows[0])
+	}
+}
+
+func addDept(t *testing.T, env *core.Env, withIndex bool) {
+	t.Helper()
+	tx := env.Begin()
+	if _, err := env.CreateRelation(tx, "dept", deptSchema(), "memory", nil); err != nil {
+		t.Fatal(err)
+	}
+	d, _ := env.OpenRelationByName("dept")
+	names := []string{"eng", "ops", "hr", "fin", "mkt", "it", "qa", "rd", "pr", "biz"}
+	for i, n := range names {
+		d.Insert(tx, types.Record{types.Int(int64(i)), types.Str(n)})
+	}
+	if withIndex {
+		if _, err := env.CreateAttachment(tx, "dept", "btree",
+			core.AttrList{"name": "bydno", "on": "dno", "unique": "true"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tx.Commit()
+}
+
+func TestNestedLoopJoin(t *testing.T) {
+	env := core.NewEnv(core.Config{})
+	loadEmp(t, env, "memory", nil, 30)
+	addDept(t, env, false)
+	q := plan.Query{
+		Table:  "emp",
+		Filter: expr.Lt(expr.Field(0), expr.Const(types.Int(5))),
+		Fields: []int{0, 1},
+		Join:   &plan.JoinSpec{Table: "dept", OuterCol: 1, InnerCol: 0, Fields: []int{1}},
+	}
+	rows, b := runQuery(t, env, q)
+	if !strings.HasPrefix(b.Explain(), "nestedloop(") {
+		t.Fatalf("explain = %s", b.Explain())
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if len(r) != 3 || r[2].K != types.KindString {
+			t.Fatalf("bad joined row %v", r)
+		}
+	}
+}
+
+func TestIndexNestedLoopJoinChosen(t *testing.T) {
+	env := core.NewEnv(core.Config{})
+	loadEmp(t, env, "memory", nil, 30)
+	addDept(t, env, true)
+	q := plan.Query{
+		Table: "emp",
+		Join:  &plan.JoinSpec{Table: "dept", OuterCol: 1, InnerCol: 0, Fields: []int{1}},
+	}
+	rows, b := runQuery(t, env, q)
+	if !strings.HasPrefix(b.Explain(), "indexNL(") {
+		t.Fatalf("explain = %s", b.Explain())
+	}
+	if len(rows) != 30 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Every row's dept name matches its dno.
+	names := []string{"eng", "ops", "hr", "fin", "mkt", "it", "qa", "rd", "pr", "biz"}
+	for _, r := range rows {
+		if r[3].S != names[r[1].AsInt()] {
+			t.Fatalf("join mismatch: %v", r)
+		}
+	}
+}
+
+func TestJoinIndexPlan(t *testing.T) {
+	env := core.NewEnv(core.Config{})
+	loadEmp(t, env, "memory", nil, 30)
+	addDept(t, env, false)
+	tx := env.Begin()
+	if _, err := env.CreateAttachment(tx, "emp", "joinindex",
+		core.AttrList{"name": "ed", "on": "dno", "peer": "dept"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := env.CreateAttachment(tx, "dept", "joinindex",
+		core.AttrList{"name": "ed", "on": "dno", "peer": "emp"}); err != nil {
+		t.Fatal(err)
+	}
+	tx.Commit()
+
+	q := plan.Query{
+		Table: "emp",
+		Join:  &plan.JoinSpec{Table: "dept", OuterCol: 1, InnerCol: 0, Fields: []int{1}, JoinIndex: "ed"},
+	}
+	rows, b := runQuery(t, env, q)
+	if !strings.HasPrefix(b.Explain(), "joinindex(") {
+		t.Fatalf("explain = %s", b.Explain())
+	}
+	if len(rows) != 30 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+}
+
+func TestJoinStrategiesAgree(t *testing.T) {
+	// All three join strategies must produce the same multiset of rows.
+	canonical := func(rows []types.Record) []string {
+		out := make([]string, len(rows))
+		for i, r := range rows {
+			out[i] = r.String()
+		}
+		sort.Strings(out)
+		return out
+	}
+
+	run := func(prep func(env *core.Env), join plan.JoinSpec) []string {
+		env := core.NewEnv(core.Config{})
+		loadEmp(t, env, "memory", nil, 40)
+		addDept(t, env, false)
+		if prep != nil {
+			prep(env)
+		}
+		q := plan.Query{Table: "emp", Fields: []int{0, 1}, Join: &join}
+		rows, _ := runQuery(t, env, q)
+		return canonical(rows)
+	}
+
+	base := plan.JoinSpec{Table: "dept", OuterCol: 1, InnerCol: 0, Fields: []int{1}}
+	nl := run(nil, base)
+	inl := run(func(env *core.Env) {
+		tx := env.Begin()
+		env.CreateAttachment(tx, "dept", "btree", core.AttrList{"on": "dno"})
+		tx.Commit()
+	}, base)
+	jiSpec := base
+	jiSpec.JoinIndex = "ed"
+	ji := run(func(env *core.Env) {
+		tx := env.Begin()
+		env.CreateAttachment(tx, "emp", "joinindex", core.AttrList{"name": "ed", "on": "dno", "peer": "dept"})
+		env.CreateAttachment(tx, "dept", "joinindex", core.AttrList{"name": "ed", "on": "dno", "peer": "emp"})
+		tx.Commit()
+	}, jiSpec)
+
+	if len(nl) != len(inl) || len(nl) != len(ji) {
+		t.Fatalf("row counts differ: nl=%d inl=%d ji=%d", len(nl), len(inl), len(ji))
+	}
+	for i := range nl {
+		if nl[i] != inl[i] || nl[i] != ji[i] {
+			t.Fatalf("row %d differs:\n nl=%s\ninl=%s\n ji=%s", i, nl[i], inl[i], ji[i])
+		}
+	}
+}
+
+func TestPlanInvalidationOnDropIndex(t *testing.T) {
+	env := core.NewEnv(core.Config{})
+	loadEmp(t, env, "memory", nil, 200)
+	tx := env.Begin()
+	env.CreateAttachment(tx, "emp", "btree", core.AttrList{"name": "byeno", "on": "eno"})
+	tx.Commit()
+
+	p := plan.New(env)
+	q := plan.Query{Table: "emp", Filter: expr.Eq(expr.Field(0), expr.Const(types.Int(9)))}
+	b, err := p.Plan(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.Explain(), "btree") {
+		t.Fatalf("initial explain = %s", b.Explain())
+	}
+
+	// Drop the index: the bound plan's dependency is invalidated and the
+	// next execution automatically re-translates to a scan.
+	tx2 := env.Begin()
+	if _, err := env.DropAttachment(tx2, "emp", "btree", core.AttrList{"name": "byeno"}); err != nil {
+		t.Fatal(err)
+	}
+	tx2.Commit()
+
+	tx3 := env.Begin()
+	rows, err := plan.Collect(b.Execute(tx3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx3.Commit()
+	if b.Replans != 1 {
+		t.Fatalf("replans = %d", b.Replans)
+	}
+	if !strings.HasPrefix(b.Explain(), "scan(") {
+		t.Fatalf("re-translated explain = %s", b.Explain())
+	}
+	if len(rows) != 1 || rows[0][0].AsInt() != 9 {
+		t.Fatalf("rows after re-translation = %v", rows)
+	}
+}
+
+func TestPlanPicksUpNewIndexAfterInvalidation(t *testing.T) {
+	env := core.NewEnv(core.Config{})
+	loadEmp(t, env, "memory", nil, 200)
+	p := plan.New(env)
+	q := plan.Query{Table: "emp", Filter: expr.Eq(expr.Field(0), expr.Const(types.Int(9)))}
+	b, _ := p.Plan(q)
+	if !strings.HasPrefix(b.Explain(), "scan(") {
+		t.Fatalf("initial explain = %s", b.Explain())
+	}
+	tx := env.Begin()
+	env.CreateAttachment(tx, "emp", "btree", core.AttrList{"on": "eno"})
+	tx.Commit()
+
+	tx2 := env.Begin()
+	if _, err := plan.Collect(b.Execute(tx2)); err != nil {
+		t.Fatal(err)
+	}
+	tx2.Commit()
+	if !strings.Contains(b.Explain(), "btree") {
+		t.Fatalf("plan did not adopt the new index: %s", b.Explain())
+	}
+}
+
+func TestUnknownTableFails(t *testing.T) {
+	env := core.NewEnv(core.Config{})
+	p := plan.New(env)
+	if _, err := p.Plan(plan.Query{Table: "ghost"}); err == nil {
+		t.Fatal("unknown table accepted")
+	}
+}
+
+func TestSpatialQueryUsesRTree(t *testing.T) {
+	env := core.NewEnv(core.Config{})
+	s := types.MustSchema(
+		types.Column{Name: "id", Kind: types.KindInt, NotNull: true},
+		types.Column{Name: "shape", Kind: types.KindBytes},
+	)
+	tx := env.Begin()
+	env.CreateRelation(tx, "parcels", s, "memory", nil)
+	env.CreateAttachment(tx, "parcels", "rtree", core.AttrList{"on": "shape"})
+	r, _ := env.OpenRelationByName("parcels")
+	for i := 0; i < 100; i++ {
+		x := float64(i%10) * 10
+		y := float64(i/10) * 10
+		r.Insert(tx, types.Record{types.Int(int64(i)), expr.NewBox(x, y, x+1, y+1).Value()})
+	}
+	tx.Commit()
+
+	query := expr.NewBox(0, 0, 15, 15)
+	q := plan.Query{Table: "parcels", Filter: expr.Encloses(expr.Const(query.Value()), expr.Field(1))}
+	rows, b := runQuery(t, env, q)
+	if !strings.Contains(b.Explain(), "rtree") {
+		t.Fatalf("explain = %s", b.Explain())
+	}
+	if len(rows) != 4 { // (0,0),(10,0),(0,10),(10,10)
+		t.Fatalf("spatial rows = %d", len(rows))
+	}
+}
+
+func TestOrderedAccessViaIndex(t *testing.T) {
+	env := core.NewEnv(core.Config{})
+	loadEmp(t, env, "heap", nil, 500)
+	tx := env.Begin()
+	env.CreateAttachment(tx, "emp", "btree", core.AttrList{"name": "bysalary", "on": "salary"})
+	tx.Commit()
+
+	p := plan.New(env)
+	// Full-table ORDER BY: an unclustered ordered pass fetches every
+	// record individually, so the planner correctly prefers scan + sort.
+	full, err := p.Plan(plan.Query{Table: "emp", Fields: []int{2}, OrderBy: []int{2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Ordered() {
+		t.Fatalf("full-table ORDER BY should not pick the ordered pass: %s", full.Explain())
+	}
+	// Top-k: with a small limit the ordered access streams and wins.
+	b, err := p.Plan(plan.Query{Table: "emp", Fields: []int{2}, OrderBy: []int{2}, Limit: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.Ordered() || !strings.Contains(b.Explain(), "btree") {
+		t.Fatalf("ordered=%v explain=%s", b.Ordered(), b.Explain())
+	}
+	tx2 := env.Begin()
+	rows, err := plan.Collect(b.Execute(tx2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx2.Commit()
+	if len(rows) != 500 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i-1][0].AsFloat() > rows[i][0].AsFloat() {
+			t.Fatalf("not ordered at %d: %v > %v", i, rows[i-1][0], rows[i][0])
+		}
+	}
+}
+
+func TestOrderedFlagFalseWithoutSuitableIndex(t *testing.T) {
+	env := core.NewEnv(core.Config{})
+	loadEmp(t, env, "heap", nil, 100)
+	p := plan.New(env)
+	b, err := p.Plan(plan.Query{Table: "emp", OrderBy: []int{2}, Limit: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Ordered() {
+		t.Fatalf("heap scan reported ordered: %s", b.Explain())
+	}
+}
+
+func TestOrderedViaBTreeStorageMethod(t *testing.T) {
+	env := core.NewEnv(core.Config{})
+	loadEmp(t, env, "btree", core.AttrList{"key": "eno"}, 200)
+	p := plan.New(env)
+	b, err := p.Plan(plan.Query{Table: "emp", Fields: []int{0}, OrderBy: []int{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.Ordered() {
+		t.Fatalf("btree storage method should deliver key order: %s", b.Explain())
+	}
+	tx := env.Begin()
+	rows, _ := plan.Collect(b.Execute(tx))
+	tx.Commit()
+	for i := 1; i < len(rows); i++ {
+		if rows[i-1][0].AsInt() > rows[i][0].AsInt() {
+			t.Fatal("not in key order")
+		}
+	}
+}

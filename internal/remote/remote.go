@@ -1,0 +1,321 @@
+// Package remote implements the simulated foreign database the remote
+// relation storage method speaks to.
+//
+// The paper's example storage method "support[s] access to a foreign
+// database by simulating relation accesses via (remote) accesses to
+// relations in the foreign database". The real 1987 substrate would be a
+// network link to another DBMS; here the foreign database is an in-process
+// Server reachable over a byte protocol on a net.Conn (tests use
+// net.Pipe), with injectable per-message latency and message counters so
+// experiments can expose the round-trip amplification of tuple-at-a-time
+// access to remote data.
+package remote
+
+import (
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dmx/internal/types"
+)
+
+// Op codes of the wire protocol.
+type Op uint8
+
+// Protocol operations.
+const (
+	OpPut    Op = iota + 1 // insert/overwrite a record at a key (key nil = assign)
+	OpDelete               // remove the record at a key
+	OpGet                  // fetch the record at a key
+	OpScan                 // batch of records after a key
+	OpCreate               // create a table
+	OpDrop                 // drop a table
+	OpCount                // record count
+)
+
+// Request is one client → server message.
+type Request struct {
+	Op    Op
+	Table string
+	Key   []byte
+	Rec   []byte // encoded types.Record
+	Limit int
+}
+
+// Entry is one (key, record) pair in a scan response.
+type Entry struct {
+	Key []byte
+	Rec []byte
+}
+
+// Response is one server → client message.
+type Response struct {
+	Err     string
+	Key     []byte
+	Rec     []byte
+	Entries []Entry
+	Count   int
+}
+
+// table is one foreign relation.
+type table struct {
+	mu      sync.Mutex
+	recs    map[string][]byte
+	ordered []string // insertion-ordered keys for scans (sorted lazily)
+	nextSeq uint64
+}
+
+// Server is the foreign database engine.
+type Server struct {
+	mu     sync.Mutex
+	tables map[string]*table
+
+	// Latency is the simulated one-way network + processing delay added to
+	// every request.
+	Latency time.Duration
+	// Messages counts requests served.
+	Messages atomic.Int64
+}
+
+// NewServer returns an empty foreign database.
+func NewServer(latency time.Duration) *Server {
+	return &Server{tables: make(map[string]*table), Latency: latency}
+}
+
+// Serve handles requests on conn until it closes. Run it in a goroutine.
+func (s *Server) Serve(conn net.Conn) {
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var req Request
+		if err := dec.Decode(&req); err != nil {
+			return
+		}
+		resp := s.handle(&req)
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) table(name string) (*table, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("remote: no such table %q", name)
+	}
+	return t, nil
+}
+
+func (s *Server) handle(req *Request) *Response {
+	s.Messages.Add(1)
+	if s.Latency > 0 {
+		time.Sleep(s.Latency)
+	}
+	switch req.Op {
+	case OpCreate:
+		s.mu.Lock()
+		if _, dup := s.tables[req.Table]; !dup {
+			s.tables[req.Table] = &table{recs: make(map[string][]byte), nextSeq: 1}
+		}
+		s.mu.Unlock()
+		return &Response{}
+	case OpDrop:
+		s.mu.Lock()
+		delete(s.tables, req.Table)
+		s.mu.Unlock()
+		return &Response{}
+	}
+	t, err := s.table(req.Table)
+	if err != nil {
+		return &Response{Err: err.Error()}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	switch req.Op {
+	case OpPut:
+		key := req.Key
+		if key == nil {
+			key = make([]byte, 8)
+			binary.BigEndian.PutUint64(key, t.nextSeq)
+			t.nextSeq++
+		} else if len(key) == 8 {
+			if seq := binary.BigEndian.Uint64(key); seq >= t.nextSeq {
+				t.nextSeq = seq + 1
+			}
+		}
+		if _, exists := t.recs[string(key)]; !exists {
+			t.ordered = insertSorted(t.ordered, string(key))
+		}
+		t.recs[string(key)] = append([]byte(nil), req.Rec...)
+		return &Response{Key: key}
+	case OpDelete:
+		if _, ok := t.recs[string(req.Key)]; !ok {
+			return &Response{Err: "remote: key not found"}
+		}
+		delete(t.recs, string(req.Key))
+		t.ordered = removeSorted(t.ordered, string(req.Key))
+		return &Response{}
+	case OpGet:
+		rec, ok := t.recs[string(req.Key)]
+		if !ok {
+			return &Response{Err: "remote: key not found"}
+		}
+		return &Response{Rec: rec}
+	case OpScan:
+		limit := req.Limit
+		if limit <= 0 {
+			limit = 100
+		}
+		var out []Entry
+		for _, k := range t.ordered {
+			if req.Key != nil && k <= string(req.Key) {
+				continue
+			}
+			out = append(out, Entry{Key: []byte(k), Rec: t.recs[k]})
+			if len(out) >= limit {
+				break
+			}
+		}
+		return &Response{Entries: out}
+	case OpCount:
+		return &Response{Count: len(t.recs)}
+	default:
+		return &Response{Err: fmt.Sprintf("remote: bad op %d", req.Op)}
+	}
+}
+
+func insertSorted(s []string, k string) []string {
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s[mid] < k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	s = append(s, "")
+	copy(s[lo+1:], s[lo:])
+	s[lo] = k
+	return s
+}
+
+func removeSorted(s []string, k string) []string {
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s[mid] < k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(s) && s[lo] == k {
+		return append(s[:lo], s[lo+1:]...)
+	}
+	return s
+}
+
+// Client is the storage method's connection to the foreign database. It is
+// safe for concurrent use (requests are serialised on the connection).
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+}
+
+// NewClient wraps an established connection.
+func NewClient(conn net.Conn) *Client {
+	return &Client{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}
+}
+
+// Dial starts a server goroutine and returns a connected client — the
+// in-process stand-in for dialing a foreign database.
+func Dial(s *Server) *Client {
+	c1, c2 := net.Pipe()
+	go s.Serve(c2)
+	return NewClient(c1)
+}
+
+// Close drops the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Call performs one round trip.
+func (c *Client) Call(req *Request) (*Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.enc.Encode(req); err != nil {
+		return nil, fmt.Errorf("remote: send: %w", err)
+	}
+	var resp Response
+	if err := c.dec.Decode(&resp); err != nil {
+		return nil, fmt.Errorf("remote: recv: %w", err)
+	}
+	if resp.Err != "" {
+		return nil, fmt.Errorf("%s", resp.Err)
+	}
+	return &resp, nil
+}
+
+// CreateTable creates a foreign table.
+func (c *Client) CreateTable(name string) error {
+	_, err := c.Call(&Request{Op: OpCreate, Table: name})
+	return err
+}
+
+// DropTable drops a foreign table.
+func (c *Client) DropTable(name string) error {
+	_, err := c.Call(&Request{Op: OpDrop, Table: name})
+	return err
+}
+
+// Put stores rec at key (nil key lets the server assign one) and returns
+// the record's key.
+func (c *Client) Put(tableName string, key types.Key, rec types.Record) (types.Key, error) {
+	resp, err := c.Call(&Request{Op: OpPut, Table: tableName, Key: key, Rec: rec.AppendEncode(nil)})
+	if err != nil {
+		return nil, err
+	}
+	return types.Key(resp.Key), nil
+}
+
+// Delete removes the record at key.
+func (c *Client) Delete(tableName string, key types.Key) error {
+	_, err := c.Call(&Request{Op: OpDelete, Table: tableName, Key: key})
+	return err
+}
+
+// Get fetches the record at key.
+func (c *Client) Get(tableName string, key types.Key) (types.Record, error) {
+	resp, err := c.Call(&Request{Op: OpGet, Table: tableName, Key: key})
+	if err != nil {
+		return nil, err
+	}
+	rec, _, err := types.DecodeRecord(resp.Rec)
+	return rec, err
+}
+
+// ScanBatch returns up to limit records with keys strictly after afterKey.
+func (c *Client) ScanBatch(tableName string, afterKey types.Key, limit int) ([]Entry, error) {
+	resp, err := c.Call(&Request{Op: OpScan, Table: tableName, Key: afterKey, Limit: limit})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Entries, nil
+}
+
+// Count returns the table's record count.
+func (c *Client) Count(tableName string) (int, error) {
+	resp, err := c.Call(&Request{Op: OpCount, Table: tableName})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Count, nil
+}

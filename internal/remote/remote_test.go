@@ -1,0 +1,208 @@
+package remote
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"dmx/internal/types"
+)
+
+func client(t *testing.T, latency time.Duration) (*Server, *Client) {
+	t.Helper()
+	srv := NewServer(latency)
+	c := Dial(srv)
+	t.Cleanup(func() { c.Close() })
+	return srv, c
+}
+
+func rec(vals ...types.Value) types.Record { return types.Record(vals) }
+
+func TestTableLifecycle(t *testing.T) {
+	_, c := client(t, 0)
+	if _, err := c.Put("ghost", nil, rec(types.Int(1))); err == nil {
+		t.Fatal("put to missing table accepted")
+	}
+	if err := c.CreateTable("t"); err != nil {
+		t.Fatal(err)
+	}
+	// Idempotent create.
+	if err := c.CreateTable("t"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Put("t", nil, rec(types.Int(1))); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DropTable("t"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get("t", types.Key{1}); err == nil {
+		t.Fatal("get from dropped table accepted")
+	}
+}
+
+func TestPutGetDeleteCount(t *testing.T) {
+	_, c := client(t, 0)
+	c.CreateTable("t")
+	k1, err := c.Put("t", nil, rec(types.Int(1), types.Str("a")))
+	if err != nil || k1 == nil {
+		t.Fatalf("put: %v %v", k1, err)
+	}
+	k2, _ := c.Put("t", nil, rec(types.Int(2), types.Str("b")))
+	if k1.Equal(k2) {
+		t.Fatal("server reused a key")
+	}
+	got, err := c.Get("t", k1)
+	if err != nil || got[1].S != "a" {
+		t.Fatalf("get: %v %v", got, err)
+	}
+	// Explicit-key put overwrites.
+	if _, err := c.Put("t", k1, rec(types.Int(1), types.Str("a2"))); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = c.Get("t", k1)
+	if got[1].S != "a2" {
+		t.Fatal("overwrite lost")
+	}
+	if n, _ := c.Count("t"); n != 2 {
+		t.Fatalf("count = %d", n)
+	}
+	if err := c.Delete("t", k1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Delete("t", k1); err == nil {
+		t.Fatal("double delete accepted")
+	}
+	if _, err := c.Get("t", k1); err == nil {
+		t.Fatal("get of deleted accepted")
+	}
+	if n, _ := c.Count("t"); n != 1 {
+		t.Fatalf("count after delete = %d", n)
+	}
+}
+
+func TestExplicitKeyAdvancesSequence(t *testing.T) {
+	_, c := client(t, 0)
+	c.CreateTable("t")
+	// Seed an explicit high key; server-assigned keys must not collide.
+	high := types.Key{0, 0, 0, 0, 0, 0, 0, 200}
+	if _, err := c.Put("t", high, rec(types.Int(1))); err != nil {
+		t.Fatal(err)
+	}
+	k, err := c.Put("t", nil, rec(types.Int(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.Equal(high) {
+		t.Fatal("assigned key collided with explicit key")
+	}
+	if n, _ := c.Count("t"); n != 2 {
+		t.Fatalf("count = %d", n)
+	}
+}
+
+func TestScanBatchOrderAndPaging(t *testing.T) {
+	_, c := client(t, 0)
+	c.CreateTable("t")
+	for i := 0; i < 25; i++ {
+		if _, err := c.Put("t", nil, rec(types.Int(int64(i)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var all []Entry
+	var after types.Key
+	for {
+		batch, err := c.ScanBatch("t", after, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(batch) == 0 {
+			break
+		}
+		if len(batch) > 10 {
+			t.Fatalf("batch size %d", len(batch))
+		}
+		all = append(all, batch...)
+		after = types.Key(batch[len(batch)-1].Key)
+	}
+	if len(all) != 25 {
+		t.Fatalf("paged scan = %d", len(all))
+	}
+	for i := 1; i < len(all); i++ {
+		if string(all[i-1].Key) >= string(all[i].Key) {
+			t.Fatal("scan not in key order")
+		}
+	}
+	// Decode one record to check payload integrity.
+	r, _, err := types.DecodeRecord(all[7].Rec)
+	if err != nil || r[0].AsInt() != 7 {
+		t.Fatalf("entry payload: %v %v", r, err)
+	}
+}
+
+func TestLatencyAndMessageCounting(t *testing.T) {
+	srv, c := client(t, time.Millisecond)
+	c.CreateTable("t")
+	before := srv.Messages.Load()
+	start := time.Now()
+	for i := 0; i < 5; i++ {
+		if _, err := c.Put("t", nil, rec(types.Int(int64(i)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if el := time.Since(start); el < 5*time.Millisecond {
+		t.Fatalf("latency not applied: %v", el)
+	}
+	if srv.Messages.Load()-before != 5 {
+		t.Fatalf("messages = %d", srv.Messages.Load()-before)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	srv := NewServer(0)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c := Dial(srv)
+			defer c.Close()
+			table := string(rune('a' + g))
+			if err := c.CreateTable(table); err != nil {
+				t.Error(err)
+				return
+			}
+			for i := 0; i < 200; i++ {
+				if _, err := c.Put(table, nil, rec(types.Int(int64(i)))); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			if n, err := c.Count(table); err != nil || n != 200 {
+				t.Errorf("table %s count = %d, %v", table, n, err)
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestSortedHelpers(t *testing.T) {
+	s := []string{}
+	for _, k := range []string{"m", "a", "z", "f"} {
+		s = insertSorted(s, k)
+	}
+	want := []string{"a", "f", "m", "z"}
+	for i := range want {
+		if s[i] != want[i] {
+			t.Fatalf("insertSorted = %v", s)
+		}
+	}
+	s = removeSorted(s, "f")
+	if len(s) != 3 || s[1] != "m" {
+		t.Fatalf("removeSorted = %v", s)
+	}
+	// Removing an absent key is a no-op.
+	if got := removeSorted(s, "q"); len(got) != 3 {
+		t.Fatalf("removeSorted absent = %v", got)
+	}
+}

@@ -1,0 +1,201 @@
+// Package rig holds shared workload generators and reporting helpers for
+// the experiment harness (cmd/dmxbench) and the root benchmark suite.
+package rig
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+	"time"
+
+	"dmx/internal/core"
+	"dmx/internal/txn"
+	"dmx/internal/types"
+)
+
+// EmpSchema is the standard experiment schema: eno INT, dno INT,
+// salary FLOAT, pad STRING.
+func EmpSchema() *types.Schema {
+	return types.MustSchema(
+		types.Column{Name: "eno", Kind: types.KindInt, NotNull: true},
+		types.Column{Name: "dno", Kind: types.KindInt},
+		types.Column{Name: "salary", Kind: types.KindFloat},
+		types.Column{Name: "pad", Kind: types.KindString},
+	)
+}
+
+// EmpRecord builds the i-th standard record: dno cycles mod 10, salary is
+// i, pad is padBytes of deterministic filler.
+func EmpRecord(i int, padBytes int) types.Record {
+	return types.Record{
+		types.Int(int64(i)),
+		types.Int(int64(i % 10)),
+		types.Float(float64(i)),
+		types.Str(strings.Repeat("x", padBytes)),
+	}
+}
+
+// MustCreate creates a relation (committing the DDL) and returns its
+// runtime handle.
+func MustCreate(env *core.Env, name, sm string, attrs core.AttrList) *core.Relation {
+	tx := env.Begin()
+	if _, err := env.CreateRelation(tx, name, EmpSchema(), sm, attrs); err != nil {
+		panic(err)
+	}
+	if err := tx.Commit(); err != nil {
+		panic(err)
+	}
+	rel, err := env.OpenRelationByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return rel
+}
+
+// MustAttach adds an attachment (committing the DDL).
+func MustAttach(env *core.Env, relName, attName string, attrs core.AttrList) {
+	tx := env.Begin()
+	if _, err := env.CreateAttachment(tx, relName, attName, attrs); err != nil {
+		panic(err)
+	}
+	if err := tx.Commit(); err != nil {
+		panic(err)
+	}
+}
+
+// Load inserts n standard records in one transaction.
+func Load(env *core.Env, rel *core.Relation, n, padBytes int) []types.Key {
+	tx := env.Begin()
+	keys := make([]types.Key, n)
+	for i := 0; i < n; i++ {
+		k, err := rel.Insert(tx, EmpRecord(i, padBytes))
+		if err != nil {
+			panic(err)
+		}
+		keys[i] = k
+	}
+	if err := tx.Commit(); err != nil {
+		panic(err)
+	}
+	return keys
+}
+
+// Drain consumes a scan fully, returning the number of records seen.
+func Drain(scan core.Scan) int {
+	n := 0
+	for {
+		_, _, ok, err := scan.Next()
+		if err != nil {
+			panic(err)
+		}
+		if !ok {
+			return n
+		}
+		n++
+	}
+}
+
+// WithTxn runs fn in a fresh committed transaction.
+func WithTxn(env *core.Env, fn func(tx *txn.Txn)) {
+	tx := env.Begin()
+	fn(tx)
+	if err := tx.Commit(); err != nil {
+		panic(err)
+	}
+}
+
+// Rand returns the deterministic experiment RNG.
+func Rand() *rand.Rand { return rand.New(rand.NewSource(1987)) }
+
+// Table accumulates a result table for the experiment reports.
+type Table struct {
+	Title   string
+	Note    string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable starts a table.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// Add appends a row; cells are formatted with %v (durations and floats
+// get friendlier forms).
+func (t *Table) Add(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case time.Duration:
+			row[i] = fmtDuration(v)
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+func fmtDuration(d time.Duration) string {
+	switch {
+	case d < time.Microsecond:
+		return fmt.Sprintf("%dns", d.Nanoseconds())
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.1fµs", float64(d.Nanoseconds())/1e3)
+	case d < time.Second:
+		return fmt.Sprintf("%.2fms", float64(d.Nanoseconds())/1e6)
+	default:
+		return d.Round(time.Millisecond).String()
+	}
+}
+
+// Fprint renders the table with aligned columns.
+func (t *Table) Fprint(w io.Writer) {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	fmt.Fprintf(w, "\n%s\n", t.Title)
+	if t.Note != "" {
+		fmt.Fprintf(w, "  %s\n", t.Note)
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			fmt.Fprintf(w, "  %-*s", widths[i], c)
+		}
+		fmt.Fprintln(w)
+	}
+	line(t.Headers)
+	rules := make([]string, len(t.Headers))
+	for i := range rules {
+		rules[i] = strings.Repeat("-", widths[i])
+	}
+	line(rules)
+	for _, row := range t.Rows {
+		line(row)
+	}
+}
+
+// Time runs fn and returns the elapsed wall time.
+func Time(fn func()) time.Duration {
+	start := time.Now()
+	fn()
+	return time.Since(start)
+}
+
+// PerOp renders d/n as a per-operation duration.
+func PerOp(d time.Duration, n int) time.Duration {
+	if n == 0 {
+		return 0
+	}
+	return d / time.Duration(n)
+}

@@ -1,0 +1,78 @@
+package rig
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"dmx/internal/core"
+	_ "dmx/internal/sm/memsm"
+	"dmx/internal/txn"
+	"dmx/internal/types"
+)
+
+func TestEmpWorkload(t *testing.T) {
+	if EmpSchema().NumCols() != 4 {
+		t.Fatal("schema arity")
+	}
+	r := EmpRecord(12, 5)
+	if r[0].AsInt() != 12 || r[1].AsInt() != 2 || r[2].AsFloat() != 12 || len(r[3].S) != 5 {
+		t.Fatalf("EmpRecord = %v", r)
+	}
+	if err := EmpSchema().Validate(r); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadAndDrain(t *testing.T) {
+	env := core.NewEnv(core.Config{})
+	rel := MustCreate(env, "t", "memory", nil)
+	keys := Load(env, rel, 25, 4)
+	if len(keys) != 25 || rel.Storage().RecordCount() != 25 {
+		t.Fatal("Load")
+	}
+	WithTxn(env, func(tx *txn.Txn) {
+		scan, err := rel.OpenScan(tx, core.ScanOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n := Drain(scan); n != 25 {
+			t.Fatalf("Drain = %d", n)
+		}
+	})
+}
+
+func TestTableFormatting(t *testing.T) {
+	tbl := NewTable("demo", "name", "value")
+	tbl.Note = "a note"
+	tbl.Add("short", 1.5)
+	tbl.Add("a-much-longer-name", 42*time.Microsecond)
+	tbl.Add("dur", 3*time.Millisecond)
+	tbl.Add("sec", 2*time.Second)
+	tbl.Add("ns", 500*time.Nanosecond)
+	var sb strings.Builder
+	tbl.Fprint(&sb)
+	out := sb.String()
+	for _, want := range []string{"demo", "a note", "name", "1.50", "42.0µs", "3.00ms", "2s", "500ns", "---"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestTimingHelpers(t *testing.T) {
+	d := Time(func() { time.Sleep(time.Millisecond) })
+	if d < time.Millisecond {
+		t.Fatalf("Time = %v", d)
+	}
+	if PerOp(100*time.Millisecond, 10) != 10*time.Millisecond {
+		t.Fatal("PerOp")
+	}
+	if PerOp(time.Second, 0) != 0 {
+		t.Fatal("PerOp zero")
+	}
+	if Rand().Int63() != Rand().Int63() {
+		t.Fatal("Rand not deterministic")
+	}
+	_ = types.Int(0)
+}

@@ -1,0 +1,338 @@
+// Package rtree implements an in-memory R-tree (Guttman 1984) over 2-D
+// boxes — the spatial access structure the paper cites as the motivating
+// application-specific access path ("spatial database applications can
+// make use of an R-tree access path to efficiently compute certain
+// spatial predicates").
+//
+// The tree stores (box, payload) entries, splits with Guttman's linear
+// split heuristic, and answers overlap and containment searches. It is
+// not safe for concurrent use; callers latch.
+package rtree
+
+import (
+	"bytes"
+	"math"
+
+	"dmx/internal/expr"
+)
+
+const (
+	maxEntries = 16
+	minEntries = 4
+)
+
+// Entry is a stored (box, payload) pair.
+type Entry struct {
+	Box     expr.Box
+	Payload []byte
+}
+
+type node struct {
+	leaf     bool
+	box      expr.Box
+	entries  []Entry // leaf
+	children []*node // internal
+}
+
+func (n *node) recomputeBox() {
+	if n.leaf {
+		if len(n.entries) == 0 {
+			n.box = expr.Box{}
+			return
+		}
+		b := n.entries[0].Box
+		for _, e := range n.entries[1:] {
+			b = b.Union(e.Box)
+		}
+		n.box = b
+		return
+	}
+	if len(n.children) == 0 {
+		n.box = expr.Box{}
+		return
+	}
+	b := n.children[0].box
+	for _, c := range n.children[1:] {
+		b = b.Union(c.box)
+	}
+	n.box = b
+}
+
+// Tree is an R-tree. The zero value is an empty tree.
+type Tree struct {
+	root *node
+	size int
+}
+
+// New returns an empty tree.
+func New() *Tree { return &Tree{} }
+
+// Len returns the number of stored entries.
+func (t *Tree) Len() int { return t.size }
+
+// Height returns the tree height (for cost models).
+func (t *Tree) Height() int {
+	h, n := 0, t.root
+	for n != nil {
+		h++
+		if n.leaf {
+			break
+		}
+		n = n.children[0]
+	}
+	return h
+}
+
+// Bounds returns the minimum bounding box of all entries.
+func (t *Tree) Bounds() (expr.Box, bool) {
+	if t.root == nil || t.size == 0 {
+		return expr.Box{}, false
+	}
+	return t.root.box, true
+}
+
+// Insert stores (box, payload); payload is copied.
+func (t *Tree) Insert(box expr.Box, payload []byte) {
+	e := Entry{Box: box, Payload: append([]byte(nil), payload...)}
+	if t.root == nil {
+		t.root = &node{leaf: true, entries: []Entry{e}, box: box}
+		t.size = 1
+		return
+	}
+	n1, n2 := t.insert(t.root, e)
+	if n2 != nil {
+		t.root = &node{children: []*node{n1, n2}}
+		t.root.recomputeBox()
+	}
+	t.size++
+}
+
+// insert adds e under n, returning (n, split) where split is non-nil when
+// the node overflowed and split.
+func (t *Tree) insert(n *node, e Entry) (*node, *node) {
+	n.box = n.box.Union(e.Box)
+	if n.leaf {
+		n.entries = append(n.entries, e)
+		if len(n.entries) > maxEntries {
+			return t.splitLeaf(n)
+		}
+		return n, nil
+	}
+	best, bestGrow := 0, math.Inf(1)
+	for i, c := range n.children {
+		grow := c.box.Enlargement(e.Box)
+		if grow < bestGrow || (grow == bestGrow && c.box.Area() < n.children[best].box.Area()) {
+			best, bestGrow = i, grow
+		}
+	}
+	c1, c2 := t.insert(n.children[best], e)
+	n.children[best] = c1
+	if c2 != nil {
+		n.children = append(n.children, c2)
+		if len(n.children) > maxEntries {
+			return t.splitInternal(n)
+		}
+	}
+	n.recomputeBox()
+	return n, nil
+}
+
+// linearSeeds picks the two seed indexes with greatest normalised
+// separation (Guttman's linear split).
+func linearSeeds(boxes []expr.Box) (int, int) {
+	lowX, highX, lowY, highY := 0, 0, 0, 0
+	var minXMax, maxXMin = math.Inf(1), math.Inf(-1)
+	var minYMax, maxYMin = math.Inf(1), math.Inf(-1)
+	total := boxes[0]
+	for i, b := range boxes {
+		total = total.Union(b)
+		if b.XMax < minXMax {
+			minXMax, lowX = b.XMax, i
+		}
+		if b.XMin > maxXMin {
+			maxXMin, highX = b.XMin, i
+		}
+		if b.YMax < minYMax {
+			minYMax, lowY = b.YMax, i
+		}
+		if b.YMin > maxYMin {
+			maxYMin, highY = b.YMin, i
+		}
+	}
+	sepX := (maxXMin - minXMax) / math.Max(total.XMax-total.XMin, 1e-12)
+	sepY := (maxYMin - minYMax) / math.Max(total.YMax-total.YMin, 1e-12)
+	a, b := lowX, highX
+	if sepY > sepX {
+		a, b = lowY, highY
+	}
+	if a == b {
+		if a == 0 {
+			b = 1
+		} else {
+			b = 0
+		}
+	}
+	return a, b
+}
+
+func (t *Tree) splitLeaf(n *node) (*node, *node) {
+	boxes := make([]expr.Box, len(n.entries))
+	for i, e := range n.entries {
+		boxes[i] = e.Box
+	}
+	sa, sb := linearSeeds(boxes)
+	a := &node{leaf: true, entries: []Entry{n.entries[sa]}, box: n.entries[sa].Box}
+	b := &node{leaf: true, entries: []Entry{n.entries[sb]}, box: n.entries[sb].Box}
+	for i, e := range n.entries {
+		if i == sa || i == sb {
+			continue
+		}
+		assignEntry(a, b, e)
+	}
+	return a, b
+}
+
+func assignEntry(a, b *node, e Entry) {
+	// Force balance so neither side is starved below minEntries.
+	switch {
+	case len(a.entries)+1 < minEntries && len(b.entries) >= minEntries:
+		a.entries = append(a.entries, e)
+		a.box = a.box.Union(e.Box)
+		return
+	case len(b.entries)+1 < minEntries && len(a.entries) >= minEntries:
+		b.entries = append(b.entries, e)
+		b.box = b.box.Union(e.Box)
+		return
+	}
+	if a.box.Enlargement(e.Box) <= b.box.Enlargement(e.Box) {
+		a.entries = append(a.entries, e)
+		a.box = a.box.Union(e.Box)
+	} else {
+		b.entries = append(b.entries, e)
+		b.box = b.box.Union(e.Box)
+	}
+}
+
+func (t *Tree) splitInternal(n *node) (*node, *node) {
+	boxes := make([]expr.Box, len(n.children))
+	for i, c := range n.children {
+		boxes[i] = c.box
+	}
+	sa, sb := linearSeeds(boxes)
+	a := &node{children: []*node{n.children[sa]}, box: n.children[sa].box}
+	b := &node{children: []*node{n.children[sb]}, box: n.children[sb].box}
+	for i, c := range n.children {
+		if i == sa || i == sb {
+			continue
+		}
+		if a.box.Enlargement(c.box) <= b.box.Enlargement(c.box) {
+			a.children = append(a.children, c)
+			a.box = a.box.Union(c.box)
+		} else {
+			b.children = append(b.children, c)
+			b.box = b.box.Union(c.box)
+		}
+	}
+	return a, b
+}
+
+// Delete removes the entry with the given box and payload, reporting
+// whether it was found. Underfull nodes are tolerated (no condensation);
+// empty subtrees are pruned.
+func (t *Tree) Delete(box expr.Box, payload []byte) bool {
+	if t.root == nil {
+		return false
+	}
+	ok := t.delete(t.root, box, payload)
+	if ok {
+		t.size--
+		if !t.root.leaf && len(t.root.children) == 1 {
+			t.root = t.root.children[0]
+		}
+		if t.size == 0 {
+			t.root = nil
+		}
+	}
+	return ok
+}
+
+func (t *Tree) delete(n *node, box expr.Box, payload []byte) bool {
+	if n.leaf {
+		for i, e := range n.entries {
+			if e.Box == box && bytes.Equal(e.Payload, payload) {
+				n.entries = append(n.entries[:i], n.entries[i+1:]...)
+				n.recomputeBox()
+				return true
+			}
+		}
+		return false
+	}
+	for i, c := range n.children {
+		if !c.box.Overlaps(box) {
+			continue
+		}
+		if t.delete(c, box, payload) {
+			if (c.leaf && len(c.entries) == 0) || (!c.leaf && len(c.children) == 0) {
+				n.children = append(n.children[:i], n.children[i+1:]...)
+			}
+			n.recomputeBox()
+			return true
+		}
+	}
+	return false
+}
+
+// Mode selects the containment semantics of a search.
+type Mode uint8
+
+// Search modes.
+const (
+	// Overlaps matches entries whose box intersects the query box.
+	Overlaps Mode = iota + 1
+	// Within matches entries fully enclosed by the query box.
+	Within
+	// Contains matches entries whose box fully encloses the query box.
+	Contains
+)
+
+// Search visits entries matching the query under the mode until fn
+// returns false. It returns the number of tree nodes visited (for cost
+// accounting).
+func (t *Tree) Search(query expr.Box, mode Mode, fn func(Entry) bool) int {
+	if t.root == nil {
+		return 0
+	}
+	visited := 0
+	var walk func(n *node) bool
+	walk = func(n *node) bool {
+		visited++
+		if n.leaf {
+			for _, e := range n.entries {
+				match := false
+				switch mode {
+				case Overlaps:
+					match = e.Box.Overlaps(query)
+				case Within:
+					match = query.Encloses(e.Box)
+				case Contains:
+					match = e.Box.Encloses(query)
+				}
+				if match && !fn(e) {
+					return false
+				}
+			}
+			return true
+		}
+		for _, c := range n.children {
+			if !c.box.Overlaps(query) {
+				continue
+			}
+			if !walk(c) {
+				return false
+			}
+		}
+		return true
+	}
+	walk(t.root)
+	return visited
+}

@@ -1,0 +1,184 @@
+package rtree
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"dmx/internal/expr"
+)
+
+func pt(x, y float64) expr.Box { return expr.NewBox(x, y, x+1, y+1) }
+
+func TestEmpty(t *testing.T) {
+	tr := New()
+	if tr.Len() != 0 || tr.Height() != 0 {
+		t.Fatal("empty tree")
+	}
+	if _, ok := tr.Bounds(); ok {
+		t.Fatal("bounds of empty")
+	}
+	if n := tr.Search(expr.NewBox(0, 0, 10, 10), Overlaps, func(Entry) bool { return true }); n != 0 {
+		t.Fatal("search of empty visited nodes")
+	}
+	if tr.Delete(pt(0, 0), []byte("x")) {
+		t.Fatal("delete from empty")
+	}
+}
+
+func TestInsertSearchModes(t *testing.T) {
+	tr := New()
+	tr.Insert(expr.NewBox(0, 0, 2, 2), []byte("small"))
+	tr.Insert(expr.NewBox(1, 1, 8, 8), []byte("big"))
+	tr.Insert(expr.NewBox(20, 20, 21, 21), []byte("far"))
+
+	collect := func(q expr.Box, m Mode) []string {
+		var out []string
+		tr.Search(q, m, func(e Entry) bool {
+			out = append(out, string(e.Payload))
+			return true
+		})
+		return out
+	}
+	if got := collect(expr.NewBox(0, 0, 10, 10), Within); len(got) != 2 {
+		t.Fatalf("Within = %v", got)
+	}
+	if got := collect(expr.NewBox(1.5, 1.5, 1.6, 1.6), Contains); len(got) != 2 {
+		t.Fatalf("Contains = %v", got)
+	}
+	if got := collect(expr.NewBox(7, 7, 25, 25), Overlaps); len(got) != 2 {
+		t.Fatalf("Overlaps = %v", got)
+	}
+	if got := collect(expr.NewBox(100, 100, 101, 101), Overlaps); len(got) != 0 {
+		t.Fatalf("no-match Overlaps = %v", got)
+	}
+}
+
+func TestSearchEarlyStop(t *testing.T) {
+	tr := New()
+	for i := 0; i < 50; i++ {
+		tr.Insert(pt(float64(i), 0), []byte{byte(i)})
+	}
+	n := 0
+	tr.Search(expr.NewBox(-1, -1, 100, 100), Overlaps, func(Entry) bool {
+		n++
+		return n < 5
+	})
+	if n != 5 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}
+
+func TestManyInsertsSplitCorrectness(t *testing.T) {
+	tr := New()
+	r := rand.New(rand.NewSource(5))
+	type item struct {
+		box expr.Box
+		id  string
+	}
+	var items []item
+	for i := 0; i < 2000; i++ {
+		b := expr.NewBox(r.Float64()*1000, r.Float64()*1000, r.Float64()*1000, r.Float64()*1000)
+		id := fmt.Sprintf("e%d", i)
+		items = append(items, item{b, id})
+		tr.Insert(b, []byte(id))
+	}
+	if tr.Len() != 2000 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if tr.Height() < 2 {
+		t.Fatalf("height = %d, tree never split", tr.Height())
+	}
+	// Every query must return exactly the brute-force answer.
+	for q := 0; q < 50; q++ {
+		query := expr.NewBox(r.Float64()*1000, r.Float64()*1000, r.Float64()*1000, r.Float64()*1000)
+		want := map[string]bool{}
+		for _, it := range items {
+			if it.box.Overlaps(query) {
+				want[it.id] = true
+			}
+		}
+		got := map[string]bool{}
+		tr.Search(query, Overlaps, func(e Entry) bool {
+			got[string(e.Payload)] = true
+			return true
+		})
+		if len(got) != len(want) {
+			t.Fatalf("query %d: got %d, want %d", q, len(got), len(want))
+		}
+		for id := range want {
+			if !got[id] {
+				t.Fatalf("query %d missing %s", q, id)
+			}
+		}
+	}
+}
+
+func TestPruningVisitsFewNodes(t *testing.T) {
+	tr := New()
+	for i := 0; i < 10000; i++ {
+		x, y := float64(i%100)*10, float64(i/100)*10
+		tr.Insert(expr.NewBox(x, y, x+1, y+1), []byte(fmt.Sprint(i)))
+	}
+	// A tiny query should touch a tiny fraction of the nodes.
+	visited := tr.Search(expr.NewBox(500, 500, 510, 510), Overlaps, func(Entry) bool { return true })
+	total := tr.Search(expr.NewBox(-1, -1, 1001, 1001), Overlaps, func(Entry) bool { return true })
+	if visited*10 > total {
+		t.Fatalf("poor pruning: tiny query visited %d of %d nodes", visited, total)
+	}
+}
+
+func TestDeleteRandomised(t *testing.T) {
+	tr := New()
+	r := rand.New(rand.NewSource(9))
+	boxes := make([]expr.Box, 500)
+	for i := range boxes {
+		boxes[i] = pt(r.Float64()*100, r.Float64()*100)
+		tr.Insert(boxes[i], []byte(fmt.Sprint(i)))
+	}
+	// Delete every other entry.
+	for i := 0; i < 500; i += 2 {
+		if !tr.Delete(boxes[i], []byte(fmt.Sprint(i))) {
+			t.Fatalf("delete %d failed", i)
+		}
+	}
+	if tr.Len() != 250 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	// Deleted entries are gone; kept entries are findable.
+	for i := 0; i < 500; i++ {
+		found := false
+		tr.Search(boxes[i], Overlaps, func(e Entry) bool {
+			if string(e.Payload) == fmt.Sprint(i) {
+				found = true
+			}
+			return !found
+		})
+		if want := i%2 == 1; found != want {
+			t.Fatalf("entry %d: found=%v want=%v", i, found, want)
+		}
+	}
+	// Delete with wrong payload fails.
+	if tr.Delete(boxes[1], []byte("wrong")) {
+		t.Fatal("wrong payload delete succeeded")
+	}
+	// Drain fully.
+	for i := 1; i < 500; i += 2 {
+		if !tr.Delete(boxes[i], []byte(fmt.Sprint(i))) {
+			t.Fatalf("drain delete %d failed", i)
+		}
+	}
+	if tr.Len() != 0 || tr.Height() != 0 {
+		t.Fatalf("tree not empty: %d/%d", tr.Len(), tr.Height())
+	}
+}
+
+func TestBounds(t *testing.T) {
+	tr := New()
+	tr.Insert(expr.NewBox(0, 0, 1, 1), []byte("a"))
+	tr.Insert(expr.NewBox(10, 10, 20, 20), []byte("b"))
+	b, ok := tr.Bounds()
+	if !ok || !b.Encloses(expr.NewBox(0, 0, 20, 20)) {
+		t.Fatalf("bounds = %v", b)
+	}
+}

@@ -1,0 +1,274 @@
+// Package appendsm implements the append-only "database publishing"
+// storage method, simulating the read-only optical-disk media the paper
+// cites as a motivating hardware opportunity.
+//
+// Records may only be appended (the publishing load); updates and deletes
+// return core.ErrReadOnly. Record keys are press sequence numbers, reads
+// are cheap and sequential, and the cost estimator reports the
+// sequential-read profile to the query planner. Appends are logged so an
+// aborted publishing transaction retracts its records and a published
+// relation survives restart.
+package appendsm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"dmx/internal/core"
+	"dmx/internal/expr"
+	"dmx/internal/pagefile"
+	"dmx/internal/sm/smutil"
+	"dmx/internal/txn"
+	"dmx/internal/types"
+)
+
+// Name is the DDL name of the storage method.
+const Name = "append"
+
+func init() {
+	core.RegisterStorageMethod(&core.StorageOps{
+		ID:   core.SMAppend,
+		Name: Name,
+		ValidateAttrs: func(schema *types.Schema, attrs core.AttrList) error {
+			return attrs.CheckAllowed(Name)
+		},
+		Create: func(env *core.Env, tx *txn.Txn, rd *core.RelDesc, attrs core.AttrList) ([]byte, error) {
+			return nil, nil
+		},
+		Open: func(env *core.Env, rd *core.RelDesc) (core.StorageInstance, error) {
+			return &store{env: env, rd: rd}, nil
+		},
+	})
+}
+
+// store is the append-only storage instance for one relation.
+type store struct {
+	env *core.Env
+	rd  *core.RelDesc
+
+	mu        sync.Mutex
+	recs      [][]byte // press order; nil entries are retracted (undo only)
+	liveCount int
+	bytes     int
+}
+
+func seqKey(i uint64) types.Key {
+	k := make(types.Key, 8)
+	binary.BigEndian.PutUint64(k, i)
+	return k
+}
+
+func keySeq(k types.Key) (uint64, error) {
+	if len(k) != 8 {
+		return 0, fmt.Errorf("appendsm: bad record key length %d", len(k))
+	}
+	return binary.BigEndian.Uint64(k), nil
+}
+
+// Insert implements core.StorageInstance (the publishing load path).
+func (s *store) Insert(tx *txn.Txn, rec types.Record) (types.Key, error) {
+	s.mu.Lock()
+	key := seqKey(uint64(len(s.recs)))
+	s.mu.Unlock()
+	if err := core.LogSM(tx, s.rd, core.ModPayload{Op: core.ModInsert, Key: key, New: rec}); err != nil {
+		return nil, err
+	}
+	enc := rec.AppendEncode(nil)
+	s.mu.Lock()
+	s.recs = append(s.recs, enc)
+	s.liveCount++
+	s.bytes += len(enc)
+	s.mu.Unlock()
+	return key, nil
+}
+
+// Update implements core.StorageInstance: published media are immutable.
+func (s *store) Update(tx *txn.Txn, key types.Key, oldRec, newRec types.Record) (types.Key, error) {
+	return nil, fmt.Errorf("appendsm: update: %w", core.ErrReadOnly)
+}
+
+// Delete implements core.StorageInstance: published media are immutable.
+func (s *store) Delete(tx *txn.Txn, key types.Key, oldRec types.Record) error {
+	return fmt.Errorf("appendsm: delete: %w", core.ErrReadOnly)
+}
+
+func (s *store) get(key types.Key) (types.Record, error) {
+	i, err := keySeq(key)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if i >= uint64(len(s.recs)) || s.recs[i] == nil {
+		return nil, fmt.Errorf("appendsm: %w: press %d", core.ErrNotFound, i)
+	}
+	rec, _, err := types.DecodeRecord(s.recs[i])
+	return rec, err
+}
+
+// FetchByKey implements core.StorageInstance.
+func (s *store) FetchByKey(tx *txn.Txn, key types.Key, fields []int, filter *expr.Expr) (types.Record, error) {
+	rec, err := s.get(key)
+	if err != nil {
+		return nil, err
+	}
+	if filter != nil {
+		match, err := s.env.Eval.EvalBool(filter, rec, nil)
+		if err != nil {
+			return nil, err
+		}
+		if !match {
+			return nil, core.ErrFiltered
+		}
+	}
+	if fields != nil {
+		return rec.Project(fields), nil
+	}
+	return rec, nil
+}
+
+// OpenScan implements core.StorageInstance: press (append) order.
+func (s *store) OpenScan(tx *txn.Txn, opts core.ScanOptions) (core.Scan, error) {
+	next := uint64(0)
+	if opts.Start != nil {
+		i, err := keySeq(opts.Start)
+		if err != nil {
+			return nil, err
+		}
+		next = i
+	}
+	return &scan{store: s, opts: opts, next: next}, nil
+}
+
+// EstimateCost implements core.StorageInstance: perfectly sequential pages.
+func (s *store) EstimateCost(req core.CostRequest) core.CostEstimate {
+	s.mu.Lock()
+	pages := s.bytes/pagefile.PageSize + 1
+	n := s.liveCount
+	s.mu.Unlock()
+	return core.CostEstimate{
+		Usable:      true,
+		IO:          float64(pages),
+		CPU:         float64(n),
+		Selectivity: smutil.EstimateSelectivity(req.Conjuncts),
+	}
+}
+
+// RecordCount implements core.StorageInstance.
+func (s *store) RecordCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.liveCount
+}
+
+// ApplyLogged implements core.StorageInstance: undo retracts an append
+// (the only modification the medium admits); redo re-presses it.
+func (s *store) ApplyLogged(payload []byte, undo bool) error {
+	p, err := core.DecodeMod(payload)
+	if err != nil {
+		return err
+	}
+	if p.Op != core.ModInsert {
+		return fmt.Errorf("appendsm: unexpected logged op %v", p.Op)
+	}
+	i, err := keySeq(p.Key)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if undo {
+		if i < uint64(len(s.recs)) && s.recs[i] != nil {
+			s.bytes -= len(s.recs[i])
+			s.recs[i] = nil
+			s.liveCount--
+		}
+		return nil
+	}
+	for uint64(len(s.recs)) <= i {
+		s.recs = append(s.recs, nil)
+	}
+	if s.recs[i] == nil {
+		enc := p.New.AppendEncode(nil)
+		s.recs[i] = enc
+		s.liveCount++
+		s.bytes += len(enc)
+	}
+	return nil
+}
+
+var _ core.StorageInstance = (*store)(nil)
+
+// scan is a press-order key-sequential access.
+type scan struct {
+	store  *store
+	opts   core.ScanOptions
+	next   uint64
+	closed bool
+}
+
+// Next implements core.Scan.
+func (sc *scan) Next() (types.Key, types.Record, bool, error) {
+	if sc.closed {
+		return nil, nil, false, fmt.Errorf("appendsm: scan is closed")
+	}
+	s := sc.store
+	for {
+		s.mu.Lock()
+		if sc.next >= uint64(len(s.recs)) {
+			s.mu.Unlock()
+			return nil, nil, false, nil
+		}
+		i := sc.next
+		sc.next++
+		key := seqKey(i)
+		if sc.opts.End != nil && key.Compare(sc.opts.End) >= 0 {
+			s.mu.Unlock()
+			return nil, nil, false, nil
+		}
+		enc := s.recs[i]
+		s.mu.Unlock()
+		if enc == nil {
+			continue
+		}
+		rec, _, err := types.DecodeRecord(enc)
+		if err != nil {
+			return nil, nil, false, err
+		}
+		if sc.opts.Filter != nil {
+			match, err := s.env.Eval.EvalBool(sc.opts.Filter, rec, sc.opts.Params)
+			if err != nil {
+				return nil, nil, false, err
+			}
+			if !match {
+				continue
+			}
+		}
+		if sc.opts.Fields != nil {
+			rec = rec.Project(sc.opts.Fields)
+		}
+		return key, rec, true, nil
+	}
+}
+
+// Pos implements core.Scan.
+func (sc *scan) Pos() core.ScanPos {
+	return core.ScanPos(seqKey(sc.next))
+}
+
+// Restore implements core.Scan.
+func (sc *scan) Restore(pos core.ScanPos) error {
+	i, err := keySeq(types.Key(pos))
+	if err != nil {
+		return err
+	}
+	sc.next = i
+	return nil
+}
+
+// Close implements core.Scan.
+func (sc *scan) Close() error {
+	sc.closed = true
+	return nil
+}

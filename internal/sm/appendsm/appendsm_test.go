@@ -1,0 +1,173 @@
+package appendsm_test
+
+import (
+	"errors"
+	"testing"
+
+	"dmx/internal/core"
+	"dmx/internal/expr"
+	_ "dmx/internal/sm/appendsm"
+	"dmx/internal/types"
+	"dmx/internal/wal"
+)
+
+func schema() *types.Schema {
+	return types.MustSchema(
+		types.Column{Name: "id", Kind: types.KindInt, NotNull: true},
+		types.Column{Name: "title", Kind: types.KindString},
+	)
+}
+
+func mk(t *testing.T, env *core.Env) *core.Relation {
+	t.Helper()
+	tx := env.Begin()
+	rd, err := env.CreateRelation(tx, "pub", schema(), "append", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx.Commit()
+	r, _ := env.OpenRelation(rd)
+	return r
+}
+
+func rec(id int64, title string) types.Record {
+	return types.Record{types.Int(id), types.Str(title)}
+}
+
+func TestPublishAndRead(t *testing.T) {
+	env := core.NewEnv(core.Config{})
+	r := mk(t, env)
+	tx := env.Begin()
+	keys := []types.Key{}
+	for i := 0; i < 100; i++ {
+		k, err := r.Insert(tx, rec(int64(i), "article"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		keys = append(keys, k)
+	}
+	tx.Commit()
+	if r.Storage().RecordCount() != 100 {
+		t.Fatal("count")
+	}
+	tx2 := env.Begin()
+	got, err := r.Fetch(tx2, keys[42], nil, nil)
+	if err != nil || got[0].AsInt() != 42 {
+		t.Fatalf("fetch: %v %v", got, err)
+	}
+	// Press-order scan with filter.
+	scan, _ := r.OpenScan(tx2, core.ScanOptions{
+		Filter: expr.Lt(expr.Field(0), expr.Const(types.Int(5))),
+	})
+	n := 0
+	prev := int64(-1)
+	for {
+		_, g, ok, err := scan.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		if g[0].AsInt() <= prev {
+			t.Fatal("press order violated")
+		}
+		prev = g[0].AsInt()
+		n++
+	}
+	if n != 5 {
+		t.Fatalf("filtered scan = %d", n)
+	}
+	tx2.Commit()
+}
+
+func TestUpdatesAndDeletesRejected(t *testing.T) {
+	env := core.NewEnv(core.Config{})
+	r := mk(t, env)
+	tx := env.Begin()
+	k, _ := r.Insert(tx, rec(1, "x"))
+	if _, err := r.Update(tx, k, rec(1, "y")); !errors.Is(err, core.ErrReadOnly) {
+		t.Fatalf("update: %v", err)
+	}
+	if err := r.Delete(tx, k); !errors.Is(err, core.ErrReadOnly) {
+		t.Fatalf("delete: %v", err)
+	}
+	// The failed modification must not corrupt the record.
+	got, err := r.Fetch(tx, k, nil, nil)
+	if err != nil || got[1].S != "x" {
+		t.Fatalf("fetch after rejects: %v %v", got, err)
+	}
+	tx.Commit()
+}
+
+func TestAbortedPublishRetracts(t *testing.T) {
+	env := core.NewEnv(core.Config{})
+	r := mk(t, env)
+	tx := env.Begin()
+	r.Insert(tx, rec(1, "kept"))
+	tx.Commit()
+	tx2 := env.Begin()
+	r.Insert(tx2, rec(2, "retracted"))
+	r.Insert(tx2, rec(3, "retracted"))
+	tx2.Abort()
+	if r.Storage().RecordCount() != 1 {
+		t.Fatalf("count after abort = %d", r.Storage().RecordCount())
+	}
+	// Scan skips retracted presses.
+	tx3 := env.Begin()
+	scan, _ := r.OpenScan(tx3, core.ScanOptions{})
+	n := 0
+	for {
+		_, _, ok, err := scan.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		n++
+	}
+	if n != 1 {
+		t.Fatalf("scan after abort = %d", n)
+	}
+	tx3.Commit()
+}
+
+func TestRecoveryReplaysPresses(t *testing.T) {
+	log := wal.New()
+	env := core.NewEnv(core.Config{Log: log})
+	r := mk(t, env)
+	tx := env.Begin()
+	for i := 0; i < 20; i++ {
+		r.Insert(tx, rec(int64(i), "x"))
+	}
+	tx.Commit()
+	loser := env.Begin()
+	r.Insert(loser, rec(99, "loser"))
+
+	env2 := core.NewEnv(core.Config{Log: log})
+	if err := env2.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := env2.OpenRelationByName("pub")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Storage().RecordCount() != 20 {
+		t.Fatalf("recovered count = %d", r2.Storage().RecordCount())
+	}
+}
+
+func TestSequentialCostProfile(t *testing.T) {
+	env := core.NewEnv(core.Config{})
+	r := mk(t, env)
+	tx := env.Begin()
+	for i := 0; i < 500; i++ {
+		r.Insert(tx, rec(int64(i), "padding-padding-padding"))
+	}
+	tx.Commit()
+	est := r.Storage().EstimateCost(core.CostRequest{})
+	if !est.Usable || est.IO < 1 || est.CPU != 500 {
+		t.Fatalf("estimate = %+v", est)
+	}
+}

@@ -1,0 +1,234 @@
+package btreesm_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"dmx/internal/core"
+	"dmx/internal/expr"
+	"dmx/internal/sm/btreesm"
+	_ "dmx/internal/sm/btreesm"
+	"dmx/internal/types"
+	"dmx/internal/wal"
+)
+
+func schema() *types.Schema {
+	return types.MustSchema(
+		types.Column{Name: "dept", Kind: types.KindString, NotNull: true},
+		types.Column{Name: "id", Kind: types.KindInt, NotNull: true},
+		types.Column{Name: "name", Kind: types.KindString},
+	)
+}
+
+func mk(t *testing.T, env *core.Env, attrs core.AttrList) *core.Relation {
+	t.Helper()
+	tx := env.Begin()
+	rd, err := env.CreateRelation(tx, "emp", schema(), "btree", attrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := env.OpenRelation(rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func rec(dept string, id int64, name string) types.Record {
+	return types.Record{types.Str(dept), types.Int(id), types.Str(name)}
+}
+
+func TestRequiresKeyAttr(t *testing.T) {
+	env := core.NewEnv(core.Config{})
+	tx := env.Begin()
+	if _, err := env.CreateRelation(tx, "x", schema(), "btree", nil); err == nil {
+		t.Fatal("missing key attribute accepted")
+	}
+	if _, err := env.CreateRelation(tx, "x", schema(), "btree", core.AttrList{"key": "nope"}); err == nil {
+		t.Fatal("unknown key column accepted")
+	}
+	if _, err := env.CreateRelation(tx, "x", schema(), "btree", core.AttrList{"color": "red", "key": "id"}); err == nil {
+		t.Fatal("unknown attribute accepted")
+	}
+	tx.Commit()
+}
+
+func TestInsertFetchKeyComposition(t *testing.T) {
+	env := core.NewEnv(core.Config{})
+	r := mk(t, env, core.AttrList{"key": "dept,id"})
+	tx := env.Begin()
+	key, err := r.Insert(tx, rec("eng", 1, "ada"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The record key is composed from the key fields.
+	want := types.EncodeKeyValues(types.Str("eng"), types.Int(1))
+	if !key.Equal(want) {
+		t.Fatalf("key = %v, want %v", key, want)
+	}
+	got, err := r.Fetch(tx, key, nil, nil)
+	if err != nil || got[2].S != "ada" {
+		t.Fatalf("fetch: %v %v", got, err)
+	}
+	tx.Commit()
+}
+
+func TestDuplicateKeyRejected(t *testing.T) {
+	env := core.NewEnv(core.Config{})
+	r := mk(t, env, core.AttrList{"key": "id"})
+	tx := env.Begin()
+	if _, err := r.Insert(tx, rec("eng", 1, "a")); err != nil {
+		t.Fatal(err)
+	}
+	_, err := r.Insert(tx, rec("ops", 1, "b"))
+	if !errors.Is(err, btreesm.ErrDuplicateKey) {
+		t.Fatalf("want ErrDuplicateKey, got %v", err)
+	}
+	// The failed insert must not leave partial effects.
+	if r.Storage().RecordCount() != 1 {
+		t.Fatal("count after duplicate")
+	}
+	tx.Commit()
+}
+
+func TestUpdateMovesOnKeyChange(t *testing.T) {
+	env := core.NewEnv(core.Config{})
+	r := mk(t, env, core.AttrList{"key": "id"})
+	tx := env.Begin()
+	k, _ := r.Insert(tx, rec("eng", 1, "a"))
+	nk, err := r.Update(tx, k, rec("eng", 2, "a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nk.Equal(k) {
+		t.Fatal("key-field update should move the record")
+	}
+	if _, err := r.Fetch(tx, k, nil, nil); !errors.Is(err, core.ErrNotFound) {
+		t.Fatal("old key should be gone")
+	}
+	// Non-key update keeps the key.
+	nk2, err := r.Update(tx, nk, rec("eng", 2, "b"))
+	if err != nil || !nk2.Equal(nk) {
+		t.Fatalf("non-key update: %v %v", nk2, err)
+	}
+	tx.Commit()
+}
+
+func TestKeyOrderScanWithBounds(t *testing.T) {
+	env := core.NewEnv(core.Config{})
+	r := mk(t, env, core.AttrList{"key": "id"})
+	tx := env.Begin()
+	for _, id := range []int64{5, 1, 9, 3, 7} {
+		r.Insert(tx, rec("eng", id, fmt.Sprintf("p%d", id)))
+	}
+	start := types.EncodeKeyValues(types.Int(3))
+	end := types.EncodeKeyValues(types.Int(8))
+	scan, err := r.OpenScan(tx, core.ScanOptions{Start: start, End: end})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []int64
+	for {
+		_, got, ok, err := scan.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		ids = append(ids, got[1].AsInt())
+	}
+	if len(ids) != 3 || ids[0] != 3 || ids[1] != 5 || ids[2] != 7 {
+		t.Fatalf("range scan ids = %v", ids)
+	}
+	tx.Commit()
+}
+
+func TestCostEstimateRecognisesKeyPredicates(t *testing.T) {
+	env := core.NewEnv(core.Config{})
+	r := mk(t, env, core.AttrList{"key": "id"})
+	tx := env.Begin()
+	for i := 0; i < 1000; i++ {
+		r.Insert(tx, rec("eng", int64(i), "x"))
+	}
+	tx.Commit()
+
+	// Point predicate on the key: near-constant cost.
+	point := r.Storage().EstimateCost(core.CostRequest{
+		Conjuncts: []*expr.Expr{expr.Eq(expr.Field(1), expr.Const(types.Int(5)))},
+	})
+	if !point.Usable || point.CPU > 10 || len(point.Handled) != 1 {
+		t.Fatalf("point estimate = %+v", point)
+	}
+	if point.Start == nil || point.End == nil {
+		t.Fatal("point estimate should carry key bounds")
+	}
+	// Range predicate: fractional cost.
+	rng := r.Storage().EstimateCost(core.CostRequest{
+		Conjuncts: []*expr.Expr{expr.Lt(expr.Field(1), expr.Const(types.Int(100)))},
+	})
+	if rng.CPU <= point.CPU || rng.CPU >= 1000 {
+		t.Fatalf("range estimate = %+v", rng)
+	}
+	// Predicate on a non-key field: full scan cost.
+	full := r.Storage().EstimateCost(core.CostRequest{
+		Conjuncts: []*expr.Expr{expr.Eq(expr.Field(2), expr.Const(types.Str("x")))},
+	})
+	if full.CPU != 1000 || len(full.Handled) != 0 {
+		t.Fatalf("full estimate = %+v", full)
+	}
+}
+
+func TestAbortAndRecovery(t *testing.T) {
+	log := wal.New()
+	env := core.NewEnv(core.Config{Log: log})
+	r := mk(t, env, core.AttrList{"key": "id"})
+
+	tx := env.Begin()
+	k1, _ := r.Insert(tx, rec("eng", 1, "keep"))
+	tx.Commit()
+
+	tx2 := env.Begin()
+	r.Insert(tx2, rec("eng", 2, "drop"))
+	r.Update(tx2, k1, rec("eng", 1, "changed"))
+	tx2.Abort()
+	if r.Storage().RecordCount() != 1 {
+		t.Fatalf("count after abort = %d", r.Storage().RecordCount())
+	}
+	tx3 := env.Begin()
+	got, _ := r.Fetch(tx3, k1, nil, nil)
+	if got[2].S != "keep" {
+		t.Fatalf("after abort: %v", got)
+	}
+	// Key-moving update aborted: both keys correct.
+	r.Update(tx3, k1, rec("eng", 10, "moved"))
+	tx3.Abort()
+	tx4 := env.Begin()
+	if _, err := r.Fetch(tx4, k1, nil, nil); err != nil {
+		t.Fatalf("original key lost after aborted move: %v", err)
+	}
+	tx4.Commit()
+
+	// Restart recovery.
+	env2 := core.NewEnv(core.Config{Log: log})
+	if err := env2.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := env2.OpenRelationByName("emp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Storage().RecordCount() != 1 {
+		t.Fatalf("recovered count = %d", r2.Storage().RecordCount())
+	}
+	tx5 := env2.Begin()
+	got, err = r2.Fetch(tx5, k1, nil, nil)
+	if err != nil || got[2].S != "keep" {
+		t.Fatalf("recovered: %v %v", got, err)
+	}
+	tx5.Commit()
+}

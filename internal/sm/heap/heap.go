@@ -1,0 +1,607 @@
+// Package heap implements the heap-file relation storage method: records
+// stored in slotted pages through the shared buffer pool, with record
+// addresses (page, slot) as the record keys.
+//
+// Pages are addressed by logical page numbers local to the relation and
+// mapped to physical disk pages through an in-memory page table, so the
+// record addresses named in log records replay deterministically at
+// restart regardless of how relations interleaved their allocations.
+// Deleted slots are tombstoned in place (bytes retained), which makes
+// log-driven undo of a delete a flag flip rather than a data rewrite.
+package heap
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"dmx/internal/buffer"
+	"dmx/internal/core"
+	"dmx/internal/expr"
+	"dmx/internal/pagefile"
+	"dmx/internal/sm/smutil"
+	"dmx/internal/txn"
+	"dmx/internal/types"
+)
+
+// Name is the DDL name of the storage method.
+const Name = "heap"
+
+func init() {
+	core.RegisterStorageMethod(&core.StorageOps{
+		ID:   core.SMHeap,
+		Name: Name,
+		ValidateAttrs: func(schema *types.Schema, attrs core.AttrList) error {
+			return attrs.CheckAllowed(Name, "fillpercent")
+		},
+		Create: func(env *core.Env, tx *txn.Txn, rd *core.RelDesc, attrs core.AttrList) ([]byte, error) {
+			return nil, nil
+		},
+		Open: func(env *core.Env, rd *core.RelDesc) (core.StorageInstance, error) {
+			return newStore(env, rd), nil
+		},
+	})
+}
+
+// Page layout (pagefile.PageSize bytes):
+//
+//	0..2   nslots (uint16)
+//	2..4   freeHigh (uint16): lowest byte offset of the data region
+//	4..    slot directory, 8 bytes per slot:
+//	       off (uint16) | cap (uint16) | len (uint16) | flags (uint8) | pad
+//
+// Record data grows downward from the page end; the directory grows upward.
+const (
+	pageHdrSize  = 4
+	slotDirEntry = 8
+	flagDeleted  = 1
+)
+
+func slotOffset(slot int) int { return pageHdrSize + slot*slotDirEntry }
+
+type rid struct {
+	page uint32
+	slot uint32
+}
+
+func encodeRID(r rid) types.Key {
+	k := make(types.Key, 8)
+	binary.BigEndian.PutUint32(k, r.page)
+	binary.BigEndian.PutUint32(k[4:], r.slot)
+	return k
+}
+
+func decodeRID(k types.Key) (rid, error) {
+	if len(k) != 8 {
+		return rid{}, fmt.Errorf("heap: bad record key length %d", len(k))
+	}
+	return rid{page: binary.BigEndian.Uint32(k), slot: binary.BigEndian.Uint32(k[4:])}, nil
+}
+
+// store is the heap storage instance for one relation.
+type store struct {
+	env *core.Env
+	rd  *core.RelDesc
+
+	mu       sync.Mutex
+	pages    []pagefile.PageID // logical page number -> physical page
+	free     []int             // free bytes per logical page
+	nrecords int
+}
+
+func newStore(env *core.Env, rd *core.RelDesc) *store {
+	return &store{env: env, rd: rd}
+}
+
+// ensurePage extends the page table so logical page p exists.
+func (s *store) ensurePage(p uint32) error {
+	for uint32(len(s.pages)) <= p {
+		f, err := s.env.Pool.NewPage()
+		if err != nil {
+			return err
+		}
+		binary.BigEndian.PutUint16(f.Data[2:], uint16(pagefile.PageSize))
+		s.env.Pool.Unpin(f, true)
+		s.pages = append(s.pages, f.ID)
+		s.free = append(s.free, pagefile.PageSize-pageHdrSize)
+	}
+	return nil
+}
+
+// withPage pins the logical page and runs fn on its frame.
+func (s *store) withPage(p uint32, write bool, fn func(f *buffer.Frame) error) error {
+	if err := s.ensurePage(p); err != nil {
+		return err
+	}
+	f, err := s.env.Pool.Pin(s.pages[p])
+	if err != nil {
+		return err
+	}
+	err = fn(f)
+	s.env.Pool.Unpin(f, write && err == nil)
+	return err
+}
+
+// place finds room for enc and stores it in a fresh slot, returning the rid.
+func (s *store) place(enc []byte) (rid, error) {
+	need := len(enc) + slotDirEntry
+	if need > pagefile.PageSize-pageHdrSize {
+		return rid{}, fmt.Errorf("heap: record of %d bytes exceeds page capacity", len(enc))
+	}
+	page := -1
+	for p := len(s.pages) - 1; p >= 0; p-- { // newest pages fill first
+		if s.free[p] >= need {
+			page = p
+			break
+		}
+	}
+	if page < 0 {
+		if err := s.ensurePage(uint32(len(s.pages))); err != nil {
+			return rid{}, err
+		}
+		page = len(s.pages) - 1
+	}
+	var out rid
+	err := s.withPage(uint32(page), true, func(f *buffer.Frame) error {
+		nslots := int(binary.BigEndian.Uint16(f.Data))
+		r, err := s.placeAtLocked(f, rid{page: uint32(page), slot: uint32(nslots)}, enc)
+		out = r
+		return err
+	})
+	return out, err
+}
+
+// placeAtLocked stores enc at the given rid on the pinned frame, extending
+// the slot directory as needed. Caller holds s.mu.
+func (s *store) placeAtLocked(f *buffer.Frame, r rid, enc []byte) (rid, error) {
+	nslots := int(binary.BigEndian.Uint16(f.Data))
+	freeHigh := int(binary.BigEndian.Uint16(f.Data[2:]))
+	slot := int(r.slot)
+	// Extend directory through slot (intermediate slots become tombstones).
+	newSlots := nslots
+	if slot >= nslots {
+		newSlots = slot + 1
+	}
+	dirEnd := slotOffset(newSlots)
+	newFreeHigh := freeHigh - len(enc)
+	if newFreeHigh < dirEnd {
+		return rid{}, fmt.Errorf("heap: page %d overflow placing %d bytes", r.page, len(enc))
+	}
+	for i := nslots; i < newSlots; i++ {
+		off := slotOffset(i)
+		for j := 0; j < slotDirEntry; j++ {
+			f.Data[off+j] = 0
+		}
+		f.Data[off+6] = flagDeleted
+	}
+	copy(f.Data[newFreeHigh:], enc)
+	so := slotOffset(slot)
+	binary.BigEndian.PutUint16(f.Data[so:], uint16(newFreeHigh))
+	binary.BigEndian.PutUint16(f.Data[so+2:], uint16(len(enc)))
+	binary.BigEndian.PutUint16(f.Data[so+4:], uint16(len(enc)))
+	f.Data[so+6] = 0
+	binary.BigEndian.PutUint16(f.Data, uint16(newSlots))
+	binary.BigEndian.PutUint16(f.Data[2:], uint16(newFreeHigh))
+	consumed := len(enc) + (newSlots-nslots)*slotDirEntry
+	s.free[r.page] -= consumed
+	s.nrecords++
+	return r, nil
+}
+
+// setDeleted flips the tombstone flag of a slot.
+func (s *store) setDeleted(r rid, deleted bool) error {
+	return s.withPage(r.page, true, func(f *buffer.Frame) error {
+		nslots := int(binary.BigEndian.Uint16(f.Data))
+		if int(r.slot) >= nslots {
+			return fmt.Errorf("heap: %w: slot %d of page %d", core.ErrNotFound, r.slot, r.page)
+		}
+		so := slotOffset(int(r.slot))
+		was := f.Data[so+6]&flagDeleted != 0
+		if was == deleted {
+			return nil
+		}
+		if deleted {
+			f.Data[so+6] |= flagDeleted
+			s.nrecords--
+		} else {
+			f.Data[so+6] &^= flagDeleted
+			s.nrecords++
+		}
+		return nil
+	})
+}
+
+// overwriteAt rewrites the record bytes of an existing slot in place.
+func (s *store) overwriteAt(r rid, enc []byte) error {
+	return s.withPage(r.page, true, func(f *buffer.Frame) error {
+		so := slotOffset(int(r.slot))
+		capBytes := int(binary.BigEndian.Uint16(f.Data[so+2:]))
+		if len(enc) > capBytes {
+			return fmt.Errorf("heap: overwrite of %d bytes exceeds slot capacity %d", len(enc), capBytes)
+		}
+		off := int(binary.BigEndian.Uint16(f.Data[so:]))
+		copy(f.Data[off:], enc)
+		binary.BigEndian.PutUint16(f.Data[so+4:], uint16(len(enc)))
+		return nil
+	})
+}
+
+// Insert implements core.StorageInstance.
+func (s *store) Insert(tx *txn.Txn, rec types.Record) (types.Key, error) {
+	enc := rec.AppendEncode(nil)
+	s.mu.Lock()
+	r, err := s.place(enc)
+	s.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	key := encodeRID(r)
+	if err := core.LogSM(tx, s.rd, core.ModPayload{Op: core.ModInsert, Key: key, New: rec}); err != nil {
+		return nil, err
+	}
+	return key, nil
+}
+
+// Update implements core.StorageInstance: in place when the new record
+// fits the slot, otherwise tombstone-and-move to a new record address.
+func (s *store) Update(tx *txn.Txn, key types.Key, oldRec, newRec types.Record) (types.Key, error) {
+	r, err := decodeRID(key)
+	if err != nil {
+		return nil, err
+	}
+	enc := newRec.AppendEncode(nil)
+	s.mu.Lock()
+	newKey := key
+	var fits bool
+	err = s.withPage(r.page, false, func(f *buffer.Frame) error {
+		nslots := int(binary.BigEndian.Uint16(f.Data))
+		if int(r.slot) >= nslots {
+			return fmt.Errorf("heap: %w: slot %d of page %d", core.ErrNotFound, r.slot, r.page)
+		}
+		so := slotOffset(int(r.slot))
+		if f.Data[so+6]&flagDeleted != 0 {
+			return fmt.Errorf("heap: %w: record %v deleted", core.ErrNotFound, r)
+		}
+		fits = len(enc) <= int(binary.BigEndian.Uint16(f.Data[so+2:]))
+		return nil
+	})
+	if err == nil {
+		if fits {
+			err = s.overwriteAt(r, enc)
+		} else {
+			if err = s.setDeleted(r, true); err == nil {
+				var nr rid
+				nr, err = s.place(enc)
+				if err == nil {
+					newKey = encodeRID(nr)
+				}
+			}
+		}
+	}
+	s.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	if err := core.LogSM(tx, s.rd, core.ModPayload{Op: core.ModUpdate, Key: key, NewKey: newKey, Old: oldRec, New: newRec}); err != nil {
+		return nil, err
+	}
+	return newKey, nil
+}
+
+// Delete implements core.StorageInstance: the slot is tombstoned in place.
+func (s *store) Delete(tx *txn.Txn, key types.Key, oldRec types.Record) error {
+	r, err := decodeRID(key)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	err = s.setDeleted(r, true)
+	s.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return core.LogSM(tx, s.rd, core.ModPayload{Op: core.ModDelete, Key: key, Old: oldRec})
+}
+
+// FetchByKey implements core.StorageInstance. The filter predicate is
+// evaluated while the record is in the buffer pool; only qualifying
+// records are materialised for the caller.
+func (s *store) FetchByKey(tx *txn.Txn, key types.Key, fields []int, filter *expr.Expr) (types.Record, error) {
+	r, err := decodeRID(key)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	var rec types.Record
+	err = s.withPage(r.page, false, func(f *buffer.Frame) error {
+		nslots := int(binary.BigEndian.Uint16(f.Data))
+		if int(r.slot) >= nslots {
+			return fmt.Errorf("heap: %w: slot %d of page %d", core.ErrNotFound, r.slot, r.page)
+		}
+		so := slotOffset(int(r.slot))
+		if f.Data[so+6]&flagDeleted != 0 {
+			return fmt.Errorf("heap: %w: record %v deleted", core.ErrNotFound, r)
+		}
+		off := int(binary.BigEndian.Uint16(f.Data[so:]))
+		n := int(binary.BigEndian.Uint16(f.Data[so+4:]))
+		body := f.Data[off : off+n]
+		if filter != nil {
+			// Isolate the filter's fields while the record is buffer
+			// resident; rejected records are never materialised.
+			probe, _, derr := types.DecodeRecordFields(body, expr.FieldsUsed(filter))
+			if derr != nil {
+				return derr
+			}
+			match, ferr := s.env.Eval.EvalBool(filter, probe, nil)
+			if ferr != nil {
+				return ferr
+			}
+			if !match {
+				return core.ErrFiltered
+			}
+		}
+		var derr error
+		if fields != nil {
+			rec, _, derr = types.DecodeRecordFields(body, fields)
+		} else {
+			rec, _, derr = types.DecodeRecord(body)
+		}
+		return derr
+	})
+	s.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	if fields != nil {
+		rec = rec.Project(fields)
+	}
+	return rec, nil
+}
+
+// OpenScan implements core.StorageInstance: record-address order.
+func (s *store) OpenScan(tx *txn.Txn, opts core.ScanOptions) (core.Scan, error) {
+	sc := &heapScan{store: s, opts: opts, nextRID: startRID(opts.Start)}
+	if opts.Filter != nil {
+		sc.filterFields = expr.FieldsUsed(opts.Filter)
+	}
+	return sc, nil
+}
+
+func startRID(k types.Key) rid {
+	if k == nil {
+		return rid{}
+	}
+	r, err := decodeRID(k)
+	if err != nil {
+		return rid{}
+	}
+	return r
+}
+
+// EstimateCost implements core.StorageInstance: a heap scan reads every
+// page of the relation.
+func (s *store) EstimateCost(req core.CostRequest) core.CostEstimate {
+	s.mu.Lock()
+	npages := len(s.pages)
+	n := s.nrecords
+	s.mu.Unlock()
+	return core.CostEstimate{
+		Usable:      true,
+		IO:          float64(npages),
+		CPU:         float64(n),
+		Selectivity: smutil.EstimateSelectivity(req.Conjuncts),
+	}
+}
+
+// RecordCount implements core.StorageInstance.
+func (s *store) RecordCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.nrecords
+}
+
+// PageCount reports the number of pages (for the experiment harness).
+func (s *store) PageCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.pages)
+}
+
+// ApplyLogged implements core.StorageInstance.
+func (s *store) ApplyLogged(payload []byte, undo bool) error {
+	p, err := core.DecodeMod(payload)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch p.Op {
+	case core.ModInsert:
+		r, err := decodeRID(p.Key)
+		if err != nil {
+			return err
+		}
+		if undo {
+			return s.setDeleted(r, true)
+		}
+		return s.redoPlace(r, p.New)
+	case core.ModDelete:
+		r, err := decodeRID(p.Key)
+		if err != nil {
+			return err
+		}
+		return s.setDeleted(r, !undo)
+	case core.ModUpdate:
+		oldR, err := decodeRID(p.Key)
+		if err != nil {
+			return err
+		}
+		newR, err := decodeRID(p.NewKey)
+		if err != nil {
+			return err
+		}
+		if oldR == newR {
+			rec := p.New
+			if undo {
+				rec = p.Old
+			}
+			return s.overwriteAt(oldR, rec.AppendEncode(nil))
+		}
+		if undo {
+			if err := s.setDeleted(newR, true); err != nil {
+				return err
+			}
+			return s.setDeleted(oldR, false)
+		}
+		if err := s.setDeleted(oldR, true); err != nil {
+			return err
+		}
+		return s.redoPlace(newR, p.New)
+	default:
+		return fmt.Errorf("heap: bad logged op %v", p.Op)
+	}
+}
+
+// redoPlace re-places a record at its logged address, tolerating replays
+// over state that already contains it (idempotent for repeated recovery).
+func (s *store) redoPlace(r rid, rec types.Record) error {
+	exists := false
+	err := s.withPage(r.page, false, func(f *buffer.Frame) error {
+		nslots := int(binary.BigEndian.Uint16(f.Data))
+		if int(r.slot) < nslots {
+			so := slotOffset(int(r.slot))
+			if binary.BigEndian.Uint16(f.Data[so+2:]) > 0 {
+				exists = true
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if exists {
+		return s.setDeleted(r, false)
+	}
+	enc := rec.AppendEncode(nil)
+	return s.withPage(r.page, true, func(f *buffer.Frame) error {
+		_, err := s.placeAtLocked(f, r, enc)
+		return err
+	})
+}
+
+var _ core.StorageInstance = (*store)(nil)
+
+// heapScan is a key-sequential access in record-address order.
+type heapScan struct {
+	store        *store
+	opts         core.ScanOptions
+	filterFields []int // fields the filter needs, isolated before decoding
+	nextRID      rid   // first candidate to examine
+	closed       bool
+}
+
+// Next implements core.Scan. Each page is pinned once and its slots are
+// filtered while buffer resident; only qualifying records are materialised
+// and returned.
+func (sc *heapScan) Next() (types.Key, types.Record, bool, error) {
+	if sc.closed {
+		return nil, nil, false, fmt.Errorf("heap: scan is closed")
+	}
+	s := sc.store
+	for {
+		s.mu.Lock()
+		if int(sc.nextRID.page) >= len(s.pages) {
+			s.mu.Unlock()
+			return nil, nil, false, nil
+		}
+		page := sc.nextRID.page
+		var outKey types.Key
+		var outRec types.Record
+		found := false
+		ended := false
+		err := s.withPage(page, false, func(f *buffer.Frame) error {
+			nslots := int(binary.BigEndian.Uint16(f.Data))
+			for int(sc.nextRID.slot) < nslots {
+				cur := sc.nextRID
+				key := encodeRID(cur)
+				if sc.opts.End != nil && key.Compare(sc.opts.End) >= 0 {
+					ended = true
+					return nil
+				}
+				sc.nextRID = rid{page: cur.page, slot: cur.slot + 1}
+				so := slotOffset(int(cur.slot))
+				if f.Data[so+6]&flagDeleted != 0 {
+					continue
+				}
+				off := int(binary.BigEndian.Uint16(f.Data[so:]))
+				n := int(binary.BigEndian.Uint16(f.Data[so+4:]))
+				body := f.Data[off : off+n]
+				// Early filtering: only the fields the predicate needs
+				// are isolated from the buffer-resident record;
+				// unqualified entries are skipped without materialising
+				// the rest.
+				if sc.opts.Filter != nil {
+					probe, _, derr := types.DecodeRecordFields(body, sc.filterFields)
+					if derr != nil {
+						return derr
+					}
+					match, ferr := s.env.Eval.EvalBool(sc.opts.Filter, probe, sc.opts.Params)
+					if ferr != nil {
+						return ferr
+					}
+					if !match {
+						continue
+					}
+				}
+				var derr error
+				if sc.opts.Fields != nil {
+					outRec, _, derr = types.DecodeRecordFields(body, sc.opts.Fields)
+				} else {
+					outRec, _, derr = types.DecodeRecord(body)
+				}
+				if derr != nil {
+					return derr
+				}
+				outKey = key
+				found = true
+				return nil
+			}
+			sc.nextRID = rid{page: page + 1}
+			return nil
+		})
+		s.mu.Unlock()
+		if err != nil {
+			return nil, nil, false, err
+		}
+		if ended {
+			return nil, nil, false, nil
+		}
+		if found {
+			if sc.opts.Fields != nil {
+				outRec = outRec.Project(sc.opts.Fields)
+			}
+			return outKey, outRec, true, nil
+		}
+	}
+}
+
+// Pos implements core.Scan.
+func (sc *heapScan) Pos() core.ScanPos {
+	return core.ScanPos(encodeRID(sc.nextRID))
+}
+
+// Restore implements core.Scan.
+func (sc *heapScan) Restore(pos core.ScanPos) error {
+	r, err := decodeRID(types.Key(pos))
+	if err != nil {
+		return err
+	}
+	sc.nextRID = r
+	return nil
+}
+
+// Close implements core.Scan.
+func (sc *heapScan) Close() error {
+	sc.closed = true
+	return nil
+}

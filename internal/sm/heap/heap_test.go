@@ -1,0 +1,340 @@
+package heap_test
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"dmx/internal/core"
+	"dmx/internal/expr"
+	_ "dmx/internal/sm/heap"
+	"dmx/internal/types"
+	"dmx/internal/wal"
+)
+
+func schema() *types.Schema {
+	return types.MustSchema(
+		types.Column{Name: "id", Kind: types.KindInt, NotNull: true},
+		types.Column{Name: "payload", Kind: types.KindString},
+	)
+}
+
+func mkHeap(t *testing.T, env *core.Env, name string) *core.Relation {
+	t.Helper()
+	tx := env.Begin()
+	rd, err := env.CreateRelation(tx, name, schema(), "heap", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := env.OpenRelation(rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func rec(id int64, payload string) types.Record {
+	return types.Record{types.Int(id), types.Str(payload)}
+}
+
+func TestInsertFetchAcrossPages(t *testing.T) {
+	env := core.NewEnv(core.Config{})
+	r := mkHeap(t, env, "t")
+	tx := env.Begin()
+	keys := make([]types.Key, 0, 500)
+	for i := 0; i < 500; i++ {
+		k, err := r.Insert(tx, rec(int64(i), strings.Repeat("x", 50)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		keys = append(keys, k)
+	}
+	tx.Commit()
+	if r.Storage().RecordCount() != 500 {
+		t.Fatalf("count = %d", r.Storage().RecordCount())
+	}
+
+	tx2 := env.Begin()
+	for i, k := range keys {
+		got, err := r.Fetch(tx2, k, nil, nil)
+		if err != nil {
+			t.Fatalf("fetch %d: %v", i, err)
+		}
+		if got[0].AsInt() != int64(i) {
+			t.Fatalf("fetch %d returned id %d", i, got[0].AsInt())
+		}
+	}
+	tx2.Commit()
+	// 500 × ~60B records at 4KB/page must span multiple pages.
+	type pageCounter interface{ PageCount() int }
+	if pc := r.Storage().(pageCounter).PageCount(); pc < 5 {
+		t.Fatalf("PageCount = %d, expected multi-page relation", pc)
+	}
+}
+
+func TestUpdateInPlaceKeepsKey(t *testing.T) {
+	env := core.NewEnv(core.Config{})
+	r := mkHeap(t, env, "t")
+	tx := env.Begin()
+	k, _ := r.Insert(tx, rec(1, "long-initial-payload"))
+	nk, err := r.Update(tx, k, rec(1, "short"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !nk.Equal(k) {
+		t.Fatal("in-place update should keep the record key")
+	}
+	got, _ := r.Fetch(tx, nk, nil, nil)
+	if got[1].S != "short" {
+		t.Fatalf("fetched %v", got)
+	}
+	tx.Commit()
+}
+
+func TestUpdateGrowingMovesRecord(t *testing.T) {
+	env := core.NewEnv(core.Config{})
+	r := mkHeap(t, env, "t")
+	tx := env.Begin()
+	k, _ := r.Insert(tx, rec(1, "tiny"))
+	nk, err := r.Update(tx, k, rec(1, strings.Repeat("grown", 50)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nk.Equal(k) {
+		t.Fatal("growing update should move to a new record address")
+	}
+	if _, err := r.Fetch(tx, k, nil, nil); !errors.Is(err, core.ErrNotFound) {
+		t.Fatalf("old address should be gone: %v", err)
+	}
+	got, err := r.Fetch(tx, nk, nil, nil)
+	if err != nil || len(got[1].S) != 250 {
+		t.Fatalf("moved record: %v %v", got, err)
+	}
+	tx.Commit()
+	if r.Storage().RecordCount() != 1 {
+		t.Fatalf("count = %d", r.Storage().RecordCount())
+	}
+}
+
+func TestDeleteAndFetchFails(t *testing.T) {
+	env := core.NewEnv(core.Config{})
+	r := mkHeap(t, env, "t")
+	tx := env.Begin()
+	k, _ := r.Insert(tx, rec(1, "x"))
+	if err := r.Delete(tx, k); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Fetch(tx, k, nil, nil); !errors.Is(err, core.ErrNotFound) {
+		t.Fatalf("want ErrNotFound, got %v", err)
+	}
+	if err := r.Delete(tx, k); err == nil {
+		t.Fatal("double delete should fail")
+	}
+	tx.Commit()
+}
+
+func TestFetchFilterPushdown(t *testing.T) {
+	env := core.NewEnv(core.Config{})
+	r := mkHeap(t, env, "t")
+	tx := env.Begin()
+	k, _ := r.Insert(tx, rec(7, "x"))
+	pass := expr.Eq(expr.Field(0), expr.Const(types.Int(7)))
+	fail := expr.Eq(expr.Field(0), expr.Const(types.Int(8)))
+	if _, err := r.Fetch(tx, k, nil, pass); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Fetch(tx, k, nil, fail); !errors.Is(err, core.ErrFiltered) {
+		t.Fatalf("want ErrFiltered, got %v", err)
+	}
+	tx.Commit()
+}
+
+func TestScanFilterAndProjection(t *testing.T) {
+	env := core.NewEnv(core.Config{})
+	r := mkHeap(t, env, "t")
+	tx := env.Begin()
+	for i := 0; i < 100; i++ {
+		r.Insert(tx, rec(int64(i), fmt.Sprintf("p%d", i)))
+	}
+	filter := expr.Lt(expr.Field(0), expr.Const(types.Int(10)))
+	scan, err := r.OpenScan(tx, core.ScanOptions{Filter: filter, Fields: []int{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for {
+		_, got, ok, err := scan.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		if len(got) != 1 || got[0].AsInt() >= 10 {
+			t.Fatalf("scan returned %v", got)
+		}
+		n++
+	}
+	if n != 10 {
+		t.Fatalf("scan matched %d, want 10", n)
+	}
+	tx.Commit()
+}
+
+func TestScanPositionAndDeleteAtPosition(t *testing.T) {
+	env := core.NewEnv(core.Config{})
+	r := mkHeap(t, env, "t")
+	tx := env.Begin()
+	for i := 0; i < 5; i++ {
+		r.Insert(tx, rec(int64(i), "x"))
+	}
+	scan, _ := r.OpenScan(tx, core.ScanOptions{})
+	k0, _, _, _ := scan.Next()
+	pos := scan.Pos()
+	r.Delete(tx, k0) // delete at position: scan sits just after
+	_, r1, ok, err := scan.Next()
+	if err != nil || !ok || r1[0].AsInt() != 1 {
+		t.Fatalf("next after delete-at-position: %v %v %v", r1, ok, err)
+	}
+	// Restore to the saved position: record 1 comes again.
+	if err := scan.Restore(pos); err != nil {
+		t.Fatal(err)
+	}
+	_, r1b, ok, _ := scan.Next()
+	if !ok || r1b[0].AsInt() != 1 {
+		t.Fatalf("restored scan returned %v", r1b)
+	}
+	tx.Commit()
+}
+
+func TestAbortRestoresHeap(t *testing.T) {
+	env := core.NewEnv(core.Config{})
+	r := mkHeap(t, env, "t")
+	tx := env.Begin()
+	k1, _ := r.Insert(tx, rec(1, "keep"))
+	k2, _ := r.Insert(tx, rec(2, "keep"))
+	tx.Commit()
+
+	tx2 := env.Begin()
+	r.Insert(tx2, rec(3, "drop"))
+	r.Delete(tx2, k1)
+	r.Update(tx2, k2, rec(2, "changed"))
+	r.Update(tx2, k2, rec(2, strings.Repeat("moved", 60))) // forces move
+	tx2.Abort()
+
+	if r.Storage().RecordCount() != 2 {
+		t.Fatalf("count after abort = %d", r.Storage().RecordCount())
+	}
+	tx3 := env.Begin()
+	g1, err := r.Fetch(tx3, k1, nil, nil)
+	if err != nil || g1[1].S != "keep" {
+		t.Fatalf("k1 = %v %v", g1, err)
+	}
+	g2, err := r.Fetch(tx3, k2, nil, nil)
+	if err != nil || g2[1].S != "keep" {
+		t.Fatalf("k2 = %v %v", g2, err)
+	}
+	tx3.Commit()
+}
+
+func TestRestartRecoveryRebuildsHeap(t *testing.T) {
+	log := wal.New()
+	env := core.NewEnv(core.Config{Log: log})
+	r := mkHeap(t, env, "t")
+	tx := env.Begin()
+	var keep types.Key
+	for i := 0; i < 50; i++ {
+		k, _ := r.Insert(tx, rec(int64(i), fmt.Sprintf("v%d", i)))
+		if i == 25 {
+			keep = k
+		}
+	}
+	keep, err := r.Update(tx, keep, rec(25, "updated"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx.Commit()
+	loser := env.Begin()
+	r.Insert(loser, rec(99, "loser"))
+	// crash
+
+	env2 := core.NewEnv(core.Config{Log: log})
+	if err := env2.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := env2.OpenRelationByName("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Storage().RecordCount() != 50 {
+		t.Fatalf("recovered count = %d", r2.Storage().RecordCount())
+	}
+	tx2 := env2.Begin()
+	got, err := r2.Fetch(tx2, keep, nil, nil)
+	if err != nil || got[1].S != "updated" {
+		t.Fatalf("recovered record = %v %v", got, err)
+	}
+	tx2.Commit()
+}
+
+func TestOversizedRecordRejected(t *testing.T) {
+	env := core.NewEnv(core.Config{})
+	r := mkHeap(t, env, "t")
+	tx := env.Begin()
+	if _, err := r.Insert(tx, rec(1, strings.Repeat("z", 5000))); err == nil {
+		t.Fatal("page-exceeding record accepted")
+	}
+	tx.Commit()
+}
+
+func TestCostEstimateReflectsPages(t *testing.T) {
+	env := core.NewEnv(core.Config{})
+	r := mkHeap(t, env, "t")
+	tx := env.Begin()
+	for i := 0; i < 300; i++ {
+		r.Insert(tx, rec(int64(i), strings.Repeat("x", 100)))
+	}
+	tx.Commit()
+	est := r.Storage().EstimateCost(core.CostRequest{})
+	if !est.Usable || est.IO < 5 || est.CPU != 300 {
+		t.Fatalf("estimate = %+v", est)
+	}
+	// Selectivity drops with an equality conjunct.
+	est2 := r.Storage().EstimateCost(core.CostRequest{
+		Conjuncts: []*expr.Expr{expr.Eq(expr.Field(0), expr.Const(types.Int(1)))},
+	})
+	if est2.Selectivity >= est.Selectivity {
+		t.Fatalf("selectivity: %v !< %v", est2.Selectivity, est.Selectivity)
+	}
+}
+
+func TestDiskIOCounted(t *testing.T) {
+	env := core.NewEnv(core.Config{PoolFrames: 2})
+	r := mkHeap(t, env, "t")
+	tx := env.Begin()
+	for i := 0; i < 300; i++ {
+		r.Insert(tx, rec(int64(i), strings.Repeat("x", 100)))
+	}
+	tx.Commit()
+	// With a 2-frame pool, a full scan of a ~10-page relation must do disk
+	// reads (misses) and the stats must show it.
+	tx2 := env.Begin()
+	scan, _ := r.OpenScan(tx2, core.ScanOptions{})
+	for {
+		_, _, ok, err := scan.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+	}
+	tx2.Commit()
+	if env.Pool.Disk().Stats().Reads == 0 {
+		t.Fatal("expected disk reads with tiny pool")
+	}
+}

@@ -1,0 +1,62 @@
+package memsm_test
+
+import (
+	"testing"
+
+	"dmx/internal/core"
+	_ "dmx/internal/sm/memsm"
+	"dmx/internal/types"
+	"dmx/internal/wal"
+)
+
+func schema() *types.Schema {
+	return types.MustSchema(
+		types.Column{Name: "id", Kind: types.KindInt, NotNull: true},
+		types.Column{Name: "v", Kind: types.KindString},
+	)
+}
+
+func TestMemoryRelationIsRecoverable(t *testing.T) {
+	log := wal.New()
+	env := core.NewEnv(core.Config{Log: log})
+	tx := env.Begin()
+	if _, err := env.CreateRelation(tx, "hot", schema(), "memory", nil); err != nil {
+		t.Fatal(err)
+	}
+	rel, _ := env.OpenRelationByName("hot")
+	k, err := rel.Insert(tx, types.Record{types.Int(1), types.Str("traffic")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx.Commit()
+
+	// Memory relations cost no I/O but survive restart via the log.
+	est := rel.Storage().EstimateCost(core.CostRequest{})
+	if est.IO != 0 {
+		t.Fatalf("memory IO estimate = %v", est.IO)
+	}
+	env2 := core.NewEnv(core.Config{Log: log})
+	if err := env2.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	rel2, err := env2.OpenRelationByName("hot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx2 := env2.Begin()
+	got, err := rel2.Fetch(tx2, k, nil, nil)
+	if err != nil || got[1].S != "traffic" {
+		t.Fatalf("recovered: %v %v", got, err)
+	}
+	tx2.Commit()
+}
+
+func TestMemoryRejectsUnknownAttrs(t *testing.T) {
+	env := core.NewEnv(core.Config{})
+	tx := env.Begin()
+	if _, err := env.CreateRelation(tx, "t", schema(), "memory",
+		core.AttrList{"device": "ramdisk"}); err == nil {
+		t.Fatal("unknown attribute accepted")
+	}
+	tx.Commit()
+}

@@ -1,0 +1,395 @@
+// Package remotesm implements the foreign-database relation storage
+// method: relation accesses are simulated via remote accesses to a
+// relation in a foreign database, as the paper sketches.
+//
+// Each operation becomes one or more round trips to a remote.Server
+// (scans batch records to amortise them). Undo issues compensating remote
+// operations, so a vetoed or aborted local transaction retracts its
+// effects from the foreign database — the foreign side sees the local
+// transaction's net effect only.
+package remotesm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strconv"
+	"sync"
+
+	"dmx/internal/core"
+	"dmx/internal/expr"
+	"dmx/internal/remote"
+	"dmx/internal/sm/smutil"
+	"dmx/internal/txn"
+	"dmx/internal/types"
+)
+
+// Name is the DDL name of the storage method.
+const Name = "remote"
+
+// DefaultScanBatchSize is how many records one scan round trip fetches
+// unless the relation was created with a batch=<n> attribute.
+const DefaultScanBatchSize = 100
+
+const serverStateKey = "remotesm.servers"
+
+// AttachServer makes a foreign database reachable from relations created
+// with server=<name> in this environment.
+func AttachServer(env *core.Env, name string, srv *remote.Server) {
+	reg := servers(env)
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	reg.byName[name] = srv
+}
+
+type serverRegistry struct {
+	mu     sync.Mutex
+	byName map[string]*remote.Server
+}
+
+func servers(env *core.Env) *serverRegistry {
+	if v, ok := env.ExtState(serverStateKey); ok {
+		return v.(*serverRegistry)
+	}
+	reg := &serverRegistry{byName: make(map[string]*remote.Server)}
+	env.SetExtState(serverStateKey, reg)
+	return reg
+}
+
+func lookupServer(env *core.Env, name string) (*remote.Server, error) {
+	reg := servers(env)
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	srv, ok := reg.byName[name]
+	if !ok {
+		return nil, fmt.Errorf("remotesm: no foreign server %q attached to this environment", name)
+	}
+	return srv, nil
+}
+
+func init() {
+	core.RegisterStorageMethod(&core.StorageOps{
+		ID:   core.SMRemote,
+		Name: Name,
+		ValidateAttrs: func(schema *types.Schema, attrs core.AttrList) error {
+			if err := attrs.CheckAllowed(Name, "server", "table", "batch"); err != nil {
+				return err
+			}
+			if _, ok := attrs.Get("server"); !ok {
+				return fmt.Errorf("remotesm: the remote storage method requires a server=<name> attribute")
+			}
+			if _, err := parseBatch(attrs); err != nil {
+				return err
+			}
+			return nil
+		},
+		Create: func(env *core.Env, tx *txn.Txn, rd *core.RelDesc, attrs core.AttrList) ([]byte, error) {
+			server, _ := attrs.Get("server")
+			tableName, ok := attrs.Get("table")
+			if !ok {
+				tableName = rd.Name
+			}
+			batch, err := parseBatch(attrs)
+			if err != nil {
+				return nil, err
+			}
+			srv, err := lookupServer(env, server)
+			if err != nil {
+				return nil, err
+			}
+			client := remote.Dial(srv)
+			defer client.Close()
+			if err := client.CreateTable(tableName); err != nil {
+				return nil, err
+			}
+			return encodeDesc(server, tableName, batch), nil
+		},
+		Open: func(env *core.Env, rd *core.RelDesc) (core.StorageInstance, error) {
+			server, tableName, batch, err := decodeDesc(rd.SMDesc)
+			if err != nil {
+				return nil, err
+			}
+			srv, err := lookupServer(env, server)
+			if err != nil {
+				return nil, err
+			}
+			return &store{env: env, rd: rd, table: tableName, batch: batch, client: remote.Dial(srv)}, nil
+		},
+	})
+}
+
+func parseBatch(attrs core.AttrList) (int, error) {
+	spec, ok := attrs.Get("batch")
+	if !ok {
+		return DefaultScanBatchSize, nil
+	}
+	n, err := strconv.Atoi(spec)
+	if err != nil || n < 1 || n > 10000 {
+		return 0, fmt.Errorf("remotesm: batch must be 1..10000, got %q", spec)
+	}
+	return n, nil
+}
+
+func encodeDesc(server, tableName string, batch int) []byte {
+	out := []byte{byte(len(server))}
+	out = append(out, server...)
+	out = append(out, byte(len(tableName)))
+	out = append(out, tableName...)
+	return binary.BigEndian.AppendUint16(out, uint16(batch))
+}
+
+func decodeDesc(b []byte) (server, tableName string, batch int, err error) {
+	if len(b) < 1 {
+		return "", "", 0, fmt.Errorf("remotesm: empty storage descriptor")
+	}
+	n := int(b[0])
+	if len(b) < 1+n+1 {
+		return "", "", 0, fmt.Errorf("remotesm: truncated storage descriptor")
+	}
+	server = string(b[1 : 1+n])
+	m := int(b[1+n])
+	if len(b) < 2+n+m+2 {
+		return "", "", 0, fmt.Errorf("remotesm: truncated table name")
+	}
+	tableName = string(b[2+n : 2+n+m])
+	batch = int(binary.BigEndian.Uint16(b[2+n+m:]))
+	if batch < 1 {
+		batch = DefaultScanBatchSize
+	}
+	return server, tableName, batch, nil
+}
+
+// store is the foreign-relation storage instance.
+type store struct {
+	env    *core.Env
+	rd     *core.RelDesc
+	table  string
+	batch  int
+	client *remote.Client
+}
+
+// Insert implements core.StorageInstance: one round trip; the foreign
+// database assigns the record key.
+func (s *store) Insert(tx *txn.Txn, rec types.Record) (types.Key, error) {
+	key, err := s.client.Put(s.table, nil, rec)
+	if err != nil {
+		return nil, err
+	}
+	if err := core.LogSM(tx, s.rd, core.ModPayload{Op: core.ModInsert, Key: key, New: rec}); err != nil {
+		return nil, err
+	}
+	return key, nil
+}
+
+// Update implements core.StorageInstance: one round trip, key stable.
+func (s *store) Update(tx *txn.Txn, key types.Key, oldRec, newRec types.Record) (types.Key, error) {
+	if _, err := s.client.Put(s.table, key, newRec); err != nil {
+		return nil, err
+	}
+	if err := core.LogSM(tx, s.rd, core.ModPayload{Op: core.ModUpdate, Key: key, NewKey: key, Old: oldRec, New: newRec}); err != nil {
+		return nil, err
+	}
+	return key, nil
+}
+
+// Delete implements core.StorageInstance: one round trip.
+func (s *store) Delete(tx *txn.Txn, key types.Key, oldRec types.Record) error {
+	if err := s.client.Delete(s.table, key); err != nil {
+		return err
+	}
+	return core.LogSM(tx, s.rd, core.ModPayload{Op: core.ModDelete, Key: key, Old: oldRec})
+}
+
+// FetchByKey implements core.StorageInstance: one round trip; the filter
+// runs locally on the fetched record.
+func (s *store) FetchByKey(tx *txn.Txn, key types.Key, fields []int, filter *expr.Expr) (types.Record, error) {
+	rec, err := s.client.Get(s.table, key)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", core.ErrNotFound, err)
+	}
+	if filter != nil {
+		match, err := s.env.Eval.EvalBool(filter, rec, nil)
+		if err != nil {
+			return nil, err
+		}
+		if !match {
+			return nil, core.ErrFiltered
+		}
+	}
+	if fields != nil {
+		return rec.Project(fields), nil
+	}
+	return rec, nil
+}
+
+// OpenScan implements core.StorageInstance: batched remote key order.
+func (s *store) OpenScan(tx *txn.Txn, opts core.ScanOptions) (core.Scan, error) {
+	sc := &scan{store: s, opts: opts}
+	if opts.Start != nil {
+		// Start is inclusive; the remote protocol is exclusive-after, so
+		// position just before Start.
+		sc.after = beforeKey(opts.Start)
+		sc.started = true
+	}
+	return sc, nil
+}
+
+// beforeKey returns a key that sorts immediately before k (exclusive-after
+// semantics then include k itself).
+func beforeKey(k types.Key) types.Key {
+	out := append(types.Key(nil), k...)
+	for i := len(out) - 1; i >= 0; i-- {
+		if out[i] > 0 {
+			out[i]--
+			return append(out, 0xFF)
+		}
+		out = out[:i]
+	}
+	return nil
+}
+
+// EstimateCost implements core.StorageInstance: every batch of records is
+// a network round trip, which dominates like page I/O does locally.
+func (s *store) EstimateCost(req core.CostRequest) core.CostEstimate {
+	n := s.RecordCount()
+	rounds := float64(n)/float64(s.batch) + 1
+	return core.CostEstimate{
+		Usable:      true,
+		IO:          rounds * 4, // a round trip costs ~several page reads
+		CPU:         float64(n),
+		Selectivity: smutil.EstimateSelectivity(req.Conjuncts),
+	}
+}
+
+// RecordCount implements core.StorageInstance (one round trip).
+func (s *store) RecordCount() int {
+	n, err := s.client.Count(s.table)
+	if err != nil {
+		return 0
+	}
+	return n
+}
+
+// ApplyLogged implements core.StorageInstance: compensating remote calls.
+func (s *store) ApplyLogged(payload []byte, undo bool) error {
+	p, err := core.DecodeMod(payload)
+	if err != nil {
+		return err
+	}
+	// The create round trip may not have re-run yet during replay onto a
+	// fresh foreign database; CreateTable is idempotent.
+	if err := s.client.CreateTable(s.table); err != nil {
+		return err
+	}
+	op := p.Op
+	rec := p.New
+	if undo {
+		switch p.Op {
+		case core.ModInsert:
+			op = core.ModDelete
+		case core.ModDelete:
+			op, rec = core.ModInsert, p.Old
+		case core.ModUpdate:
+			rec = p.Old
+		}
+	}
+	switch op {
+	case core.ModInsert, core.ModUpdate:
+		_, err := s.client.Put(s.table, p.Key, rec)
+		return err
+	case core.ModDelete:
+		err := s.client.Delete(s.table, p.Key)
+		if err != nil && !undo {
+			return nil // replaying a delete of an already-absent record
+		}
+		return err
+	default:
+		return fmt.Errorf("remotesm: bad logged op %v", p.Op)
+	}
+}
+
+var _ core.StorageInstance = (*store)(nil)
+
+// scan is a batched key-sequential access over the foreign relation.
+type scan struct {
+	store   *store
+	opts    core.ScanOptions
+	after   types.Key
+	started bool
+	batch   []remote.Entry
+	closed  bool
+}
+
+// Next implements core.Scan.
+func (sc *scan) Next() (types.Key, types.Record, bool, error) {
+	if sc.closed {
+		return nil, nil, false, fmt.Errorf("remotesm: scan is closed")
+	}
+	for {
+		if len(sc.batch) == 0 {
+			entries, err := sc.store.client.ScanBatch(sc.store.table, sc.after, sc.store.batch)
+			if err != nil {
+				return nil, nil, false, err
+			}
+			if len(entries) == 0 {
+				return nil, nil, false, nil
+			}
+			sc.batch = entries
+		}
+		e := sc.batch[0]
+		sc.batch = sc.batch[1:]
+		sc.after = types.Key(e.Key)
+		sc.started = true
+		key := types.Key(e.Key)
+		if sc.opts.End != nil && key.Compare(sc.opts.End) >= 0 {
+			return nil, nil, false, nil
+		}
+		rec, _, err := types.DecodeRecord(e.Rec)
+		if err != nil {
+			return nil, nil, false, err
+		}
+		if sc.opts.Filter != nil {
+			match, err := sc.store.env.Eval.EvalBool(sc.opts.Filter, rec, sc.opts.Params)
+			if err != nil {
+				return nil, nil, false, err
+			}
+			if !match {
+				continue
+			}
+		}
+		if sc.opts.Fields != nil {
+			rec = rec.Project(sc.opts.Fields)
+		}
+		return key, rec, true, nil
+	}
+}
+
+// Pos implements core.Scan.
+func (sc *scan) Pos() core.ScanPos {
+	if !sc.started {
+		return core.ScanPos{0}
+	}
+	return append(core.ScanPos{1}, sc.after...)
+}
+
+// Restore implements core.Scan: the batch is refetched from the restored
+// position (remote data may have changed under partial rollback).
+func (sc *scan) Restore(pos core.ScanPos) error {
+	if len(pos) == 0 {
+		return fmt.Errorf("remotesm: empty scan position")
+	}
+	sc.batch = nil
+	if pos[0] == 0 {
+		sc.started = false
+		sc.after = nil
+		return nil
+	}
+	sc.started = true
+	sc.after = append(types.Key(nil), pos[1:]...)
+	return nil
+}
+
+// Close implements core.Scan.
+func (sc *scan) Close() error {
+	sc.closed = true
+	return nil
+}

@@ -1,0 +1,110 @@
+package smutil
+
+import (
+	"dmx/internal/expr"
+	"dmx/internal/types"
+)
+
+// OrderSatisfiedBy reports whether an access returning records in the
+// order of keyFields satisfies an ORDER BY on orderBy (a key-prefix match;
+// empty orderBy is trivially satisfied).
+func OrderSatisfiedBy(keyFields, orderBy []int) bool {
+	if len(orderBy) == 0 {
+		return true
+	}
+	if len(orderBy) > len(keyFields) {
+		return false
+	}
+	for i, f := range orderBy {
+		if keyFields[i] != f {
+			return false
+		}
+	}
+	return true
+}
+
+// PrefixSuccessor returns the smallest byte string greater than every
+// string having p as a prefix (nil when p is all 0xFF, meaning unbounded).
+func PrefixSuccessor(p []byte) []byte {
+	out := append([]byte(nil), p...)
+	for i := len(out) - 1; i >= 0; i-- {
+		if out[i] != 0xFF {
+			out[i]++
+			return out[:i+1]
+		}
+	}
+	return nil
+}
+
+// KeyRange analyses the planner's eligible predicates against an ordered
+// key composed of the given record fields, deriving the tightest
+// [start, end) bound on the order-preserving key encoding. It returns the
+// bounds, the indexes of the conjuncts the key range handles (so the
+// executor need not re-apply them), whether every key field is bound by
+// equality (a point access), and how many leading key fields participate.
+func KeyRange(keyFields []int, conjuncts []*expr.Expr) (start, end types.Key, handled []int, point bool, depth int) {
+	var prefix []byte
+	eqCount := 0
+	for _, kf := range keyFields {
+		// Equality on this key field extends the shared prefix.
+		eqIdx := -1
+		var eqVal types.Value
+		var lower, upper *expr.FieldCompare
+		lowerIdx, upperIdx := -1, -1
+		for ci, c := range conjuncts {
+			fc, ok := expr.MatchFieldCompare(c)
+			if !ok || fc.Field != kf {
+				continue
+			}
+			switch fc.Op {
+			case expr.OpEq:
+				eqIdx, eqVal = ci, fc.Value
+			case expr.OpGt, expr.OpGe:
+				f := fc
+				lower, lowerIdx = &f, ci
+			case expr.OpLt, expr.OpLe:
+				f := fc
+				upper, upperIdx = &f, ci
+			}
+		}
+		if eqIdx >= 0 {
+			prefix = eqVal.AppendOrderedEncode(prefix)
+			handled = append(handled, eqIdx)
+			eqCount++
+			depth++
+			continue
+		}
+		// Range bounds on the first non-equality key field terminate the
+		// prefix walk.
+		if lower == nil && upper == nil {
+			break
+		}
+		depth++
+		start = append(types.Key(nil), prefix...)
+		end = PrefixSuccessor(prefix)
+		if lower != nil {
+			b := lower.Value.AppendOrderedEncode(append([]byte(nil), prefix...))
+			if lower.Op == expr.OpGt {
+				b = PrefixSuccessor(b)
+			}
+			start = b
+			handled = append(handled, lowerIdx)
+		}
+		if upper != nil {
+			b := upper.Value.AppendOrderedEncode(append([]byte(nil), prefix...))
+			if upper.Op == expr.OpLe {
+				b = PrefixSuccessor(b)
+			}
+			end = b
+			handled = append(handled, upperIdx)
+		}
+		return start, end, handled, false, depth
+	}
+	if depth == 0 {
+		return nil, nil, nil, false, 0
+	}
+	// Pure equality prefix.
+	start = append(types.Key(nil), prefix...)
+	end = PrefixSuccessor(prefix)
+	return start, end, handled, eqCount == len(keyFields), depth
+}

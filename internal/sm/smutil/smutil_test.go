@@ -1,0 +1,247 @@
+package smutil
+
+import (
+	"sync"
+	"testing"
+
+	"dmx/internal/btree"
+	"dmx/internal/expr"
+	"dmx/internal/types"
+)
+
+func TestPrefixSuccessor(t *testing.T) {
+	for _, tc := range []struct {
+		in   []byte
+		want []byte
+	}{
+		{[]byte{1, 2, 3}, []byte{1, 2, 4}},
+		{[]byte{1, 0xFF}, []byte{2}},
+		{[]byte{0xFF, 0xFF}, nil},
+		{[]byte{}, nil},
+		{[]byte{0}, []byte{1}},
+	} {
+		got := PrefixSuccessor(tc.in)
+		if string(got) != string(tc.want) {
+			t.Errorf("PrefixSuccessor(%v) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+	// The successor must be > every extension of the prefix.
+	p := []byte{5, 0xFF}
+	succ := PrefixSuccessor(p)
+	ext := append(append([]byte(nil), p...), 0xFF, 0xFF, 0xFF)
+	if types.Key(succ).Compare(types.Key(ext)) <= 0 {
+		t.Fatal("successor not greater than extensions")
+	}
+}
+
+func eq(f int, v int64) *expr.Expr { return expr.Eq(expr.Field(f), expr.Const(types.Int(v))) }
+func lt(f int, v int64) *expr.Expr { return expr.Lt(expr.Field(f), expr.Const(types.Int(v))) }
+func ge(f int, v int64) *expr.Expr { return expr.Ge(expr.Field(f), expr.Const(types.Int(v))) }
+func le(f int, v int64) *expr.Expr { return expr.Le(expr.Field(f), expr.Const(types.Int(v))) }
+
+// keyIn reports whether the encoded key of vals falls within [start, end).
+func keyIn(start, end types.Key, vals ...types.Value) bool {
+	k := types.EncodeKeyValues(vals...)
+	if start != nil && k.Compare(start) < 0 {
+		return false
+	}
+	if end != nil && k.Compare(end) >= 0 {
+		return false
+	}
+	return true
+}
+
+func TestKeyRangePointAccess(t *testing.T) {
+	start, end, handled, point, depth := KeyRange([]int{0, 1}, []*expr.Expr{eq(0, 5), eq(1, 7)})
+	if !point || depth != 2 || len(handled) != 2 {
+		t.Fatalf("point=%v depth=%d handled=%v", point, depth, handled)
+	}
+	if !keyIn(start, end, types.Int(5), types.Int(7)) {
+		t.Fatal("matching key outside range")
+	}
+	if keyIn(start, end, types.Int(5), types.Int(8)) || keyIn(start, end, types.Int(6), types.Int(7)) {
+		t.Fatal("non-matching key inside range")
+	}
+}
+
+func TestKeyRangeEqualityPrefixPlusRange(t *testing.T) {
+	start, end, handled, point, depth := KeyRange([]int{0, 1},
+		[]*expr.Expr{eq(0, 5), ge(1, 10), lt(1, 20)})
+	if point || depth != 2 || len(handled) != 3 {
+		t.Fatalf("point=%v depth=%d handled=%v", point, depth, handled)
+	}
+	if !keyIn(start, end, types.Int(5), types.Int(10)) || !keyIn(start, end, types.Int(5), types.Int(19)) {
+		t.Fatal("in-range key excluded")
+	}
+	if keyIn(start, end, types.Int(5), types.Int(9)) || keyIn(start, end, types.Int(5), types.Int(20)) {
+		t.Fatal("out-of-range key included")
+	}
+	if keyIn(start, end, types.Int(4), types.Int(15)) || keyIn(start, end, types.Int(6), types.Int(15)) {
+		t.Fatal("wrong-prefix key included")
+	}
+}
+
+func TestKeyRangeInclusiveBounds(t *testing.T) {
+	// x > 3 excludes 3; x <= 7 includes 7.
+	gt := expr.Gt(expr.Field(0), expr.Const(types.Int(3)))
+	start, end, _, _, depth := KeyRange([]int{0}, []*expr.Expr{gt, le(0, 7)})
+	if depth != 1 {
+		t.Fatalf("depth = %d", depth)
+	}
+	if keyIn(start, end, types.Int(3)) {
+		t.Fatal("> bound included its operand")
+	}
+	if !keyIn(start, end, types.Int(4)) || !keyIn(start, end, types.Int(7)) {
+		t.Fatal("included values excluded")
+	}
+	if keyIn(start, end, types.Int(8)) {
+		t.Fatal("<= bound leaked past operand")
+	}
+}
+
+func TestKeyRangeNoUsablePredicate(t *testing.T) {
+	// A predicate on field 1 cannot bound a key starting at field 0.
+	_, _, handled, point, depth := KeyRange([]int{0, 1}, []*expr.Expr{eq(1, 7)})
+	if depth != 0 || point || handled != nil {
+		t.Fatalf("depth=%d point=%v handled=%v", depth, point, handled)
+	}
+	// Nor can a non-comparison conjunct.
+	_, _, _, _, depth = KeyRange([]int{0}, []*expr.Expr{expr.IsNull(expr.Field(0))})
+	if depth != 0 {
+		t.Fatalf("depth = %d", depth)
+	}
+}
+
+func TestKeyRangeOpenEnds(t *testing.T) {
+	start, end, _, _, _ := KeyRange([]int{0}, []*expr.Expr{ge(0, 100)})
+	if end != nil {
+		t.Fatal("lower-bound-only range should be open above")
+	}
+	if keyIn(start, end, types.Int(99)) || !keyIn(start, end, types.Int(100)) {
+		t.Fatal("lower bound wrong")
+	}
+	start, end, _, _, _ = KeyRange([]int{0}, []*expr.Expr{lt(0, 100)})
+	if !keyIn(start, end, types.Int(-5)) || keyIn(start, end, types.Int(100)) {
+		t.Fatal("upper bound wrong")
+	}
+}
+
+func TestEstimateSelectivity(t *testing.T) {
+	if got := EstimateSelectivity(nil); got != 1.0 {
+		t.Fatalf("no conjuncts = %v", got)
+	}
+	sEq := EstimateSelectivity([]*expr.Expr{eq(0, 1)})
+	sRange := EstimateSelectivity([]*expr.Expr{lt(0, 1)})
+	sOther := EstimateSelectivity([]*expr.Expr{expr.IsNull(expr.Field(0))})
+	if !(sEq < sRange && sRange < sOther && sOther < 1.0) {
+		t.Fatalf("selectivity ordering: eq=%v range=%v other=%v", sEq, sRange, sOther)
+	}
+	both := EstimateSelectivity([]*expr.Expr{eq(0, 1), lt(1, 2)})
+	if both >= sEq {
+		t.Fatal("conjuncts should compound")
+	}
+}
+
+func TestTreeScanSkipsCurrentPositionAfterDelete(t *testing.T) {
+	var mu sync.Mutex
+	tree := btree.New()
+	for i := byte(1); i <= 5; i++ {
+		tree.Set([]byte{i}, []byte{i})
+	}
+	emit := func(k, v []byte) (types.Key, types.Record, bool, error) {
+		return types.Key(k).Clone(), nil, true, nil
+	}
+	scan := NewTreeScan(&mu, tree, nil, nil, emit)
+	k1, _, ok, err := scan.Next()
+	if err != nil || !ok || k1[0] != 1 {
+		t.Fatalf("first = %v %v %v", k1, ok, err)
+	}
+	// Delete the item the scan is on: Next returns the item just after.
+	tree.Delete([]byte{1})
+	k2, _, ok, _ := scan.Next()
+	if !ok || k2[0] != 2 {
+		t.Fatalf("after delete-at-position = %v", k2)
+	}
+	// Insert before the current position: not revisited.
+	tree.Set([]byte{0}, []byte{0})
+	k3, _, ok, _ := scan.Next()
+	if !ok || k3[0] != 3 {
+		t.Fatalf("after insert-before = %v", k3)
+	}
+}
+
+func TestTreeScanPosRestoreAndBounds(t *testing.T) {
+	var mu sync.Mutex
+	tree := btree.New()
+	for i := byte(0); i < 10; i++ {
+		tree.Set([]byte{i}, nil)
+	}
+	emit := func(k, v []byte) (types.Key, types.Record, bool, error) {
+		return types.Key(k).Clone(), nil, true, nil
+	}
+	scan := NewTreeScan(&mu, tree, types.Key{2}, types.Key{7}, emit)
+	pos0 := scan.Pos()
+	var seen []byte
+	for {
+		k, _, ok, err := scan.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		seen = append(seen, k[0])
+	}
+	if string(seen) != string([]byte{2, 3, 4, 5, 6}) {
+		t.Fatalf("bounded scan = %v", seen)
+	}
+	// Restore to the start and re-read the first item.
+	if err := scan.Restore(pos0); err != nil {
+		t.Fatal(err)
+	}
+	k, _, ok, _ := scan.Next()
+	if !ok || k[0] != 2 {
+		t.Fatalf("after restore = %v", k)
+	}
+	if err := scan.Restore(core_ScanPosBad()); err == nil {
+		t.Fatal("bad position accepted")
+	}
+	if err := scan.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := scan.Next(); err == nil {
+		t.Fatal("closed scan should error")
+	}
+}
+
+func core_ScanPosBad() []byte { return []byte{9, 9} }
+
+func TestTreeScanFilteredEmit(t *testing.T) {
+	var mu sync.Mutex
+	tree := btree.New()
+	for i := byte(0); i < 10; i++ {
+		tree.Set([]byte{i}, nil)
+	}
+	// Emit only even keys.
+	emit := func(k, v []byte) (types.Key, types.Record, bool, error) {
+		if k[0]%2 == 1 {
+			return nil, nil, false, nil
+		}
+		return types.Key(k).Clone(), nil, true, nil
+	}
+	scan := NewTreeScan(&mu, tree, nil, nil, emit)
+	n := 0
+	for {
+		_, _, ok, err := scan.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		n++
+	}
+	if n != 5 {
+		t.Fatalf("filtered scan = %d", n)
+	}
+}

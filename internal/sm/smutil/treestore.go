@@ -1,0 +1,220 @@
+package smutil
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"dmx/internal/btree"
+	"dmx/internal/core"
+	"dmx/internal/expr"
+	"dmx/internal/txn"
+	"dmx/internal/types"
+)
+
+// EstimateSelectivity is the shared textbook selectivity guess extensions
+// use when they have no statistics: 10% per equality conjunct, 30% per
+// range conjunct, 50% otherwise.
+func EstimateSelectivity(conjuncts []*expr.Expr) float64 {
+	sel := 1.0
+	for _, c := range conjuncts {
+		if fc, ok := expr.MatchFieldCompare(c); ok {
+			if fc.Op == expr.OpEq {
+				sel *= 0.1
+			} else {
+				sel *= 0.3
+			}
+			continue
+		}
+		sel *= 0.5
+	}
+	return sel
+}
+
+// TreeStore is a storage instance holding records in an in-memory B-tree
+// keyed by an 8-byte insertion sequence number (the storage method's
+// record-key definition). It backs both the main-memory storage method
+// (logged, recoverable) and the temporary-relation storage method
+// (unlogged, non-recoverable).
+type TreeStore struct {
+	env    *core.Env
+	rd     *core.RelDesc
+	logged bool
+
+	mu      sync.Mutex
+	tree    *btree.Tree
+	nextSeq uint64
+}
+
+// NewTreeStore returns an empty store for rd.
+func NewTreeStore(env *core.Env, rd *core.RelDesc, logged bool) *TreeStore {
+	return &TreeStore{env: env, rd: rd, logged: logged, tree: btree.New(), nextSeq: 1}
+}
+
+func seqKey(seq uint64) types.Key {
+	k := make(types.Key, 8)
+	binary.BigEndian.PutUint64(k, seq)
+	return k
+}
+
+func (s *TreeStore) log(tx *txn.Txn, p core.ModPayload) error {
+	if !s.logged {
+		return nil
+	}
+	return core.LogSM(tx, s.rd, p)
+}
+
+// Insert implements core.StorageInstance.
+func (s *TreeStore) Insert(tx *txn.Txn, rec types.Record) (types.Key, error) {
+	s.mu.Lock()
+	key := seqKey(s.nextSeq)
+	s.nextSeq++
+	s.mu.Unlock()
+	if err := s.log(tx, core.ModPayload{Op: core.ModInsert, Key: key, New: rec}); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.tree.Set(key, rec.AppendEncode(nil))
+	s.mu.Unlock()
+	return key, nil
+}
+
+// Update implements core.StorageInstance; the record key is stable.
+func (s *TreeStore) Update(tx *txn.Txn, key types.Key, oldRec, newRec types.Record) (types.Key, error) {
+	s.mu.Lock()
+	_, exists := s.tree.Get(key)
+	s.mu.Unlock()
+	if !exists {
+		return nil, fmt.Errorf("%w: %v", core.ErrNotFound, key)
+	}
+	if err := s.log(tx, core.ModPayload{Op: core.ModUpdate, Key: key, NewKey: key, Old: oldRec, New: newRec}); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.tree.Set(key, newRec.AppendEncode(nil))
+	s.mu.Unlock()
+	return key, nil
+}
+
+// Delete implements core.StorageInstance.
+func (s *TreeStore) Delete(tx *txn.Txn, key types.Key, oldRec types.Record) error {
+	if err := s.log(tx, core.ModPayload{Op: core.ModDelete, Key: key, Old: oldRec}); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	_, ok := s.tree.Delete(key)
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %v", core.ErrNotFound, key)
+	}
+	return nil
+}
+
+// FetchByKey implements core.StorageInstance.
+func (s *TreeStore) FetchByKey(tx *txn.Txn, key types.Key, fields []int, filter *expr.Expr) (types.Record, error) {
+	s.mu.Lock()
+	enc, ok := s.tree.Get(key)
+	s.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %v", core.ErrNotFound, key)
+	}
+	rec, _, err := types.DecodeRecord(enc)
+	if err != nil {
+		return nil, err
+	}
+	if filter != nil {
+		match, err := s.env.Eval.EvalBool(filter, rec, nil)
+		if err != nil {
+			return nil, err
+		}
+		if !match {
+			return nil, core.ErrFiltered
+		}
+	}
+	if fields != nil {
+		return rec.Project(fields), nil
+	}
+	return rec, nil
+}
+
+// OpenScan implements core.StorageInstance.
+func (s *TreeStore) OpenScan(tx *txn.Txn, opts core.ScanOptions) (core.Scan, error) {
+	emit := func(k, v []byte) (types.Key, types.Record, bool, error) {
+		rec, _, err := types.DecodeRecord(v)
+		if err != nil {
+			return nil, nil, false, err
+		}
+		if opts.Filter != nil {
+			match, err := s.env.Eval.EvalBool(opts.Filter, rec, opts.Params)
+			if err != nil {
+				return nil, nil, false, err
+			}
+			if !match {
+				return nil, nil, false, nil
+			}
+		}
+		if opts.Fields != nil {
+			rec = rec.Project(opts.Fields)
+		}
+		return types.Key(k).Clone(), rec, true, nil
+	}
+	return NewTreeScan(&s.mu, s.tree, opts.Start, opts.End, emit), nil
+}
+
+// EstimateCost implements core.StorageInstance: memory-resident scans cost
+// no I/O and one CPU unit per record.
+func (s *TreeStore) EstimateCost(req core.CostRequest) core.CostEstimate {
+	n := float64(s.RecordCount())
+	return core.CostEstimate{
+		Usable:      true,
+		IO:          0,
+		CPU:         n,
+		Selectivity: EstimateSelectivity(req.Conjuncts),
+	}
+}
+
+// RecordCount implements core.StorageInstance.
+func (s *TreeStore) RecordCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tree.Len()
+}
+
+// ApplyLogged implements core.StorageInstance: logical undo/redo of the
+// shared modification payload.
+func (s *TreeStore) ApplyLogged(payload []byte, undo bool) error {
+	p, err := core.DecodeMod(payload)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	op := p.Op
+	if undo {
+		switch op {
+		case core.ModInsert:
+			op = core.ModDelete
+		case core.ModDelete:
+			op = core.ModInsert
+			p.New = p.Old
+		case core.ModUpdate:
+			p.New = p.Old
+		}
+	}
+	switch op {
+	case core.ModInsert:
+		s.tree.Set(p.Key, p.New.AppendEncode(nil))
+		if seq := binary.BigEndian.Uint64(p.Key); seq >= s.nextSeq {
+			s.nextSeq = seq + 1
+		}
+	case core.ModDelete:
+		s.tree.Delete(p.Key)
+	case core.ModUpdate:
+		s.tree.Set(p.Key, p.New.AppendEncode(nil))
+	default:
+		return fmt.Errorf("smutil: bad logged op %v", p.Op)
+	}
+	return nil
+}
+
+var _ core.StorageInstance = (*TreeStore)(nil)

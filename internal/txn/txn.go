@@ -1,0 +1,355 @@
+// Package txn implements the transaction manager and the common event
+// services of the data management extension architecture.
+//
+// Extensions participate in database events through two mechanisms the
+// paper describes: per-transaction event listeners (used, for example, to
+// close key-sequential scans at transaction termination and to save and
+// restore scan positions around savepoints), and deferred action queues,
+// on which an attachment instance can place an entry that causes an
+// indicated procedure to be invoked with indicated data when the event
+// occurs (e.g. evaluating an integrity constraint just before the
+// transaction enters the prepared state, or completing a deferred
+// storage-drop after commit).
+package txn
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"dmx/internal/lock"
+	"dmx/internal/wal"
+)
+
+// State is a transaction's lifecycle state.
+type State uint8
+
+// Transaction states.
+const (
+	StateActive State = iota
+	StatePreparing
+	StateCommitted
+	StateAborted
+)
+
+// String returns the state name.
+func (s State) String() string {
+	switch s {
+	case StateActive:
+		return "ACTIVE"
+	case StatePreparing:
+		return "PREPARING"
+	case StateCommitted:
+		return "COMMITTED"
+	case StateAborted:
+		return "ABORTED"
+	default:
+		return fmt.Sprintf("State(%d)", uint8(s))
+	}
+}
+
+// Event identifies a transaction event extensions can subscribe to.
+type Event uint8
+
+// Transaction events.
+const (
+	// EventBeforePrepare fires after all modifications, before the
+	// transaction enters the prepared state. Deferred integrity
+	// constraints run here and may still veto (abort) the transaction.
+	EventBeforePrepare Event = iota
+	// EventCommit fires once the commit record is durable. Deferred
+	// destructive actions (e.g. releasing dropped storage) run here.
+	EventCommit
+	// EventAbort fires when the transaction aborts, after rollback.
+	EventAbort
+	// EventEnd fires at transaction termination, commit or abort. All
+	// key-sequential accesses must be closed here because locks are
+	// released at termination.
+	EventEnd
+	// EventSavepoint fires when a rollback point is established; storage
+	// methods and attachments save their key-sequential access positions.
+	EventSavepoint
+	// EventPartialRollback fires after a partial rollback completes;
+	// saved scan positions are restored.
+	EventPartialRollback
+	numEvents
+)
+
+// String returns the event name.
+func (e Event) String() string {
+	switch e {
+	case EventBeforePrepare:
+		return "BEFORE_PREPARE"
+	case EventCommit:
+		return "COMMIT"
+	case EventAbort:
+		return "ABORT"
+	case EventEnd:
+		return "END"
+	case EventSavepoint:
+		return "SAVEPOINT"
+	case EventPartialRollback:
+		return "PARTIAL_ROLLBACK"
+	default:
+		return fmt.Sprintf("Event(%d)", uint8(e))
+	}
+}
+
+// Action is a deferred action queue entry: the procedure to invoke when the
+// event occurs. The transaction and the savepoint name (for savepoint
+// events; otherwise empty) are passed in.
+type Action func(tx *Txn, savepoint string) error
+
+// ErrNotActive is returned for operations on finished transactions.
+var ErrNotActive = errors.New("txn: transaction is not active")
+
+// ErrUnknownSavepoint is returned by RollbackTo for undefined names.
+var ErrUnknownSavepoint = errors.New("txn: unknown savepoint")
+
+// Manager creates and tracks transactions. It owns the ID sequence and
+// wires transactions to the common log, lock manager, and undo dispatcher.
+type Manager struct {
+	mu     sync.Mutex
+	nextID wal.TxnID
+	active map[wal.TxnID]*Txn
+
+	Log   *wal.Log
+	Locks *lock.Manager
+	// Undoer dispatches log-driven undo to the owning extension. It is set
+	// by the extension registry once the procedure vectors are built.
+	Undoer wal.Undoer
+}
+
+// NewManager returns a manager over the given log and lock manager.
+func NewManager(log *wal.Log, locks *lock.Manager) *Manager {
+	return &Manager{nextID: 1, active: make(map[wal.TxnID]*Txn), Log: log, Locks: locks}
+}
+
+// Begin starts a new transaction.
+func (m *Manager) Begin() *Txn {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	tx := &Txn{
+		id:         m.nextID,
+		mgr:        m,
+		state:      StateActive,
+		savepoints: make(map[string]wal.LSN),
+		stash:      make(map[string]any),
+	}
+	m.nextID++
+	m.active[tx.id] = tx
+	return tx
+}
+
+// ActiveCount returns the number of unfinished transactions.
+func (m *Manager) ActiveCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.active)
+}
+
+func (m *Manager) finish(tx *Txn) {
+	m.mu.Lock()
+	delete(m.active, tx.id)
+	m.mu.Unlock()
+}
+
+// Txn is a transaction. A Txn is confined to one goroutine.
+type Txn struct {
+	id          wal.TxnID
+	mgr         *Manager
+	state       State
+	savepoints  map[string]wal.LSN
+	deferred    [numEvents][]Action
+	subscribers [numEvents][]Action
+	stash       map[string]any
+	user        string
+}
+
+// SetUser attaches a user identity for the uniform authorization facility.
+func (tx *Txn) SetUser(user string) { tx.user = user }
+
+// User returns the transaction's user identity ("" if unset).
+func (tx *Txn) User() string { return tx.user }
+
+// ID returns the transaction identifier.
+func (tx *Txn) ID() wal.TxnID { return tx.id }
+
+// State returns the lifecycle state.
+func (tx *Txn) State() State { return tx.state }
+
+// Manager returns the owning manager.
+func (tx *Txn) Manager() *Manager { return tx.mgr }
+
+// Log exposes the common log for extension logging.
+func (tx *Txn) Log() *wal.Log { return tx.mgr.Log }
+
+// Lock acquires mode on res on behalf of this transaction, held to
+// transaction end.
+func (tx *Txn) Lock(res lock.Resource, mode lock.Mode) error {
+	if tx.state != StateActive && tx.state != StatePreparing {
+		return ErrNotActive
+	}
+	return tx.mgr.Locks.Acquire(tx.id, res, mode)
+}
+
+// Defer places an entry on the deferred action queue for event. Entries
+// run in registration order when the event fires. Multiple entries per
+// event are allowed; extensions typically deduplicate via the Stash.
+func (tx *Txn) Defer(event Event, action Action) error {
+	if tx.state != StateActive && tx.state != StatePreparing {
+		return ErrNotActive
+	}
+	tx.deferred[event] = append(tx.deferred[event], action)
+	return nil
+}
+
+// Subscribe registers a persistent listener for event: unlike Defer
+// entries, subscribers fire every time the event occurs for the rest of
+// the transaction. Storage methods and attachments subscribe to savepoint,
+// partial-rollback, and end events to manage their key-sequential access
+// positions.
+func (tx *Txn) Subscribe(event Event, action Action) error {
+	if tx.state != StateActive && tx.state != StatePreparing {
+		return ErrNotActive
+	}
+	tx.subscribers[event] = append(tx.subscribers[event], action)
+	return nil
+}
+
+// Stash returns this transaction's extension-private state map. Extensions
+// key it by their own names (e.g. to accumulate deferred constraint checks
+// or open scans across calls).
+func (tx *Txn) Stash() map[string]any { return tx.stash }
+
+// AppendLog writes an update record on behalf of an extension and returns
+// its LSN.
+func (tx *Txn) AppendLog(owner wal.Owner, payload []byte) (wal.LSN, error) {
+	if tx.state != StateActive && tx.state != StatePreparing {
+		return 0, ErrNotActive
+	}
+	return tx.mgr.Log.Append(tx.id, wal.RecUpdate, owner, payload)
+}
+
+// Savepoint establishes a named rollback point, fires EventSavepoint so
+// storage methods and attachments can save their key-sequential access
+// positions, and returns the savepoint LSN. Re-using a name moves it.
+func (tx *Txn) Savepoint(name string) (wal.LSN, error) {
+	if tx.state != StateActive {
+		return 0, ErrNotActive
+	}
+	lsn, err := tx.mgr.Log.Append(tx.id, wal.RecSavepoint, wal.Owner{}, []byte(name))
+	if err != nil {
+		return 0, err
+	}
+	tx.savepoints[name] = lsn
+	if err := tx.fire(EventSavepoint, name); err != nil {
+		return 0, err
+	}
+	return lsn, nil
+}
+
+// RollbackTo partially rolls the transaction back to the named savepoint:
+// the common log drives the storage-method and attachment undo routines,
+// then EventPartialRollback fires so saved scan positions are restored.
+// The savepoint remains valid and can be rolled back to again.
+func (tx *Txn) RollbackTo(name string) error {
+	if tx.state != StateActive {
+		return ErrNotActive
+	}
+	lsn, ok := tx.savepoints[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownSavepoint, name)
+	}
+	if err := tx.mgr.Log.Rollback(tx.id, lsn, tx.mgr.Undoer); err != nil {
+		return err
+	}
+	// Savepoints established after the target are gone.
+	for n, l := range tx.savepoints {
+		if l > lsn {
+			delete(tx.savepoints, n)
+		}
+	}
+	return tx.fire(EventPartialRollback, name)
+}
+
+// Commit drives the commit pipeline: deferred before-prepare actions run
+// first (deferred constraints may veto, turning the commit into an abort,
+// in which case Commit returns the veto error); then the commit record is
+// written, deferred commit actions run, locks are released, and
+// end-of-transaction notifications fire.
+func (tx *Txn) Commit() error {
+	if tx.state != StateActive {
+		return ErrNotActive
+	}
+	tx.state = StatePreparing
+	if err := tx.fire(EventBeforePrepare, ""); err != nil {
+		tx.state = StateActive
+		if aerr := tx.Abort(); aerr != nil {
+			return fmt.Errorf("txn: abort after veto failed: %v (veto: %w)", aerr, err)
+		}
+		return err
+	}
+	if _, err := tx.mgr.Log.Append(tx.id, wal.RecCommit, wal.Owner{}, nil); err != nil {
+		return err
+	}
+	tx.state = StateCommitted
+	commitErr := tx.fire(EventCommit, "")
+	endErr := tx.fire(EventEnd, "")
+	tx.mgr.Locks.ReleaseAll(tx.id)
+	if _, err := tx.mgr.Log.Append(tx.id, wal.RecEnd, wal.Owner{}, nil); err != nil {
+		return err
+	}
+	tx.mgr.finish(tx)
+	if commitErr != nil {
+		return commitErr
+	}
+	return endErr
+}
+
+// Abort rolls the whole transaction back through the common log, fires
+// abort and end notifications, and releases all locks.
+func (tx *Txn) Abort() error {
+	if tx.state != StateActive && tx.state != StatePreparing {
+		return ErrNotActive
+	}
+	rbErr := tx.mgr.Log.Rollback(tx.id, 0, tx.mgr.Undoer)
+	if _, err := tx.mgr.Log.Append(tx.id, wal.RecAbort, wal.Owner{}, nil); err != nil {
+		return err
+	}
+	tx.state = StateAborted
+	abortErr := tx.fire(EventAbort, "")
+	endErr := tx.fire(EventEnd, "")
+	tx.mgr.Locks.ReleaseAll(tx.id)
+	if _, err := tx.mgr.Log.Append(tx.id, wal.RecEnd, wal.Owner{}, nil); err != nil {
+		return err
+	}
+	tx.mgr.finish(tx)
+	switch {
+	case rbErr != nil:
+		return rbErr
+	case abortErr != nil:
+		return abortErr
+	default:
+		return endErr
+	}
+}
+
+// fire drains the event's deferred action queue in order, then notifies
+// persistent subscribers. The deferred queue is cleared before running so
+// actions may re-defer for a later firing. The first error stops the drain.
+func (tx *Txn) fire(event Event, savepoint string) error {
+	queue := tx.deferred[event]
+	tx.deferred[event] = nil
+	for _, a := range queue {
+		if err := a(tx, savepoint); err != nil {
+			return err
+		}
+	}
+	for _, a := range tx.subscribers[event] {
+		if err := a(tx, savepoint); err != nil {
+			return err
+		}
+	}
+	return nil
+}

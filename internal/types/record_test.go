@@ -1,0 +1,253 @@
+package types
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func empSchema(t *testing.T) *Schema {
+	t.Helper()
+	s, err := NewSchema(
+		Column{Name: "id", Kind: KindInt, NotNull: true},
+		Column{Name: "name", Kind: KindString, NotNull: true},
+		Column{Name: "salary", Kind: KindFloat},
+		Column{Name: "active", Kind: KindBool},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewSchemaRejectsDuplicates(t *testing.T) {
+	_, err := NewSchema(Column{Name: "a", Kind: KindInt}, Column{Name: "A", Kind: KindInt})
+	if err == nil {
+		t.Fatal("duplicate (case-insensitive) column names accepted")
+	}
+	_, err = NewSchema(Column{Name: "", Kind: KindInt})
+	if err == nil {
+		t.Fatal("empty column name accepted")
+	}
+}
+
+func TestColIndex(t *testing.T) {
+	s := empSchema(t)
+	if s.ColIndex("name") != 1 || s.ColIndex("NAME") != 1 {
+		t.Error("ColIndex case-insensitive lookup failed")
+	}
+	if s.ColIndex("nope") != -1 {
+		t.Error("missing column should be -1")
+	}
+	if s.NumCols() != 4 {
+		t.Error("NumCols")
+	}
+}
+
+func TestSchemaValidate(t *testing.T) {
+	s := empSchema(t)
+	good := Record{Int(1), Str("bob"), Float(10.5), Bool(true)}
+	if err := s.Validate(good); err != nil {
+		t.Fatalf("valid record rejected: %v", err)
+	}
+	withNull := Record{Int(1), Str("bob"), Null(), Null()}
+	if err := s.Validate(withNull); err != nil {
+		t.Fatalf("nullable NULLs rejected: %v", err)
+	}
+	for _, bad := range []Record{
+		{Int(1), Str("bob")},                 // arity
+		{Null(), Str("bob"), Null(), Null()}, // NULL in NOT NULL
+		{Int(1), Int(5), Null(), Null()},     // kind mismatch
+		{Int(1), Str("b"), Str("x"), Null()}, // kind mismatch float col
+	} {
+		if err := s.Validate(bad); err == nil {
+			t.Errorf("invalid record accepted: %v", bad)
+		}
+	}
+}
+
+func TestSchemaEncodeDecode(t *testing.T) {
+	s := empSchema(t)
+	enc := s.AppendEncode(nil)
+	got, n, err := DecodeSchema(enc)
+	if err != nil || n != len(enc) {
+		t.Fatalf("decode: %v (n=%d/%d)", err, n, len(enc))
+	}
+	if got.NumCols() != s.NumCols() {
+		t.Fatal("column count mismatch")
+	}
+	for i := range s.Cols {
+		if got.Cols[i] != s.Cols[i] {
+			t.Errorf("col %d: %+v != %+v", i, got.Cols[i], s.Cols[i])
+		}
+	}
+	if _, _, err := DecodeSchema([]byte{0}); err == nil {
+		t.Error("truncated schema accepted")
+	}
+}
+
+func TestRecordCloneIsDeep(t *testing.T) {
+	r := Record{Bytes([]byte{1, 2, 3}), Str("x")}
+	c := r.Clone()
+	c[0].B[0] = 9
+	if r[0].B[0] != 1 {
+		t.Fatal("Clone shared BYTES backing array")
+	}
+	if !r.Equal(Record{Bytes([]byte{1, 2, 3}), Str("x")}) {
+		t.Fatal("original mutated")
+	}
+}
+
+func TestRecordEqualAndProject(t *testing.T) {
+	r := Record{Int(1), Str("a"), Float(2)}
+	if !r.Equal(Record{Int(1), Str("a"), Float(2)}) {
+		t.Error("Equal false negative")
+	}
+	if r.Equal(Record{Int(1), Str("a")}) {
+		t.Error("Equal arity false positive")
+	}
+	if r.Equal(Record{Int(1), Str("b"), Float(2)}) {
+		t.Error("Equal value false positive")
+	}
+	p := r.Project([]int{2, 0})
+	if !p.Equal(Record{Float(2), Int(1)}) {
+		t.Errorf("Project = %v", p)
+	}
+}
+
+func TestRecordString(t *testing.T) {
+	r := Record{Int(1), Str("a")}
+	if got := r.String(); got != `(1, "a")` {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestRecordEncodeDecodeRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		rec := make(Record, r.Intn(8))
+		for j := range rec {
+			rec[j] = randValue(r)
+		}
+		enc := rec.AppendEncode(nil)
+		got, n, err := DecodeRecord(enc)
+		if err != nil || n != len(enc) {
+			t.Fatalf("decode: %v (n=%d/%d)", err, n, len(enc))
+		}
+		if !rec.Equal(got) {
+			t.Fatalf("round trip %v -> %v", rec, got)
+		}
+	}
+	if _, _, err := DecodeRecord([]byte{0, 3, byte(KindInt)}); err == nil {
+		t.Error("truncated record accepted")
+	}
+	if _, _, err := DecodeRecord(nil); err == nil {
+		t.Error("empty record buffer accepted")
+	}
+}
+
+func TestKeyHelpers(t *testing.T) {
+	k := EncodeKeyValues(Int(5), Str("x"))
+	k2 := EncodeKeyValues(Int(5), Str("x"))
+	if !k.Equal(k2) {
+		t.Fatal("deterministic key encoding broken")
+	}
+	vals, err := DecodeKeyValues(k)
+	if err != nil || len(vals) != 2 || !Equal(vals[0], Int(5)) || !Equal(vals[1], Str("x")) {
+		t.Fatalf("DecodeKeyValues = %v, %v", vals, err)
+	}
+	c := k.Clone()
+	c[0] = 0xFF
+	if k.Equal(c) {
+		t.Fatal("Clone not independent")
+	}
+	if k.String() == "" {
+		t.Fatal("String empty")
+	}
+	rec := Record{Int(1), Str("b"), Int(3)}
+	kf := EncodeKeyFields(rec, []int{2, 1})
+	want := EncodeKeyValues(Int(3), Str("b"))
+	if !kf.Equal(want) {
+		t.Fatal("EncodeKeyFields mismatch")
+	}
+}
+
+func TestKeyOrderingComposite(t *testing.T) {
+	// Composite keys must order field-by-field.
+	a := EncodeKeyValues(Int(1), Str("z"))
+	b := EncodeKeyValues(Int(2), Str("a"))
+	if a.Compare(b) != -1 {
+		t.Fatal("composite key ordering broken")
+	}
+	c := EncodeKeyValues(Int(1), Str("a"))
+	if c.Compare(a) != -1 {
+		t.Fatal("second field ordering broken")
+	}
+}
+
+func TestDecodeRecordFields(t *testing.T) {
+	rec := Record{Int(7), Str("skip-me"), Float(2.5), Bytes([]byte{1, 2}), Null()}
+	enc := rec.AppendEncode(nil)
+
+	got, _, err := DecodeRecordFields(enc, []int{0, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(rec) {
+		t.Fatalf("arity = %d", len(got))
+	}
+	if !Equal(got[0], Int(7)) || !Equal(got[2], Float(2.5)) {
+		t.Fatalf("requested fields = %v", got)
+	}
+	if !got[1].IsNull() || !got[3].IsNull() {
+		t.Fatal("non-requested fields should be NULL placeholders")
+	}
+
+	// Empty field set: nothing materialised.
+	got, _, err = DecodeRecordFields(enc, nil)
+	if err != nil || len(got) != len(rec) {
+		t.Fatalf("empty fields: %v %v", got, err)
+	}
+	// Last field requested: all prior fields skipped, value correct.
+	got, _, err = DecodeRecordFields(enc, []int{4})
+	if err != nil || !got[4].IsNull() {
+		t.Fatalf("last field: %v %v", got, err)
+	}
+	got, _, err = DecodeRecordFields(enc, []int{3})
+	if err != nil || !Equal(got[3], Bytes([]byte{1, 2})) {
+		t.Fatalf("bytes field: %v %v", got, err)
+	}
+	// Errors on corrupt input.
+	if _, _, err := DecodeRecordFields(nil, []int{0}); err == nil {
+		t.Error("nil input accepted")
+	}
+	if _, _, err := DecodeRecordFields(enc[:5], []int{2}); err == nil {
+		t.Error("truncated input accepted")
+	}
+}
+
+func TestDecodeRecordFieldsMatchesFullDecodeProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	for i := 0; i < 300; i++ {
+		rec := make(Record, 1+r.Intn(8))
+		for j := range rec {
+			rec[j] = randValue(r)
+		}
+		enc := rec.AppendEncode(nil)
+		// A random subset of fields.
+		var fields []int
+		for j := range rec {
+			if r.Intn(2) == 0 {
+				fields = append(fields, j)
+			}
+		}
+		got, _, err := DecodeRecordFields(enc, fields)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		for _, f := range fields {
+			if !Equal(got[f], rec[f]) {
+				t.Fatalf("field %d: %v != %v", f, got[f], rec[f])
+			}
+		}
+	}
+}

@@ -1,0 +1,311 @@
+package types
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		KindNull: "NULL", KindInt: "INT", KindFloat: "FLOAT",
+		KindString: "STRING", KindBytes: "BYTES", KindBool: "BOOL",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestKindFromString(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Kind
+	}{
+		{"int", KindInt}, {"INTEGER", KindInt}, {"bigint", KindInt},
+		{"float", KindFloat}, {"DOUBLE", KindFloat},
+		{"string", KindString}, {"VARCHAR", KindString}, {"text", KindString},
+		{"bytes", KindBytes}, {"BLOB", KindBytes},
+		{"bool", KindBool}, {"BOOLEAN", KindBool},
+	} {
+		got, err := KindFromString(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("KindFromString(%q) = %v, %v; want %v", tc.in, got, err, tc.want)
+		}
+	}
+	if _, err := KindFromString("pointer"); err == nil {
+		t.Error("KindFromString(pointer) should fail")
+	}
+}
+
+func TestValueConstructorsAndAccessors(t *testing.T) {
+	if !Null().IsNull() {
+		t.Error("Null() not null")
+	}
+	if Int(7).AsInt() != 7 {
+		t.Error("Int round trip")
+	}
+	if Float(2.5).AsFloat() != 2.5 {
+		t.Error("Float round trip")
+	}
+	if Str("hi").S != "hi" {
+		t.Error("Str round trip")
+	}
+	if !Bool(true).AsBool() || Bool(false).AsBool() {
+		t.Error("Bool round trip")
+	}
+	if Float(3.9).AsInt() != 3 {
+		t.Error("AsInt truncation")
+	}
+	if Int(4).AsFloat() != 4.0 {
+		t.Error("AsFloat widening")
+	}
+	if Null().AsInt() != 0 || Null().AsFloat() != 0 || Null().AsBool() {
+		t.Error("NULL accessors should be zero")
+	}
+}
+
+func TestValueString(t *testing.T) {
+	for _, tc := range []struct {
+		v    Value
+		want string
+	}{
+		{Null(), "NULL"},
+		{Int(-3), "-3"},
+		{Float(1.5), "1.5"},
+		{Str("a\"b"), `"a\"b"`},
+		{Bytes([]byte{0xde, 0xad}), "x'dead'"},
+		{Bool(true), "TRUE"},
+		{Bool(false), "FALSE"},
+	} {
+		if got := tc.v.String(); got != tc.want {
+			t.Errorf("%#v.String() = %q, want %q", tc.v, got, tc.want)
+		}
+	}
+}
+
+func TestCompare(t *testing.T) {
+	for _, tc := range []struct {
+		a, b Value
+		want int
+	}{
+		{Null(), Null(), 0},
+		{Null(), Int(0), -1},
+		{Int(0), Null(), 1},
+		{Int(1), Int(2), -1},
+		{Int(2), Int(2), 0},
+		{Int(3), Int(2), 1},
+		{Float(1.5), Float(2.5), -1},
+		{Int(2), Float(2.5), -1}, // cross-numeric
+		{Float(2.0), Int(2), 0},  // cross-numeric equality
+		{Str("a"), Str("b"), -1},
+		{Str("ab"), Str("a"), 1},
+		{Bytes([]byte{1}), Bytes([]byte{1, 0}), -1},
+		{Bool(false), Bool(true), -1},
+		{Int(5), Str("5"), -1}, // cross-kind: kind tag order
+	} {
+		if got := Compare(tc.a, tc.b); got != tc.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+	}
+	if !Equal(Int(9), Int(9)) || Equal(Int(9), Int(8)) {
+		t.Error("Equal broken")
+	}
+}
+
+func randValue(r *rand.Rand) Value {
+	switch r.Intn(6) {
+	case 0:
+		return Null()
+	case 1:
+		return Int(r.Int63() - r.Int63())
+	case 2:
+		return Float(r.NormFloat64() * 1e6)
+	case 3:
+		b := make([]byte, r.Intn(20))
+		r.Read(b)
+		return Str(string(b))
+	case 4:
+		b := make([]byte, r.Intn(20))
+		r.Read(b)
+		return Bytes(b)
+	default:
+		return Bool(r.Intn(2) == 0)
+	}
+}
+
+func TestEncodeDecodeRoundTripProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for i := 0; i < 2000; i++ {
+		v := randValue(r)
+		enc := v.AppendEncode(nil)
+		got, n, err := DecodeValue(enc)
+		if err != nil {
+			t.Fatalf("decode %v: %v", v, err)
+		}
+		if n != len(enc) {
+			t.Fatalf("decode %v consumed %d of %d", v, n, len(enc))
+		}
+		if !Equal(v, got) {
+			t.Fatalf("round trip %v -> %v", v, got)
+		}
+	}
+}
+
+func TestOrderedEncodeRoundTripProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(43))
+	for i := 0; i < 2000; i++ {
+		v := randValue(r)
+		enc := v.AppendOrderedEncode(nil)
+		got, n, err := DecodeOrderedValue(enc)
+		if err != nil {
+			t.Fatalf("decode %v: %v", v, err)
+		}
+		if n != len(enc) {
+			t.Fatalf("decode %v consumed %d of %d", v, n, len(enc))
+		}
+		if !Equal(v, got) {
+			t.Fatalf("ordered round trip %v -> %v", v, got)
+		}
+	}
+}
+
+// TestOrderedEncodePreservesOrder is the core ordered-encoding invariant:
+// byte comparison of encodings must agree with Compare for same-kind values.
+func TestOrderedEncodePreservesOrder(t *testing.T) {
+	r := rand.New(rand.NewSource(44))
+	for i := 0; i < 5000; i++ {
+		a, b := randValue(r), randValue(r)
+		if a.K != b.K && !numericKinds(a.K, b.K) {
+			continue
+		}
+		if a.K == KindFloat || b.K == KindFloat {
+			// cross INT/FLOAT byte encodings are not comparable unless same kind
+			if a.K != b.K {
+				continue
+			}
+		}
+		ea := Key(a.AppendOrderedEncode(nil))
+		eb := Key(b.AppendOrderedEncode(nil))
+		want := Compare(a, b)
+		if got := ea.Compare(eb); got != want {
+			t.Fatalf("order mismatch %v vs %v: bytes %d, Compare %d", a, b, got, want)
+		}
+	}
+}
+
+func TestOrderedEncodeIntBoundaries(t *testing.T) {
+	vals := []int64{math.MinInt64, -1, 0, 1, math.MaxInt64}
+	var prev Key
+	for i, x := range vals {
+		enc := Key(Int(x).AppendOrderedEncode(nil))
+		if i > 0 && prev.Compare(enc) >= 0 {
+			t.Fatalf("ordered int %d not > previous", x)
+		}
+		prev = enc
+	}
+}
+
+func TestOrderedEncodeFloatSpecials(t *testing.T) {
+	vals := []float64{math.Inf(-1), -1e300, -1, -math.SmallestNonzeroFloat64, 0, math.SmallestNonzeroFloat64, 1, 1e300, math.Inf(1)}
+	var prev Key
+	for i, x := range vals {
+		enc := Key(Float(x).AppendOrderedEncode(nil))
+		if i > 0 && prev.Compare(enc) >= 0 {
+			t.Fatalf("ordered float %g not > previous", x)
+		}
+		prev = enc
+	}
+}
+
+func TestOrderedStringZeroBytes(t *testing.T) {
+	// Strings containing 0x00 must round-trip and order correctly.
+	a := Str("a\x00")
+	b := Str("a\x00\x00")
+	c := Str("a\x01")
+	ea := Key(a.AppendOrderedEncode(nil))
+	eb := Key(b.AppendOrderedEncode(nil))
+	ec := Key(c.AppendOrderedEncode(nil))
+	if ea.Compare(eb) != -1 || eb.Compare(ec) != -1 {
+		t.Fatalf("zero-byte ordering broken: %v %v %v", ea, eb, ec)
+	}
+	for _, v := range []Value{a, b, c} {
+		got, _, err := DecodeOrderedValue(v.AppendOrderedEncode(nil))
+		if err != nil || !Equal(v, got) {
+			t.Fatalf("round trip %v: got %v err %v", v, got, err)
+		}
+	}
+}
+
+func TestDecodeValueErrors(t *testing.T) {
+	cases := [][]byte{
+		{},                                  // empty
+		{byte(KindInt)},                     // truncated int
+		{byte(KindString), 0},               // truncated length
+		{byte(KindString), 0, 0, 0, 5, 'a'}, // truncated body
+		{99},                                // bad kind
+	}
+	for i, b := range cases {
+		if _, _, err := DecodeValue(b); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestDecodeOrderedValueErrors(t *testing.T) {
+	cases := [][]byte{
+		{},
+		{byte(KindFloat), 0},
+		{byte(KindString), 'a'},        // unterminated
+		{byte(KindString), 0x00, 0x7F}, // bad escape
+		{77},
+	}
+	for i, b := range cases {
+		if _, _, err := DecodeOrderedValue(b); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestQuickIntOrderedEncoding(t *testing.T) {
+	f := func(a, b int64) bool {
+		ea := Key(Int(a).AppendOrderedEncode(nil))
+		eb := Key(Int(b).AppendOrderedEncode(nil))
+		return ea.Compare(eb) == cmpInt(a, b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickStringOrderedEncoding(t *testing.T) {
+	f := func(a, b string) bool {
+		ea := Key(Str(a).AppendOrderedEncode(nil))
+		eb := Key(Str(b).AppendOrderedEncode(nil))
+		return ea.Compare(eb) == Compare(Str(a), Str(b))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickValueEncodeRoundTrip(t *testing.T) {
+	f := func(i int64, s string, bs []byte, b bool) bool {
+		for _, v := range []Value{Int(i), Str(s), Bytes(bs), Bool(b), Null()} {
+			enc := v.AppendEncode(nil)
+			got, n, err := DecodeValue(enc)
+			if err != nil || n != len(enc) || !Equal(v, got) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+var _ = reflect.DeepEqual // keep reflect import if unused paths change

@@ -1,0 +1,394 @@
+// Package wal implements the common recovery log of the data management
+// extension architecture.
+//
+// All storage method and attachment extensions log their modifications
+// here. The same log-based driver serves four duties the paper assigns to
+// the common recovery facility: undoing the partial effects of a vetoed
+// relation modification, partial transaction rollback to a savepoint,
+// transaction abort, and system-restart recovery. The log does not
+// interpret extension payloads; it dispatches undo and redo back to the
+// owning extension, identified by an Owner tag on each update record.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+)
+
+// LSN is a log sequence number. LSN 0 is "nil" (before every record).
+type LSN uint64
+
+// TxnID identifies a transaction in log records.
+type TxnID uint64
+
+// RecKind classifies log records.
+type RecKind uint8
+
+// Log record kinds.
+const (
+	RecUpdate       RecKind = iota // extension modification; Payload is extension-owned
+	RecCompensation                // CLR written while undoing an update
+	RecCommit
+	RecAbort
+	RecSavepoint // marks a partial-rollback point
+	RecEnd       // transaction fully finished (after commit/abort processing)
+)
+
+// String returns the record kind name.
+func (k RecKind) String() string {
+	switch k {
+	case RecUpdate:
+		return "UPDATE"
+	case RecCompensation:
+		return "CLR"
+	case RecCommit:
+		return "COMMIT"
+	case RecAbort:
+		return "ABORT"
+	case RecSavepoint:
+		return "SAVEPOINT"
+	case RecEnd:
+		return "END"
+	default:
+		return fmt.Sprintf("RecKind(%d)", uint8(k))
+	}
+}
+
+// OwnerClass says which kind of extension owns an update record.
+type OwnerClass uint8
+
+// Owner classes.
+const (
+	OwnerSystem     OwnerClass = iota // catalog and other common-system updates
+	OwnerStorage                      // a relation storage method
+	OwnerAttachment                   // an attachment type
+)
+
+// Owner identifies the extension responsible for undoing/redoing a log
+// record: the extension class, the small-integer extension ID used to index
+// the procedure vectors, and the relation the modification applied to.
+type Owner struct {
+	Class OwnerClass
+	ExtID uint8
+	RelID uint32
+}
+
+// Record is one log record.
+type Record struct {
+	LSN      LSN
+	Txn      TxnID
+	PrevLSN  LSN // previous record of the same transaction (undo chain)
+	UndoNext LSN // CLRs: next LSN of this txn still to be undone
+	Kind     RecKind
+	Owner    Owner
+	Payload  []byte
+}
+
+// Undoer receives undo dispatches during rollback. Implementations route
+// the call to the owning extension's undo entry point.
+type Undoer interface {
+	Undo(txn TxnID, owner Owner, payload []byte) error
+}
+
+// Redoer receives redo dispatches during restart recovery. compensation is
+// true for CLRs, whose redo applies the *inverse* of the logged
+// modification (history is repeated, including the undo work).
+type Redoer interface {
+	Redo(txn TxnID, owner Owner, payload []byte, compensation bool) error
+}
+
+// Log is the common write-ahead log. It keeps all records in memory and
+// optionally mirrors them to a file for restart recovery. A Log is safe
+// for concurrent use.
+type Log struct {
+	mu      sync.Mutex
+	records []Record
+	lastLSN map[TxnID]LSN
+	file    *os.File
+	buf     []byte // reusable frame buffer for file writes
+}
+
+// New returns an in-memory log (no persistence).
+func New() *Log {
+	return &Log{lastLSN: make(map[TxnID]LSN)}
+}
+
+// Open returns a log mirrored to the file at path, first loading any
+// records already present (e.g. after a crash). Corrupt trailing frames —
+// a torn final write — are truncated away.
+func Open(path string) (*Log, error) {
+	l := New()
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: open %s: %w", path, err)
+	}
+	validEnd, err := l.load(f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Truncate(validEnd); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: truncate torn tail: %w", err)
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, err
+	}
+	l.file = f
+	return l, nil
+}
+
+// Close releases the backing file, if any.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.file == nil {
+		return nil
+	}
+	err := l.file.Close()
+	l.file = nil
+	return err
+}
+
+// Append writes an update-class record for txn owned by owner and returns
+// its LSN. Payload is copied.
+func (l *Log) Append(txn TxnID, kind RecKind, owner Owner, payload []byte) (LSN, error) {
+	return l.append(txn, kind, owner, payload, 0)
+}
+
+// AppendCLR writes a compensation record whose UndoNext points at the next
+// record of the transaction still requiring undo.
+func (l *Log) AppendCLR(txn TxnID, owner Owner, payload []byte, undoNext LSN) (LSN, error) {
+	return l.append(txn, RecCompensation, owner, payload, undoNext)
+}
+
+func (l *Log) append(txn TxnID, kind RecKind, owner Owner, payload []byte, undoNext LSN) (LSN, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	rec := Record{
+		LSN:      LSN(len(l.records) + 1),
+		Txn:      txn,
+		PrevLSN:  l.lastLSN[txn],
+		UndoNext: undoNext,
+		Kind:     kind,
+		Owner:    owner,
+		Payload:  append([]byte(nil), payload...),
+	}
+	if l.file != nil {
+		if err := l.writeFrame(rec); err != nil {
+			return 0, err
+		}
+	}
+	l.records = append(l.records, rec)
+	if kind == RecEnd {
+		delete(l.lastLSN, txn)
+	} else {
+		l.lastLSN[txn] = rec.LSN
+	}
+	return rec.LSN, nil
+}
+
+// LastLSN returns the most recent LSN written for txn (0 if none).
+func (l *Log) LastLSN(txn TxnID) LSN {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.lastLSN[txn]
+}
+
+// Len returns the number of records in the log.
+func (l *Log) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.records)
+}
+
+// At returns the record with the given LSN.
+func (l *Log) At(lsn LSN) (Record, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if lsn == 0 || int(lsn) > len(l.records) {
+		return Record{}, false
+	}
+	return l.records[lsn-1], true
+}
+
+// Records returns a snapshot copy of all records, in LSN order.
+func (l *Log) Records() []Record {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]Record(nil), l.records...)
+}
+
+// Rollback undoes txn's update records back to (but not including) toLSN,
+// dispatching each undo to d and writing a CLR per undone record. With
+// toLSN 0 it rolls back the whole transaction. CLRs already in the chain
+// are skipped via their UndoNext pointers, so a rollback that itself
+// crashed mid-way is never undone twice.
+func (l *Log) Rollback(txn TxnID, toLSN LSN, d Undoer) error {
+	cur := l.LastLSN(txn)
+	for cur > toLSN {
+		rec, ok := l.At(cur)
+		if !ok {
+			return fmt.Errorf("wal: broken undo chain: txn %d lsn %d", txn, cur)
+		}
+		if rec.Txn != txn {
+			return fmt.Errorf("wal: undo chain crossed transactions at lsn %d", cur)
+		}
+		switch rec.Kind {
+		case RecCompensation:
+			cur = rec.UndoNext
+		case RecUpdate:
+			if err := d.Undo(txn, rec.Owner, rec.Payload); err != nil {
+				return fmt.Errorf("wal: undo dispatch lsn %d: %w", cur, err)
+			}
+			if _, err := l.AppendCLR(txn, rec.Owner, rec.Payload, rec.PrevLSN); err != nil {
+				return err
+			}
+			cur = rec.PrevLSN
+		default: // savepoints, commit markers: nothing to undo
+			cur = rec.PrevLSN
+		}
+	}
+	return nil
+}
+
+// ActiveTxns returns the transactions with log records but no END record —
+// the "loser" set at restart.
+func (l *Log) ActiveTxns() []TxnID {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]TxnID, 0, len(l.lastLSN))
+	for t := range l.lastLSN {
+		out = append(out, t)
+	}
+	return out
+}
+
+// Recover performs restart recovery: redo all update and compensation
+// records in LSN order (repeating history), then roll back every
+// transaction that has no COMMIT record, writing abort/end markers.
+// Committed-but-unended transactions are simply marked ended.
+func (l *Log) Recover(r Redoer, u Undoer) error {
+	committed := map[TxnID]bool{}
+	for _, rec := range l.Records() {
+		if rec.Kind == RecCommit {
+			committed[rec.Txn] = true
+		}
+	}
+	for _, rec := range l.Records() {
+		if rec.Kind == RecUpdate || rec.Kind == RecCompensation {
+			if err := r.Redo(rec.Txn, rec.Owner, rec.Payload, rec.Kind == RecCompensation); err != nil {
+				return fmt.Errorf("wal: redo lsn %d: %w", rec.LSN, err)
+			}
+		}
+	}
+	for _, txn := range l.ActiveTxns() {
+		if committed[txn] {
+			if _, err := l.Append(txn, RecEnd, Owner{}, nil); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := l.Rollback(txn, 0, u); err != nil {
+			return err
+		}
+		if _, err := l.Append(txn, RecAbort, Owner{}, nil); err != nil {
+			return err
+		}
+		if _, err := l.Append(txn, RecEnd, Owner{}, nil); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// frame format: len(u32) | crc(u32) | body; body is the encoded record.
+
+func (l *Log) writeFrame(rec Record) error {
+	body := encodeRecord(rec)
+	l.buf = l.buf[:0]
+	l.buf = binary.BigEndian.AppendUint32(l.buf, uint32(len(body)))
+	l.buf = binary.BigEndian.AppendUint32(l.buf, crc32.ChecksumIEEE(body))
+	l.buf = append(l.buf, body...)
+	if _, err := l.file.Write(l.buf); err != nil {
+		return fmt.Errorf("wal: write frame: %w", err)
+	}
+	return nil
+}
+
+// Sync flushes the backing file to stable storage.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.file == nil {
+		return nil
+	}
+	return l.file.Sync()
+}
+
+func (l *Log) load(f *os.File) (validEnd int64, err error) {
+	data, err := io.ReadAll(f)
+	if err != nil {
+		return 0, fmt.Errorf("wal: read: %w", err)
+	}
+	pos := 0
+	for {
+		if pos+8 > len(data) {
+			break
+		}
+		n := int(binary.BigEndian.Uint32(data[pos:]))
+		sum := binary.BigEndian.Uint32(data[pos+4:])
+		if pos+8+n > len(data) {
+			break // torn tail
+		}
+		body := data[pos+8 : pos+8+n]
+		if crc32.ChecksumIEEE(body) != sum {
+			break // corrupt tail
+		}
+		rec, derr := decodeRecord(body)
+		if derr != nil {
+			break
+		}
+		l.records = append(l.records, rec)
+		if rec.Kind == RecEnd {
+			delete(l.lastLSN, rec.Txn)
+		} else {
+			l.lastLSN[rec.Txn] = rec.LSN
+		}
+		pos += 8 + n
+	}
+	return int64(pos), nil
+}
+
+func encodeRecord(rec Record) []byte {
+	out := make([]byte, 0, 40+len(rec.Payload))
+	out = binary.BigEndian.AppendUint64(out, uint64(rec.LSN))
+	out = binary.BigEndian.AppendUint64(out, uint64(rec.Txn))
+	out = binary.BigEndian.AppendUint64(out, uint64(rec.PrevLSN))
+	out = binary.BigEndian.AppendUint64(out, uint64(rec.UndoNext))
+	out = append(out, byte(rec.Kind), byte(rec.Owner.Class), rec.Owner.ExtID)
+	out = binary.BigEndian.AppendUint32(out, rec.Owner.RelID)
+	out = append(out, rec.Payload...)
+	return out
+}
+
+func decodeRecord(b []byte) (Record, error) {
+	if len(b) < 39 {
+		return Record{}, fmt.Errorf("wal: short record body (%d bytes)", len(b))
+	}
+	rec := Record{
+		LSN:      LSN(binary.BigEndian.Uint64(b[0:])),
+		Txn:      TxnID(binary.BigEndian.Uint64(b[8:])),
+		PrevLSN:  LSN(binary.BigEndian.Uint64(b[16:])),
+		UndoNext: LSN(binary.BigEndian.Uint64(b[24:])),
+		Kind:     RecKind(b[32]),
+		Owner:    Owner{Class: OwnerClass(b[33]), ExtID: b[34], RelID: binary.BigEndian.Uint32(b[35:])},
+	}
+	rec.Payload = append([]byte(nil), b[39:]...)
+	return rec, nil
+}
