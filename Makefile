@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: build test check bench fmt vet
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# check is the pre-merge gate: tier-1 build + tests, then the full suite
+# again under the race detector with caching disabled.
+check: build
+	$(GO) test ./...
+	$(GO) test -race -count=1 ./...
+
+bench:
+	$(GO) run ./cmd/dmxbench
+
+fmt:
+	gofmt -l .
+
+vet:
+	$(GO) vet ./...

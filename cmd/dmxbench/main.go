@@ -12,9 +12,11 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"strings"
@@ -89,6 +91,7 @@ func main() {
 		{"A1", "ablation: skipping index maintenance when no indexed field changed", a1SkipUnchanged},
 		{"A2", "ablation: remote scan batch size", a2RemoteBatch},
 		{"A3", "ablation: ORDER BY via ordered access path vs scan + sort", a3OrderedAccess},
+		{"OBS", "engine-wide observability snapshot after a mixed workload", obsSnapshot},
 	}
 	for _, ex := range experiments {
 		if *runOnly != "" && !strings.EqualFold(*runOnly, ex.id) {
@@ -1021,4 +1024,105 @@ func a3OrderedAccess() []*rig.Table {
 	measure("full table (ORDER BY, no limit)",
 		plan.Query{Table: "emp", Fields: []int{2}, OrderBy: []int{2}}, -1)
 	return []*rig.Table{t}
+}
+
+// --- OBS: engine-wide observability snapshot ---
+
+// obsSnapshot drives every instrumented subsystem — per-extension dispatch
+// (heap + b-tree index + check constraint), a veto with log-driven undo,
+// lock contention, file-backed log appends and syncs, buffer traffic —
+// then prints the Env.MetricsSnapshot JSON document.
+func obsSnapshot() []*rig.Table {
+	check.RegisterPredicate("obspos", expr.Ge(expr.Field(0), expr.Const(types.Int(0))))
+	dir, err := os.MkdirTemp("", "dmxbench-obs")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+	log, err := wal.Open(filepath.Join(dir, "wal.log"))
+	if err != nil {
+		panic(err)
+	}
+	defer log.Close()
+	env := core.NewEnv(core.Config{Log: log, PoolFrames: 64})
+	rig.MustCreate(env, "emp", "heap", nil)
+	rig.MustAttach(env, "emp", "btree", core.AttrList{"name": "i1", "on": "dno"})
+	rig.MustAttach(env, "emp", "check", core.AttrList{"name": "pos", "predicate": "obspos"})
+	emp, err := env.OpenRelationByName("emp")
+	if err != nil {
+		panic(err)
+	}
+
+	rows := n(1000)
+	var keys []types.Key
+	rig.WithTxn(env, func(tx *txn.Txn) {
+		for i := 0; i < rows; i++ {
+			k, err := emp.Insert(tx, rig.EmpRecord(i, 20))
+			if err != nil {
+				panic(err)
+			}
+			keys = append(keys, k)
+		}
+	})
+	rig.WithTxn(env, func(tx *txn.Txn) {
+		for i := 0; i < rows/10; i++ {
+			if _, err := emp.Fetch(tx, keys[i], nil, nil); err != nil {
+				panic(err)
+			}
+		}
+		if _, err := emp.Update(tx, keys[0], rig.EmpRecord(rows, 20)); err != nil {
+			panic(err)
+		}
+		if err := emp.Delete(tx, keys[1]); err != nil {
+			panic(err)
+		}
+		scan, err := emp.OpenScan(tx, core.ScanOptions{})
+		if err != nil {
+			panic(err)
+		}
+		for {
+			if _, _, ok, err := scan.Next(); err != nil || !ok {
+				break
+			}
+		}
+		scan.Close()
+	})
+	// A vetoed insert exercises the per-attachment veto counter and the
+	// log-driven undo path.
+	rig.WithTxn(env, func(tx *txn.Txn) {
+		rec := rig.EmpRecord(rows+1, 20)
+		rec[0] = types.Int(-1)
+		if _, err := emp.Insert(tx, rec); err == nil {
+			panic("vetoed insert accepted")
+		}
+	})
+	// Lock contention: a second transaction waits on a key the first holds.
+	hot := lock.KeyResource(999, []byte("hot"))
+	tx1 := env.Begin()
+	if err := tx1.Lock(hot, lock.ModeX); err != nil {
+		panic(err)
+	}
+	released := make(chan struct{})
+	go func() {
+		time.Sleep(2 * time.Millisecond)
+		tx1.Commit()
+		close(released)
+	}()
+	tx2 := env.Begin()
+	if err := tx2.Lock(hot, lock.ModeX); err != nil {
+		panic(err)
+	}
+	tx2.Commit()
+	<-released
+	if err := log.Sync(); err != nil {
+		panic(err)
+	}
+
+	fmt.Println("engine metrics snapshot (Env.MetricsSnapshot):")
+	raw, err := json.MarshalIndent(env.MetricsSnapshot(), "", "  ")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(string(raw))
+	return nil
 }

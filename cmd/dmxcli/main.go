@@ -12,6 +12,7 @@ package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -42,7 +43,7 @@ func main() {
 				fmt.Fprintln(os.Stderr, "dmxcli:", err)
 				os.Exit(1)
 			}
-			if err := run(session, f, os.Stdout, false); err != nil {
+			if err := run(db.Env, session, f, os.Stdout, false); err != nil {
 				f.Close()
 				fmt.Fprintln(os.Stderr, "dmxcli:", err)
 				os.Exit(1)
@@ -51,17 +52,18 @@ func main() {
 		}
 		return
 	}
-	fmt.Println("dmx shell — statements end at end of line; \\ continues; ctrl-D exits")
-	if err := run(session, os.Stdin, os.Stdout, true); err != nil {
+	fmt.Println("dmx shell — statements end at end of line; \\ continues; \\metrics dumps counters; ctrl-D exits")
+	if err := run(db.Env, session, os.Stdin, os.Stdout, true); err != nil {
 		fmt.Fprintln(os.Stderr, "dmxcli:", err)
 		os.Exit(1)
 	}
 }
 
-// run executes statements from r, writing results to w. In interactive
-// mode errors are printed and the loop continues; in script mode the
-// first error stops execution.
-func run(session *dmx.Session, r io.Reader, w io.Writer, interactive bool) error {
+// run executes statements from r, writing results to w. Lines starting
+// with a backslash are shell commands (\metrics). In interactive mode
+// errors are printed and the loop continues; in script mode the first
+// error stops execution.
+func run(env *dmx.Env, session *dmx.Session, r io.Reader, w io.Writer, interactive bool) error {
 	scanner := bufio.NewScanner(r)
 	scanner.Buffer(make([]byte, 1<<20), 1<<20)
 	var pending strings.Builder
@@ -88,6 +90,16 @@ func run(session *dmx.Session, r io.Reader, w io.Writer, interactive bool) error
 		if stmt == "" || strings.HasPrefix(stmt, "--") {
 			continue
 		}
+		if strings.HasPrefix(stmt, "\\") {
+			if err := command(env, w, stmt); err != nil {
+				if interactive {
+					fmt.Fprintln(w, "error:", err)
+					continue
+				}
+				return err
+			}
+			continue
+		}
 		res, err := session.Exec(stmt)
 		if err != nil {
 			if interactive {
@@ -97,6 +109,21 @@ func run(session *dmx.Session, r io.Reader, w io.Writer, interactive bool) error
 			return fmt.Errorf("%q: %w", stmt, err)
 		}
 		printResult(w, res)
+	}
+}
+
+// command dispatches a backslash shell command.
+func command(env *dmx.Env, w io.Writer, stmt string) error {
+	switch stmt {
+	case "\\metrics":
+		raw, err := json.MarshalIndent(env.MetricsSnapshot(), "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, string(raw))
+		return nil
+	default:
+		return fmt.Errorf("unknown command %q (try \\metrics)", stmt)
 	}
 }
 

@@ -15,7 +15,7 @@ func runScript(t *testing.T, script string) string {
 	}
 	defer db.Close()
 	var out strings.Builder
-	if err := run(db.NewSession(), strings.NewReader(script), &out, false); err != nil {
+	if err := run(db.Env, db.NewSession(), strings.NewReader(script), &out, false); err != nil {
 		t.Fatalf("script failed: %v\noutput so far:\n%s", err, out.String())
 	}
 	return out.String()
@@ -61,7 +61,7 @@ func TestScriptErrorStopsBatchMode(t *testing.T) {
 	db, _ := dmx.Open(dmx.Config{})
 	defer db.Close()
 	var out strings.Builder
-	err := run(db.NewSession(), strings.NewReader("NOT A STATEMENT\n"), &out, false)
+	err := run(db.Env, db.NewSession(), strings.NewReader("NOT A STATEMENT\n"), &out, false)
 	if err == nil {
 		t.Fatal("batch mode should stop on error")
 	}
@@ -72,10 +72,33 @@ func TestInteractiveModeContinuesAfterError(t *testing.T) {
 	defer db.Close()
 	var out strings.Builder
 	script := "BROKEN\nCREATE TABLE t (id INT) USING memory\nSHOW TABLES\n"
-	if err := run(db.NewSession(), strings.NewReader(script), &out, true); err != nil {
+	if err := run(db.Env, db.NewSession(), strings.NewReader(script), &out, true); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "error:") || !strings.Contains(out.String(), `"t"`) {
 		t.Fatalf("interactive recovery failed:\n%s", out.String())
+	}
+}
+
+func TestMetricsCommand(t *testing.T) {
+	out := runScript(t, `
+CREATE TABLE emp (eno INT NOT NULL, name STRING) USING heap
+INSERT INTO emp VALUES (1, 'ada'), (2, 'bob')
+SELECT * FROM emp
+\metrics
+`)
+	for _, want := range []string{`"storage_methods"`, `"heap"`, `"lock"`, `"wal"`, `"buffer"`, `"totals"`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("\\metrics output missing %s:\n%s", want, out)
+		}
+	}
+}
+
+func TestUnknownCommandErrors(t *testing.T) {
+	db, _ := dmx.Open(dmx.Config{})
+	defer db.Close()
+	var out strings.Builder
+	if err := run(db.Env, db.NewSession(), strings.NewReader("\\bogus\n"), &out, false); err == nil {
+		t.Fatal("unknown backslash command should fail in batch mode")
 	}
 }

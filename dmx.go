@@ -168,12 +168,15 @@ func Open(cfg Config) (*DB, error) {
 	return db, nil
 }
 
-// Close releases the database's file resources. In-flight transactions
-// are not waited for.
+// Close flushes dirty buffer frames to the backing disk and releases the
+// database's file resources. In-flight transactions are not waited for.
 func (db *DB) Close() error {
-	var first error
+	// Dirty frames must reach the disk before it is closed; without this
+	// a file-backed database reopened without log replay reads the zero
+	// pages FileDisk.Allocate wrote at extension time.
+	first := db.Env.Pool.FlushAll()
 	if db.log != nil {
-		if err := db.log.Close(); err != nil {
+		if err := db.log.Close(); err != nil && first == nil {
 			first = err
 		}
 	}

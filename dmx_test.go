@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"dmx/internal/expr"
+	"dmx/internal/pagefile"
 	"dmx/internal/types"
 )
 
@@ -197,5 +198,51 @@ func TestExecErrorWrapsStatement(t *testing.T) {
 	_, err := db.Exec("SELEKT nothing")
 	if err == nil || !errors.Is(err, err) {
 		t.Fatal("bad statement accepted")
+	}
+}
+
+func TestCloseFlushesDirtyFramesToDisk(t *testing.T) {
+	// Regression: Close used to close the page file without flushing the
+	// buffer pool, so heap pages dirtied in memory never reached disk —
+	// the file held only the zero pages written at allocation time.
+	dir := t.TempDir()
+	diskPath := filepath.Join(dir, "data.db")
+	db, err := Open(Config{DiskPath: diskPath, PoolFrames: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(
+		"CREATE TABLE t (id INT NOT NULL, v STRING) USING heap",
+		"INSERT INTO t VALUES (1, 'persisted-by-close')",
+	); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	d, err := pagefile.OpenFileDisk(diskPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if d.NumPages() == 0 {
+		t.Fatal("no pages allocated")
+	}
+	buf := make([]byte, pagefile.PageSize)
+	nonZero := false
+	for id := pagefile.PageID(0); id < d.NumPages() && !nonZero; id++ {
+		if err := d.ReadPage(id, buf); err != nil {
+			t.Fatal(err)
+		}
+		for _, b := range buf {
+			if b != 0 {
+				nonZero = true
+				break
+			}
+		}
+	}
+	if !nonZero {
+		t.Fatal("all pages are zero after Close: dirty frames were dropped")
 	}
 }

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"sync"
 
+	"dmx/internal/obs"
 	"dmx/internal/pagefile"
 )
 
@@ -35,14 +36,15 @@ type Stats struct {
 
 // Pool is a fixed-capacity page buffer over one Disk. It is safe for
 // concurrent use; callers serialise access to a given page's contents with
-// the lock manager.
+// the lock manager. Traffic counters live in an obs.BufferStats so the
+// pool appears in the engine-wide metrics snapshot.
 type Pool struct {
 	mu       sync.Mutex
 	disk     pagefile.Disk
 	capacity int
 	frames   map[pagefile.PageID]*Frame
 	lru      *list.List // unpinned frames, front = LRU victim
-	stats    Stats
+	obs      *obs.BufferStats
 }
 
 // NewPool returns a pool of the given frame capacity over disk.
@@ -55,7 +57,19 @@ func NewPool(disk pagefile.Disk, capacity int) *Pool {
 		capacity: capacity,
 		frames:   make(map[pagefile.PageID]*Frame, capacity),
 		lru:      list.New(),
+		obs:      &obs.BufferStats{},
 	}
+}
+
+// SetObs points the pool's instrumentation at a shared metric registry.
+// Call at assembly, before traffic.
+func (p *Pool) SetObs(bs *obs.BufferStats) {
+	if bs == nil {
+		return
+	}
+	p.mu.Lock()
+	p.obs = bs
+	p.mu.Unlock()
 }
 
 // Disk returns the underlying device.
@@ -67,11 +81,11 @@ func (p *Pool) Pin(id pagefile.PageID) (*Frame, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if f, ok := p.frames[id]; ok {
-		p.stats.Hits++
+		p.obs.Hits.Inc()
 		p.pinLocked(f)
 		return f, nil
 	}
-	p.stats.Misses++
+	p.obs.Misses.Inc()
 	f, err := p.frameForLocked(id)
 	if err != nil {
 		return nil, err
@@ -83,21 +97,23 @@ func (p *Pool) Pin(id pagefile.PageID) (*Frame, error) {
 	return f, nil
 }
 
-// NewPage allocates a fresh zero page on disk and returns it pinned.
+// NewPage allocates a fresh zero page on disk and returns it pinned. A
+// frame is secured before the disk page is allocated, so a pool exhausted
+// by pinned frames fails cleanly instead of leaking the allocated page.
 func (p *Pool) NewPage() (*Frame, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.frames) >= p.capacity {
+		if err := p.evictLocked(); err != nil {
+			return nil, err
+		}
+	}
 	id, err := p.disk.Allocate()
 	if err != nil {
 		return nil, err
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	f, err := p.frameForLocked(id)
-	if err != nil {
-		return nil, err
-	}
-	for i := range f.Data {
-		f.Data[i] = 0
-	}
+	f := &Frame{ID: id, Data: make([]byte, pagefile.PageSize), pins: 1}
+	p.frames[id] = f
 	f.dirty = true
 	return f, nil
 }
@@ -130,7 +146,7 @@ func (p *Pool) evictLocked() error {
 	p.lru.Remove(el)
 	victim.lru = nil
 	delete(p.frames, victim.ID)
-	p.stats.Evictions++
+	p.obs.Evictions.Inc()
 	return nil
 }
 
@@ -173,6 +189,7 @@ func (p *Pool) FlushAll() error {
 				return err
 			}
 			f.dirty = false
+			p.obs.Flushes.Inc()
 		}
 	}
 	return nil
@@ -182,7 +199,11 @@ func (p *Pool) FlushAll() error {
 func (p *Pool) Stats() Stats {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return p.stats
+	return Stats{
+		Hits:      p.obs.Hits.Load(),
+		Misses:    p.obs.Misses.Load(),
+		Evictions: p.obs.Evictions.Load(),
+	}
 }
 
 // PinnedCount returns the number of frames currently pinned (for tests).

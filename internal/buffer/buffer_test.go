@@ -1,10 +1,34 @@
 package buffer
 
 import (
+	"errors"
 	"testing"
 
 	"dmx/internal/pagefile"
 )
+
+// faultDisk wraps a MemDisk and injects failures on demand.
+type faultDisk struct {
+	*pagefile.MemDisk
+	failRead  bool
+	failWrite bool
+}
+
+var errInjected = errors.New("injected disk fault")
+
+func (d *faultDisk) ReadPage(id pagefile.PageID, buf []byte) error {
+	if d.failRead {
+		return errInjected
+	}
+	return d.MemDisk.ReadPage(id, buf)
+}
+
+func (d *faultDisk) WritePage(id pagefile.PageID, buf []byte) error {
+	if d.failWrite {
+		return errInjected
+	}
+	return d.MemDisk.WritePage(id, buf)
+}
 
 func newPool(t *testing.T, capacity, pages int) (*Pool, *pagefile.MemDisk) {
 	t.Helper()
@@ -172,6 +196,121 @@ func TestPinMissingPageFails(t *testing.T) {
 		t.Fatal(err)
 	}
 	p.Unpin(f, false)
+}
+
+func TestNewPageExhaustedPoolDoesNotLeakPage(t *testing.T) {
+	// Regression: NewPage used to allocate the disk page before securing a
+	// frame, so a pool exhausted by pinned frames leaked the new page.
+	p, d := newPool(t, 2, 2)
+	a, _ := p.Pin(0)
+	b, _ := p.Pin(1)
+	before := d.NumPages()
+	if _, err := p.NewPage(); err == nil {
+		t.Fatal("NewPage with all frames pinned should fail")
+	}
+	if d.NumPages() != before {
+		t.Fatalf("failed NewPage leaked a disk page: %d -> %d pages", before, d.NumPages())
+	}
+	// After releasing a pin the same call must succeed.
+	p.Unpin(a, false)
+	f, err := p.NewPage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumPages() != before+1 {
+		t.Fatalf("pages = %d, want %d", d.NumPages(), before+1)
+	}
+	p.Unpin(f, true)
+	p.Unpin(b, false)
+}
+
+func TestPinReadFailureDiscardsFrame(t *testing.T) {
+	d := &faultDisk{MemDisk: pagefile.NewMemDisk()}
+	if _, err := d.Allocate(); err != nil {
+		t.Fatal(err)
+	}
+	p := NewPool(d, 2)
+	d.failRead = true
+	if _, err := p.Pin(0); !errors.Is(err, errInjected) {
+		t.Fatalf("Pin error = %v, want injected fault", err)
+	}
+	// The half-initialised frame must not stay pooled: a retry after the
+	// fault clears must re-read from disk, not hit stale zeroes.
+	d.failRead = false
+	buf := make([]byte, pagefile.PageSize)
+	buf[0] = 0xEE
+	if err := d.WritePage(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	f, err := p.Pin(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Data[0] != 0xEE {
+		t.Fatal("failed Pin left a stale frame in the pool")
+	}
+	p.Unpin(f, false)
+}
+
+func TestEvictionWritebackFailure(t *testing.T) {
+	d := &faultDisk{MemDisk: pagefile.NewMemDisk()}
+	for i := 0; i < 2; i++ {
+		if _, err := d.Allocate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p := NewPool(d, 1)
+	f, _ := p.Pin(0)
+	f.Data[0] = 0x11
+	p.Unpin(f, true)
+
+	d.failWrite = true
+	if _, err := p.Pin(1); !errors.Is(err, errInjected) {
+		t.Fatalf("Pin error = %v, want injected write-back fault", err)
+	}
+	// The dirty victim must survive the failed eviction with its data.
+	d.failWrite = false
+	g, err := p.Pin(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Data[0] != 0x11 {
+		t.Fatal("dirty frame lost after failed write-back")
+	}
+	p.Unpin(g, false)
+	if err := p.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, pagefile.PageSize)
+	d.ReadPage(0, buf)
+	if buf[0] != 0x11 {
+		t.Fatal("dirty page never reached disk")
+	}
+}
+
+func TestFlushAllWriteFailure(t *testing.T) {
+	d := &faultDisk{MemDisk: pagefile.NewMemDisk()}
+	if _, err := d.Allocate(); err != nil {
+		t.Fatal(err)
+	}
+	p := NewPool(d, 2)
+	f, _ := p.Pin(0)
+	f.Data[0] = 0x22
+	p.Unpin(f, true)
+	d.failWrite = true
+	if err := p.FlushAll(); !errors.Is(err, errInjected) {
+		t.Fatalf("FlushAll error = %v, want injected fault", err)
+	}
+	// Frame stays dirty; a later flush must still persist it.
+	d.failWrite = false
+	if err := p.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, pagefile.PageSize)
+	d.ReadPage(0, buf)
+	if buf[0] != 0x22 {
+		t.Fatal("page not persisted after retried FlushAll")
+	}
 }
 
 func TestDiskAccessor(t *testing.T) {

@@ -1,11 +1,15 @@
 package core_test
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
+	"strings"
+	"sync"
 	"testing"
 
 	"dmx/internal/core"
+	"dmx/internal/obs"
 	_ "dmx/internal/sm/memsm"
 	_ "dmx/internal/sm/tempsm"
 	"dmx/internal/txn"
@@ -587,5 +591,177 @@ func TestMetricsCountCalls(t *testing.T) {
 	tx.Commit()
 	if env.Metrics.SMCalls.Load() != 10 || env.Metrics.AttCalls.Load() != 10 {
 		t.Fatalf("metrics: sm=%d att=%d", env.Metrics.SMCalls.Load(), env.Metrics.AttCalls.Load())
+	}
+}
+
+func TestMetricsSnapshotMixedWorkload(t *testing.T) {
+	env := core.NewEnv(core.Config{})
+	rd := mkRel(t, env, "mix", "memory", "trace", "veto")
+	r, err := env.OpenRelation(rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := env.Begin()
+	var keys []types.Key
+	for i := 0; i < 5; i++ {
+		k, err := r.Insert(tx, rec(int64(i), "x"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		keys = append(keys, k)
+	}
+	if _, err := r.Update(tx, keys[0], rec(7, "y")); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Delete(tx, keys[1]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Fetch(tx, keys[2], nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	scan, err := r.OpenScan(tx, core.ScanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scan.Close()
+	if _, err := r.Insert(tx, rec(-1, "neg")); err == nil {
+		t.Fatal("veto attachment should reject negative ids")
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := env.MetricsSnapshot()
+
+	findExt := func(list []obs.ExtSnapshot, name string) *obs.ExtSnapshot {
+		for i := range list {
+			if list[i].Name == name {
+				return &list[i]
+			}
+		}
+		return nil
+	}
+	opCount := func(e *obs.ExtSnapshot, op string) int64 {
+		for _, o := range e.Ops {
+			if o.Op == op {
+				return o.Count
+			}
+		}
+		return 0
+	}
+
+	sm := findExt(snap.SM, "memory")
+	if sm == nil {
+		t.Fatalf("no storage-method entry for memory: %+v", snap.SM)
+	}
+	for op, want := range map[string]int64{
+		"insert": 6, "update": 1, "delete": 1, "fetch": 1, "scan": 1,
+	} {
+		if got := opCount(sm, op); got != want {
+			t.Errorf("memory %s count = %d, want %d", op, got, want)
+		}
+	}
+	for _, o := range sm.Ops {
+		if o.Count > 0 && o.Latency.Count != o.Count {
+			t.Errorf("memory %s: latency count %d != call count %d", o.Op, o.Latency.Count, o.Count)
+		}
+	}
+
+	tr := findExt(snap.Att, "trace")
+	if tr == nil {
+		t.Fatalf("no attachment entry for trace: %+v", snap.Att)
+	}
+	if got := opCount(tr, "insert"); got != 6 {
+		t.Errorf("trace insert count = %d, want 6", got)
+	}
+	ve := findExt(snap.Att, "veto")
+	if ve == nil {
+		t.Fatal("no attachment entry for veto")
+	}
+	if ve.Vetoes != 1 {
+		t.Errorf("veto vetoes = %d, want 1", ve.Vetoes)
+	}
+
+	if snap.Lock.Requests == 0 {
+		t.Error("lock requests should be non-zero")
+	}
+	if snap.WAL.Appends == 0 || snap.WAL.AppendBytes == 0 {
+		t.Error("wal appends should be non-zero")
+	}
+	if snap.WAL.Rollbacks == 0 {
+		t.Error("veto should have driven a log rollback")
+	}
+	if snap.Totals.SMCalls != env.Metrics.SMCalls.Load() || snap.Totals.Vetoes != 1 {
+		t.Errorf("totals mismatch: %+v", snap.Totals)
+	}
+
+	raw, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"storage_methods"`, `"attachments"`, `"lock"`, `"wal"`, `"buffer"`, `"totals"`, `"memory"`, `"veto"`} {
+		if !strings.Contains(string(raw), want) {
+			t.Errorf("snapshot JSON missing %s", want)
+		}
+	}
+}
+
+func TestMetricsSnapshotConcurrentSessions(t *testing.T) {
+	env := core.NewEnv(core.Config{})
+	const workers = 4
+	rels := make([]*core.Relation, workers)
+	for w := 0; w < workers; w++ {
+		rd := mkRel(t, env, fmt.Sprintf("c%d", w), "memory")
+		r, err := env.OpenRelation(rd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rels[w] = r
+	}
+
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := json.Marshal(env.MetricsSnapshot()); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+
+	var writers sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			for i := 0; i < 200; i++ {
+				tx := env.Begin()
+				if _, err := rels[w].Insert(tx, rec(int64(i), "x")); err != nil {
+					t.Error(err)
+					tx.Abort()
+					return
+				}
+				if err := tx.Commit(); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+
+	snap := env.MetricsSnapshot()
+	if snap.Totals.SMCalls != workers*200 {
+		t.Fatalf("sm calls = %d, want %d", snap.Totals.SMCalls, workers*200)
 	}
 }

@@ -3,24 +3,26 @@ package core
 import (
 	"fmt"
 	"sync"
-	"sync/atomic"
 
 	"dmx/internal/buffer"
 	"dmx/internal/expr"
 	"dmx/internal/lock"
+	"dmx/internal/obs"
 	"dmx/internal/pagefile"
 	"dmx/internal/txn"
 	"dmx/internal/wal"
 )
 
 // Metrics counts extension activity; the experiment harness reads these to
-// validate the paper's tuple-at-a-time call-volume claims.
+// validate the paper's tuple-at-a-time call-volume claims. The counters are
+// coarse totals; the per-extension breakdown (with latency) lives in
+// Env.Obs and is exported by MetricsSnapshot.
 type Metrics struct {
-	SMCalls  atomic.Int64 // storage method generic operation invocations
-	AttCalls atomic.Int64 // attached procedure invocations
-	Fetches  atomic.Int64 // direct-by-key accesses
-	Scans    atomic.Int64 // key-sequential accesses opened
-	Vetoes   atomic.Int64 // vetoed relation modifications
+	SMCalls  obs.Counter // storage method generic operation invocations
+	AttCalls obs.Counter // attached procedure invocations
+	Fetches  obs.Counter // direct-by-key accesses
+	Scans    obs.Counter // key-sequential accesses opened
+	Vetoes   obs.Counter // vetoed relation modifications
 }
 
 // Config assembles an environment.
@@ -50,6 +52,7 @@ type Env struct {
 	Cat     *Catalog
 	Authz   *Authz
 	Metrics Metrics
+	Obs     *obs.Engine
 
 	mu       sync.Mutex
 	smInst   map[uint32]StorageInstance
@@ -98,14 +101,20 @@ func NewEnv(cfg Config) *Env {
 	if cfg.PoolFrames == 0 {
 		cfg.PoolFrames = 256
 	}
+	engine := obs.NewEngine()
 	locks := lock.NewManager()
+	locks.SetObs(&engine.Lock)
+	cfg.Log.SetObs(&engine.WAL)
+	pool := buffer.NewPool(cfg.Disk, cfg.PoolFrames)
+	pool.SetObs(&engine.Buffer)
 	env := &Env{
 		Reg:      cfg.Registry,
 		Log:      cfg.Log,
 		Locks:    locks,
 		Txns:     txn.NewManager(cfg.Log, locks),
-		Pool:     buffer.NewPool(cfg.Disk, cfg.PoolFrames),
+		Pool:     pool,
 		Eval:     expr.NewEvaluator(),
+		Obs:      engine,
 		smInst:   make(map[uint32]StorageInstance),
 		attInst:  make(map[attKey]*attEntry),
 		extState: make(map[string]any),

@@ -1,0 +1,47 @@
+package core
+
+import "dmx/internal/obs"
+
+// MetricsSnapshot is the engine-wide observability snapshot: the obs
+// per-extension dispatch vectors (resolved to registered extension names),
+// lock manager, recovery log, and buffer pool statistics, plus the legacy
+// coarse totals. It marshals to a single JSON document.
+type MetricsSnapshot struct {
+	obs.Snapshot
+	Totals TotalsSnapshot `json:"totals"`
+}
+
+// TotalsSnapshot mirrors the legacy Metrics counters.
+type TotalsSnapshot struct {
+	SMCalls  int64 `json:"sm_calls"`
+	AttCalls int64 `json:"att_calls"`
+	Fetches  int64 `json:"fetches"`
+	Scans    int64 `json:"scans"`
+	Vetoes   int64 `json:"vetoes"`
+}
+
+// MetricsSnapshot captures a consistent-enough point-in-time view of every
+// counter in the environment. Safe to call concurrently with traffic.
+func (env *Env) MetricsSnapshot() MetricsSnapshot {
+	s := env.Obs.Snapshot()
+	for i := range s.SM {
+		if ops := env.Reg.StorageOps(SMID(s.SM[i].ID)); ops != nil {
+			s.SM[i].Name = ops.Name
+		}
+	}
+	for i := range s.Att {
+		if ops := env.Reg.AttachmentOps(AttID(s.Att[i].ID)); ops != nil {
+			s.Att[i].Name = ops.Name
+		}
+	}
+	return MetricsSnapshot{
+		Snapshot: s,
+		Totals: TotalsSnapshot{
+			SMCalls:  env.Metrics.SMCalls.Load(),
+			AttCalls: env.Metrics.AttCalls.Load(),
+			Fetches:  env.Metrics.Fetches.Load(),
+			Scans:    env.Metrics.Scans.Load(),
+			Vetoes:   env.Metrics.Vetoes.Load(),
+		},
+	}
+}

@@ -2,9 +2,11 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"dmx/internal/expr"
 	"dmx/internal/lock"
+	"dmx/internal/obs"
 	"dmx/internal/txn"
 	"dmx/internal/types"
 	"dmx/internal/wal"
@@ -66,14 +68,16 @@ func (r *Relation) Insert(tx *txn.Txn, rec types.Record) (types.Key, error) {
 	}
 	mark := r.env.Log.LastLSN(tx.ID())
 	r.env.Metrics.SMCalls.Add(1)
+	start := time.Now()
 	key, err := r.sm.Insert(tx, rec)
+	r.env.Obs.SM.Observe(int(r.rd.SM), obs.OpInsert, time.Since(start), err != nil)
 	if err != nil {
 		return nil, r.vetoed(tx, mark, r.smName(), err)
 	}
 	if err := tx.Lock(lock.KeyResource(r.rd.RelID, key), lock.ModeX); err != nil {
 		return nil, err
 	}
-	if err := r.notify(tx, func(inst AttachmentInstance) error {
+	if err := r.notify(tx, obs.OpInsert, func(inst AttachmentInstance) error {
 		return inst.OnInsert(tx, key, rec)
 	}, mark); err != nil {
 		return nil, err
@@ -103,7 +107,9 @@ func (r *Relation) Update(tx *txn.Txn, key types.Key, newRec types.Record) (type
 	}
 	mark := r.env.Log.LastLSN(tx.ID())
 	r.env.Metrics.SMCalls.Add(1)
+	start := time.Now()
 	newKey, err := r.sm.Update(tx, key, oldRec, newRec)
+	r.env.Obs.SM.Observe(int(r.rd.SM), obs.OpUpdate, time.Since(start), err != nil)
 	if err != nil {
 		return nil, r.vetoed(tx, mark, r.smName(), err)
 	}
@@ -112,7 +118,7 @@ func (r *Relation) Update(tx *txn.Txn, key types.Key, newRec types.Record) (type
 			return nil, err
 		}
 	}
-	if err := r.notify(tx, func(inst AttachmentInstance) error {
+	if err := r.notify(tx, obs.OpUpdate, func(inst AttachmentInstance) error {
 		return inst.OnUpdate(tx, key, newKey, oldRec, newRec)
 	}, mark); err != nil {
 		return nil, err
@@ -138,17 +144,20 @@ func (r *Relation) Delete(tx *txn.Txn, key types.Key) error {
 	}
 	mark := r.env.Log.LastLSN(tx.ID())
 	r.env.Metrics.SMCalls.Add(1)
-	if err := r.sm.Delete(tx, key, oldRec); err != nil {
+	start := time.Now()
+	err = r.sm.Delete(tx, key, oldRec)
+	r.env.Obs.SM.Observe(int(r.rd.SM), obs.OpDelete, time.Since(start), err != nil)
+	if err != nil {
 		return r.vetoed(tx, mark, r.smName(), err)
 	}
-	return r.notify(tx, func(inst AttachmentInstance) error {
+	return r.notify(tx, obs.OpDelete, func(inst AttachmentInstance) error {
 		return inst.OnDelete(tx, key, oldRec)
 	}, mark)
 }
 
 // notify runs the attached procedures for every attachment type with
 // instances on the relation, in identifier order, vetoing on error.
-func (r *Relation) notify(tx *txn.Txn, call func(AttachmentInstance) error, mark MarkLSN) error {
+func (r *Relation) notify(tx *txn.Txn, op obs.Op, call func(AttachmentInstance) error, mark MarkLSN) error {
 	for i := 1; i < MaxAttachmentTypes; i++ {
 		if r.rd.AttDesc[i] == nil {
 			continue
@@ -159,7 +168,11 @@ func (r *Relation) notify(tx *txn.Txn, call func(AttachmentInstance) error, mark
 			return err
 		}
 		r.env.Metrics.AttCalls.Add(1)
-		if err := call(inst); err != nil {
+		start := time.Now()
+		err = call(inst)
+		r.env.Obs.Att.Observe(i, op, time.Since(start), err != nil)
+		if err != nil {
+			r.env.Obs.AttVetoes[i].Inc()
 			return r.vetoed(tx, mark, r.env.Reg.AttachmentOps(id).Name, err)
 		}
 	}
@@ -209,7 +222,10 @@ func (r *Relation) Fetch(tx *txn.Txn, key types.Key, fields []int, filter *expr.
 		return nil, err
 	}
 	r.env.Metrics.Fetches.Add(1)
-	return r.sm.FetchByKey(tx, key, fields, filter)
+	start := time.Now()
+	rec, err := r.sm.FetchByKey(tx, key, fields, filter)
+	r.env.Obs.SM.Observe(int(r.rd.SM), obs.OpFetch, time.Since(start), err != nil)
+	return rec, err
 }
 
 // OpenScan starts a key-sequential access through the storage method
@@ -224,7 +240,9 @@ func (r *Relation) OpenScan(tx *txn.Txn, opts ScanOptions) (Scan, error) {
 		return nil, err
 	}
 	r.env.Metrics.Scans.Add(1)
+	start := time.Now()
 	s, err := r.sm.OpenScan(tx, opts)
+	r.env.Obs.SM.Observe(int(r.rd.SM), obs.OpScan, time.Since(start), err != nil)
 	if err != nil {
 		return nil, err
 	}
@@ -251,7 +269,9 @@ func (r *Relation) OpenAccessScan(tx *txn.Txn, id AttID, instance int, opts Scan
 		return nil, fmt.Errorf("core: attachment type %d is not an access path", id)
 	}
 	r.env.Metrics.Scans.Add(1)
+	start := time.Now()
 	s, err := ap.OpenScan(tx, instance, opts)
+	r.env.Obs.Att.Observe(int(id), obs.OpScan, time.Since(start), err != nil)
 	if err != nil {
 		return nil, err
 	}
@@ -276,7 +296,10 @@ func (r *Relation) LookupAccess(tx *txn.Txn, id AttID, instance int, key types.K
 		return nil, fmt.Errorf("core: attachment type %d is not an access path", id)
 	}
 	r.env.Metrics.Fetches.Add(1)
-	return ap.LookupByKey(tx, instance, key)
+	start := time.Now()
+	keys, err := ap.LookupByKey(tx, instance, key)
+	r.env.Obs.Att.Observe(int(id), obs.OpLookup, time.Since(start), err != nil)
+	return keys, err
 }
 
 // managedScan wires a scan into the transaction event services.

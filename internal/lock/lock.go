@@ -14,7 +14,9 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
+	"dmx/internal/obs"
 	"dmx/internal/wal"
 )
 
@@ -27,6 +29,7 @@ const (
 	ModeIS
 	ModeIX
 	ModeS
+	ModeSIX
 	ModeX
 )
 
@@ -41,6 +44,8 @@ func (m Mode) String() string {
 		return "IX"
 	case ModeS:
 		return "S"
+	case ModeSIX:
+		return "SIX"
 	case ModeX:
 		return "X"
 	default:
@@ -60,6 +65,8 @@ func compatible(a, b Mode) bool {
 		return b == ModeIS || b == ModeIX || b == ModeNone
 	case ModeS:
 		return b == ModeIS || b == ModeS || b == ModeNone
+	case ModeSIX:
+		return b == ModeIS || b == ModeNone
 	case ModeX:
 		return b == ModeNone
 	default:
@@ -68,14 +75,16 @@ func compatible(a, b Mode) bool {
 }
 
 // supremum returns the weakest mode at least as strong as both a and b.
+// The mode lattice is the classical hierarchical-locking one: IX ∨ S is
+// SIX (shared with intent to write), so a reader that upgrades to
+// intention-write keeps admitting concurrent IS readers instead of
+// escalating all the way to X.
 func supremum(a, b Mode) Mode {
 	if a == b {
 		return a
 	}
-	// Special case: IX ∨ S = SIX; we approximate SIX with X because the
-	// extension workloads here never need the distinction.
 	if (a == ModeIX && b == ModeS) || (a == ModeS && b == ModeIX) {
-		return ModeX
+		return ModeSIX
 	}
 	if a > b {
 		return a
@@ -129,6 +138,7 @@ type Manager struct {
 	locks map[Resource]*lockState
 	held  map[wal.TxnID]map[Resource]Mode // per-txn held set for ReleaseAll
 	waits map[wal.TxnID]*request          // txn -> its single pending request
+	obs   *obs.LockStats
 }
 
 // NewManager returns an empty lock manager.
@@ -137,6 +147,15 @@ func NewManager() *Manager {
 		locks: make(map[Resource]*lockState),
 		held:  make(map[wal.TxnID]map[Resource]Mode),
 		waits: make(map[wal.TxnID]*request),
+		obs:   &obs.LockStats{},
+	}
+}
+
+// SetObs points the manager's instrumentation at a shared metric registry.
+// Call before concurrent use (the environment wires it at assembly).
+func (m *Manager) SetObs(ls *obs.LockStats) {
+	if ls != nil {
+		m.obs = ls
 	}
 }
 
@@ -145,6 +164,7 @@ func NewManager() *Manager {
 // chosen as victim and ErrDeadlock is returned instead. Re-acquiring a
 // resource upgrades the held mode to the supremum.
 func (m *Manager) Acquire(txn wal.TxnID, res Resource, mode Mode) error {
+	m.obs.Requests.Inc()
 	m.mu.Lock()
 	ls := m.locks[res]
 	if ls == nil {
@@ -183,11 +203,17 @@ func (m *Manager) Acquire(txn wal.TxnID, res Resource, mode Mode) error {
 		m.removeRequest(ls, req)
 		delete(m.waits, txn)
 		m.mu.Unlock()
+		m.obs.Deadlocks.Inc()
 		return ErrDeadlock
 	}
+	m.obs.Waits.Inc()
+	m.obs.Queue.Inc()
+	waitStart := time.Now()
 	m.mu.Unlock()
 
 	err := <-req.done
+	m.obs.Queue.Dec()
+	m.obs.WaitTime.Observe(time.Since(waitStart))
 	m.mu.Lock()
 	delete(m.waits, txn)
 	m.mu.Unlock()
@@ -197,6 +223,7 @@ func (m *Manager) Acquire(txn wal.TxnID, res Resource, mode Mode) error {
 // TryAcquire is Acquire without blocking: it returns false if the lock is
 // not immediately grantable.
 func (m *Manager) TryAcquire(txn wal.TxnID, res Resource, mode Mode) bool {
+	m.obs.Requests.Inc()
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	ls := m.locks[res]

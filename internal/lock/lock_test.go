@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"dmx/internal/obs"
 	"dmx/internal/wal"
 )
 
@@ -20,6 +21,11 @@ func TestCompatibilityMatrix(t *testing.T) {
 		{ModeS, ModeIS, true}, {ModeS, ModeIX, false}, {ModeS, ModeS, true}, {ModeS, ModeX, false},
 		{ModeX, ModeIS, false}, {ModeX, ModeIX, false}, {ModeX, ModeS, false}, {ModeX, ModeX, false},
 		{ModeNone, ModeX, true},
+		// SIX admits concurrent IS readers and nothing stronger.
+		{ModeSIX, ModeIS, true}, {ModeSIX, ModeIX, false}, {ModeSIX, ModeS, false},
+		{ModeSIX, ModeSIX, false}, {ModeSIX, ModeX, false}, {ModeSIX, ModeNone, true},
+		{ModeIS, ModeSIX, true}, {ModeIX, ModeSIX, false}, {ModeS, ModeSIX, false},
+		{ModeX, ModeSIX, false},
 	}
 	for _, c := range cases {
 		if got := compatible(c.a, c.b); got != c.want {
@@ -35,9 +41,70 @@ func TestSupremum(t *testing.T) {
 	if supremum(ModeIS, ModeX) != ModeX {
 		t.Error("IS∨X")
 	}
-	if supremum(ModeIX, ModeS) != ModeX || supremum(ModeS, ModeIX) != ModeX {
-		t.Error("IX∨S should promote to X (SIX approximation)")
+	if supremum(ModeIX, ModeS) != ModeSIX || supremum(ModeS, ModeIX) != ModeSIX {
+		t.Error("IX∨S should promote to SIX")
 	}
+	if supremum(ModeSIX, ModeIX) != ModeSIX || supremum(ModeS, ModeSIX) != ModeSIX {
+		t.Error("SIX absorbs IX and S")
+	}
+	if supremum(ModeSIX, ModeX) != ModeX {
+		t.Error("SIX∨X")
+	}
+}
+
+// TestSIXAdmitsISReaders is the regression test for the old IX∨S = X
+// over-approximation: a reader that upgrades to intention-write must not
+// block concurrent intention-read transactions.
+func TestSIXAdmitsISReaders(t *testing.T) {
+	m := NewManager()
+	res := RelResource(7)
+	if err := m.Acquire(1, res, ModeS); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire(1, res, ModeIX); err != nil {
+		t.Fatal(err) // upgrade in place: S ∨ IX = SIX
+	}
+	if got := m.HeldMode(1, res); got != ModeSIX {
+		t.Fatalf("held mode after upgrade = %v, want SIX", got)
+	}
+
+	// Concurrent IS readers proceed without waiting.
+	const readers = 4
+	done := make(chan error, readers)
+	for i := 0; i < readers; i++ {
+		id := wal.TxnID(10 + i)
+		go func() { done <- m.Acquire(id, res, ModeIS) }()
+	}
+	for i := 0; i < readers; i++ {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatal(err)
+			}
+		case <-time.After(time.Second):
+			t.Fatal("IS reader blocked under SIX")
+		}
+	}
+
+	// A fresh IX writer must still wait for the SIX holder.
+	if m.TryAcquire(20, res, ModeIX) {
+		t.Fatal("IX granted alongside SIX")
+	}
+	ixDone := make(chan error, 1)
+	go func() { ixDone <- m.Acquire(20, res, ModeIX) }()
+	select {
+	case <-ixDone:
+		t.Fatal("IX granted while SIX held")
+	case <-time.After(20 * time.Millisecond):
+	}
+	for i := 0; i < readers; i++ {
+		m.ReleaseAll(wal.TxnID(10 + i))
+	}
+	m.ReleaseAll(1)
+	if err := <-ixDone; err != nil {
+		t.Fatal(err)
+	}
+	m.ReleaseAll(20)
 }
 
 func TestSharedThenExclusiveBlocks(t *testing.T) {
@@ -312,5 +379,57 @@ func TestHeldModeNotHeld(t *testing.T) {
 	m := NewManager()
 	if m.HeldMode(1, RelResource(1)) != ModeNone {
 		t.Fatal("unheld should be ModeNone")
+	}
+}
+
+// TestLockMetrics verifies the manager records waits, wait time, queue
+// depth, and deadlocks into its obs registry.
+func TestLockMetrics(t *testing.T) {
+	m := NewManager()
+	st := &obs.LockStats{}
+	m.SetObs(st)
+	res := RelResource(3)
+	if err := m.Acquire(1, res, ModeX); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- m.Acquire(2, res, ModeX) }()
+	for st.Queue.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	m.ReleaseAll(1)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	m.ReleaseAll(2)
+	if st.Requests.Load() != 2 || st.Waits.Load() != 1 {
+		t.Fatalf("requests=%d waits=%d", st.Requests.Load(), st.Waits.Load())
+	}
+	if st.Queue.Load() != 0 || st.Queue.Max() != 1 {
+		t.Fatalf("queue=%d max=%d", st.Queue.Load(), st.Queue.Max())
+	}
+	if st.WaitTime.Snapshot().Count != 1 {
+		t.Fatalf("wait time samples = %d", st.WaitTime.Snapshot().Count)
+	}
+
+	// A deadlock victim is counted.
+	a, b := RelResource(10), RelResource(11)
+	m.Acquire(5, a, ModeX)
+	m.Acquire(6, b, ModeX)
+	errCh := make(chan error, 1)
+	go func() { errCh <- m.Acquire(5, b, ModeX) }()
+	for st.Queue.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	if err := m.Acquire(6, a, ModeX); err != ErrDeadlock {
+		t.Fatalf("want deadlock, got %v", err)
+	}
+	m.ReleaseAll(6)
+	if err := <-errCh; err != nil {
+		t.Fatal(err)
+	}
+	m.ReleaseAll(5)
+	if st.Deadlocks.Load() != 1 {
+		t.Fatalf("deadlocks = %d", st.Deadlocks.Load())
 	}
 }

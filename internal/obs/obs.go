@@ -1,0 +1,400 @@
+// Package obs is the engine-wide observability layer.
+//
+// The extension architecture funnels every storage-method and attachment
+// call through a handful of dispatch points, which makes uniform
+// instrumentation cheap: metrics are kept in vectors indexed by the same
+// small-integer extension identifiers that index the procedure vectors,
+// so recording a sample is an array index plus a few atomic adds — no
+// locks, no allocation, safe under any concurrency.
+//
+// The package deliberately knows nothing about the engine: the common
+// services (core dispatch, lock manager, recovery log, buffer pool) each
+// hold a pointer into a shared Engine and record into it; Engine.Snapshot
+// materialises everything into plain JSON-marshalable structs.
+package obs
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// MaxExt is the width of the per-extension metric vectors. It matches the
+// procedure-vector width (core.MaxStorageMethods / MaxAttachmentTypes).
+const MaxExt = 32
+
+// Op identifies a generic operation for per-operation metric keying.
+type Op uint8
+
+// Generic operations, mirroring the dispatch points of the architecture.
+const (
+	OpInsert Op = iota
+	OpUpdate
+	OpDelete
+	OpFetch  // direct-by-key access
+	OpScan   // key-sequential access opened
+	OpLookup // access-path key lookup
+	NumOps
+)
+
+// String returns the operation name.
+func (o Op) String() string {
+	switch o {
+	case OpInsert:
+		return "insert"
+	case OpUpdate:
+		return "update"
+	case OpDelete:
+		return "delete"
+	case OpFetch:
+		return "fetch"
+	case OpScan:
+		return "scan"
+	case OpLookup:
+		return "lookup"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(o))
+	}
+}
+
+// Counter is a lock-free monotonic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by d.
+func (c *Counter) Add(d int64) { c.v.Add(d) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Gauge is a lock-free up/down gauge that also tracks its high-water mark.
+type Gauge struct {
+	v   atomic.Int64
+	max atomic.Int64
+}
+
+// Inc raises the gauge, updating the high-water mark.
+func (g *Gauge) Inc() {
+	n := g.v.Add(1)
+	for {
+		m := g.max.Load()
+		if n <= m || g.max.CompareAndSwap(m, n) {
+			return
+		}
+	}
+}
+
+// Dec lowers the gauge.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// Max returns the high-water mark.
+func (g *Gauge) Max() int64 { return g.max.Load() }
+
+// NumBuckets is the number of latency histogram buckets. Bucket i counts
+// observations below BucketUpper(i); the last bucket is the overflow.
+const NumBuckets = 22
+
+// bucketBase is the upper bound of bucket 0 in nanoseconds; bounds double
+// per bucket (256ns, 512ns, ... ~268ms), the final bucket is unbounded.
+const bucketBase = 256
+
+// BucketUpper returns the exclusive upper bound of bucket i (the last
+// bucket has no bound and reports a zero duration).
+func BucketUpper(i int) time.Duration {
+	if i >= NumBuckets-1 {
+		return 0
+	}
+	return time.Duration(bucketBase << uint(i))
+}
+
+// bucketFor maps a duration to its bucket index.
+func bucketFor(d time.Duration) int {
+	n := d.Nanoseconds()
+	for i := 0; i < NumBuckets-1; i++ {
+		if n < int64(bucketBase<<uint(i)) {
+			return i
+		}
+	}
+	return NumBuckets - 1
+}
+
+// Histogram is a lock-free latency histogram with exponential buckets.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64 // nanoseconds
+	max     atomic.Int64 // nanoseconds
+	buckets [NumBuckets]atomic.Int64
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	n := d.Nanoseconds()
+	h.count.Add(1)
+	h.sum.Add(n)
+	for {
+		m := h.max.Load()
+		if n <= m || h.max.CompareAndSwap(m, n) {
+			break
+		}
+	}
+	h.buckets[bucketFor(d)].Add(1)
+}
+
+// Snapshot materialises the histogram. Buckets are read without a global
+// lock, so a snapshot taken under concurrent writes is approximate (each
+// individual value is still consistent).
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Count:    h.count.Load(),
+		SumNanos: h.sum.Load(),
+		MaxNanos: h.max.Load(),
+	}
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// HistogramSnapshot is a plain-struct view of a Histogram.
+type HistogramSnapshot struct {
+	Count    int64             `json:"count"`
+	SumNanos int64             `json:"sum_ns"`
+	MaxNanos int64             `json:"max_ns"`
+	Buckets  [NumBuckets]int64 `json:"buckets"`
+}
+
+// Mean returns the mean observed duration (0 when empty).
+func (s HistogramSnapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return time.Duration(s.SumNanos / s.Count)
+}
+
+// Quantile returns an upper bound for the q-quantile (0 < q <= 1) from the
+// bucket boundaries; the overflow bucket reports the observed maximum.
+func (s HistogramSnapshot) Quantile(q float64) time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	target := int64(q * float64(s.Count))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i := 0; i < NumBuckets; i++ {
+		cum += s.Buckets[i]
+		if cum >= target {
+			if i == NumBuckets-1 {
+				return time.Duration(s.MaxNanos)
+			}
+			return BucketUpper(i)
+		}
+	}
+	return time.Duration(s.MaxNanos)
+}
+
+// OpStat is one (extension, operation) cell: call count, error count, and
+// a latency histogram.
+type OpStat struct {
+	Count   Counter
+	Errors  Counter
+	Latency Histogram
+}
+
+// Observe records one dispatched call.
+func (s *OpStat) Observe(d time.Duration, failed bool) {
+	s.Count.Inc()
+	if failed {
+		s.Errors.Inc()
+	}
+	s.Latency.Observe(d)
+}
+
+// Vector is a per-extension-ID × per-operation stat table, indexed exactly
+// like the architecture's procedure vectors.
+type Vector struct {
+	stats [MaxExt][NumOps]OpStat
+}
+
+// Observe records one dispatched call for extension id.
+func (v *Vector) Observe(id int, op Op, d time.Duration, failed bool) {
+	if id < 0 || id >= MaxExt || op >= NumOps {
+		return
+	}
+	v.stats[id][op].Observe(d, failed)
+}
+
+// At returns the stat cell for (id, op) (nil when out of range).
+func (v *Vector) At(id int, op Op) *OpStat {
+	if id < 0 || id >= MaxExt || op >= NumOps {
+		return nil
+	}
+	return &v.stats[id][op]
+}
+
+// LockStats instruments the common lock manager.
+type LockStats struct {
+	Requests  Counter   // Acquire and TryAcquire calls
+	Waits     Counter   // requests that blocked
+	WaitTime  Histogram // time spent blocked
+	Deadlocks Counter   // requests refused as deadlock victims
+	Queue     Gauge     // transactions currently blocked (with high-water mark)
+}
+
+// WALStats instruments the common recovery log.
+type WALStats struct {
+	Appends     Counter // log records written
+	AppendBytes Counter // payload bytes appended
+	Syncs       Counter // backing-file fsyncs
+	Rollbacks   Counter // log-driven rollbacks (veto, savepoint, abort)
+}
+
+// BufferStats instruments the shared buffer pool.
+type BufferStats struct {
+	Hits      Counter
+	Misses    Counter
+	Evictions Counter
+	Flushes   Counter // dirty pages written back by FlushAll
+}
+
+// Engine aggregates every component's metrics into one registry. All
+// fields are recorded into concurrently without locks.
+type Engine struct {
+	SM        Vector // storage-method dispatch, indexed by SM identifier
+	Att       Vector // attachment dispatch, indexed by attachment-type identifier
+	AttVetoes [MaxExt]Counter
+	Lock      LockStats
+	WAL       WALStats
+	Buffer    BufferStats
+}
+
+// NewEngine returns a fresh engine metric registry.
+func NewEngine() *Engine { return &Engine{} }
+
+// Snapshot is the JSON-marshalable view of an Engine. Extension entries
+// appear only for identifiers with recorded activity.
+type Snapshot struct {
+	SM     []ExtSnapshot  `json:"storage_methods"`
+	Att    []ExtSnapshot  `json:"attachments"`
+	Lock   LockSnapshot   `json:"lock"`
+	WAL    WALSnapshot    `json:"wal"`
+	Buffer BufferSnapshot `json:"buffer"`
+}
+
+// ExtSnapshot is the per-extension view: one entry per operation with
+// recorded calls. Name is filled in by the caller (the registry that maps
+// identifiers to extension names lives above this package).
+type ExtSnapshot struct {
+	ID     int          `json:"id"`
+	Name   string       `json:"name,omitempty"`
+	Ops    []OpSnapshot `json:"ops"`
+	Vetoes int64        `json:"vetoes,omitempty"`
+}
+
+// OpSnapshot is one (extension, operation) cell.
+type OpSnapshot struct {
+	Op      string            `json:"op"`
+	Count   int64             `json:"count"`
+	Errors  int64             `json:"errors,omitempty"`
+	Latency HistogramSnapshot `json:"latency"`
+}
+
+// LockSnapshot is the lock-manager view.
+type LockSnapshot struct {
+	Requests      int64             `json:"requests"`
+	Waits         int64             `json:"waits"`
+	Deadlocks     int64             `json:"deadlocks"`
+	Waiting       int64             `json:"waiting"`
+	MaxQueueDepth int64             `json:"max_queue_depth"`
+	WaitTime      HistogramSnapshot `json:"wait_time"`
+}
+
+// WALSnapshot is the recovery-log view.
+type WALSnapshot struct {
+	Appends     int64 `json:"appends"`
+	AppendBytes int64 `json:"append_bytes"`
+	Syncs       int64 `json:"syncs"`
+	Rollbacks   int64 `json:"rollbacks"`
+}
+
+// BufferSnapshot is the buffer-pool view.
+type BufferSnapshot struct {
+	Hits      int64   `json:"hits"`
+	Misses    int64   `json:"misses"`
+	Evictions int64   `json:"evictions"`
+	Flushes   int64   `json:"flushes"`
+	HitRatio  float64 `json:"hit_ratio"`
+}
+
+func snapshotVector(v *Vector, vetoes *[MaxExt]Counter) []ExtSnapshot {
+	var out []ExtSnapshot
+	for id := 0; id < MaxExt; id++ {
+		var es ExtSnapshot
+		es.ID = id
+		for op := Op(0); op < NumOps; op++ {
+			cell := &v.stats[id][op]
+			n := cell.Count.Load()
+			if n == 0 {
+				continue
+			}
+			es.Ops = append(es.Ops, OpSnapshot{
+				Op:      op.String(),
+				Count:   n,
+				Errors:  cell.Errors.Load(),
+				Latency: cell.Latency.Snapshot(),
+			})
+		}
+		if vetoes != nil {
+			es.Vetoes = vetoes[id].Load()
+		}
+		if len(es.Ops) > 0 || es.Vetoes > 0 {
+			out = append(out, es)
+		}
+	}
+	return out
+}
+
+// Snapshot materialises the engine's metrics. It is safe to call under
+// concurrent recording; the result is a consistent-enough point-in-time
+// view (individual values are exact, cross-value skew is possible).
+func (e *Engine) Snapshot() Snapshot {
+	hits, misses := e.Buffer.Hits.Load(), e.Buffer.Misses.Load()
+	ratio := 0.0
+	if hits+misses > 0 {
+		ratio = float64(hits) / float64(hits+misses)
+	}
+	return Snapshot{
+		SM:  snapshotVector(&e.SM, nil),
+		Att: snapshotVector(&e.Att, &e.AttVetoes),
+		Lock: LockSnapshot{
+			Requests:      e.Lock.Requests.Load(),
+			Waits:         e.Lock.Waits.Load(),
+			Deadlocks:     e.Lock.Deadlocks.Load(),
+			Waiting:       e.Lock.Queue.Load(),
+			MaxQueueDepth: e.Lock.Queue.Max(),
+			WaitTime:      e.Lock.WaitTime.Snapshot(),
+		},
+		WAL: WALSnapshot{
+			Appends:     e.WAL.Appends.Load(),
+			AppendBytes: e.WAL.AppendBytes.Load(),
+			Syncs:       e.WAL.Syncs.Load(),
+			Rollbacks:   e.WAL.Rollbacks.Load(),
+		},
+		Buffer: BufferSnapshot{
+			Hits:      hits,
+			Misses:    misses,
+			Evictions: e.Buffer.Evictions.Load(),
+			Flushes:   e.Buffer.Flushes.Load(),
+			HitRatio:  ratio,
+		},
+	}
+}

@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	h.Observe(100 * time.Nanosecond) // bucket 0 (< 256ns)
+	h.Observe(300 * time.Nanosecond) // bucket 1 (< 512ns)
+	h.Observe(time.Millisecond)      // well past the first buckets
+	h.Observe(time.Hour)             // overflow bucket
+
+	s := h.Snapshot()
+	if s.Count != 4 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if s.Buckets[0] != 1 || s.Buckets[1] != 1 {
+		t.Fatalf("low buckets = %d, %d", s.Buckets[0], s.Buckets[1])
+	}
+	if s.Buckets[NumBuckets-1] != 1 {
+		t.Fatalf("overflow bucket = %d", s.Buckets[NumBuckets-1])
+	}
+	if s.MaxNanos != time.Hour.Nanoseconds() {
+		t.Fatalf("max = %d", s.MaxNanos)
+	}
+	if got := s.Mean(); got <= 0 {
+		t.Fatalf("mean = %v", got)
+	}
+	if q := s.Quantile(0.5); q <= 0 {
+		t.Fatalf("p50 = %v", q)
+	}
+	if q := s.Quantile(1.0); q != time.Duration(s.MaxNanos) {
+		t.Fatalf("p100 = %v, want max %v", q, time.Duration(s.MaxNanos))
+	}
+}
+
+func TestBucketUpperMonotone(t *testing.T) {
+	prev := time.Duration(0)
+	for i := 0; i < NumBuckets-1; i++ {
+		u := BucketUpper(i)
+		if u <= prev {
+			t.Fatalf("bucket %d upper %v not increasing past %v", i, u, prev)
+		}
+		prev = u
+	}
+	if BucketUpper(NumBuckets-1) != 0 {
+		t.Fatal("overflow bucket should report no bound")
+	}
+}
+
+func TestVectorObserveAndSnapshot(t *testing.T) {
+	e := NewEngine()
+	e.SM.Observe(3, OpInsert, time.Microsecond, false)
+	e.SM.Observe(3, OpInsert, 2*time.Microsecond, true)
+	e.SM.Observe(5, OpScan, time.Microsecond, false)
+	e.Att.Observe(2, OpUpdate, time.Microsecond, false)
+	e.AttVetoes[2].Inc()
+	// Out-of-range ids are dropped, not panics.
+	e.SM.Observe(-1, OpInsert, 0, false)
+	e.SM.Observe(MaxExt, OpInsert, 0, false)
+	e.SM.Observe(0, NumOps, 0, false)
+
+	snap := e.Snapshot()
+	if len(snap.SM) != 2 {
+		t.Fatalf("SM entries = %d, want 2", len(snap.SM))
+	}
+	if snap.SM[0].ID != 3 || snap.SM[0].Ops[0].Count != 2 || snap.SM[0].Ops[0].Errors != 1 {
+		t.Fatalf("SM[3] = %+v", snap.SM[0])
+	}
+	if len(snap.Att) != 1 || snap.Att[0].ID != 2 || snap.Att[0].Vetoes != 1 {
+		t.Fatalf("Att = %+v", snap.Att)
+	}
+}
+
+func TestSnapshotJSON(t *testing.T) {
+	e := NewEngine()
+	e.SM.Observe(1, OpInsert, time.Microsecond, false)
+	e.Lock.Requests.Inc()
+	e.Buffer.Hits.Add(3)
+	e.Buffer.Misses.Inc()
+	data, err := json.Marshal(e.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Buffer.HitRatio != 0.75 {
+		t.Fatalf("hit ratio = %v", back.Buffer.HitRatio)
+	}
+	if len(back.SM) != 1 || back.SM[0].Ops[0].Op != "insert" {
+		t.Fatalf("round trip lost data: %s", data)
+	}
+}
+
+func TestGaugeHighWaterMark(t *testing.T) {
+	var g Gauge
+	g.Inc()
+	g.Inc()
+	g.Dec()
+	g.Inc()
+	if g.Load() != 2 || g.Max() != 2 {
+		t.Fatalf("load=%d max=%d", g.Load(), g.Max())
+	}
+}
+
+// TestConcurrentRecording hammers every metric type from many goroutines
+// while snapshots are taken; run under -race it proves the layer needs no
+// external synchronisation.
+func TestConcurrentRecording(t *testing.T) {
+	e := NewEngine()
+	const workers, per = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				e.SM.Observe(w%MaxExt, Op(i)%NumOps, time.Duration(i), i%7 == 0)
+				e.Att.Observe((w+1)%MaxExt, OpInsert, time.Duration(i), false)
+				e.Lock.Requests.Inc()
+				e.Lock.Queue.Inc()
+				e.Lock.Queue.Dec()
+				e.WAL.AppendBytes.Add(int64(i))
+				e.Buffer.Hits.Inc()
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				e.Snapshot()
+			}
+		}
+	}()
+	wg.Wait()
+	close(done)
+	snap := e.Snapshot()
+	if snap.Lock.Requests != workers*per {
+		t.Fatalf("requests = %d, want %d", snap.Lock.Requests, workers*per)
+	}
+	if snap.Buffer.Hits != workers*per {
+		t.Fatalf("hits = %d", snap.Buffer.Hits)
+	}
+}

@@ -1,0 +1,71 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"dmx/internal/types"
+)
+
+// OperatorStats counts one operator's work during the most recent
+// execution of a bound plan: cursor calls, records produced, and wall
+// time spent inside the operator (including its children).
+type OperatorStats struct {
+	Name      string `json:"name"`
+	Calls     int64  `json:"calls"`
+	Rows      int64  `json:"rows"`
+	TimeNanos int64  `json:"time_nanos"`
+}
+
+// track registers a fresh stats slot for an operator opened by the
+// current execution and returns the counting cursor. Bound plans are
+// goroutine-confined (like the transactions that run them), so plain
+// counters suffice.
+func (b *Bound) track(name string, r Rows) Rows {
+	st := &OperatorStats{Name: name}
+	b.stats = append(b.stats, st)
+	return &countedRows{inner: r, st: st}
+}
+
+// Stats returns the per-operator counters recorded by the most recent
+// Execute, in the order the operators were opened (join children before
+// their parent). The slice is a copy.
+func (b *Bound) Stats() []OperatorStats {
+	out := make([]OperatorStats, len(b.stats))
+	for i, st := range b.stats {
+		out[i] = *st
+	}
+	return out
+}
+
+// ExplainAnalyze renders the plan description followed by the
+// per-operator counters of the most recent execution.
+func (b *Bound) ExplainAnalyze() string {
+	var sb strings.Builder
+	sb.WriteString(b.explain)
+	for _, st := range b.stats {
+		fmt.Fprintf(&sb, "\n  %s: calls=%d rows=%d time=%s",
+			st.Name, st.Calls, st.Rows, time.Duration(st.TimeNanos))
+	}
+	return sb.String()
+}
+
+// countedRows wraps a cursor, charging each Next to an OperatorStats.
+type countedRows struct {
+	inner Rows
+	st    *OperatorStats
+}
+
+func (c *countedRows) Next() (types.Record, bool, error) {
+	start := time.Now()
+	rec, ok, err := c.inner.Next()
+	c.st.Calls++
+	if ok {
+		c.st.Rows++
+	}
+	c.st.TimeNanos += time.Since(start).Nanoseconds()
+	return rec, ok, err
+}
+
+func (c *countedRows) Close() error { return c.inner.Close() }

@@ -83,6 +83,7 @@ type Bound struct {
 	deps    []dep
 	explain string
 	ordered bool
+	stats   []*OperatorStats // per-operator counters, reset each Execute
 	// Replans counts automatic re-translations (for the experiments).
 	Replans int
 }
@@ -116,6 +117,7 @@ func (b *Bound) Execute(tx *txn.Txn) (Rows, error) {
 		}
 		b.Replans++
 	}
+	b.stats = nil
 	return b.root(tx)
 }
 
@@ -243,7 +245,7 @@ func (b *Bound) translate() error {
 		}
 		q := b.query
 		b.root = func(tx *txn.Txn) (Rows, error) {
-			return p.openAccess(tx, outer, q.Fields)
+			return p.openAccess(tx, b, outer, q.Fields)
 		}
 		return nil
 	}
@@ -262,7 +264,7 @@ func (b *Bound) translate() error {
 		b.explain = fmt.Sprintf("joinindex(%s ⋈ %s via %q)", rd.Name, innerRD.Name, j.JoinIndex)
 		q := b.query
 		b.root = func(tx *txn.Txn) (Rows, error) {
-			return p.openJoinIndex(tx, rd, innerRD, q)
+			return p.openJoinIndex(tx, b, rd, innerRD, q)
 		}
 		return nil
 	}
@@ -308,14 +310,14 @@ func (b *Bound) translate() error {
 			outer.describe(p.env), innerRD.Name, p.env.Reg.AttachmentOps(probe.attID).Name, probe.instance)
 		pr := *probe
 		b.root = func(tx *txn.Txn) (Rows, error) {
-			return p.openIndexNL(tx, outer, innerRD, pr, q)
+			return p.openIndexNL(tx, b, outer, innerRD, pr, q)
 		}
 		return nil
 	}
 	_ = smEst
 	b.explain = fmt.Sprintf("nestedloop(%s × scan(%s), inner=%d)", outer.describe(p.env), innerRD.Name, innerN)
 	b.root = func(tx *txn.Txn) (Rows, error) {
-		return p.openNL(tx, outer, innerRD, q)
+		return p.openNL(tx, b, outer, innerRD, q)
 	}
 	return nil
 }
@@ -328,8 +330,17 @@ type probeSpec struct {
 
 // --- executors ---
 
-// openAccess opens a single-table cursor over the chosen access path.
-func (p *Planner) openAccess(tx *txn.Txn, a *access, fields []int) (Rows, error) {
+// openAccess opens a single-table cursor over the chosen access path,
+// registered with b for per-operator execution counters.
+func (p *Planner) openAccess(tx *txn.Txn, b *Bound, a *access, fields []int) (Rows, error) {
+	rows, err := p.openAccessRaw(tx, a, fields)
+	if err != nil {
+		return nil, err
+	}
+	return b.track(a.describe(p.env), rows), nil
+}
+
+func (p *Planner) openAccessRaw(tx *txn.Txn, a *access, fields []int) (Rows, error) {
 	rel, err := p.env.OpenRelation(a.rd)
 	if err != nil {
 		return nil, err
@@ -431,8 +442,8 @@ func (r *fetchRows) Close() error { return nil }
 
 // openNL opens a naive nested-loop join: the inner relation is re-scanned
 // for every outer record (the tuple-at-a-time call volume of E2).
-func (p *Planner) openNL(tx *txn.Txn, outer *access, innerRD *core.RelDesc, q Query) (Rows, error) {
-	outerRows, err := p.openAccess(tx, outer, nil)
+func (p *Planner) openNL(tx *txn.Txn, b *Bound, outer *access, innerRD *core.RelDesc, q Query) (Rows, error) {
+	outerRows, err := p.openAccess(tx, b, outer, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -440,9 +451,9 @@ func (p *Planner) openNL(tx *txn.Txn, outer *access, innerRD *core.RelDesc, q Qu
 	if err != nil {
 		return nil, err
 	}
-	return &nlRows{
+	return b.track(fmt.Sprintf("nestedloop(%s)", innerRD.Name), &nlRows{
 		p: p, tx: tx, q: q, outer: outerRows, innerRel: innerRel,
-	}, nil
+	}), nil
 }
 
 type nlRows struct {
@@ -509,8 +520,8 @@ func joinRecords(outer types.Record, outerFields []int, inner types.Record) type
 
 // openIndexNL opens an index nested-loop join probing the inner access
 // path with each outer join value.
-func (p *Planner) openIndexNL(tx *txn.Txn, outer *access, innerRD *core.RelDesc, probe probeSpec, q Query) (Rows, error) {
-	outerRows, err := p.openAccess(tx, outer, nil)
+func (p *Planner) openIndexNL(tx *txn.Txn, b *Bound, outer *access, innerRD *core.RelDesc, probe probeSpec, q Query) (Rows, error) {
+	outerRows, err := p.openAccess(tx, b, outer, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -518,9 +529,11 @@ func (p *Planner) openIndexNL(tx *txn.Txn, outer *access, innerRD *core.RelDesc,
 	if err != nil {
 		return nil, err
 	}
-	return &indexNLRows{
+	name := fmt.Sprintf("probe(%s via %s #%d)",
+		innerRD.Name, p.env.Reg.AttachmentOps(probe.attID).Name, probe.instance)
+	return b.track(name, &indexNLRows{
 		tx: tx, q: q, outer: outerRows, innerRel: innerRel, probe: probe,
-	}, nil
+	}), nil
 }
 
 type indexNLRows struct {
@@ -573,7 +586,7 @@ func (r *indexNLRows) Close() error { return r.outer.Close() }
 // record-key pairs and fetching both sides directly. The attachment is
 // addressed structurally (any attachment exposing PairKeys qualifies), so
 // the planner stays decoupled from the concrete join-index package.
-func (p *Planner) openJoinIndex(tx *txn.Txn, outerRD, innerRD *core.RelDesc, q Query) (Rows, error) {
+func (p *Planner) openJoinIndex(tx *txn.Txn, b *Bound, outerRD, innerRD *core.RelDesc, q Query) (Rows, error) {
 	inst, err := p.env.AttachmentInstance(outerRD, core.AttJoin)
 	if err != nil {
 		return nil, err
@@ -596,7 +609,8 @@ func (p *Planner) openJoinIndex(tx *txn.Txn, outerRD, innerRD *core.RelDesc, q Q
 	if err != nil {
 		return nil, err
 	}
-	return &joinIndexRows{tx: tx, q: q, outerRel: outerRel, innerRel: innerRel, pairs: pairs}, nil
+	name := fmt.Sprintf("joinindex(%s ⋈ %s)", outerRD.Name, innerRD.Name)
+	return b.track(name, &joinIndexRows{tx: tx, q: q, outerRel: outerRel, innerRel: innerRel, pairs: pairs}), nil
 }
 
 type joinIndexRows struct {

@@ -492,3 +492,75 @@ func TestOrderedViaBTreeStorageMethod(t *testing.T) {
 		}
 	}
 }
+
+func TestExecStatsSingleTable(t *testing.T) {
+	env := core.NewEnv(core.Config{})
+	loadEmp(t, env, "memory", nil, 20)
+	q := plan.Query{
+		Table:  "emp",
+		Filter: expr.Lt(expr.Field(0), expr.Const(types.Int(7))),
+	}
+	rows, b := runQuery(t, env, q)
+	if len(rows) != 7 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	stats := b.Stats()
+	if len(stats) != 1 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	st := stats[0]
+	if st.Name != b.Explain() {
+		t.Errorf("operator name %q, explain %q", st.Name, b.Explain())
+	}
+	if st.Rows != 7 {
+		t.Errorf("rows counted = %d, want 7", st.Rows)
+	}
+	// Collect drives Next until exhaustion: rows + the final miss.
+	if st.Calls != 8 {
+		t.Errorf("calls = %d, want 8", st.Calls)
+	}
+	if st.TimeNanos <= 0 {
+		t.Errorf("time = %d, want > 0", st.TimeNanos)
+	}
+	if !strings.Contains(b.ExplainAnalyze(), "calls=8 rows=7") {
+		t.Errorf("ExplainAnalyze = %q", b.ExplainAnalyze())
+	}
+}
+
+func TestExecStatsJoinOperators(t *testing.T) {
+	env := core.NewEnv(core.Config{})
+	loadEmp(t, env, "memory", nil, 30)
+	addDept(t, env, true)
+	q := plan.Query{
+		Table: "emp",
+		Join:  &plan.JoinSpec{Table: "dept", OuterCol: 1, InnerCol: 0, Fields: []int{1}},
+	}
+	rows, b := runQuery(t, env, q)
+	if len(rows) != 30 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	stats := b.Stats()
+	if len(stats) != 2 {
+		t.Fatalf("want outer + probe operators, got %+v", stats)
+	}
+	outer, probe := stats[0], stats[1]
+	if !strings.HasPrefix(probe.Name, "probe(dept") {
+		t.Errorf("probe operator name = %q", probe.Name)
+	}
+	if outer.Rows != 30 || probe.Rows != 30 {
+		t.Errorf("rows: outer=%d probe=%d, want 30/30", outer.Rows, probe.Rows)
+	}
+
+	// Stats reset on re-execution.
+	tx := env.Begin()
+	defer tx.Commit()
+	if _, err := plan.Collect(b.Execute(tx)); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(b.Stats()); got != 2 {
+		t.Errorf("stats after re-execute = %d operators, want 2", got)
+	}
+	if b.Stats()[1].Rows != 30 {
+		t.Errorf("re-executed probe rows = %d, want 30", b.Stats()[1].Rows)
+	}
+}

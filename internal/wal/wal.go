@@ -17,6 +17,8 @@ import (
 	"io"
 	"os"
 	"sync"
+
+	"dmx/internal/obs"
 )
 
 // LSN is a log sequence number. LSN 0 is "nil" (before every record).
@@ -110,11 +112,22 @@ type Log struct {
 	lastLSN map[TxnID]LSN
 	file    *os.File
 	buf     []byte // reusable frame buffer for file writes
+	obs     *obs.WALStats
 }
 
 // New returns an in-memory log (no persistence).
 func New() *Log {
-	return &Log{lastLSN: make(map[TxnID]LSN)}
+	return &Log{lastLSN: make(map[TxnID]LSN), obs: &obs.WALStats{}}
+}
+
+// SetObs points the log's instrumentation at a shared metric registry.
+func (l *Log) SetObs(ws *obs.WALStats) {
+	if ws == nil {
+		return
+	}
+	l.mu.Lock()
+	l.obs = ws
+	l.mu.Unlock()
 }
 
 // Open returns a log mirrored to the file at path, first loading any
@@ -190,6 +203,8 @@ func (l *Log) append(txn TxnID, kind RecKind, owner Owner, payload []byte, undoN
 	} else {
 		l.lastLSN[txn] = rec.LSN
 	}
+	l.obs.Appends.Inc()
+	l.obs.AppendBytes.Add(int64(len(rec.Payload)))
 	return rec.LSN, nil
 }
 
@@ -230,6 +245,7 @@ func (l *Log) Records() []Record {
 // are skipped via their UndoNext pointers, so a rollback that itself
 // crashed mid-way is never undone twice.
 func (l *Log) Rollback(txn TxnID, toLSN LSN, d Undoer) error {
+	l.obs.Rollbacks.Inc()
 	cur := l.LastLSN(txn)
 	for cur > toLSN {
 		rec, ok := l.At(cur)
@@ -328,6 +344,7 @@ func (l *Log) Sync() error {
 	if l.file == nil {
 		return nil
 	}
+	l.obs.Syncs.Inc()
 	return l.file.Sync()
 }
 
