@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench fmt vet
+.PHONY: build test check bench crash fmt vet
 
 build:
 	$(GO) build ./...
@@ -9,10 +9,16 @@ test:
 	$(GO) test ./...
 
 # check is the pre-merge gate: tier-1 build + tests, then the full suite
-# again under the race detector with caching disabled.
+# again under the race detector with caching disabled (the crash-point
+# harness sweep in crash_test.go runs in both passes).
 check: build
 	$(GO) test ./...
 	$(GO) test -race -count=1 ./...
+
+# crash runs the full deterministic crash-point fault-injection matrix
+# (every site, later-hit and torn-write variants) under the race detector.
+crash:
+	DMX_CRASH_DEEP=1 $(GO) test -race -count=1 -run 'TestCrash' -v .
 
 bench:
 	$(GO) run ./cmd/dmxbench

@@ -19,9 +19,11 @@ import (
 	"path/filepath"
 	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
+	"dmx"
 	"dmx/internal/core"
 	"dmx/internal/expr"
 	"dmx/internal/lock"
@@ -92,6 +94,7 @@ func main() {
 		{"A2", "ablation: remote scan batch size", a2RemoteBatch},
 		{"A3", "ablation: ORDER BY via ordered access path vs scan + sort", a3OrderedAccess},
 		{"OBS", "engine-wide observability snapshot after a mixed workload", obsSnapshot},
+		{"CRASH", "restart replay cost vs checkpoint interval", crashRecovery},
 	}
 	for _, ex := range experiments {
 		if *runOnly != "" && !strings.EqualFold(*runOnly, ex.id) {
@@ -1125,4 +1128,64 @@ func obsSnapshot() []*rig.Table {
 	}
 	fmt.Println(string(raw))
 	return nil
+}
+
+// --- CRASH: restart replay cost vs checkpoint interval ---
+
+// crashRecovery measures what fuzzy checkpointing buys at restart: a
+// small relation is churned by a long update history, the process
+// "crashes" (the database is abandoned without Close), and the database
+// is reopened with recovery. Without checkpoints redo replays the whole
+// history; with them it replays the last snapshot plus the tail since,
+// so restart time is bounded by the checkpoint interval.
+func crashRecovery() []*rig.Table {
+	rows, updates := n(50), n(2000)
+	table := rig.NewTable(
+		fmt.Sprintf("restart replay: %d-row relation, %d-update history", rows, updates),
+		"checkpoint every", "checkpoints", "records at crash", "redo records", "restart time")
+	for _, every := range []int{-1, 1024, 256, 64} {
+		dir, err := os.MkdirTemp("", "dmxbench-crash")
+		if err != nil {
+			panic(err)
+		}
+		cfg := dmx.Config{LogPath: filepath.Join(dir, "wal.log"), CheckpointEvery: every}
+		db, err := dmx.Open(cfg)
+		if err != nil {
+			panic(err)
+		}
+		if _, err := db.Exec("CREATE TABLE t (id INT NOT NULL, v STRING) USING heap"); err != nil {
+			panic(err)
+		}
+		for i := 0; i < rows; i++ {
+			if _, err := db.Exec(fmt.Sprintf("INSERT INTO t VALUES (%d, 'v0')", i)); err != nil {
+				panic(err)
+			}
+		}
+		for i := 0; i < updates; i++ {
+			if _, err := db.Exec(fmt.Sprintf("UPDATE t SET v = 'v%d' WHERE id = %d", i, i%rows)); err != nil {
+				panic(err)
+			}
+		}
+		ckpts := db.Env.Obs.WAL.Checkpoints.Load()
+		atCrash := db.Env.Log.Len()
+
+		// Crash: no Close. Reopen from the surviving files with recovery.
+		cfg.Recover, cfg.CheckpointEvery = true, -1
+		var db2 *dmx.DB
+		d := rig.Time(func() {
+			if db2, err = dmx.Open(cfg); err != nil {
+				panic(err)
+			}
+		})
+		redo := db2.Env.Obs.WAL.RedoRecords.Load()
+		db2.Close()
+		os.RemoveAll(dir)
+
+		label := "none"
+		if every > 0 {
+			label = strconv.Itoa(every)
+		}
+		table.Add(label, ckpts, atCrash, redo, d)
+	}
+	return []*rig.Table{table}
 }

@@ -1,0 +1,206 @@
+package dmx
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dmx/internal/fault"
+)
+
+// crashState records what one workload run acknowledged before the
+// injected crash, keyed by scenario name so Verify can check it after
+// reopening from the same directory.
+type crashState struct {
+	dir      string
+	ddlAcked int   // 0 none, 1 CREATE TABLE, 2 + CREATE INDEX
+	acked    []int // ids whose INSERT statement returned success
+	inFlight int   // id whose INSERT was running at the crash (0 none)
+}
+
+// crashPad makes heap pages fill quickly so buffer evictions (and with
+// them the buffer.flush and pagefile.write crash sites) happen within a
+// short workload.
+var crashPad = strings.Repeat("x", 500)
+
+const crashMaxRows = 400
+
+// runCrashMatrix drives the fault-injection harness: per scenario it runs
+// a fresh file-backed database until the armed crash site kills it (the
+// database is deliberately not closed — the process died), then reopens
+// from the surviving files, recovers, and asserts the durability
+// contract: acknowledged work fully visible, unacknowledged work atomic.
+func runCrashMatrix(t *testing.T, scenarios []fault.Scenario, checkpointEvery int) {
+	t.Helper()
+	root := t.TempDir()
+	states := make(map[string]*crashState, len(scenarios))
+
+	h := &fault.Harness{
+		Scenarios: scenarios,
+		Workload: func(s fault.Scenario, inj *fault.Injector) error {
+			st := &crashState{dir: filepath.Join(root, s.Name)}
+			states[s.Name] = st
+			if err := os.MkdirAll(st.dir, 0o755); err != nil {
+				return err
+			}
+			db, err := Open(Config{
+				LogPath:         filepath.Join(st.dir, "wal.log"),
+				DiskPath:        filepath.Join(st.dir, "data.db"),
+				PoolFrames:      4, // force dirty-page evictions
+				CheckpointEvery: checkpointEvery,
+				Faults:          inj,
+			})
+			if err != nil {
+				return err
+			}
+			// No db.Close(): the injected crash is a process death, so the
+			// files keep whatever the engine managed to make durable.
+			if _, err := db.Exec("CREATE TABLE t (id INT NOT NULL, pad STRING) USING heap"); err != nil {
+				return err
+			}
+			st.ddlAcked = 1
+			if _, err := db.Exec("CREATE INDEX byid ON t (id)"); err != nil {
+				return err
+			}
+			st.ddlAcked = 2
+			for i := 1; i <= crashMaxRows; i++ {
+				st.inFlight = i
+				if _, err := db.Exec(fmt.Sprintf("INSERT INTO t VALUES (%d, '%s')", i, crashPad)); err != nil {
+					return err
+				}
+				st.inFlight = 0
+				st.acked = append(st.acked, i)
+			}
+			return fmt.Errorf("workload finished without crashing")
+		},
+		Verify: func(tb fault.TB, s fault.Scenario) {
+			st := states[s.Name]
+			db, err := Open(Config{
+				LogPath:         filepath.Join(st.dir, "wal.log"),
+				DiskPath:        filepath.Join(st.dir, "data.db"),
+				PoolFrames:      4,
+				CheckpointEvery: -1,
+				Recover:         true,
+			})
+			if err != nil {
+				tb.Errorf("%s: reopen: %v", s.Name, err)
+				return
+			}
+			defer db.Close()
+
+			res, err := db.Exec("SELECT id FROM t")
+			if err != nil {
+				// The table may be legitimately absent only when its CREATE
+				// was never acknowledged.
+				if st.ddlAcked == 0 {
+					return
+				}
+				tb.Errorf("%s: table lost after acked CREATE: %v", s.Name, err)
+				return
+			}
+			if st.ddlAcked == 0 && !s.ExpectDurable {
+				tb.Errorf("%s: unacked CREATE TABLE survived recovery", s.Name)
+				return
+			}
+			got := make(map[int]bool, len(res.Rows))
+			for _, row := range res.Rows {
+				got[int(row[0].AsInt())] = true
+			}
+			for _, id := range st.acked {
+				if !got[id] {
+					tb.Errorf("%s: acked row %d lost (recovered %d rows)", s.Name, id, len(got))
+				}
+			}
+			for id := range got {
+				if id <= len(st.acked) {
+					continue
+				}
+				if s.ExpectDurable && id == st.inFlight {
+					continue // durable but unacknowledged: allowed at this site
+				}
+				tb.Errorf("%s: unacked row %d visible after recovery", s.Name, id)
+			}
+			// The equality path exercises the B-tree access path, which
+			// recovery rebuilt from the recovered relation contents.
+			if st.ddlAcked == 2 {
+				for _, id := range []int{1, len(st.acked)} {
+					if id < 1 {
+						continue
+					}
+					r, err := db.Exec(fmt.Sprintf("SELECT pad FROM t WHERE id = %d", id))
+					if err != nil || len(r.Rows) != 1 {
+						tb.Errorf("%s: index lookup id=%d: %d rows, %v", s.Name, id, len(r.Rows), err)
+					}
+				}
+			}
+		},
+	}
+	h.Run(t)
+}
+
+// TestCrashMatrix sweeps every registered crash site (deep variants with
+// DMX_CRASH_DEEP=1, as run by `make crash`).
+func TestCrashMatrix(t *testing.T) {
+	runCrashMatrix(t, fault.Matrix(os.Getenv("DMX_CRASH_DEEP") != ""), -1)
+}
+
+// TestCrashMatrixWithCheckpoints repeats the sweep with aggressive
+// checkpointing, so crashes land before, inside, and after checkpoint
+// writes and recovery starts from a truncated log.
+func TestCrashMatrixWithCheckpoints(t *testing.T) {
+	runCrashMatrix(t, fault.Matrix(os.Getenv("DMX_CRASH_DEEP") != ""), 8)
+}
+
+// TestCheckpointBoundsRedo asserts the point of checkpointing: restart
+// redo work is bounded by the database size plus the checkpoint interval
+// instead of the whole update history.
+func TestCheckpointBoundsRedo(t *testing.T) {
+	run := func(every int) (checkpoints, redo int64) {
+		dir := t.TempDir()
+		cfg := Config{LogPath: filepath.Join(dir, "wal.log"), CheckpointEvery: every}
+		db, err := Open(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := db.Exec("CREATE TABLE t (id INT NOT NULL, v STRING) USING heap"); err != nil {
+			t.Fatal(err)
+		}
+		// A small relation churned by a long update history: the snapshot
+		// in each checkpoint stays 10 records, the history grows to 400.
+		for i := 0; i < 10; i++ {
+			if _, err := db.Exec(fmt.Sprintf("INSERT INTO t VALUES (%d, 'v0')", i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < 400; i++ {
+			if _, err := db.Exec(fmt.Sprintf("UPDATE t SET v = 'v%d' WHERE id = %d", i, i%10)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		checkpoints = db.Env.Obs.WAL.Checkpoints.Load()
+		// Crash (no Close): reopen and measure how much history redo replays.
+		cfg.Recover = true
+		cfg.CheckpointEvery = -1
+		db2, err := Open(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer db2.Close()
+		res, err := db2.Exec("SELECT v FROM t WHERE id = 9")
+		if err != nil || len(res.Rows) != 1 || res.Rows[0][0].S != "v399" {
+			t.Fatalf("recovered state wrong: %+v, %v", res, err)
+		}
+		return checkpoints, db2.Env.Obs.WAL.RedoRecords.Load()
+	}
+
+	ckpts, bounded := run(64)
+	if ckpts == 0 {
+		t.Fatal("no checkpoints taken with CheckpointEvery=64")
+	}
+	_, full := run(-1)
+	if bounded*2 >= full {
+		t.Fatalf("checkpointing did not bound redo: %d vs %d records", bounded, full)
+	}
+}

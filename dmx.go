@@ -49,6 +49,7 @@ import (
 	"dmx/internal/core"
 	"dmx/internal/ddl"
 	"dmx/internal/expr"
+	"dmx/internal/fault"
 	"dmx/internal/pagefile"
 	"dmx/internal/plan"
 	"dmx/internal/remote"
@@ -126,6 +127,13 @@ type Config struct {
 	DiskPath string
 	// Recover replays the log at open (use with LogPath after a restart).
 	Recover bool
+	// CheckpointEvery takes a fuzzy checkpoint (and truncates the log head)
+	// after that many log appends. 0 checkpoints only at Close; negative
+	// disables checkpointing entirely.
+	CheckpointEvery int
+	// Faults arms the engine's crash-point fault injector (testing; see
+	// internal/fault). Nil leaves every site disarmed.
+	Faults *fault.Injector
 }
 
 // DB is an open database.
@@ -137,6 +145,7 @@ type DB struct {
 	session *Session
 	log     *wal.Log
 	disk    pagefile.Disk
+	ckptOff bool
 }
 
 // Open assembles a database from cfg.
@@ -156,8 +165,8 @@ func Open(cfg Config) (*DB, error) {
 			return nil, err
 		}
 	}
-	env := core.NewEnv(core.Config{Log: log, Disk: disk, PoolFrames: cfg.PoolFrames})
-	db := &DB{Env: env, log: log, disk: disk}
+	env := core.NewEnv(core.Config{Log: log, Disk: disk, PoolFrames: cfg.PoolFrames, Faults: cfg.Faults})
+	db := &DB{Env: env, log: log, disk: disk, ckptOff: cfg.CheckpointEvery < 0}
 	db.session = ddl.NewSession(env)
 	if cfg.Recover {
 		if err := env.Recover(); err != nil {
@@ -165,16 +174,46 @@ func Open(cfg Config) (*DB, error) {
 			return nil, fmt.Errorf("dmx: recovery: %w", err)
 		}
 	}
+	if cfg.CheckpointEvery > 0 && log != nil {
+		every := cfg.CheckpointEvery
+		// Checked at every transaction end: the hook runs outside
+		// transaction locks, and Checkpoint itself backs off (busy) when
+		// concurrent writers still hold relation locks.
+		env.Txns.OnEnd = func() {
+			if log.AppendsSinceCheckpoint() >= every {
+				_ = env.Checkpoint() // opportunistic; retried at next txn end
+			}
+		}
+	}
 	return db, nil
 }
 
-// Close flushes dirty buffer frames to the backing disk and releases the
-// database's file resources. In-flight transactions are not waited for.
+// Checkpoint takes a fuzzy checkpoint now: the active-transaction table
+// and a replayable snapshot of every relation are appended to the log and
+// the log head before them is truncated, bounding restart-redo work. It
+// returns core.ErrCheckpointBusy (without harm) when concurrent writers
+// hold relation locks.
+func (db *DB) Checkpoint() error { return db.Env.Checkpoint() }
+
+// Close takes a final checkpoint (unless disabled), flushes dirty buffer
+// frames to the backing disk, and releases the database's file resources.
+// In-flight transactions are not waited for.
 func (db *DB) Close() error {
+	var first error
+	if db.log != nil && !db.ckptOff {
+		// Best effort: a clean shutdown leaves a compact log, so the next
+		// open replays only the closing snapshot. Busy (in-flight writers)
+		// is not an error — the full log still recovers.
+		if err := db.Env.Checkpoint(); err != nil && err != core.ErrCheckpointBusy && first == nil {
+			first = err
+		}
+	}
 	// Dirty frames must reach the disk before it is closed; without this
 	// a file-backed database reopened without log replay reads the zero
 	// pages FileDisk.Allocate wrote at extension time.
-	first := db.Env.Pool.FlushAll()
+	if err := db.Env.Pool.FlushAll(); err != nil && first == nil {
+		first = err
+	}
 	if db.log != nil {
 		if err := db.log.Close(); err != nil && first == nil {
 			first = err

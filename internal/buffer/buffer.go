@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"sync"
 
+	"dmx/internal/fault"
 	"dmx/internal/obs"
 	"dmx/internal/pagefile"
 )
@@ -45,6 +46,7 @@ type Pool struct {
 	frames   map[pagefile.PageID]*Frame
 	lru      *list.List // unpinned frames, front = LRU victim
 	obs      *obs.BufferStats
+	faults   *fault.Injector
 }
 
 // NewPool returns a pool of the given frame capacity over disk.
@@ -69,6 +71,14 @@ func (p *Pool) SetObs(bs *obs.BufferStats) {
 	}
 	p.mu.Lock()
 	p.obs = bs
+	p.mu.Unlock()
+}
+
+// SetFaults arms the pool's dirty-page write-back crash site with a
+// fault injector (testing).
+func (p *Pool) SetFaults(in *fault.Injector) {
+	p.mu.Lock()
+	p.faults = in
 	p.mu.Unlock()
 }
 
@@ -138,6 +148,9 @@ func (p *Pool) evictLocked() error {
 	}
 	victim := el.Value.(*Frame)
 	if victim.dirty {
+		if err := p.faults.Hit(fault.SiteBufFlush); err != nil {
+			return err
+		}
 		if err := p.disk.WritePage(victim.ID, victim.Data); err != nil {
 			return err
 		}
@@ -185,6 +198,9 @@ func (p *Pool) FlushAll() error {
 	defer p.mu.Unlock()
 	for _, f := range p.frames {
 		if f.dirty {
+			if err := p.faults.Hit(fault.SiteBufFlush); err != nil {
+				return err
+			}
 			if err := p.disk.WritePage(f.ID, f.Data); err != nil {
 				return err
 			}

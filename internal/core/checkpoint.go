@@ -1,0 +1,118 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"dmx/internal/lock"
+	"dmx/internal/wal"
+)
+
+// ErrCheckpointBusy is returned when a checkpoint cannot run because
+// another checkpoint is in progress or active writers hold relation
+// locks. Checkpoints are opportunistic; callers retry later.
+var ErrCheckpointBusy = errors.New("core: checkpoint busy (writers active)")
+
+// Checkpoint writes a recovery checkpoint to the common log and truncates
+// the log head before it.
+//
+// Because restart recovery rebuilds all engine state purely from the log
+// (disk pages are a rebuildable cache, and storage page tables and
+// attachment state are memory-resident), a truncating checkpoint must
+// embed a replayable snapshot: for every relation a catalog descriptor
+// record, and for relations of snapshotting storage methods one insert
+// record per stored record, all logged under the reserved CheckpointTxn.
+//
+// Writers are quiesced first: the checkpoint takes every relation's S
+// lock non-blockingly (failing with ErrCheckpointBusy if any writer holds
+// an incompatible lock) and holds them across the snapshot, so the
+// snapshot is the only update activity between the checkpoint record and
+// its END — recovery can therefore redo from the checkpoint record alone.
+// Attachment state is not snapshotted: recovery rebuilds it from the
+// recovered relation contents via the attachment Build operations.
+// Attachment types that keep durable state must therefore provide Build
+// (all shipped stateful types do); Build-less types are either stateless
+// (triggers, validators) or forfeit pre-checkpoint state.
+// Relations created by transactions that slip in after the lock sweep are
+// not snapshotted, which is sound: all their records carry later LSNs and
+// replay in full.
+func (env *Env) Checkpoint() error {
+	if env.Log == nil {
+		return nil
+	}
+	if !env.checkpointing.CompareAndSwap(false, true) {
+		return ErrCheckpointBusy
+	}
+	defer env.checkpointing.Store(false)
+	defer env.Locks.ReleaseAll(wal.CheckpointTxn)
+
+	// Quiesce writers: S-lock every catalogued relation, re-listing until
+	// a sweep adds nothing (DDL racing the first sweep can introduce new
+	// names). TryAcquire keeps the checkpoint deadlock-free.
+	locked := make(map[uint32]bool)
+	for round := 0; ; round++ {
+		if round > 8 {
+			return ErrCheckpointBusy
+		}
+		added := false
+		for _, name := range env.Cat.List() {
+			rd, ok := env.Cat.ByName(name)
+			if !ok || locked[rd.RelID] {
+				continue
+			}
+			if !env.Locks.TryAcquire(wal.CheckpointTxn, lock.RelResource(rd.RelID), lock.ModeS) {
+				return ErrCheckpointBusy
+			}
+			locked[rd.RelID] = true
+			added = true
+		}
+		if !added {
+			break
+		}
+	}
+
+	snap := func(emit func(owner wal.Owner, payload []byte) error) error {
+		for _, name := range env.Cat.List() {
+			rd, ok := env.Cat.ByName(name)
+			if !ok || !locked[rd.RelID] {
+				continue // appeared after the lock sweep: replays in full
+			}
+			// The descriptor record replays through the same path as a
+			// logged CREATE, installing schema, SM descriptor and
+			// attachment descriptors in one step.
+			if err := emit(wal.Owner{Class: wal.OwnerSystem, RelID: rd.RelID}, append([]byte{catCreate}, rd.AppendEncode(nil)...)); err != nil {
+				return err
+			}
+			ops := env.Reg.StorageOps(rd.SM)
+			if ops == nil || !ops.SnapshotContents {
+				continue
+			}
+			inst, err := env.StorageInstance(rd)
+			if err != nil {
+				return fmt.Errorf("checkpoint %s: %w", rd.Name, err)
+			}
+			owner := wal.Owner{Class: wal.OwnerStorage, ExtID: uint8(rd.SM), RelID: rd.RelID}
+			scan, err := inst.OpenScan(nil, ScanOptions{})
+			if err != nil {
+				return fmt.Errorf("checkpoint %s: %w", rd.Name, err)
+			}
+			for {
+				key, rec, ok, err := scan.Next()
+				if err != nil {
+					scan.Close()
+					return fmt.Errorf("checkpoint %s: %w", rd.Name, err)
+				}
+				if !ok {
+					break
+				}
+				if err := emit(owner, EncodeMod(ModPayload{Op: ModInsert, Key: key, New: rec})); err != nil {
+					scan.Close()
+					return err
+				}
+			}
+			scan.Close()
+		}
+		return nil
+	}
+	return env.Log.Checkpoint(env.Txns.ActiveIDs(), snap)
+}

@@ -3,9 +3,11 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"dmx/internal/buffer"
 	"dmx/internal/expr"
+	"dmx/internal/fault"
 	"dmx/internal/lock"
 	"dmx/internal/obs"
 	"dmx/internal/pagefile"
@@ -35,6 +37,10 @@ type Config struct {
 	Disk pagefile.Disk
 	// PoolFrames is the buffer pool capacity (default 256 frames).
 	PoolFrames int
+	// Faults, when non-nil, arms the engine's crash sites (WAL append,
+	// flush and sync, buffer write-back, page-file writes) with a
+	// deterministic crash-point injector for recovery testing.
+	Faults *fault.Injector
 }
 
 // Env is the database execution environment storage method and attachment
@@ -58,6 +64,9 @@ type Env struct {
 	smInst   map[uint32]StorageInstance
 	attInst  map[attKey]*attEntry
 	extState map[string]any
+
+	recovering    atomic.Bool // restart recovery in progress
+	checkpointing atomic.Bool // guards against overlapping checkpoints
 }
 
 // ExtState returns the extension-private environment state stored under
@@ -107,6 +116,13 @@ func NewEnv(cfg Config) *Env {
 	cfg.Log.SetObs(&engine.WAL)
 	pool := buffer.NewPool(cfg.Disk, cfg.PoolFrames)
 	pool.SetObs(&engine.Buffer)
+	if cfg.Faults != nil {
+		cfg.Log.SetFaults(cfg.Faults)
+		pool.SetFaults(cfg.Faults)
+		if fd, ok := cfg.Disk.(*pagefile.FileDisk); ok {
+			fd.SetFaults(cfg.Faults)
+		}
+	}
 	env := &Env{
 		Reg:      cfg.Registry,
 		Log:      cfg.Log,
@@ -278,6 +294,24 @@ func (env *Env) applyLogged(owner wal.Owner, payload []byte, undo bool) error {
 		if !ok {
 			return fmt.Errorf("core: log record for unknown relation %d", owner.RelID)
 		}
+		if env.recovering.Load() {
+			// During restart recovery, attachment types that can be
+			// rebuilt by scanning (they provide Build) are not replayed
+			// from the log: checkpoint truncation may have dropped the
+			// early entry records, and replaying the survivors on top of
+			// a rebuild would double-apply. Their state is reconstructed
+			// from the recovered relation contents afterwards. Types
+			// without Build keep their state only in the log and replay
+			// as usual, as do all attachments of storage methods that
+			// opt into replay (their contents live elsewhere and cannot
+			// be rescanned at restart).
+			sops := env.Reg.StorageOps(rd.SM)
+			aops := env.Reg.AttachmentOps(AttID(owner.ExtID))
+			if (sops == nil || !sops.ReplayAttachments) &&
+				aops != nil && aops.Build != nil {
+				return nil
+			}
+		}
 		inst, err := env.AttachmentInstance(rd, AttID(owner.ExtID))
 		if err != nil {
 			return err
@@ -288,10 +322,52 @@ func (env *Env) applyLogged(owner wal.Owner, payload []byte, undo bool) error {
 	}
 }
 
-// Recover performs restart recovery over the environment's log: history is
-// repeated in LSN order (including catalog DDL, so relation descriptors
-// exist before their data records replay), then loser transactions are
-// rolled back — all dispatched through the extension procedure vectors.
+// Recover performs restart recovery over the environment's log: history
+// past the last complete checkpoint is repeated in LSN order (the
+// checkpoint snapshot replays first, so relation descriptors exist before
+// their data records), then loser transactions are rolled back — all
+// dispatched through the extension procedure vectors. Attachment state
+// (indexes, aggregates, validators) is then rebuilt from the recovered
+// relation contents via the attachment Build operations, since checkpoint
+// truncation may have dropped the entry records that populated it.
 func (env *Env) Recover() error {
-	return env.Log.Recover(env, env)
+	env.recovering.Store(true)
+	err := env.Log.Recover(env, env)
+	env.recovering.Store(false)
+	if err != nil {
+		return err
+	}
+	return env.rebuildAttachments()
+}
+
+// rebuildAttachments repopulates every attachment instance from its
+// relation's recovered contents, inside one committed transaction (the
+// rebuilt entries are logged, so they survive the next checkpoint).
+func (env *Env) rebuildAttachments() error {
+	names := env.Cat.List()
+	if len(names) == 0 {
+		return nil
+	}
+	tx := env.Begin()
+	for _, name := range names {
+		rd, ok := env.Cat.ByName(name)
+		if !ok {
+			continue
+		}
+		sops := env.Reg.StorageOps(rd.SM)
+		if sops == nil || sops.ReplayAttachments {
+			continue // replayed from the log instead
+		}
+		for _, attID := range rd.AttachmentTypes() {
+			aops := env.Reg.AttachmentOps(attID)
+			if aops == nil || aops.Build == nil {
+				continue
+			}
+			if err := aops.Build(env, tx, rd); err != nil {
+				tx.Abort()
+				return fmt.Errorf("core: rebuild %s attachments on %s: %w", aops.Name, rd.Name, err)
+			}
+		}
+	}
+	return tx.Commit()
 }

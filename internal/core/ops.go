@@ -132,6 +132,19 @@ type StorageOps struct {
 	// Drop releases the relation's storage. It runs as a deferred action
 	// after commit so the drop can be undone until then. Optional.
 	Drop func(env *Env, rd *RelDesc) error
+	// SnapshotContents marks storage methods whose relation contents must
+	// be embedded in log checkpoints: the method logs its modifications
+	// and stores records locally, so after checkpoint truncation the
+	// snapshot is the only durable source of the pre-checkpoint records.
+	// Leave false for unlogged methods (temp) and methods whose data
+	// lives elsewhere (remote).
+	SnapshotContents bool
+	// ReplayAttachments makes restart recovery replay attachment-owned
+	// log records for this method's relations instead of rebuilding the
+	// attachments by scanning (the default). Set it when relations cannot
+	// be scanned at restart (remote: the foreign server is attached
+	// later).
+	ReplayAttachments bool
 }
 
 // AttachmentInstance is the runtime handle for all instances of one

@@ -1,0 +1,170 @@
+// Package fault provides a deterministic crash-point injector for
+// recovery testing.
+//
+// Durability-bearing code paths (WAL append/flush/sync, buffer-pool
+// write-back, page-file writes) declare named crash sites and consult an
+// optional Injector before acting. A test arms the injector at one site;
+// when the armed hit count is reached the injector "crashes": the armed
+// operation fails with ErrInjected and every subsequent guarded operation
+// at any site fails too, simulating a dead process whose in-memory state
+// is lost. Torn writes are modelled by letting a prefix of the final
+// write reach the file before the crash.
+//
+// All methods are nil-receiver safe so production code can hold a nil
+// *Injector at zero cost.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Site names a crash point in a durability-bearing code path.
+type Site string
+
+// Registered crash sites.
+const (
+	// SiteWALAppend fires before a record is added to the log, in memory
+	// or on disk: nothing of the record survives.
+	SiteWALAppend Site = "wal.append"
+	// SiteWALFlush fires while buffered log frames are written to the
+	// file; armed torn, a prefix of the buffered bytes reaches the file
+	// (a torn or short write), otherwise none do.
+	SiteWALFlush Site = "wal.flush"
+	// SiteWALSynced fires after fsync succeeded but before success is
+	// returned: the records are durable but the caller never learns it.
+	SiteWALSynced Site = "wal.synced"
+	// SiteBufFlush fires before the buffer pool writes a dirty frame back
+	// to the disk.
+	SiteBufFlush Site = "buffer.flush"
+	// SitePageWrite fires before the page file writes a page image.
+	SitePageWrite Site = "pagefile.write"
+)
+
+// Sites lists every registered crash site.
+func Sites() []Site {
+	return []Site{SiteWALAppend, SiteWALFlush, SiteWALSynced, SiteBufFlush, SitePageWrite}
+}
+
+// ErrInjected is the failure returned at an armed crash site and by every
+// guarded operation after the simulated crash.
+var ErrInjected = errors.New("fault: injected crash")
+
+// Injector is a deterministic crash-point injector. The zero value (and a
+// nil pointer) is inert. An Injector models one process lifetime: once it
+// crashes it stays crashed; build a fresh one for the next run.
+type Injector struct {
+	mu      sync.Mutex
+	site    Site
+	left    int // hits at site remaining before the crash (0 = disarmed)
+	torn    bool
+	keep    int // torn writes: bytes of the triggering write that survive
+	crashed bool
+	hits    map[Site]int
+}
+
+// New returns a disarmed injector.
+func New() *Injector { return &Injector{hits: make(map[Site]int)} }
+
+// Arm schedules a crash at the nth guarded hit of site (1 = the next).
+func (in *Injector) Arm(site Site, nth int) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if nth < 1 {
+		nth = 1
+	}
+	in.site, in.left, in.torn, in.keep = site, nth, false, 0
+}
+
+// ArmTorn schedules a torn write at the nth write-guarded hit of site:
+// keep bytes of the triggering write reach the file, the rest are lost
+// with the crash. Sites guarded by Hit (not BeforeWrite) treat an armed
+// torn crash like a plain one.
+func (in *Injector) ArmTorn(site Site, nth, keep int) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if nth < 1 {
+		nth = 1
+	}
+	if keep < 0 {
+		keep = 0
+	}
+	in.site, in.left, in.torn, in.keep = site, nth, true, keep
+}
+
+// Hit consults the injector at site. It returns ErrInjected when the
+// armed count is reached (crashing the injector) or when a crash already
+// happened; nil otherwise.
+func (in *Injector) Hit(site Site) error {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.hitLocked(site)
+}
+
+func (in *Injector) hitLocked(site Site) error {
+	if in.hits == nil {
+		in.hits = make(map[Site]int)
+	}
+	in.hits[site]++
+	if in.crashed {
+		return fmt.Errorf("%w (process dead, at %s)", ErrInjected, site)
+	}
+	if in.site == site && in.left > 0 {
+		in.left--
+		if in.left == 0 {
+			in.crashed = true
+			return fmt.Errorf("%w (at %s)", ErrInjected, site)
+		}
+	}
+	return nil
+}
+
+// BeforeWrite consults the injector ahead of an n-byte file write at
+// site. It returns how many bytes the caller should let reach the file:
+// n with a nil error normally, or 0..n with ErrInjected at the crash
+// (the torn-write prefix armed by ArmTorn; 0 for a plain crash).
+func (in *Injector) BeforeWrite(site Site, n int) (allow int, err error) {
+	if in == nil {
+		return n, nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	wasCrashed := in.crashed
+	if err := in.hitLocked(site); err != nil {
+		keep := 0
+		if !wasCrashed && in.torn { // the triggering write tears; later ones vanish
+			keep = in.keep
+			if keep > n {
+				keep = n
+			}
+		}
+		return keep, err
+	}
+	return n, nil
+}
+
+// Crashed reports whether the simulated crash has happened.
+func (in *Injector) Crashed() bool {
+	if in == nil {
+		return false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.crashed
+}
+
+// Hits returns how many times site was consulted (including after the
+// crash). The harness uses it to flag scenarios whose site was never
+// reached.
+func (in *Injector) Hits(site Site) int {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.hits[site]
+}

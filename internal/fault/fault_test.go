@@ -1,0 +1,106 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var in *Injector
+	if err := in.Hit(SiteWALAppend); err != nil {
+		t.Fatal(err)
+	}
+	if allow, err := in.BeforeWrite(SiteWALFlush, 42); allow != 42 || err != nil {
+		t.Fatalf("BeforeWrite = %d, %v", allow, err)
+	}
+	if in.Crashed() || in.Hits(SiteWALAppend) != 0 {
+		t.Fatal("nil injector reported state")
+	}
+}
+
+func TestArmCrashesAtNthHitAndStaysCrashed(t *testing.T) {
+	in := New()
+	in.Arm(SiteWALAppend, 3)
+	for i := 1; i <= 2; i++ {
+		if err := in.Hit(SiteWALAppend); err != nil {
+			t.Fatalf("hit %d: %v", i, err)
+		}
+	}
+	if err := in.Hit(SiteWALAppend); !errors.Is(err, ErrInjected) {
+		t.Fatalf("hit 3: %v", err)
+	}
+	if !in.Crashed() {
+		t.Fatal("not crashed after armed hit")
+	}
+	// The process is dead: every site fails from here on.
+	if err := in.Hit(SiteBufFlush); !errors.Is(err, ErrInjected) {
+		t.Fatalf("post-crash other site: %v", err)
+	}
+	if allow, err := in.BeforeWrite(SiteWALFlush, 10); allow != 0 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("post-crash write = %d, %v", allow, err)
+	}
+	if in.Hits(SiteWALAppend) != 3 {
+		t.Fatalf("Hits = %d", in.Hits(SiteWALAppend))
+	}
+}
+
+func TestOtherSitesDoNotTriggerTheArmedOne(t *testing.T) {
+	in := New()
+	in.Arm(SiteBufFlush, 1)
+	for i := 0; i < 5; i++ {
+		if err := in.Hit(SiteWALAppend); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := in.Hit(SiteBufFlush); !errors.Is(err, ErrInjected) {
+		t.Fatalf("armed site: %v", err)
+	}
+}
+
+func TestTornWriteKeepsPrefixOnTriggeringWriteOnly(t *testing.T) {
+	in := New()
+	in.ArmTorn(SiteWALFlush, 2, 7)
+	if allow, err := in.BeforeWrite(SiteWALFlush, 100); allow != 100 || err != nil {
+		t.Fatalf("first write = %d, %v", allow, err)
+	}
+	// The triggering write tears: 7 bytes survive.
+	if allow, err := in.BeforeWrite(SiteWALFlush, 100); allow != 7 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("triggering write = %d, %v", allow, err)
+	}
+	// Later writes vanish entirely (the machine is off).
+	if allow, err := in.BeforeWrite(SiteWALFlush, 100); allow != 0 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("post-crash write = %d, %v", allow, err)
+	}
+}
+
+func TestTornKeepClampedToWriteSize(t *testing.T) {
+	in := New()
+	in.ArmTorn(SiteWALFlush, 1, 1000)
+	if allow, err := in.BeforeWrite(SiteWALFlush, 10); allow != 10 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("clamped write = %d, %v", allow, err)
+	}
+}
+
+func TestMatrixCoversEverySite(t *testing.T) {
+	base := Matrix(false)
+	covered := map[Site]bool{}
+	names := map[string]bool{}
+	for _, s := range base {
+		covered[s.Site] = true
+		if names[s.Name] {
+			t.Fatalf("duplicate scenario name %q", s.Name)
+		}
+		names[s.Name] = true
+		if (s.Site == SiteWALSynced) != s.ExpectDurable {
+			t.Fatalf("scenario %s: ExpectDurable = %v", s.Name, s.ExpectDurable)
+		}
+	}
+	for _, site := range Sites() {
+		if !covered[site] {
+			t.Fatalf("base matrix misses site %s", site)
+		}
+	}
+	if deep := Matrix(true); len(deep) <= len(base) {
+		t.Fatalf("deep matrix (%d) not larger than base (%d)", len(deep), len(base))
+	}
+}

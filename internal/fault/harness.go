@@ -1,0 +1,112 @@
+// Crash harness: a reusable driver that runs a workload once per crash
+// scenario, expects the injected crash to kill the engine, and then asks
+// the caller to reopen from disk, recover, and verify invariants.
+package fault
+
+import "fmt"
+
+// TB is the subset of *testing.T the harness needs, so non-test drivers
+// (e.g. the benchmark binary) can run the matrix too.
+type TB interface {
+	Helper()
+	Logf(format string, args ...any)
+	Errorf(format string, args ...any)
+	Fatalf(format string, args ...any)
+}
+
+// Scenario is one cell of the crash matrix.
+type Scenario struct {
+	Name string
+	Site Site
+	Nth  int  // crash at the nth hit of Site
+	Torn bool // torn write at the crash (write-guarded sites only)
+	Keep int  // torn writes: bytes that survive
+
+	// ExpectDurable marks sites that fire after the commit record is
+	// already on stable storage (e.g. SiteWALSynced): the transaction
+	// whose Commit returned the injected error may legitimately be fully
+	// visible after recovery. At every other site an unacknowledged
+	// transaction must be gone.
+	ExpectDurable bool
+}
+
+// Matrix returns the standard crash-scenario sweep over all registered
+// sites. With deep=true it adds later-hit and torn-write variants (the
+// full injector matrix run by `make crash`).
+func Matrix(deep bool) []Scenario {
+	var out []Scenario
+	add := func(s Scenario) {
+		if s.Nth < 1 {
+			s.Nth = 1
+		}
+		if s.Name == "" {
+			tag := ""
+			if s.Torn {
+				tag = fmt.Sprintf("-torn%d", s.Keep)
+			}
+			s.Name = fmt.Sprintf("%s@%d%s", s.Site, s.Nth, tag)
+		}
+		out = append(out, s)
+	}
+	for _, site := range Sites() {
+		durable := site == SiteWALSynced
+		add(Scenario{Site: site, Nth: 1, ExpectDurable: durable})
+		if deep {
+			add(Scenario{Site: site, Nth: 2, ExpectDurable: durable})
+			add(Scenario{Site: site, Nth: 5, ExpectDurable: durable})
+		}
+	}
+	// Torn and short writes on the WAL file: 0 bytes (nothing reached the
+	// file), a few bytes (frame header torn), and larger prefixes that cut
+	// inside a frame body.
+	for _, keep := range []int{0, 3, 11} {
+		add(Scenario{Site: SiteWALFlush, Nth: 1, Torn: true, Keep: keep})
+	}
+	if deep {
+		for _, keep := range []int{1, 7, 16, 33, 64} {
+			add(Scenario{Site: SiteWALFlush, Nth: 2, Torn: true, Keep: keep})
+			add(Scenario{Site: SiteWALFlush, Nth: 4, Torn: true, Keep: keep})
+		}
+	}
+	return out
+}
+
+// Harness runs Workload once per scenario against a freshly armed
+// injector, checks the crash actually happened, then calls Verify, which
+// must reopen the database from its on-disk state, run recovery, and
+// assert the durability invariants (acknowledged commits fully visible,
+// unacknowledged transactions atomic).
+type Harness struct {
+	Scenarios []Scenario
+	// Workload drives a fresh engine with inj plumbed in until the
+	// injected crash stops it. Returning an error is normal (the crash
+	// surfaces as ErrInjected); the harness only checks inj.Crashed().
+	Workload func(s Scenario, inj *Injector) error
+	// Verify reopens from disk, recovers, and asserts invariants.
+	Verify func(t TB, s Scenario)
+}
+
+// Run executes the matrix. Scenarios whose site was never reached by the
+// workload fail: a crash point that cannot be exercised is a harness bug.
+func (h *Harness) Run(t TB) {
+	t.Helper()
+	if len(h.Scenarios) == 0 || h.Workload == nil || h.Verify == nil {
+		t.Fatalf("fault: harness needs Scenarios, Workload and Verify")
+		return
+	}
+	for _, s := range h.Scenarios {
+		inj := New()
+		if s.Torn {
+			inj.ArmTorn(s.Site, s.Nth, s.Keep)
+		} else {
+			inj.Arm(s.Site, s.Nth)
+		}
+		err := h.Workload(s, inj)
+		if !inj.Crashed() {
+			t.Errorf("fault: scenario %s: crash site never reached (%d hits, workload err: %v)",
+				s.Name, inj.Hits(s.Site), err)
+			continue
+		}
+		h.Verify(t, s)
+	}
+}

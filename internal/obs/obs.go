@@ -256,6 +256,8 @@ type WALStats struct {
 	AppendBytes Counter // payload bytes appended
 	Syncs       Counter // backing-file fsyncs
 	Rollbacks   Counter // log-driven rollbacks (veto, savepoint, abort)
+	Checkpoints Counter // completed checkpoints (snapshot + truncation)
+	RedoRecords Counter // records dispatched to redo during restart recovery
 }
 
 // BufferStats instruments the shared buffer pool.
@@ -324,6 +326,8 @@ type WALSnapshot struct {
 	AppendBytes int64 `json:"append_bytes"`
 	Syncs       int64 `json:"syncs"`
 	Rollbacks   int64 `json:"rollbacks"`
+	Checkpoints int64 `json:"checkpoints"`
+	RedoRecords int64 `json:"redo_records"`
 }
 
 // BufferSnapshot is the buffer-pool view.
@@ -388,6 +392,8 @@ func (e *Engine) Snapshot() Snapshot {
 			AppendBytes: e.WAL.AppendBytes.Load(),
 			Syncs:       e.WAL.Syncs.Load(),
 			Rollbacks:   e.WAL.Rollbacks.Load(),
+			Checkpoints: e.WAL.Checkpoints.Load(),
+			RedoRecords: e.WAL.RedoRecords.Load(),
 		},
 		Buffer: BufferSnapshot{
 			Hits:      hits,

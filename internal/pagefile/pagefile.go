@@ -13,6 +13,8 @@ import (
 	"os"
 	"sync"
 	"sync/atomic"
+
+	"dmx/internal/fault"
 )
 
 // PageSize is the size of every page in bytes.
@@ -114,6 +116,15 @@ type FileDisk struct {
 	npages PageID
 	reads  atomic.Int64
 	writes atomic.Int64
+	faults *fault.Injector
+}
+
+// SetFaults arms the disk's page-write crash site with a fault injector
+// (testing).
+func (d *FileDisk) SetFaults(in *fault.Injector) {
+	d.mu.Lock()
+	d.faults = in
+	d.mu.Unlock()
 }
 
 // OpenFileDisk opens (or creates) a file-backed disk at path.
@@ -154,6 +165,16 @@ func (d *FileDisk) WritePage(id PageID, buf []byte) error {
 	defer d.mu.Unlock()
 	if id >= d.npages {
 		return fmt.Errorf("pagefile: write past end: page %d of %d", id, d.npages)
+	}
+	// Page images are a rebuildable cache of the log, so the injected
+	// crash models a torn page write as simply losing the write: recovery
+	// never trusts page contents.
+	allow, ferr := d.faults.BeforeWrite(fault.SitePageWrite, len(buf))
+	if ferr != nil {
+		if allow > 0 {
+			d.f.WriteAt(buf[:allow], int64(id)*PageSize)
+		}
+		return ferr
 	}
 	d.writes.Add(1)
 	_, err := d.f.WriteAt(buf, int64(id)*PageSize)

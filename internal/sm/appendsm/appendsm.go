@@ -28,8 +28,9 @@ const Name = "append"
 
 func init() {
 	core.RegisterStorageMethod(&core.StorageOps{
-		ID:   core.SMAppend,
-		Name: Name,
+		ID:               core.SMAppend,
+		Name:             Name,
+		SnapshotContents: true,
 		ValidateAttrs: func(schema *types.Schema, attrs core.AttrList) error {
 			return attrs.CheckAllowed(Name)
 		},

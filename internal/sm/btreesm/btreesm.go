@@ -33,8 +33,9 @@ var ErrDuplicateKey = fmt.Errorf("btreesm: duplicate key")
 
 func init() {
 	core.RegisterStorageMethod(&core.StorageOps{
-		ID:   core.SMBTree,
-		Name: Name,
+		ID:               core.SMBTree,
+		Name:             Name,
+		SnapshotContents: true,
 		ValidateAttrs: func(schema *types.Schema, attrs core.AttrList) error {
 			if err := attrs.CheckAllowed(Name, "key"); err != nil {
 				return err

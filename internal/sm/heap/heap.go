@@ -29,8 +29,9 @@ const Name = "heap"
 
 func init() {
 	core.RegisterStorageMethod(&core.StorageOps{
-		ID:   core.SMHeap,
-		Name: Name,
+		ID:               core.SMHeap,
+		Name:             Name,
+		SnapshotContents: true,
 		ValidateAttrs: func(schema *types.Schema, attrs core.AttrList) error {
 			return attrs.CheckAllowed(Name, "fillpercent")
 		},

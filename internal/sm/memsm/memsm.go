@@ -20,8 +20,9 @@ const Name = "memory"
 
 func init() {
 	core.RegisterStorageMethod(&core.StorageOps{
-		ID:   core.SMMemory,
-		Name: Name,
+		ID:               core.SMMemory,
+		Name:             Name,
+		SnapshotContents: true,
 		ValidateAttrs: func(schema *types.Schema, attrs core.AttrList) error {
 			return attrs.CheckAllowed(Name)
 		},

@@ -70,6 +70,10 @@ func init() {
 	core.RegisterStorageMethod(&core.StorageOps{
 		ID:   core.SMRemote,
 		Name: Name,
+		// Remote relation contents live on the foreign server and cannot be
+		// rescanned at restart (servers are attached after open), so restart
+		// recovery replays the attachment-owned log records instead.
+		ReplayAttachments: true,
 		ValidateAttrs: func(schema *types.Schema, attrs core.AttrList) error {
 			if err := attrs.CheckAllowed(Name, "server", "table", "batch"); err != nil {
 				return err

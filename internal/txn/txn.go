@@ -118,6 +118,10 @@ type Manager struct {
 	// Undoer dispatches log-driven undo to the owning extension. It is set
 	// by the extension registry once the procedure vectors are built.
 	Undoer wal.Undoer
+	// OnEnd, when set, runs after every transaction finishes (commit or
+	// abort), outside all manager and transaction locks. The engine uses
+	// it to trigger periodic log checkpoints.
+	OnEnd func()
 }
 
 // NewManager returns a manager over the given log and lock manager.
@@ -139,6 +143,18 @@ func (m *Manager) Begin() *Txn {
 	m.nextID++
 	m.active[tx.id] = tx
 	return tx
+}
+
+// ActiveIDs returns the IDs of all unfinished transactions (the
+// active-transaction table a checkpoint records).
+func (m *Manager) ActiveIDs() []wal.TxnID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]wal.TxnID, 0, len(m.active))
+	for id := range m.active {
+		out = append(out, id)
+	}
+	return out
 }
 
 // ActiveCount returns the number of unfinished transactions.
@@ -291,7 +307,14 @@ func (tx *Txn) Commit() error {
 		return err
 	}
 	if _, err := tx.mgr.Log.Append(tx.id, wal.RecCommit, wal.Owner{}, nil); err != nil {
-		return err
+		return tx.commitFailed(err)
+	}
+	// The commit point: the transaction is committed only once the commit
+	// record is on stable storage. Until the sync returns the caller must
+	// not be told the commit succeeded, and EventCommit (whose contract
+	// promises durability) must not fire.
+	if err := tx.mgr.Log.Sync(); err != nil {
+		return tx.commitFailed(err)
 	}
 	tx.state = StateCommitted
 	commitErr := tx.fire(EventCommit, "")
@@ -301,10 +324,26 @@ func (tx *Txn) Commit() error {
 		return err
 	}
 	tx.mgr.finish(tx)
+	if h := tx.mgr.OnEnd; h != nil {
+		h()
+	}
 	if commitErr != nil {
 		return commitErr
 	}
 	return endErr
+}
+
+// commitFailed handles a commit whose record could not be appended or
+// made durable (typically a dead log device or an injected crash). The
+// transaction's fate is unknown — the record may or may not have reached
+// stable storage — so no undo is attempted here; restart recovery will
+// resolve it from the log. Locally the transaction is dead: locks are
+// released and the handle retired so the process can shut down.
+func (tx *Txn) commitFailed(err error) error {
+	tx.state = StateAborted
+	tx.mgr.Locks.ReleaseAll(tx.id)
+	tx.mgr.finish(tx)
+	return fmt.Errorf("txn: commit not durable: %w", err)
 }
 
 // Abort rolls the whole transaction back through the common log, fires
@@ -325,6 +364,9 @@ func (tx *Txn) Abort() error {
 		return err
 	}
 	tx.mgr.finish(tx)
+	if h := tx.mgr.OnEnd; h != nil {
+		h()
+	}
 	switch {
 	case rbErr != nil:
 		return rbErr

@@ -1,0 +1,194 @@
+package wal
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCheckpointTruncatesAndBoundsRedo(t *testing.T) {
+	l := New()
+	mustAppend(t, l, 1, RecUpdate, "pre")
+	mustAppend(t, l, 1, RecCommit, "")
+	mustAppend(t, l, 1, RecEnd, "")
+
+	err := l.Checkpoint(nil, func(emit func(Owner, []byte) error) error {
+		return emit(Owner{Class: OwnerStorage, ExtID: 2, RelID: 7}, []byte("snap"))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckptLSN := l.CheckpointLSN()
+	if ckptLSN == 0 {
+		t.Fatal("no complete checkpoint recorded")
+	}
+
+	// The head is truncated: pre-checkpoint records are gone and At
+	// translates LSNs through the new base instead of assuming LSN==index+1.
+	if l.Base() != ckptLSN-1 {
+		t.Fatalf("Base = %d, want %d", l.Base(), ckptLSN-1)
+	}
+	if _, ok := l.At(1); ok {
+		t.Fatal("pre-checkpoint LSN still resolvable after truncation")
+	}
+	if rec, ok := l.At(ckptLSN); !ok || rec.Kind != RecCheckpoint {
+		t.Fatalf("At(ckptLSN) = %+v, %v", rec, ok)
+	}
+
+	mustAppend(t, l, 2, RecUpdate, "post")
+	mustAppend(t, l, 2, RecCommit, "")
+	mustAppend(t, l, 2, RecEnd, "")
+
+	d := &recordingDispatcher{}
+	if err := l.Recover(d, d); err != nil {
+		t.Fatal(err)
+	}
+	// Redo covers exactly the snapshot and post-checkpoint history; the
+	// pre-checkpoint update is superseded by the snapshot.
+	if len(d.redos) != 2 || !strings.HasSuffix(d.redos[0], ":snap") || d.redos[1] != "t2:post" {
+		t.Fatalf("redos = %v", d.redos)
+	}
+	if len(d.undos) != 0 {
+		t.Fatalf("undos = %v", d.undos)
+	}
+}
+
+func TestCheckpointPersistsAcrossReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, l, 1, RecUpdate, "pre")
+	mustAppend(t, l, 1, RecCommit, "")
+	mustAppend(t, l, 1, RecEnd, "")
+	if err := l.Checkpoint(nil, func(emit func(Owner, []byte) error) error {
+		return emit(Owner{Class: OwnerStorage, ExtID: 2, RelID: 7}, []byte("snap"))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ckptLSN := l.CheckpointLSN()
+	l.Close()
+
+	l2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	// Only the checkpoint chain survives on disk, with LSNs preserved.
+	if l2.Len() != 3 || l2.Base() != ckptLSN-1 {
+		t.Fatalf("Len = %d, Base = %d, ckptLSN = %d", l2.Len(), l2.Base(), ckptLSN)
+	}
+	if l2.CheckpointLSN() != ckptLSN {
+		t.Fatalf("CheckpointLSN = %d, want %d", l2.CheckpointLSN(), ckptLSN)
+	}
+	// The reopened log continues the LSN sequence and recovers from the
+	// snapshot alone.
+	lsn := mustAppend(t, l2, 2, RecUpdate, "post")
+	if lsn != ckptLSN+3 {
+		t.Fatalf("next LSN = %d, want %d", lsn, ckptLSN+3)
+	}
+	d := &recordingDispatcher{}
+	if err := l2.Recover(d, d); err != nil {
+		t.Fatal(err)
+	}
+	if len(d.redos) != 2 || !strings.HasSuffix(d.redos[0], ":snap") || d.redos[1] != "t2:post" {
+		t.Fatalf("redos = %v", d.redos)
+	}
+}
+
+func TestIncompleteCheckpointIgnored(t *testing.T) {
+	l := New()
+	mustAppend(t, l, 1, RecUpdate, "pre")
+	mustAppend(t, l, 1, RecCommit, "")
+	mustAppend(t, l, 1, RecEnd, "")
+	// A checkpoint that crashed before its END: the chain is open.
+	if _, err := l.Append(CheckpointTxn, RecCheckpoint, Owner{}, EncodeATT(nil)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(CheckpointTxn, RecUpdate, Owner{Class: OwnerStorage, ExtID: 2, RelID: 7}, []byte("snap")); err != nil {
+		t.Fatal(err)
+	}
+	if l.CheckpointLSN() != 0 {
+		t.Fatalf("incomplete checkpoint reported complete at %d", l.CheckpointLSN())
+	}
+	d := &recordingDispatcher{}
+	if err := l.Recover(d, d); err != nil {
+		t.Fatal(err)
+	}
+	// Everything redoes (the snapshot records are harmless re-placements)
+	// and the open checkpoint chain is closed without undo.
+	if len(d.redos) != 2 || d.redos[0] != "t1:pre" || !strings.HasSuffix(d.redos[1], ":snap") {
+		t.Fatalf("redos = %v", d.redos)
+	}
+	if len(d.undos) != 0 {
+		t.Fatalf("undos = %v", d.undos)
+	}
+	if n := len(l.ActiveTxns()); n != 0 {
+		t.Fatalf("active txns after recovery = %d", n)
+	}
+}
+
+func TestMidFrameCutTruncated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, l, 1, RecUpdate, "first")
+	mustAppend(t, l, 1, RecUpdate, "second")
+	l.Close()
+
+	// Cut the file mid-way through the second frame (a crash tore the
+	// final write a few bytes short).
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, info.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if l2.Len() != 1 {
+		t.Fatalf("cut frame should be dropped; Len = %d", l2.Len())
+	}
+	if _, err := l2.Append(1, RecUpdate, Owner{}, []byte("again")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRollbackCrashResumesViaUndoNext(t *testing.T) {
+	l := New()
+	mustAppend(t, l, 1, RecUpdate, "a")
+	mustAppend(t, l, 1, RecUpdate, "b")
+	mustAppend(t, l, 1, RecUpdate, "c")
+
+	// First rollback attempt dies after undoing "c" (its CLR is in the
+	// log) while trying to undo "b".
+	d1 := &recordingDispatcher{failOn: "b"}
+	if err := l.Rollback(1, 0, d1); err == nil {
+		t.Fatal("rollback should surface the undo failure")
+	}
+	if len(d1.undos) != 1 || d1.undos[0] != "t1:c" {
+		t.Fatalf("first attempt undos = %v", d1.undos)
+	}
+
+	// Restart recovery resumes the rollback from the CLR's UndoNext
+	// pointer: "c" is never undone a second time.
+	d2 := &recordingDispatcher{}
+	if err := l.Recover(d2, d2); err != nil {
+		t.Fatal(err)
+	}
+	if len(d2.undos) != 2 || d2.undos[0] != "t1:b" || d2.undos[1] != "t1:a" {
+		t.Fatalf("recovery undos = %v", d2.undos)
+	}
+	if n := len(l.ActiveTxns()); n != 0 {
+		t.Fatalf("active txns after recovery = %d", n)
+	}
+}

@@ -8,6 +8,14 @@
 // transaction abort, and system-restart recovery. The log does not
 // interpret extension payloads; it dispatches undo and redo back to the
 // owning extension, identified by an Owner tag on each update record.
+//
+// Durability: appended records are buffered in memory and reach the
+// backing file only on Sync (or Close). A transaction is durable once the
+// Sync after its COMMIT record returns — that is the commit-durability
+// contract internal/txn relies on. Checkpoints bound restart work: a
+// completed checkpoint embeds a replayable snapshot of the engine state
+// in the log, after which the log head before the checkpoint record is
+// truncated and recovery redoes only records past it.
 package wal
 
 import (
@@ -18,14 +26,22 @@ import (
 	"os"
 	"sync"
 
+	"dmx/internal/fault"
 	"dmx/internal/obs"
 )
 
 // LSN is a log sequence number. LSN 0 is "nil" (before every record).
+// LSNs are stable across head truncation: record i of the in-memory
+// window has LSN base+i+1.
 type LSN uint64
 
 // TxnID identifies a transaction in log records.
 type TxnID uint64
+
+// CheckpointTxn is the reserved transaction ID under which checkpoint
+// snapshot records are logged. The transaction manager never allocates
+// it, and recovery never rolls it back.
+const CheckpointTxn = ^TxnID(0)
 
 // RecKind classifies log records.
 type RecKind uint8
@@ -36,8 +52,9 @@ const (
 	RecCompensation                // CLR written while undoing an update
 	RecCommit
 	RecAbort
-	RecSavepoint // marks a partial-rollback point
-	RecEnd       // transaction fully finished (after commit/abort processing)
+	RecSavepoint  // marks a partial-rollback point
+	RecEnd        // transaction fully finished (after commit/abort processing)
+	RecCheckpoint // checkpoint begin; Payload is the active-transaction table
 )
 
 // String returns the record kind name.
@@ -55,6 +72,8 @@ func (k RecKind) String() string {
 		return "SAVEPOINT"
 	case RecEnd:
 		return "END"
+	case RecCheckpoint:
+		return "CHECKPOINT"
 	default:
 		return fmt.Sprintf("RecKind(%d)", uint8(k))
 	}
@@ -103,16 +122,27 @@ type Redoer interface {
 	Redo(txn TxnID, owner Owner, payload []byte, compensation bool) error
 }
 
-// Log is the common write-ahead log. It keeps all records in memory and
-// optionally mirrors them to a file for restart recovery. A Log is safe
-// for concurrent use.
+// ATTEntry is one active-transaction-table entry in a checkpoint record.
+type ATTEntry struct {
+	Txn     TxnID
+	LastLSN LSN
+}
+
+// Log is the common write-ahead log. It keeps the records since the last
+// checkpoint in memory and optionally mirrors them to a file for restart
+// recovery. A Log is safe for concurrent use.
 type Log struct {
-	mu      sync.Mutex
-	records []Record
-	lastLSN map[TxnID]LSN
-	file    *os.File
-	buf     []byte // reusable frame buffer for file writes
-	obs     *obs.WALStats
+	mu        sync.Mutex
+	base      LSN // LSN of records[0] minus one (head truncation offset)
+	records   []Record
+	lastLSN   map[TxnID]LSN
+	path      string // backing file path (checkpoint truncation rewrites it)
+	file      *os.File
+	pending   []byte // encoded frames appended but not yet flushed
+	goodEnd   int64  // verified durable length of the backing file
+	sinceCkpt int    // records appended since the last completed checkpoint
+	obs       *obs.WALStats
+	faults    *fault.Injector
 }
 
 // New returns an in-memory log (no persistence).
@@ -130,61 +160,87 @@ func (l *Log) SetObs(ws *obs.WALStats) {
 	l.mu.Unlock()
 }
 
+// SetFaults arms the log's crash sites with a fault injector (testing).
+func (l *Log) SetFaults(in *fault.Injector) {
+	l.mu.Lock()
+	l.faults = in
+	l.mu.Unlock()
+}
+
 // Open returns a log mirrored to the file at path, first loading any
 // records already present (e.g. after a crash). Corrupt trailing frames —
-// a torn final write — are truncated away.
+// a torn final write — are truncated away. On any error the partially
+// loaded state is discarded and the file handle closed.
 func Open(path string) (*Log, error) {
-	l := New()
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("wal: open %s: %w", path, err)
 	}
-	validEnd, err := l.load(f)
+	records, lastLSN, validEnd, err := load(f)
+	if err == nil && validEnd >= 0 {
+		if terr := f.Truncate(validEnd); terr != nil {
+			err = fmt.Errorf("wal: truncate torn tail: %w", terr)
+		} else if _, serr := f.Seek(0, io.SeekEnd); serr != nil {
+			err = fmt.Errorf("wal: seek: %w", serr)
+		}
+	}
 	if err != nil {
+		// Do not hand back half-loaded state: the caller sees either a
+		// fully opened log or nothing.
 		f.Close()
 		return nil, err
 	}
-	if err := f.Truncate(validEnd); err != nil {
-		f.Close()
-		return nil, fmt.Errorf("wal: truncate torn tail: %w", err)
+	l := New()
+	l.records, l.lastLSN, l.file, l.goodEnd = records, lastLSN, f, validEnd
+	l.path = path
+	if len(records) > 0 {
+		l.base = records[0].LSN - 1
 	}
-	if _, err := f.Seek(0, io.SeekEnd); err != nil {
-		f.Close()
-		return nil, err
-	}
-	l.file = f
 	return l, nil
 }
 
-// Close releases the backing file, if any.
+// Close flushes buffered records to stable storage and releases the
+// backing file, if any.
 func (l *Log) Close() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.file == nil {
 		return nil
 	}
-	err := l.file.Close()
+	err := l.flushLocked()
+	if err == nil {
+		err = l.file.Sync()
+	}
+	if cerr := l.file.Close(); err == nil {
+		err = cerr
+	}
 	l.file = nil
 	return err
 }
 
-// Append writes an update-class record for txn owned by owner and returns
-// its LSN. Payload is copied.
+// Append writes a record for txn owned by owner and returns its LSN.
+// Payload is copied. The record is buffered: it reaches stable storage at
+// the next Sync.
 func (l *Log) Append(txn TxnID, kind RecKind, owner Owner, payload []byte) (LSN, error) {
-	return l.append(txn, kind, owner, payload, 0)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.appendLocked(txn, kind, owner, payload, 0)
 }
 
 // AppendCLR writes a compensation record whose UndoNext points at the next
 // record of the transaction still requiring undo.
 func (l *Log) AppendCLR(txn TxnID, owner Owner, payload []byte, undoNext LSN) (LSN, error) {
-	return l.append(txn, RecCompensation, owner, payload, undoNext)
-}
-
-func (l *Log) append(txn TxnID, kind RecKind, owner Owner, payload []byte, undoNext LSN) (LSN, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	return l.appendLocked(txn, RecCompensation, owner, payload, undoNext)
+}
+
+func (l *Log) appendLocked(txn TxnID, kind RecKind, owner Owner, payload []byte, undoNext LSN) (LSN, error) {
+	if err := l.faults.Hit(fault.SiteWALAppend); err != nil {
+		return 0, err
+	}
 	rec := Record{
-		LSN:      LSN(len(l.records) + 1),
+		LSN:      l.base + LSN(len(l.records)) + 1,
 		Txn:      txn,
 		PrevLSN:  l.lastLSN[txn],
 		UndoNext: undoNext,
@@ -193,9 +249,7 @@ func (l *Log) append(txn TxnID, kind RecKind, owner Owner, payload []byte, undoN
 		Payload:  append([]byte(nil), payload...),
 	}
 	if l.file != nil {
-		if err := l.writeFrame(rec); err != nil {
-			return 0, err
-		}
+		l.pending = appendFrame(l.pending, rec)
 	}
 	l.records = append(l.records, rec)
 	if kind == RecEnd {
@@ -203,9 +257,64 @@ func (l *Log) append(txn TxnID, kind RecKind, owner Owner, payload []byte, undoN
 	} else {
 		l.lastLSN[txn] = rec.LSN
 	}
+	l.sinceCkpt++
 	l.obs.Appends.Inc()
 	l.obs.AppendBytes.Add(int64(len(rec.Payload)))
 	return rec.LSN, nil
+}
+
+// flushLocked writes buffered frames to the file. A short write from the
+// file system truncates the file back to the last fully durable frame so
+// memory and disk never diverge silently; the buffered frames are kept
+// and the next flush retries them. An injected torn write leaves the tear
+// on disk (the simulated machine is off).
+func (l *Log) flushLocked() error {
+	if l.file == nil || len(l.pending) == 0 {
+		return nil
+	}
+	allow, ferr := l.faults.BeforeWrite(fault.SiteWALFlush, len(l.pending))
+	if ferr != nil {
+		if allow > 0 {
+			l.file.Write(l.pending[:allow])
+		}
+		return ferr
+	}
+	if _, err := l.file.Write(l.pending); err != nil {
+		// A partial frame may be on disk. Cut back to the last good
+		// frame; the in-memory copy still holds every record and the
+		// pending buffer is retained for retry.
+		if terr := l.file.Truncate(l.goodEnd); terr == nil {
+			l.file.Seek(0, io.SeekEnd)
+		}
+		return fmt.Errorf("wal: write frames: %w", err)
+	}
+	l.goodEnd += int64(len(l.pending))
+	l.pending = l.pending[:0]
+	return nil
+}
+
+// Sync flushes buffered records and forces them to stable storage. A
+// transaction's effects are durable once the Sync after its COMMIT record
+// returns nil.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.syncLocked()
+}
+
+func (l *Log) syncLocked() error {
+	if l.file != nil {
+		if err := l.flushLocked(); err != nil {
+			return err
+		}
+		l.obs.Syncs.Inc()
+		if err := l.file.Sync(); err != nil {
+			return fmt.Errorf("wal: fsync: %w", err)
+		}
+	}
+	// The post-fsync crash site models losing the process after the
+	// records are durable but before anyone learns of it.
+	return l.faults.Hit(fault.SiteWALSynced)
 }
 
 // LastLSN returns the most recent LSN written for txn (0 if none).
@@ -215,24 +324,45 @@ func (l *Log) LastLSN(txn TxnID) LSN {
 	return l.lastLSN[txn]
 }
 
-// Len returns the number of records in the log.
+// Len returns the number of records in the in-memory window.
 func (l *Log) Len() int {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return len(l.records)
 }
 
-// At returns the record with the given LSN.
+// Base returns the truncation offset: the highest LSN dropped from the
+// head (0 when the log is complete from LSN 1).
+func (l *Log) Base() LSN {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.base
+}
+
+// AppendsSinceCheckpoint returns the number of records appended since the
+// last completed checkpoint (or since open).
+func (l *Log) AppendsSinceCheckpoint() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.sinceCkpt
+}
+
+// At returns the record with the given LSN. Records before the truncated
+// head are gone and report false.
 func (l *Log) At(lsn LSN) (Record, bool) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if lsn == 0 || int(lsn) > len(l.records) {
-		return Record{}, false
-	}
-	return l.records[lsn-1], true
+	return l.atLocked(lsn)
 }
 
-// Records returns a snapshot copy of all records, in LSN order.
+func (l *Log) atLocked(lsn LSN) (Record, bool) {
+	if lsn <= l.base || int(lsn-l.base) > len(l.records) {
+		return Record{}, false
+	}
+	return l.records[lsn-l.base-1], true
+}
+
+// Records returns a snapshot copy of the in-memory window, in LSN order.
 func (l *Log) Records() []Record {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -244,30 +374,43 @@ func (l *Log) Records() []Record {
 // toLSN 0 it rolls back the whole transaction. CLRs already in the chain
 // are skipped via their UndoNext pointers, so a rollback that itself
 // crashed mid-way is never undone twice.
+//
+// The undo chain is collected under a single lock acquisition, so
+// concurrent appenders (other transactions) cannot interleave with the
+// chain walk. Only the owning goroutine appends records for txn, which
+// keeps the snapshot exact.
 func (l *Log) Rollback(txn TxnID, toLSN LSN, d Undoer) error {
 	l.obs.Rollbacks.Inc()
-	cur := l.LastLSN(txn)
+	l.mu.Lock()
+	var chain []Record
+	cur := l.lastLSN[txn]
 	for cur > toLSN {
-		rec, ok := l.At(cur)
+		rec, ok := l.atLocked(cur)
 		if !ok {
+			l.mu.Unlock()
 			return fmt.Errorf("wal: broken undo chain: txn %d lsn %d", txn, cur)
 		}
 		if rec.Txn != txn {
+			l.mu.Unlock()
 			return fmt.Errorf("wal: undo chain crossed transactions at lsn %d", cur)
 		}
 		switch rec.Kind {
 		case RecCompensation:
 			cur = rec.UndoNext
 		case RecUpdate:
-			if err := d.Undo(txn, rec.Owner, rec.Payload); err != nil {
-				return fmt.Errorf("wal: undo dispatch lsn %d: %w", cur, err)
-			}
-			if _, err := l.AppendCLR(txn, rec.Owner, rec.Payload, rec.PrevLSN); err != nil {
-				return err
-			}
+			chain = append(chain, rec)
 			cur = rec.PrevLSN
 		default: // savepoints, commit markers: nothing to undo
 			cur = rec.PrevLSN
+		}
+	}
+	l.mu.Unlock()
+	for _, rec := range chain {
+		if err := d.Undo(txn, rec.Owner, rec.Payload); err != nil {
+			return fmt.Errorf("wal: undo dispatch lsn %d: %w", rec.LSN, err)
+		}
+		if _, err := l.AppendCLR(txn, rec.Owner, rec.Payload, rec.PrevLSN); err != nil {
+			return err
 		}
 	}
 	return nil
@@ -285,26 +428,161 @@ func (l *Log) ActiveTxns() []TxnID {
 	return out
 }
 
-// Recover performs restart recovery: redo all update and compensation
-// records in LSN order (repeating history), then roll back every
-// transaction that has no COMMIT record, writing abort/end markers.
-// Committed-but-unended transactions are simply marked ended.
+// Checkpoint writes a checkpoint: a RecCheckpoint record carrying the
+// active-transaction table, the snapshot records the snap callback emits
+// (logged under CheckpointTxn), and the closing END record; the whole
+// chain is then forced to stable storage and the log head before the
+// checkpoint record is truncated, in memory and in the backing file.
+//
+// The caller must quiesce writers first (the engine holds every
+// relation's S lock across the callback), so the snapshot is the only
+// update activity between the checkpoint record and its END.
+func (l *Log) Checkpoint(att []TxnID, snap func(emit func(owner Owner, payload []byte) error) error) error {
+	l.mu.Lock()
+	entries := make([]ATTEntry, 0, len(att))
+	for _, t := range att {
+		entries = append(entries, ATTEntry{Txn: t, LastLSN: l.lastLSN[t]})
+	}
+	ckptLSN, err := l.appendLocked(CheckpointTxn, RecCheckpoint, Owner{}, EncodeATT(entries), 0)
+	l.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if snap != nil {
+		emit := func(owner Owner, payload []byte) error {
+			_, err := l.Append(CheckpointTxn, RecUpdate, owner, payload)
+			return err
+		}
+		if err := snap(emit); err != nil {
+			return fmt.Errorf("wal: checkpoint snapshot: %w", err)
+		}
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, err := l.appendLocked(CheckpointTxn, RecEnd, Owner{}, nil, 0); err != nil {
+		return err
+	}
+	if err := l.syncLocked(); err != nil {
+		return err
+	}
+	// The checkpoint is complete and durable; drop the head. Crashing
+	// anywhere before this point leaves an incomplete checkpoint that
+	// recovery ignores in favour of the previous one.
+	l.truncateHeadLocked(ckptLSN)
+	l.sinceCkpt = 0
+	l.obs.Checkpoints.Inc()
+	return nil
+}
+
+// truncateHeadLocked drops every record with LSN < keep from memory and
+// rewrites the backing file to match. A failure rewriting the file is
+// benign — the full log simply remains on disk and recovery still starts
+// at the checkpoint — so it is not reported.
+func (l *Log) truncateHeadLocked(keep LSN) {
+	idx := int(keep - l.base - 1)
+	if idx <= 0 {
+		return
+	}
+	if idx > len(l.records) {
+		idx = len(l.records)
+	}
+	l.records = append([]Record(nil), l.records[idx:]...)
+	l.base = keep - 1
+	if l.file == nil {
+		return
+	}
+	// Note: l.path, not l.file.Name() — after the first swap the handle's
+	// recorded name is the temporary one.
+	path := l.path
+	tmp, err := os.OpenFile(path+".ckpt", os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return
+	}
+	var buf []byte
+	for _, rec := range l.records {
+		buf = appendFrame(buf, rec)
+	}
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		os.Remove(path + ".ckpt")
+		return
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(path + ".ckpt")
+		return
+	}
+	if err := os.Rename(path+".ckpt", path); err != nil {
+		tmp.Close()
+		os.Remove(path + ".ckpt")
+		return
+	}
+	l.file.Close()
+	l.file = tmp
+	l.goodEnd = int64(len(buf))
+	if _, err := l.file.Seek(0, io.SeekEnd); err != nil {
+		// Leave the handle; subsequent writes will surface the problem.
+		return
+	}
+}
+
+// lastCompleteCheckpoint returns the LSN of the newest RecCheckpoint that
+// is followed by its closing END record (0 if none).
+func lastCompleteCheckpoint(recs []Record) LSN {
+	var done, open LSN
+	for _, rec := range recs {
+		switch {
+		case rec.Kind == RecCheckpoint:
+			open = rec.LSN
+		case rec.Kind == RecEnd && rec.Txn == CheckpointTxn && open != 0:
+			done, open = open, 0
+		}
+	}
+	return done
+}
+
+// CheckpointLSN returns the LSN of the last complete checkpoint in the
+// log (0 if none).
+func (l *Log) CheckpointLSN() LSN {
+	return lastCompleteCheckpoint(l.Records())
+}
+
+// Recover performs restart recovery: redo every update and compensation
+// record past the last complete checkpoint in LSN order (repeating
+// history — the checkpoint snapshot replays first, being the oldest
+// surviving records), then roll back every transaction that has no COMMIT
+// record, writing abort/end markers, and force the markers to stable
+// storage so a crash during recovery never repeats completed rollbacks.
+// Committed-but-unended transactions are simply marked ended. The
+// snapshot records of an incomplete checkpoint replay harmlessly (they
+// re-place values the surrounding records already produced) and its open
+// CheckpointTxn chain is closed without undo.
 func (l *Log) Recover(r Redoer, u Undoer) error {
+	recs := l.Records()
+	ckptLSN := lastCompleteCheckpoint(recs)
 	committed := map[TxnID]bool{}
-	for _, rec := range l.Records() {
+	for _, rec := range recs {
 		if rec.Kind == RecCommit {
 			committed[rec.Txn] = true
 		}
 	}
-	for _, rec := range l.Records() {
-		if rec.Kind == RecUpdate || rec.Kind == RecCompensation {
-			if err := r.Redo(rec.Txn, rec.Owner, rec.Payload, rec.Kind == RecCompensation); err != nil {
-				return fmt.Errorf("wal: redo lsn %d: %w", rec.LSN, err)
-			}
+	for _, rec := range recs {
+		if rec.Kind != RecUpdate && rec.Kind != RecCompensation {
+			continue
+		}
+		if rec.LSN <= ckptLSN {
+			// Before the checkpoint: superseded by the snapshot.
+			continue
+		}
+		l.obs.RedoRecords.Inc()
+		if err := r.Redo(rec.Txn, rec.Owner, rec.Payload, rec.Kind == RecCompensation); err != nil {
+			return fmt.Errorf("wal: redo lsn %d: %w", rec.LSN, err)
 		}
 	}
 	for _, txn := range l.ActiveTxns() {
-		if committed[txn] {
+		if txn == CheckpointTxn || committed[txn] {
+			// An incomplete checkpoint's snapshot chain is closed, not
+			// undone: its records are re-placements of committed state.
 			if _, err := l.Append(txn, RecEnd, Owner{}, nil); err != nil {
 				return err
 			}
@@ -320,38 +598,61 @@ func (l *Log) Recover(r Redoer, u Undoer) error {
 			return err
 		}
 	}
-	return nil
+	// The abort/end markers must be durable: losing them would repeat the
+	// loser rollbacks (harmless) but could resurrect a rolled-back chain
+	// after a later checkpoint truncated the evidence.
+	return l.Sync()
+}
+
+// EncodeATT serialises an active-transaction table.
+func EncodeATT(entries []ATTEntry) []byte {
+	out := binary.BigEndian.AppendUint32(nil, uint32(len(entries)))
+	for _, e := range entries {
+		out = binary.BigEndian.AppendUint64(out, uint64(e.Txn))
+		out = binary.BigEndian.AppendUint64(out, uint64(e.LastLSN))
+	}
+	return out
+}
+
+// DecodeATT reverses EncodeATT.
+func DecodeATT(b []byte) ([]ATTEntry, error) {
+	if len(b) < 4 {
+		return nil, fmt.Errorf("wal: short ATT payload")
+	}
+	n := int(binary.BigEndian.Uint32(b))
+	if len(b) < 4+16*n {
+		return nil, fmt.Errorf("wal: truncated ATT payload")
+	}
+	out := make([]ATTEntry, 0, n)
+	for i := 0; i < n; i++ {
+		off := 4 + 16*i
+		out = append(out, ATTEntry{
+			Txn:     TxnID(binary.BigEndian.Uint64(b[off:])),
+			LastLSN: LSN(binary.BigEndian.Uint64(b[off+8:])),
+		})
+	}
+	return out, nil
 }
 
 // frame format: len(u32) | crc(u32) | body; body is the encoded record.
 
-func (l *Log) writeFrame(rec Record) error {
+func appendFrame(dst []byte, rec Record) []byte {
 	body := encodeRecord(rec)
-	l.buf = l.buf[:0]
-	l.buf = binary.BigEndian.AppendUint32(l.buf, uint32(len(body)))
-	l.buf = binary.BigEndian.AppendUint32(l.buf, crc32.ChecksumIEEE(body))
-	l.buf = append(l.buf, body...)
-	if _, err := l.file.Write(l.buf); err != nil {
-		return fmt.Errorf("wal: write frame: %w", err)
-	}
-	return nil
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(body)))
+	dst = binary.BigEndian.AppendUint32(dst, crc32.ChecksumIEEE(body))
+	return append(dst, body...)
 }
 
-// Sync flushes the backing file to stable storage.
-func (l *Log) Sync() error {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if l.file == nil {
-		return nil
-	}
-	l.obs.Syncs.Inc()
-	return l.file.Sync()
-}
-
-func (l *Log) load(f *os.File) (validEnd int64, err error) {
+// load parses the frames in f. It returns the records, the rebuilt
+// per-transaction chain heads, and the file offset after the last valid
+// frame (torn or corrupt tails end the parse). The first record's LSN
+// sets the truncation base; a gap in the LSN sequence is treated as a
+// corrupt tail.
+func load(f *os.File) (records []Record, lastLSN map[TxnID]LSN, validEnd int64, err error) {
+	lastLSN = make(map[TxnID]LSN)
 	data, err := io.ReadAll(f)
 	if err != nil {
-		return 0, fmt.Errorf("wal: read: %w", err)
+		return nil, nil, 0, fmt.Errorf("wal: read: %w", err)
 	}
 	pos := 0
 	for {
@@ -371,15 +672,18 @@ func (l *Log) load(f *os.File) (validEnd int64, err error) {
 		if derr != nil {
 			break
 		}
-		l.records = append(l.records, rec)
+		if len(records) > 0 && rec.LSN != records[len(records)-1].LSN+1 {
+			break // LSN gap: treat as corrupt tail
+		}
+		records = append(records, rec)
 		if rec.Kind == RecEnd {
-			delete(l.lastLSN, rec.Txn)
+			delete(lastLSN, rec.Txn)
 		} else {
-			l.lastLSN[rec.Txn] = rec.LSN
+			lastLSN[rec.Txn] = rec.LSN
 		}
 		pos += 8 + n
 	}
-	return int64(pos), nil
+	return records, lastLSN, int64(pos), nil
 }
 
 func encodeRecord(rec Record) []byte {
