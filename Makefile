@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench crash fmt vet
+.PHONY: build test check bench crash race fmt vet
 
 build:
 	$(GO) build ./...
@@ -8,12 +8,18 @@ build:
 test:
 	$(GO) test ./...
 
-# check is the pre-merge gate: tier-1 build + tests, then the full suite
-# again under the race detector with caching disabled (the crash-point
-# harness sweep in crash_test.go runs in both passes).
-check: build
+# check is the pre-merge gate: tier-1 build + vet + tests, then the full
+# suite again under the race detector with caching disabled (the
+# crash-point harness sweep in crash_test.go runs in both passes).
+check: build vet
 	$(GO) test ./...
 	$(GO) test -race -count=1 ./...
+
+# race is the deep concurrency soak: the multi-worker stress harness
+# (stress_test.go) at its larger shape — more workers, more operations,
+# more crash-restart rounds — under the race detector.
+race:
+	DMX_STRESS_DEEP=1 $(GO) test -race -count=1 -run 'TestStress' -v .
 
 # crash runs the full deterministic crash-point fault-injection matrix
 # (every site, later-hit and torn-write variants) under the race detector.

@@ -21,6 +21,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"dmx"
@@ -90,6 +91,7 @@ func main() {
 		{"E10", "cascading deletes through attachment recursion", e10Cascade},
 		{"E11", "record-structured relation descriptor overhead", e11Descriptor},
 		{"E12", "common lock manager under contention", e12Locking},
+		{"MT", "concurrent commit throughput: group commit and sharded hot paths", mtGroupCommit},
 		{"A1", "ablation: skipping index maintenance when no indexed field changed", a1SkipUnchanged},
 		{"A2", "ablation: remote scan batch size", a2RemoteBatch},
 		{"A3", "ablation: ORDER BY via ordered access path vs scan + sort", a3OrderedAccess},
@@ -884,6 +886,74 @@ func e12Locking() []*rig.Table {
 	}
 	t2.Add(pairs, victims, completed)
 	return []*rig.Table{t, t2}
+}
+
+// --- MT: concurrent commit throughput ---
+
+// mtGroupCommit measures the commit path under concurrency: worker
+// sessions commit single-insert transactions against a file-backed log,
+// sweeping worker count with group-commit batching off and on.
+// Commits-per-fsync is the tell: above 1 means concurrent committers
+// shared a single log force instead of each paying their own.
+func mtGroupCommit() []*rig.Table {
+	perWorker := n(300)
+	t := rig.NewTable("MT — single-insert commit throughput (file-backed WAL, fsync per commit batch)",
+		"workers", "batch window", "commits", "total", "commits/s", "fsyncs", "commits/fsync")
+	t.Note = "the group-commit leader syncs once for every committer that arrived while the force was in flight; the sharded lock and buffer tables keep the rest of the path parallel"
+
+	for _, window := range []time.Duration{0, 200 * time.Microsecond} {
+		wlabel := "off"
+		if window > 0 {
+			wlabel = window.String()
+		}
+		for _, workers := range []int{1, 2, 4, 8} {
+			dir, err := os.MkdirTemp("", "dmxbench-mt")
+			if err != nil {
+				panic(err)
+			}
+			db, err := dmx.Open(dmx.Config{
+				LogPath:           filepath.Join(dir, "wal.log"),
+				CommitBatchWindow: window,
+				CheckpointEvery:   -1,
+			})
+			if err != nil {
+				panic(err)
+			}
+			if _, err := db.Exec("CREATE TABLE t (id INT NOT NULL, v STRING) USING heap"); err != nil {
+				panic(err)
+			}
+			commitsBefore := db.Env.Obs.WAL.GroupCommits.Load()
+			batchesBefore := db.Env.Obs.WAL.GroupBatches.Load()
+			var wg sync.WaitGroup
+			d := rig.Time(func() {
+				for w := 0; w < workers; w++ {
+					wg.Add(1)
+					go func(w int) {
+						defer wg.Done()
+						s := db.NewSession()
+						for i := 0; i < perWorker; i++ {
+							if _, err := s.Exec(fmt.Sprintf("INSERT INTO t VALUES (%d, 'r')", w*1_000_000+i)); err != nil {
+								panic(err)
+							}
+						}
+					}(w)
+				}
+				wg.Wait()
+			})
+			commits := db.Env.Obs.WAL.GroupCommits.Load() - commitsBefore
+			batches := db.Env.Obs.WAL.GroupBatches.Load() - batchesBefore
+			cpf := float64(commits)
+			if batches > 0 {
+				cpf = float64(commits) / float64(batches)
+			}
+			db.Close()
+			os.RemoveAll(dir)
+			t.Add(workers, wlabel, commits, d,
+				fmt.Sprintf("%.0f", float64(commits)/d.Seconds()),
+				batches, fmt.Sprintf("%.2f", cpf))
+		}
+	}
+	return []*rig.Table{t}
 }
 
 // --- A1: ablation — skip index maintenance when no indexed field changed ---

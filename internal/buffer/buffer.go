@@ -6,6 +6,19 @@
 // values, so qualifying records need never be copied out just to be
 // filtered), mark them dirty, and unpin them. Clean and dirty frames are
 // evicted LRU when the pool is full.
+//
+// The pool is a steal buffer: dirty pages of uncommitted transactions may
+// be written back at eviction. The write-ahead rule therefore applies —
+// mutators stamp frames with the LSN of the log record covering the
+// mutation (Frame page LSN), and the pool forces the log up to that LSN
+// through its log forcer before a dirty page leaves for disk. A dirty
+// frame with no stamp (recovery replay, page formatting) conservatively
+// forces the whole log.
+//
+// To keep concurrent pin traffic from serialising on one mutex, the frame
+// table and LRU list are sharded by page ID for pools of at least
+// shardThreshold frames; tiny pools (tests, tightly bounded caches) keep a
+// single shard so capacity semantics stay exact.
 package buffer
 
 import (
@@ -16,6 +29,7 @@ import (
 	"dmx/internal/fault"
 	"dmx/internal/obs"
 	"dmx/internal/pagefile"
+	"dmx/internal/wal"
 )
 
 // Frame is a pooled page. The Data slice aliases pool memory; it is valid
@@ -25,6 +39,7 @@ type Frame struct {
 	Data  []byte
 	pins  int
 	dirty bool
+	lsn   wal.LSN // page LSN: newest log record covering a mutation
 	lru   *list.Element
 }
 
@@ -35,18 +50,42 @@ type Stats struct {
 	Evictions int64
 }
 
+// numShards is the shard count for large pools; shardThreshold is the
+// minimum capacity at which sharding engages (below it a single shard
+// preserves exact whole-pool capacity and LRU semantics).
+const (
+	numShards      = 8
+	shardThreshold = 64
+)
+
+// shard is one hash partition of the frame table with its own LRU list
+// and capacity slice.
+type shard struct {
+	mu     sync.Mutex
+	frames map[pagefile.PageID]*Frame
+	lru    *list.List // unpinned frames, front = LRU victim
+	cap    int
+}
+
 // Pool is a fixed-capacity page buffer over one Disk. It is safe for
 // concurrent use; callers serialise access to a given page's contents with
 // the lock manager. Traffic counters live in an obs.BufferStats so the
 // pool appears in the engine-wide metrics snapshot.
 type Pool struct {
-	mu       sync.Mutex
 	disk     pagefile.Disk
 	capacity int
-	frames   map[pagefile.PageID]*Frame
-	lru      *list.List // unpinned frames, front = LRU victim
+	shards   []*shard
+
+	// Assembly-time configuration, written under every shard lock so
+	// hot-path reads under any one shard lock are race-free.
 	obs      *obs.BufferStats
 	faults   *fault.Injector
+	forceLog func(wal.LSN) error // WAL-before-data hook; 0 forces everything
+
+	// Pages allocated by NewPage whose shard had no evictable frame; kept
+	// for reuse so a transient full shard does not leak disk pages.
+	strandMu sync.Mutex
+	stranded []pagefile.PageID
 }
 
 // NewPool returns a pool of the given frame capacity over disk.
@@ -54,12 +93,43 @@ func NewPool(disk pagefile.Disk, capacity int) *Pool {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &Pool{
+	n := 1
+	if capacity >= shardThreshold {
+		n = numShards
+	}
+	p := &Pool{
 		disk:     disk,
 		capacity: capacity,
-		frames:   make(map[pagefile.PageID]*Frame, capacity),
-		lru:      list.New(),
+		shards:   make([]*shard, n),
 		obs:      &obs.BufferStats{},
+	}
+	for i := range p.shards {
+		c := capacity / n
+		if i < capacity%n {
+			c++
+		}
+		p.shards[i] = &shard{
+			frames: make(map[pagefile.PageID]*Frame, c),
+			lru:    list.New(),
+			cap:    c,
+		}
+	}
+	return p
+}
+
+func (p *Pool) shardFor(id pagefile.PageID) *shard {
+	return p.shards[uint64(id)%uint64(len(p.shards))]
+}
+
+// configure runs fn with every shard lock held, publishing assembly-time
+// configuration to all hot paths.
+func (p *Pool) configure(fn func()) {
+	for _, sh := range p.shards {
+		sh.mu.Lock()
+	}
+	fn()
+	for _, sh := range p.shards {
+		sh.mu.Unlock()
 	}
 }
 
@@ -69,17 +139,21 @@ func (p *Pool) SetObs(bs *obs.BufferStats) {
 	if bs == nil {
 		return
 	}
-	p.mu.Lock()
-	p.obs = bs
-	p.mu.Unlock()
+	p.configure(func() { p.obs = bs })
 }
 
 // SetFaults arms the pool's dirty-page write-back crash site with a
 // fault injector (testing).
 func (p *Pool) SetFaults(in *fault.Injector) {
-	p.mu.Lock()
-	p.faults = in
-	p.mu.Unlock()
+	p.configure(func() { p.faults = in })
+}
+
+// SetLogForcer installs the WAL-before-data hook: before a dirty frame is
+// written back, the pool calls force with the frame's page LSN (0 for an
+// unstamped frame, meaning "force everything appended so far"). Call at
+// assembly, before traffic.
+func (p *Pool) SetLogForcer(force func(wal.LSN) error) {
+	p.configure(func() { p.forceLog = force })
 }
 
 // Disk returns the underlying device.
@@ -88,66 +162,110 @@ func (p *Pool) Disk() pagefile.Disk { return p.disk }
 // Pin fetches the page into the pool (reading from disk on a miss) and
 // pins it. Every Pin must be matched by an Unpin.
 func (p *Pool) Pin(id pagefile.PageID) (*Frame, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if f, ok := p.frames[id]; ok {
+	sh := p.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if f, ok := sh.frames[id]; ok {
 		p.obs.Hits.Inc()
-		p.pinLocked(f)
+		sh.pinLocked(f)
 		return f, nil
 	}
 	p.obs.Misses.Inc()
-	f, err := p.frameForLocked(id)
+	f, err := p.frameForLocked(sh, id)
 	if err != nil {
 		return nil, err
 	}
 	if err := p.disk.ReadPage(id, f.Data); err != nil {
-		p.discardLocked(f)
+		delete(sh.frames, f.ID)
 		return nil, err
 	}
 	return f, nil
 }
 
-// NewPage allocates a fresh zero page on disk and returns it pinned. A
-// frame is secured before the disk page is allocated, so a pool exhausted
-// by pinned frames fails cleanly instead of leaking the allocated page.
+// NewPage allocates a fresh zero page on disk and returns it pinned. For a
+// single-shard pool a frame is secured before the disk page is allocated,
+// so a pool exhausted by pinned frames fails cleanly instead of leaking
+// the allocated page; a sharded pool cannot know the target shard before
+// allocating, so a page stranded by a full shard is kept and reused by a
+// later NewPage instead of leaking.
 func (p *Pool) NewPage() (*Frame, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if len(p.frames) >= p.capacity {
-		if err := p.evictLocked(); err != nil {
+	if len(p.shards) == 1 {
+		sh := p.shards[0]
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+		if len(sh.frames) >= sh.cap {
+			if err := p.evictLocked(sh); err != nil {
+				return nil, err
+			}
+		}
+		id, err := p.disk.Allocate()
+		if err != nil {
 			return nil, err
 		}
+		f := &Frame{ID: id, Data: make([]byte, pagefile.PageSize), pins: 1, dirty: true}
+		sh.frames[id] = f
+		return f, nil
 	}
-	id, err := p.disk.Allocate()
+
+	id, err := p.reservePageID()
 	if err != nil {
 		return nil, err
 	}
-	f := &Frame{ID: id, Data: make([]byte, pagefile.PageSize), pins: 1}
-	p.frames[id] = f
-	f.dirty = true
+	sh := p.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if len(sh.frames) >= sh.cap {
+		if err := p.evictLocked(sh); err != nil {
+			p.strandMu.Lock()
+			p.stranded = append(p.stranded, id)
+			p.strandMu.Unlock()
+			return nil, err
+		}
+	}
+	f := &Frame{ID: id, Data: make([]byte, pagefile.PageSize), pins: 1, dirty: true}
+	sh.frames[id] = f
 	return f, nil
 }
 
-// frameForLocked finds or evicts a frame for id and returns it pinned with
-// undefined contents.
-func (p *Pool) frameForLocked(id pagefile.PageID) (*Frame, error) {
-	if len(p.frames) >= p.capacity {
-		if err := p.evictLocked(); err != nil {
+// reservePageID reuses a stranded page if one exists, else allocates.
+func (p *Pool) reservePageID() (pagefile.PageID, error) {
+	p.strandMu.Lock()
+	if n := len(p.stranded); n > 0 {
+		id := p.stranded[n-1]
+		p.stranded = p.stranded[:n-1]
+		p.strandMu.Unlock()
+		return id, nil
+	}
+	p.strandMu.Unlock()
+	return p.disk.Allocate()
+}
+
+// frameForLocked finds or evicts a frame for id in sh and returns it
+// pinned with undefined contents. Caller holds sh.mu.
+func (p *Pool) frameForLocked(sh *shard, id pagefile.PageID) (*Frame, error) {
+	if len(sh.frames) >= sh.cap {
+		if err := p.evictLocked(sh); err != nil {
 			return nil, err
 		}
 	}
 	f := &Frame{ID: id, Data: make([]byte, pagefile.PageSize), pins: 1}
-	p.frames[id] = f
+	sh.frames[id] = f
 	return f, nil
 }
 
-func (p *Pool) evictLocked() error {
-	el := p.lru.Front()
+// evictLocked writes back and drops sh's LRU victim. Dirty victims are
+// subject to the write-ahead rule: the log is forced up to the victim's
+// page LSN before the page reaches disk. Caller holds sh.mu.
+func (p *Pool) evictLocked(sh *shard) error {
+	el := sh.lru.Front()
 	if el == nil {
-		return fmt.Errorf("buffer: pool exhausted: all %d frames pinned", p.capacity)
+		return fmt.Errorf("buffer: pool exhausted: all %d frames of the shard pinned (pool capacity %d)", sh.cap, p.capacity)
 	}
 	victim := el.Value.(*Frame)
 	if victim.dirty {
+		if err := p.forceForLocked(victim); err != nil {
+			return err
+		}
 		if err := p.faults.Hit(fault.SiteBufFlush); err != nil {
 			return err
 		}
@@ -156,47 +274,107 @@ func (p *Pool) evictLocked() error {
 		}
 		victim.dirty = false
 	}
-	p.lru.Remove(el)
+	sh.lru.Remove(el)
 	victim.lru = nil
-	delete(p.frames, victim.ID)
+	delete(sh.frames, victim.ID)
 	p.obs.Evictions.Inc()
 	return nil
 }
 
-func (p *Pool) pinLocked(f *Frame) {
+// forceForLocked honours WAL-before-data for one dirty frame.
+func (p *Pool) forceForLocked(f *Frame) error {
+	if p.forceLog == nil {
+		return nil
+	}
+	if err := p.forceLog(f.lsn); err != nil {
+		return fmt.Errorf("buffer: force log for page %d: %w", f.ID, err)
+	}
+	return nil
+}
+
+func (sh *shard) pinLocked(f *Frame) {
 	if f.lru != nil {
-		p.lru.Remove(f.lru)
+		sh.lru.Remove(f.lru)
 		f.lru = nil
 	}
 	f.pins++
 }
 
-func (p *Pool) discardLocked(f *Frame) {
-	delete(p.frames, f.ID)
-}
-
 // Unpin releases one pin; dirty records that the caller mutated the frame.
-// Fully unpinned frames become eviction candidates.
-func (p *Pool) Unpin(f *Frame, dirty bool) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+// Fully unpinned frames become eviction candidates. Unpinning a frame with
+// no pins is reported as an error without corrupting the pin count or the
+// LRU list.
+func (p *Pool) Unpin(f *Frame, dirty bool) error {
+	sh := p.shardFor(f.ID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if f.pins <= 0 {
+		return fmt.Errorf("buffer: unpin of unpinned frame %d", f.ID)
+	}
 	if dirty {
 		f.dirty = true
 	}
 	f.pins--
-	if f.pins < 0 {
-		panic("buffer: unpin of unpinned frame")
+	if f.pins == 0 && f.lru == nil {
+		f.lru = sh.lru.PushBack(f)
 	}
-	if f.pins == 0 {
-		f.lru = p.lru.PushBack(f)
-	}
+	return nil
 }
 
-// FlushAll writes every dirty frame back to disk (frames stay pooled).
+// StampLSN records that the log record at lsn covers the caller's mutation
+// of f. The pool forces the log through the newest stamp before the frame
+// is written back (write-ahead rule). Call while the frame is pinned.
+func (p *Pool) StampLSN(f *Frame, lsn wal.LSN) {
+	sh := p.shardFor(f.ID)
+	sh.mu.Lock()
+	if lsn > f.lsn {
+		f.lsn = lsn
+	}
+	sh.mu.Unlock()
+}
+
+// FlushAll writes every dirty frame back to disk (frames stay pooled),
+// forcing the log ahead of the writes per the write-ahead rule.
 func (p *Pool) FlushAll() error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	for _, f := range p.frames {
+	for _, sh := range p.shards {
+		sh.mu.Lock()
+		err := p.flushShardLocked(sh)
+		sh.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (p *Pool) flushShardLocked(sh *shard) error {
+	// One log force covers the shard: force to the newest stamp, or the
+	// whole log if any dirty frame is unstamped.
+	if p.forceLog != nil {
+		var maxLSN wal.LSN
+		unstamped := false
+		dirty := false
+		for _, f := range sh.frames {
+			if !f.dirty {
+				continue
+			}
+			dirty = true
+			if f.lsn == 0 {
+				unstamped = true
+			} else if f.lsn > maxLSN {
+				maxLSN = f.lsn
+			}
+		}
+		if dirty {
+			if unstamped {
+				maxLSN = 0
+			}
+			if err := p.forceLog(maxLSN); err != nil {
+				return fmt.Errorf("buffer: force log before flush: %w", err)
+			}
+		}
+	}
+	for _, f := range sh.frames {
 		if f.dirty {
 			if err := p.faults.Hit(fault.SiteBufFlush); err != nil {
 				return err
@@ -213,8 +391,9 @@ func (p *Pool) FlushAll() error {
 
 // Stats returns cumulative pool statistics.
 func (p *Pool) Stats() Stats {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	sh := p.shards[0]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	return Stats{
 		Hits:      p.obs.Hits.Load(),
 		Misses:    p.obs.Misses.Load(),
@@ -224,13 +403,15 @@ func (p *Pool) Stats() Stats {
 
 // PinnedCount returns the number of frames currently pinned (for tests).
 func (p *Pool) PinnedCount() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	n := 0
-	for _, f := range p.frames {
-		if f.pins > 0 {
-			n++
+	for _, sh := range p.shards {
+		sh.mu.Lock()
+		for _, f := range sh.frames {
+			if f.pins > 0 {
+				n++
+			}
 		}
+		sh.mu.Unlock()
 	}
 	return n
 }

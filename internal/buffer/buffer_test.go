@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"dmx/internal/pagefile"
+	"dmx/internal/wal"
 )
 
 // faultDisk wraps a MemDisk and injects failures on demand.
@@ -173,16 +174,131 @@ func TestMultiplePins(t *testing.T) {
 	}
 }
 
-func TestUnpinUnderflowPanics(t *testing.T) {
+func TestUnpinUnderflowReturnsError(t *testing.T) {
+	// Regression: Unpin used to decrement before validating, corrupting the
+	// pin count and panicking; now the call is rejected up front and the
+	// frame state is untouched.
 	p, _ := newPool(t, 2, 1)
 	f, _ := p.Pin(0)
-	p.Unpin(f, false)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic on unpin underflow")
+	if err := p.Unpin(f, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Unpin(f, false); err == nil {
+		t.Fatal("expected error on unpin underflow")
+	}
+	// The frame must still be usable: pin/unpin cycle works and the LRU
+	// list holds it exactly once (a double insert would corrupt eviction).
+	g, err := p.Pin(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g != f {
+		t.Fatal("frame identity lost after rejected unpin")
+	}
+	if err := p.Unpin(g, false); err != nil {
+		t.Fatal(err)
+	}
+	if p.PinnedCount() != 0 {
+		t.Fatalf("pinned = %d after matched unpin", p.PinnedCount())
+	}
+}
+
+// TestShardedPoolBasics drives a pool large enough to shard (capacity >=
+// 64) through miss/hit/evict traffic on many pages.
+func TestShardedPoolBasics(t *testing.T) {
+	p, _ := newPool(t, 64, 200)
+	for round := 0; round < 2; round++ {
+		for i := 0; i < 200; i++ {
+			f, err := p.Pin(pagefile.PageID(i))
+			if err != nil {
+				t.Fatalf("pin %d: %v", i, err)
+			}
+			f.Data[0] = byte(i)
+			if err := p.Unpin(f, true); err != nil {
+				t.Fatal(err)
+			}
 		}
-	}()
-	p.Unpin(f, false)
+	}
+	if err := p.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	s := p.Stats()
+	if s.Evictions == 0 {
+		t.Fatal("200 pages through 64 frames should evict")
+	}
+	// Every page round-trips its contents.
+	for i := 0; i < 200; i++ {
+		f, err := p.Pin(pagefile.PageID(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.Data[0] != byte(i) {
+			t.Fatalf("page %d contents lost across eviction", i)
+		}
+		if err := p.Unpin(f, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestWALBeforeData asserts the write-ahead rule: a dirty stamped frame
+// must not reach disk before the log is forced up to its page LSN.
+func TestWALBeforeData(t *testing.T) {
+	p, _ := newPool(t, 1, 2)
+	var forcedTo []wal.LSN
+	p.SetLogForcer(func(lsn wal.LSN) error {
+		forcedTo = append(forcedTo, lsn)
+		return nil
+	})
+	f, _ := p.Pin(0)
+	f.Data[0] = 1
+	p.StampLSN(f, 42)
+	if err := p.Unpin(f, true); err != nil {
+		t.Fatal(err)
+	}
+	// Evicting page 0 must force the log to LSN 42 first.
+	g, err := p.Pin(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(forcedTo) != 1 || forcedTo[0] != 42 {
+		t.Fatalf("eviction forced %v, want [42]", forcedTo)
+	}
+	g.Data[0] = 2
+	if err := p.Unpin(g, true); err != nil {
+		t.Fatal(err)
+	}
+	// FlushAll of an unstamped dirty frame forces conservatively (LSN 0).
+	forcedTo = nil
+	if err := p.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	if len(forcedTo) != 1 || forcedTo[0] != 0 {
+		t.Fatalf("flush forced %v, want [0]", forcedTo)
+	}
+}
+
+// TestWALBeforeDataForceFailureBlocksWrite asserts a failed log force
+// keeps the dirty page off disk.
+func TestWALBeforeDataForceFailureBlocksWrite(t *testing.T) {
+	d := pagefile.NewMemDisk()
+	for i := 0; i < 2; i++ {
+		d.Allocate()
+	}
+	p := NewPool(d, 1)
+	p.SetLogForcer(func(lsn wal.LSN) error { return errInjected })
+	f, _ := p.Pin(0)
+	f.Data[0] = 0x33
+	p.StampLSN(f, 7)
+	if err := p.Unpin(f, true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Pin(1); !errors.Is(err, errInjected) {
+		t.Fatalf("eviction with failing force = %v, want injected error", err)
+	}
+	if d.Stats().Writes != 0 {
+		t.Fatal("dirty page reached disk before the log was forced")
+	}
 }
 
 func TestPinMissingPageFails(t *testing.T) {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"dmx/internal/buffer"
 	"dmx/internal/expr"
@@ -37,6 +38,9 @@ type Config struct {
 	Disk pagefile.Disk
 	// PoolFrames is the buffer pool capacity (default 256 frames).
 	PoolFrames int
+	// CommitBatchWindow, when positive, makes the group-commit leader wait
+	// this long before syncing so concurrent committers share one fsync.
+	CommitBatchWindow time.Duration
 	// Faults, when non-nil, arms the engine's crash sites (WAL append,
 	// flush and sync, buffer write-back, page-file writes) with a
 	// deterministic crash-point injector for recovery testing.
@@ -60,7 +64,7 @@ type Env struct {
 	Metrics Metrics
 	Obs     *obs.Engine
 
-	mu       sync.Mutex
+	mu       sync.RWMutex
 	smInst   map[uint32]StorageInstance
 	attInst  map[attKey]*attEntry
 	extState map[string]any
@@ -73,8 +77,8 @@ type Env struct {
 // key. Extensions use it for per-environment singletons such as foreign
 // database connections.
 func (env *Env) ExtState(key string) (any, bool) {
-	env.mu.Lock()
-	defer env.mu.Unlock()
+	env.mu.RLock()
+	defer env.mu.RUnlock()
 	v, ok := env.extState[key]
 	return v, ok
 }
@@ -114,8 +118,19 @@ func NewEnv(cfg Config) *Env {
 	locks := lock.NewManager()
 	locks.SetObs(&engine.Lock)
 	cfg.Log.SetObs(&engine.WAL)
+	cfg.Log.SetGroupCommitWindow(cfg.CommitBatchWindow)
 	pool := buffer.NewPool(cfg.Disk, cfg.PoolFrames)
 	pool.SetObs(&engine.Buffer)
+	// Write-ahead rule under the steal policy: before the pool writes a
+	// dirty page back, the log is forced through the page's stamped LSN
+	// (or entirely, for pages dirtied outside a stamped session).
+	log := cfg.Log
+	pool.SetLogForcer(func(lsn wal.LSN) error {
+		if lsn == 0 {
+			return log.Sync()
+		}
+		return log.ForceTo(lsn)
+	})
 	if cfg.Faults != nil {
 		cfg.Log.SetFaults(cfg.Faults)
 		pool.SetFaults(cfg.Faults)
@@ -149,12 +164,12 @@ func (env *Env) Begin() *txn.Txn { return env.Txns.Begin() }
 // Storage instances live until the relation is dropped: their in-memory
 // state is authoritative between restarts (durability comes from the log).
 func (env *Env) StorageInstance(rd *RelDesc) (StorageInstance, error) {
-	env.mu.Lock()
+	env.mu.RLock()
 	if inst, ok := env.smInst[rd.RelID]; ok {
-		env.mu.Unlock()
+		env.mu.RUnlock()
 		return inst, nil
 	}
-	env.mu.Unlock()
+	env.mu.RUnlock()
 
 	ops := env.Reg.StorageOps(rd.SM)
 	if ops == nil {
@@ -178,9 +193,9 @@ func (env *Env) StorageInstance(rd *RelDesc) (StorageInstance, error) {
 // relation descriptor version has moved.
 func (env *Env) AttachmentInstance(rd *RelDesc, id AttID) (AttachmentInstance, error) {
 	k := attKey{rel: rd.RelID, att: id}
-	env.mu.Lock()
+	env.mu.RLock()
 	e, ok := env.attInst[k]
-	env.mu.Unlock()
+	env.mu.RUnlock()
 	if ok {
 		if e.version >= rd.Version {
 			// Same version, or the caller holds a stale descriptor from an

@@ -119,8 +119,14 @@ func DecodeEntry(b []byte) (EntryPayload, error) {
 
 // LogSM writes a storage-method-owned modification record for rd.
 func LogSM(tx *txn.Txn, rd *RelDesc, p ModPayload) error {
-	_, err := tx.AppendLog(wal.Owner{Class: wal.OwnerStorage, ExtID: uint8(rd.SM), RelID: rd.RelID}, EncodeMod(p))
+	_, err := LogSMLSN(tx, rd, p)
 	return err
+}
+
+// LogSMLSN is LogSM returning the record's LSN, for storage methods that
+// stamp buffer frames with page LSNs (write-ahead rule).
+func LogSMLSN(tx *txn.Txn, rd *RelDesc, p ModPayload) (wal.LSN, error) {
+	return tx.AppendLog(wal.Owner{Class: wal.OwnerStorage, ExtID: uint8(rd.SM), RelID: rd.RelID}, EncodeMod(p))
 }
 
 // LogAttachment writes an attachment-owned entry record for rd.

@@ -8,6 +8,13 @@
 // hierarchical intention modes, in-place upgrades, FIFO queuing, and
 // system-wide deadlock detection over the waits-for graph; every lock is
 // held to transaction end and released by ReleaseAll.
+//
+// Internally the resource table is sharded by resource hash so uncontended
+// grants on different resources never serialise on one mutex. Graph-wide
+// state — the per-transaction held sets, the wait table, and deadlock
+// detection — is owned by a global mutex taken only on the slow paths
+// (blocking, release). Lock order is strictly global-then-shard; shard
+// mutexes never nest.
 package lock
 
 import (
@@ -123,8 +130,9 @@ func KeyResource(relID uint32, key []byte) Resource {
 
 type request struct {
 	txn  wal.TxnID
+	res  Resource // the resource the request queues on (for targeted DFS)
 	mode Mode
-	done chan error // closed with nil on grant, error on deadlock victim
+	done chan error // receives nil on grant, error on deadlock victim/cancel
 }
 
 type lockState struct {
@@ -132,10 +140,38 @@ type lockState struct {
 	queue   []*request
 }
 
-// Manager is the lock manager. It is safe for concurrent use.
-type Manager struct {
+// numShards splits the resource table; resources hash to a shard and
+// uncontended acquires touch only that shard's mutex.
+const numShards = 16
+
+type lockShard struct {
 	mu    sync.Mutex
 	locks map[Resource]*lockState
+}
+
+// state returns the lock state for res, creating it when create is set.
+// Caller holds sh.mu.
+func (sh *lockShard) state(res Resource, create bool) *lockState {
+	ls := sh.locks[res]
+	if ls == nil && create {
+		ls = &lockState{holders: make(map[wal.TxnID]Mode)}
+		sh.locks[res] = ls
+	}
+	return ls
+}
+
+// Manager is the lock manager. It is safe for concurrent use.
+//
+// Invariants: a transaction appears in waits exactly while its request sits
+// in some shard queue, and both facts change together under gmu + the
+// resource's shard mutex. The entry is removed by whoever settles the
+// request — the granter in wake, the canceller in ReleaseAll, or the victim
+// path in Acquire — never by the awakened waiter, so the waits-for graph
+// seen by deadlock detection holds no already-granted phantom edges.
+type Manager struct {
+	shards [numShards]*lockShard
+
+	gmu   sync.Mutex                      // graph mutex: held, waits, DFS
 	held  map[wal.TxnID]map[Resource]Mode // per-txn held set for ReleaseAll
 	waits map[wal.TxnID]*request          // txn -> its single pending request
 	obs   *obs.LockStats
@@ -143,12 +179,29 @@ type Manager struct {
 
 // NewManager returns an empty lock manager.
 func NewManager() *Manager {
-	return &Manager{
-		locks: make(map[Resource]*lockState),
+	m := &Manager{
 		held:  make(map[wal.TxnID]map[Resource]Mode),
 		waits: make(map[wal.TxnID]*request),
 		obs:   &obs.LockStats{},
 	}
+	for i := range m.shards {
+		m.shards[i] = &lockShard{locks: make(map[Resource]*lockState)}
+	}
+	return m
+}
+
+// shardFor hashes res to its shard (FNV-1a over rel id and key bytes).
+func (m *Manager) shardFor(res Resource) *lockShard {
+	h := uint32(2166136261)
+	for i := 0; i < 4; i++ {
+		h ^= (res.Rel >> (8 * i)) & 0xff
+		h *= 16777619
+	}
+	for i := 0; i < len(res.Key); i++ {
+		h ^= uint32(res.Key[i])
+		h *= 16777619
+	}
+	return m.shards[h%numShards]
 }
 
 // SetObs points the manager's instrumentation at a shared metric registry.
@@ -165,11 +218,88 @@ func (m *Manager) SetObs(ls *obs.LockStats) {
 // resource upgrades the held mode to the supremum.
 func (m *Manager) Acquire(txn wal.TxnID, res Resource, mode Mode) error {
 	m.obs.Requests.Inc()
-	m.mu.Lock()
-	ls := m.locks[res]
+	sh := m.shardFor(res)
+	// Fast path: grant under the shard mutex alone, then record the held
+	// entry under gmu (sequentially — the mutexes never nest this way
+	// round). The window where the grant is visible in the shard but not
+	// yet in held is benign: deadlock DFS reads holders, and ReleaseAll
+	// for this transaction cannot run concurrently with its own Acquire
+	// (transactions are goroutine-confined).
+	sh.mu.Lock()
+	granted, settled := m.tryGrantLocked(sh, txn, res, mode)
+	sh.mu.Unlock()
+	if settled {
+		if granted {
+			m.recordHeld(txn, res)
+		}
+		return nil
+	}
+
+	// Slow path: must (probably) wait. Re-check under gmu + shard — the
+	// holders may have drained between the unlock and here.
+	m.gmu.Lock()
+	sh.mu.Lock()
+	ls := sh.state(res, true)
+	want := mode
+	holds := false
+	if cur, ok := ls.holders[txn]; ok {
+		holds = true
+		want = supremum(cur, mode)
+		if want == cur {
+			sh.mu.Unlock()
+			m.gmu.Unlock()
+			return nil
+		}
+	}
+	if m.grantable(ls, txn, want) && (holds || len(ls.queue) == 0) {
+		ls.holders[txn] = want
+		sh.mu.Unlock()
+		m.recordHeldLocked(txn, res, want)
+		m.gmu.Unlock()
+		return nil
+	}
+	// Enqueue. Upgrades jump the queue ahead of fresh requests so an
+	// S-holder upgrading to X cannot deadlock behind a newcomer; but if a
+	// grantable-now upgrade exists we handled it above.
+	req := &request{txn: txn, res: res, mode: want, done: make(chan error, 1)}
+	if holds {
+		ls.queue = append([]*request{req}, ls.queue...)
+	} else {
+		ls.queue = append(ls.queue, req)
+	}
+	m.waits[txn] = req
+	sh.mu.Unlock()
+	if m.wouldDeadlockLocked(txn) {
+		sh.mu.Lock()
+		m.removeRequest(ls, req)
+		sh.mu.Unlock()
+		delete(m.waits, txn)
+		m.gmu.Unlock()
+		m.obs.Deadlocks.Inc()
+		return ErrDeadlock
+	}
+	m.obs.Waits.Inc()
+	m.obs.Queue.Inc()
+	waitStart := time.Now()
+	m.gmu.Unlock()
+
+	// The settler (granter or canceller) removed our waits entry before
+	// signalling, so no phantom wait edge survives the grant.
+	err := <-req.done
+	m.obs.Queue.Dec()
+	m.obs.WaitTime.Observe(time.Since(waitStart))
+	return err
+}
+
+// tryGrantLocked attempts an immediate grant under sh.mu. It returns
+// (granted, settled): settled without granted means the lock was already
+// held strongly enough. Fresh requests yield to an existing queue (FIFO
+// fairness); upgrades may bypass it.
+func (m *Manager) tryGrantLocked(sh *lockShard, txn wal.TxnID, res Resource, mode Mode) (granted, settled bool) {
+	ls := sh.state(res, false)
 	if ls == nil {
-		ls = &lockState{holders: make(map[wal.TxnID]Mode)}
-		m.locks[res] = ls
+		sh.state(res, true).holders[txn] = mode
+		return true, true
 	}
 	want := mode
 	holds := false
@@ -177,74 +307,28 @@ func (m *Manager) Acquire(txn wal.TxnID, res Resource, mode Mode) error {
 		holds = true
 		want = supremum(cur, mode)
 		if want == cur {
-			m.mu.Unlock()
-			return nil // already strong enough
+			return false, true // already strong enough
 		}
 	}
-	// Grant immediately when compatible with the other holders; fresh
-	// requests additionally yield to an existing queue (FIFO fairness),
-	// while upgrades may bypass it.
 	if m.grantable(ls, txn, want) && (holds || len(ls.queue) == 0) {
-		m.grant(ls, txn, res, want)
-		m.mu.Unlock()
-		return nil
+		ls.holders[txn] = want
+		return true, true
 	}
-	// Must wait. Upgrades jump the queue ahead of fresh requests so an
-	// S-holder upgrading to X cannot deadlock behind a newcomer; but if a
-	// grantable-now upgrade exists we handled it above.
-	req := &request{txn: txn, mode: want, done: make(chan error, 1)}
-	if holds {
-		ls.queue = append([]*request{req}, ls.queue...)
-	} else {
-		ls.queue = append(ls.queue, req)
-	}
-	m.waits[txn] = req
-	if m.wouldDeadlock(txn) {
-		m.removeRequest(ls, req)
-		delete(m.waits, txn)
-		m.mu.Unlock()
-		m.obs.Deadlocks.Inc()
-		return ErrDeadlock
-	}
-	m.obs.Waits.Inc()
-	m.obs.Queue.Inc()
-	waitStart := time.Now()
-	m.mu.Unlock()
-
-	err := <-req.done
-	m.obs.Queue.Dec()
-	m.obs.WaitTime.Observe(time.Since(waitStart))
-	m.mu.Lock()
-	delete(m.waits, txn)
-	m.mu.Unlock()
-	return err
+	return false, false
 }
 
 // TryAcquire is Acquire without blocking: it returns false if the lock is
 // not immediately grantable.
 func (m *Manager) TryAcquire(txn wal.TxnID, res Resource, mode Mode) bool {
 	m.obs.Requests.Inc()
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	ls := m.locks[res]
-	if ls == nil {
-		ls = &lockState{holders: make(map[wal.TxnID]Mode)}
-		m.locks[res] = ls
+	sh := m.shardFor(res)
+	sh.mu.Lock()
+	granted, settled := m.tryGrantLocked(sh, txn, res, mode)
+	sh.mu.Unlock()
+	if granted {
+		m.recordHeld(txn, res)
 	}
-	want := mode
-	if cur, ok := ls.holders[txn]; ok {
-		want = supremum(cur, mode)
-		if want == cur {
-			return true
-		}
-	} else if len(ls.queue) > 0 {
-		return false
-	}
-	if !m.grantable(ls, txn, want) {
-		return false
-	}
-	m.grant(ls, txn, res, want)
-	return true
+	return settled
 }
 
 // grantable reports whether txn may hold want on ls given the OTHER holders.
@@ -260,8 +344,26 @@ func (m *Manager) grantable(ls *lockState, txn wal.TxnID, want Mode) bool {
 	return true
 }
 
-func (m *Manager) grant(ls *lockState, txn wal.TxnID, res Resource, mode Mode) {
-	ls.holders[txn] = mode
+// recordHeld mirrors a shard grant into the per-txn held set.
+func (m *Manager) recordHeld(txn wal.TxnID, res Resource) {
+	sh := m.shardFor(res)
+	m.gmu.Lock()
+	// Re-read the granted mode: a same-txn upgrade cannot race (goroutine
+	// confinement), so the holder entry is still ours.
+	sh.mu.Lock()
+	mode := ModeNone
+	if ls := sh.state(res, false); ls != nil {
+		mode = ls.holders[txn]
+	}
+	sh.mu.Unlock()
+	if mode != ModeNone {
+		m.recordHeldLocked(txn, res, mode)
+	}
+	m.gmu.Unlock()
+}
+
+// recordHeldLocked updates the held set under gmu.
+func (m *Manager) recordHeldLocked(txn wal.TxnID, res Resource, mode Mode) {
 	hm := m.held[txn]
 	if hm == nil {
 		hm = make(map[Resource]Mode)
@@ -283,45 +385,60 @@ func (m *Manager) removeRequest(ls *lockState, req *request) {
 // Called by the transaction manager at commit or abort (all locks are
 // released at transaction termination).
 func (m *Manager) ReleaseAll(txn wal.TxnID) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.gmu.Lock()
+	defer m.gmu.Unlock()
 	if req, ok := m.waits[txn]; ok {
-		for _, ls := range m.locks {
+		sh := m.shardFor(req.res)
+		sh.mu.Lock()
+		if ls := sh.state(req.res, false); ls != nil {
 			m.removeRequest(ls, req)
 		}
+		sh.mu.Unlock()
 		delete(m.waits, txn)
 		req.done <- fmt.Errorf("lock: transaction %d terminated while waiting", txn)
 	}
 	for res := range m.held[txn] {
-		ls := m.locks[res]
+		sh := m.shardFor(res)
+		sh.mu.Lock()
+		ls := sh.state(res, false)
 		if ls == nil {
+			sh.mu.Unlock()
 			continue
 		}
 		delete(ls.holders, txn)
-		m.wake(ls, res)
+		m.wakeLocked(ls, res)
 		if len(ls.holders) == 0 && len(ls.queue) == 0 {
-			delete(m.locks, res)
+			delete(sh.locks, res)
 		}
+		sh.mu.Unlock()
 	}
 	delete(m.held, txn)
 }
 
-// wake grants the longest compatible prefix of the queue.
-func (m *Manager) wake(ls *lockState, res Resource) {
+// wakeLocked grants the longest compatible prefix of the queue. Caller
+// holds gmu and the resource's shard mutex; the granter removes the waits
+// entry before signalling, so a granted transaction never lingers in the
+// waits-for graph as a phantom edge.
+func (m *Manager) wakeLocked(ls *lockState, res Resource) {
 	for len(ls.queue) > 0 {
 		req := ls.queue[0]
 		if !m.grantable(ls, req.txn, req.mode) {
 			return
 		}
 		ls.queue = ls.queue[1:]
-		m.grant(ls, req.txn, res, req.mode)
+		ls.holders[req.txn] = req.mode
+		m.recordHeldLocked(req.txn, res, req.mode)
+		delete(m.waits, req.txn)
 		req.done <- nil
 	}
 }
 
-// wouldDeadlock runs DFS over the waits-for graph starting from txn,
-// following waiter → incompatible holder edges.
-func (m *Manager) wouldDeadlock(start wal.TxnID) bool {
+// wouldDeadlockLocked runs DFS over the waits-for graph starting from txn,
+// following waiter → incompatible holder edges. Caller holds gmu (which
+// pins the wait table); each hop reads its resource's holders under that
+// shard's mutex. Wait edges are only added under gmu, so the transaction
+// that completes a cycle always sees the whole cycle here.
+func (m *Manager) wouldDeadlockLocked(start wal.TxnID) bool {
 	visited := map[wal.TxnID]bool{}
 	var dfs func(t wal.TxnID) bool
 	dfs = func(t wal.TxnID) bool {
@@ -329,33 +446,28 @@ func (m *Manager) wouldDeadlock(start wal.TxnID) bool {
 		if !waiting {
 			return false
 		}
-		// Find the resource this request queues on and its blockers.
-		for res, ls := range m.locks {
-			inQueue := false
-			for _, r := range ls.queue {
-				if r == req {
-					inQueue = true
-					break
-				}
-			}
-			if !inQueue {
-				continue
-			}
+		sh := m.shardFor(req.res)
+		sh.mu.Lock()
+		var blockers []wal.TxnID
+		if ls := sh.state(req.res, false); ls != nil {
 			for holder, held := range ls.holders {
 				if holder == t || compatible(req.mode, held) {
 					continue
 				}
-				if holder == start {
+				blockers = append(blockers, holder)
+			}
+		}
+		sh.mu.Unlock()
+		for _, holder := range blockers {
+			if holder == start {
+				return true
+			}
+			if !visited[holder] {
+				visited[holder] = true
+				if dfs(holder) {
 					return true
 				}
-				if !visited[holder] {
-					visited[holder] = true
-					if dfs(holder) {
-						return true
-					}
-				}
 			}
-			_ = res
 		}
 		return false
 	}
@@ -364,14 +476,14 @@ func (m *Manager) wouldDeadlock(start wal.TxnID) bool {
 
 // HeldMode returns the mode txn holds on res (ModeNone if not held).
 func (m *Manager) HeldMode(txn wal.TxnID, res Resource) Mode {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.gmu.Lock()
+	defer m.gmu.Unlock()
 	return m.held[txn][res]
 }
 
 // HeldCount returns how many locks txn currently holds.
 func (m *Manager) HeldCount(txn wal.TxnID) int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.gmu.Lock()
+	defer m.gmu.Unlock()
 	return len(m.held[txn])
 }

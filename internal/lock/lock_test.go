@@ -433,3 +433,118 @@ func TestLockMetrics(t *testing.T) {
 		t.Fatalf("deadlocks = %d", st.Deadlocks.Load())
 	}
 }
+
+// waitForWaiter polls until txn has a pending entry in the wait table.
+func waitForWaiter(t *testing.T, m *Manager, txn wal.TxnID) {
+	t.Helper()
+	for i := 0; i < 2000; i++ {
+		m.gmu.Lock()
+		_, waiting := m.waits[txn]
+		m.gmu.Unlock()
+		if waiting {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("txn %d never started waiting", txn)
+}
+
+// Regression: the granter must remove the wait-table entry before
+// signalling the waiter. The sharded deadlock DFS follows waits[t].res
+// without re-checking queue membership, so a stale entry left for the
+// waiter to clean up after it resumes would be a phantom waits-for edge
+// visible to concurrent detection.
+func TestGrantClearsWaitTableBeforeSignal(t *testing.T) {
+	m := NewManager()
+	res := RelResource(70)
+	if err := m.Acquire(1, res, ModeX); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- m.Acquire(2, res, ModeX) }()
+	waitForWaiter(t, m, 2)
+	m.ReleaseAll(1)
+	// ReleaseAll granted txn 2 synchronously; its wait entry must already
+	// be gone even though the waiter goroutine may not have resumed yet.
+	m.gmu.Lock()
+	_, waiting := m.waits[2]
+	m.gmu.Unlock()
+	if waiting {
+		t.Fatal("granted transaction still in wait table")
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	m.ReleaseAll(2)
+}
+
+// Regression: a grantable-now upgrade must be served immediately even with
+// a newcomer queued, not enqueued behind it — the newcomer waits for the
+// holder, so queuing the holder's upgrade behind it would deadlock two
+// transactions that have no cycle.
+func TestUpgradeGrantableNowBypassesQueue(t *testing.T) {
+	m := NewManager()
+	res := RelResource(71)
+	if err := m.Acquire(1, res, ModeS); err != nil {
+		t.Fatal(err)
+	}
+	newcomer := make(chan error, 1)
+	go func() { newcomer <- m.Acquire(2, res, ModeX) }()
+	waitForWaiter(t, m, 2)
+	// Sole holder upgrades S→X with the newcomer queued: immediate grant.
+	if err := m.Acquire(1, res, ModeX); err != nil {
+		t.Fatalf("upgrade: %v", err)
+	}
+	if got := m.HeldMode(1, res); got != ModeX {
+		t.Fatalf("holder mode = %v", got)
+	}
+	m.ReleaseAll(1)
+	if err := <-newcomer; err != nil {
+		t.Fatal(err)
+	}
+	m.ReleaseAll(2)
+}
+
+// TestShardStorm exercises the sharded fast path: many goroutines acquire
+// and release disjoint key resources (no contention) plus one contended
+// resource, under the race detector.
+func TestShardStorm(t *testing.T) {
+	m := NewManager()
+	hot := RelResource(99)
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				txn := wal.TxnID(1 + g*1000 + i)
+				priv := KeyResource(50, []byte{byte(g), byte(i)})
+				if err := m.Acquire(txn, priv, ModeX); err != nil {
+					t.Error(err)
+					return
+				}
+				if err := m.Acquire(txn, hot, ModeS); err != nil {
+					t.Error(err)
+					return
+				}
+				if i%10 == 0 {
+					// Occasional upgrade on the hot resource; deadlock
+					// between two upgraders is legitimate — retry.
+					if err := m.Acquire(txn, hot, ModeX); err != nil && err != ErrDeadlock {
+						t.Error(err)
+						return
+					}
+				}
+				m.ReleaseAll(txn)
+			}
+		}(g)
+	}
+	wg.Wait()
+	for i := range m.shards {
+		m.shards[i].mu.Lock()
+		if n := len(m.shards[i].locks); n != 0 {
+			t.Errorf("shard %d retains %d lock states", i, n)
+		}
+		m.shards[i].mu.Unlock()
+	}
+}

@@ -252,12 +252,15 @@ type LockStats struct {
 
 // WALStats instruments the common recovery log.
 type WALStats struct {
-	Appends     Counter // log records written
-	AppendBytes Counter // payload bytes appended
-	Syncs       Counter // backing-file fsyncs
-	Rollbacks   Counter // log-driven rollbacks (veto, savepoint, abort)
-	Checkpoints Counter // completed checkpoints (snapshot + truncation)
-	RedoRecords Counter // records dispatched to redo during restart recovery
+	Appends      Counter // log records written
+	AppendBytes  Counter // payload bytes appended
+	Syncs        Counter // backing-file fsyncs
+	Rollbacks    Counter // log-driven rollbacks (veto, savepoint, abort)
+	Checkpoints  Counter // completed checkpoints (snapshot + truncation)
+	RedoRecords  Counter // records dispatched to redo during restart recovery
+	GroupCommits Counter // commit syncs served (leader or batched follower)
+	GroupBatches Counter // fsync rounds driven by the group-commit leader
+	ForcedSyncs  Counter // WAL-before-data forces from the buffer pool
 }
 
 // BufferStats instruments the shared buffer pool.
@@ -320,14 +323,20 @@ type LockSnapshot struct {
 	WaitTime      HistogramSnapshot `json:"wait_time"`
 }
 
-// WALSnapshot is the recovery-log view.
+// WALSnapshot is the recovery-log view. CommitsPerFsync is the group-commit
+// batching ratio: commit syncs served per leader fsync round (> 1 means
+// concurrent commits shared fsyncs).
 type WALSnapshot struct {
-	Appends     int64 `json:"appends"`
-	AppendBytes int64 `json:"append_bytes"`
-	Syncs       int64 `json:"syncs"`
-	Rollbacks   int64 `json:"rollbacks"`
-	Checkpoints int64 `json:"checkpoints"`
-	RedoRecords int64 `json:"redo_records"`
+	Appends         int64   `json:"appends"`
+	AppendBytes     int64   `json:"append_bytes"`
+	Syncs           int64   `json:"syncs"`
+	Rollbacks       int64   `json:"rollbacks"`
+	Checkpoints     int64   `json:"checkpoints"`
+	RedoRecords     int64   `json:"redo_records"`
+	GroupCommits    int64   `json:"group_commits"`
+	GroupBatches    int64   `json:"group_batches"`
+	ForcedSyncs     int64   `json:"forced_syncs"`
+	CommitsPerFsync float64 `json:"commits_per_fsync"`
 }
 
 // BufferSnapshot is the buffer-pool view.
@@ -376,6 +385,10 @@ func (e *Engine) Snapshot() Snapshot {
 	if hits+misses > 0 {
 		ratio = float64(hits) / float64(hits+misses)
 	}
+	commitsPerFsync := 0.0
+	if b := e.WAL.GroupBatches.Load(); b > 0 {
+		commitsPerFsync = float64(e.WAL.GroupCommits.Load()) / float64(b)
+	}
 	return Snapshot{
 		SM:  snapshotVector(&e.SM, nil),
 		Att: snapshotVector(&e.Att, &e.AttVetoes),
@@ -388,12 +401,16 @@ func (e *Engine) Snapshot() Snapshot {
 			WaitTime:      e.Lock.WaitTime.Snapshot(),
 		},
 		WAL: WALSnapshot{
-			Appends:     e.WAL.Appends.Load(),
-			AppendBytes: e.WAL.AppendBytes.Load(),
-			Syncs:       e.WAL.Syncs.Load(),
-			Rollbacks:   e.WAL.Rollbacks.Load(),
-			Checkpoints: e.WAL.Checkpoints.Load(),
-			RedoRecords: e.WAL.RedoRecords.Load(),
+			Appends:         e.WAL.Appends.Load(),
+			AppendBytes:     e.WAL.AppendBytes.Load(),
+			Syncs:           e.WAL.Syncs.Load(),
+			Rollbacks:       e.WAL.Rollbacks.Load(),
+			Checkpoints:     e.WAL.Checkpoints.Load(),
+			RedoRecords:     e.WAL.RedoRecords.Load(),
+			GroupCommits:    e.WAL.GroupCommits.Load(),
+			GroupBatches:    e.WAL.GroupBatches.Load(),
+			ForcedSyncs:     e.WAL.ForcedSyncs.Load(),
+			CommitsPerFsync: commitsPerFsync,
 		},
 		Buffer: BufferSnapshot{
 			Hits:      hits,

@@ -102,14 +102,20 @@ func (s *store) ensurePage(p uint32) error {
 			return err
 		}
 		binary.BigEndian.PutUint16(f.Data[2:], uint16(pagefile.PageSize))
-		s.env.Pool.Unpin(f, true)
+		if err := s.env.Pool.Unpin(f, true); err != nil {
+			return err
+		}
 		s.pages = append(s.pages, f.ID)
 		s.free = append(s.free, pagefile.PageSize-pageHdrSize)
 	}
 	return nil
 }
 
-// withPage pins the logical page and runs fn on its frame.
+// withPage pins the logical page and runs fn on its frame. A write-intent
+// pin marks the frame dirty even when fn fails: a mutator may have changed
+// bytes before erroring (e.g. a log append refused after the slot was
+// written), and an unchanged page written back is harmless while a changed
+// one silently dropped is not.
 func (s *store) withPage(p uint32, write bool, fn func(f *buffer.Frame) error) error {
 	if err := s.ensurePage(p); err != nil {
 		return err
@@ -118,38 +124,43 @@ func (s *store) withPage(p uint32, write bool, fn func(f *buffer.Frame) error) e
 	if err != nil {
 		return err
 	}
-	err = fn(f)
-	s.env.Pool.Unpin(f, write && err == nil)
-	return err
+	ferr := fn(f)
+	uerr := s.env.Pool.Unpin(f, write)
+	if ferr != nil {
+		return ferr
+	}
+	return uerr
 }
 
-// place finds room for enc and stores it in a fresh slot, returning the rid.
-func (s *store) place(enc []byte) (rid, error) {
-	need := len(enc) + slotDirEntry
+// pageFor returns a logical page with room for an encLen-byte record,
+// extending the relation when none has space. Caller holds s.mu.
+func (s *store) pageFor(encLen int) (int, error) {
+	need := encLen + slotDirEntry
 	if need > pagefile.PageSize-pageHdrSize {
-		return rid{}, fmt.Errorf("heap: record of %d bytes exceeds page capacity", len(enc))
+		return 0, fmt.Errorf("heap: record of %d bytes exceeds page capacity", encLen)
 	}
-	page := -1
 	for p := len(s.pages) - 1; p >= 0; p-- { // newest pages fill first
 		if s.free[p] >= need {
-			page = p
-			break
+			return p, nil
 		}
 	}
-	if page < 0 {
-		if err := s.ensurePage(uint32(len(s.pages))); err != nil {
-			return rid{}, err
-		}
-		page = len(s.pages) - 1
+	if err := s.ensurePage(uint32(len(s.pages))); err != nil {
+		return 0, err
 	}
-	var out rid
-	err := s.withPage(uint32(page), true, func(f *buffer.Frame) error {
-		nslots := int(binary.BigEndian.Uint16(f.Data))
-		r, err := s.placeAtLocked(f, rid{page: uint32(page), slot: uint32(nslots)}, enc)
-		out = r
+	return len(s.pages) - 1, nil
+}
+
+// logStamped appends the modification record while f is pinned (pinned
+// frames cannot be evicted) and stamps the frame with the record's LSN, so
+// the buffer pool forces the log up to it before the page can reach disk
+// (write-ahead rule under the steal policy).
+func (s *store) logStamped(tx *txn.Txn, f *buffer.Frame, p core.ModPayload) error {
+	lsn, err := core.LogSMLSN(tx, s.rd, p)
+	if err != nil {
 		return err
-	})
-	return out, err
+	}
+	s.env.Pool.StampLSN(f, lsn)
+	return nil
 }
 
 // placeAtLocked stores enc at the given rid on the pinned frame, extending
@@ -227,17 +238,28 @@ func (s *store) overwriteAt(r rid, enc []byte) error {
 	})
 }
 
-// Insert implements core.StorageInstance.
+// Insert implements core.StorageInstance. The record is placed and its
+// log record appended within one pin session so the frame carries the
+// record's LSN before it can be stolen.
 func (s *store) Insert(tx *txn.Txn, rec types.Record) (types.Key, error) {
 	enc := rec.AppendEncode(nil)
 	s.mu.Lock()
-	r, err := s.place(enc)
-	s.mu.Unlock()
+	defer s.mu.Unlock()
+	page, err := s.pageFor(len(enc))
 	if err != nil {
 		return nil, err
 	}
-	key := encodeRID(r)
-	if err := core.LogSM(tx, s.rd, core.ModPayload{Op: core.ModInsert, Key: key, New: rec}); err != nil {
+	var key types.Key
+	err = s.withPage(uint32(page), true, func(f *buffer.Frame) error {
+		nslots := uint32(binary.BigEndian.Uint16(f.Data))
+		r, perr := s.placeAtLocked(f, rid{page: uint32(page), slot: nslots}, enc)
+		if perr != nil {
+			return perr
+		}
+		key = encodeRID(r)
+		return s.logStamped(tx, f, core.ModPayload{Op: core.ModInsert, Key: key, New: rec})
+	})
+	if err != nil {
 		return nil, err
 	}
 	return key, nil
@@ -252,9 +274,9 @@ func (s *store) Update(tx *txn.Txn, key types.Key, oldRec, newRec types.Record) 
 	}
 	enc := newRec.AppendEncode(nil)
 	s.mu.Lock()
-	newKey := key
-	var fits bool
-	err = s.withPage(r.page, false, func(f *buffer.Frame) error {
+	defer s.mu.Unlock()
+	fits := false
+	err = s.withPage(r.page, true, func(f *buffer.Frame) error {
 		nslots := int(binary.BigEndian.Uint16(f.Data))
 		if int(r.slot) >= nslots {
 			return fmt.Errorf("heap: %w: slot %d of page %d", core.ErrNotFound, r.slot, r.page)
@@ -263,45 +285,87 @@ func (s *store) Update(tx *txn.Txn, key types.Key, oldRec, newRec types.Record) 
 		if f.Data[so+6]&flagDeleted != 0 {
 			return fmt.Errorf("heap: %w: record %v deleted", core.ErrNotFound, r)
 		}
-		fits = len(enc) <= int(binary.BigEndian.Uint16(f.Data[so+2:]))
-		return nil
-	})
-	if err == nil {
-		if fits {
-			err = s.overwriteAt(r, enc)
-		} else {
-			if err = s.setDeleted(r, true); err == nil {
-				var nr rid
-				nr, err = s.place(enc)
-				if err == nil {
-					newKey = encodeRID(nr)
-				}
-			}
+		if len(enc) > int(binary.BigEndian.Uint16(f.Data[so+2:])) {
+			return nil // no room: fall through to tombstone-and-move
 		}
-	}
-	s.mu.Unlock()
+		fits = true
+		off := int(binary.BigEndian.Uint16(f.Data[so:]))
+		copy(f.Data[off:], enc)
+		binary.BigEndian.PutUint16(f.Data[so+4:], uint16(len(enc)))
+		return s.logStamped(tx, f, core.ModPayload{Op: core.ModUpdate, Key: key, NewKey: key, Old: oldRec, New: newRec})
+	})
 	if err != nil {
 		return nil, err
 	}
-	if err := core.LogSM(tx, s.rd, core.ModPayload{Op: core.ModUpdate, Key: key, NewKey: newKey, Old: oldRec, New: newRec}); err != nil {
+	if fits {
+		return key, nil
+	}
+	// Tombstone-and-move touches two pages, so the single-frame
+	// log-while-pinned session does not apply. The new address is
+	// computable without mutating anything (next slot of a page with
+	// room), so append the log record first — pure write-ahead — then
+	// apply both page mutations stamped with its LSN.
+	page, err := s.pageFor(len(enc))
+	if err != nil {
+		return nil, err
+	}
+	var newR rid
+	err = s.withPage(uint32(page), false, func(f *buffer.Frame) error {
+		newR = rid{page: uint32(page), slot: uint32(binary.BigEndian.Uint16(f.Data))}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	newKey := encodeRID(newR)
+	lsn, err := core.LogSMLSN(tx, s.rd, core.ModPayload{Op: core.ModUpdate, Key: key, NewKey: newKey, Old: oldRec, New: newRec})
+	if err != nil {
+		return nil, err
+	}
+	err = s.withPage(r.page, true, func(f *buffer.Frame) error {
+		so := slotOffset(int(r.slot))
+		f.Data[so+6] |= flagDeleted
+		s.nrecords--
+		s.env.Pool.StampLSN(f, lsn)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	err = s.withPage(newR.page, true, func(f *buffer.Frame) error {
+		if _, perr := s.placeAtLocked(f, newR, enc); perr != nil {
+			return perr
+		}
+		s.env.Pool.StampLSN(f, lsn)
+		return nil
+	})
+	if err != nil {
 		return nil, err
 	}
 	return newKey, nil
 }
 
-// Delete implements core.StorageInstance: the slot is tombstoned in place.
+// Delete implements core.StorageInstance: the slot is tombstoned in place,
+// logged and stamped within the same pin session.
 func (s *store) Delete(tx *txn.Txn, key types.Key, oldRec types.Record) error {
 	r, err := decodeRID(key)
 	if err != nil {
 		return err
 	}
 	s.mu.Lock()
-	err = s.setDeleted(r, true)
-	s.mu.Unlock()
-	if err != nil {
-		return err
-	}
-	return core.LogSM(tx, s.rd, core.ModPayload{Op: core.ModDelete, Key: key, Old: oldRec})
+	defer s.mu.Unlock()
+	return s.withPage(r.page, true, func(f *buffer.Frame) error {
+		nslots := int(binary.BigEndian.Uint16(f.Data))
+		if int(r.slot) >= nslots {
+			return fmt.Errorf("heap: %w: slot %d of page %d", core.ErrNotFound, r.slot, r.page)
+		}
+		so := slotOffset(int(r.slot))
+		if f.Data[so+6]&flagDeleted == 0 {
+			f.Data[so+6] |= flagDeleted
+			s.nrecords--
+		}
+		return s.logStamped(tx, f, core.ModPayload{Op: core.ModDelete, Key: key, Old: oldRec})
+	})
 }
 
 // FetchByKey implements core.StorageInstance. The filter predicate is

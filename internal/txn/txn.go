@@ -306,14 +306,16 @@ func (tx *Txn) Commit() error {
 		}
 		return err
 	}
-	if _, err := tx.mgr.Log.Append(tx.id, wal.RecCommit, wal.Owner{}, nil); err != nil {
+	commitLSN, err := tx.mgr.Log.Append(tx.id, wal.RecCommit, wal.Owner{}, nil)
+	if err != nil {
 		return tx.commitFailed(err)
 	}
 	// The commit point: the transaction is committed only once the commit
-	// record is on stable storage. Until the sync returns the caller must
+	// record is on stable storage. Until the force returns the caller must
 	// not be told the commit succeeded, and EventCommit (whose contract
-	// promises durability) must not fire.
-	if err := tx.mgr.Log.Sync(); err != nil {
+	// promises durability) must not fire. SyncCommitted group-commits:
+	// concurrently arriving commit records share one fsync.
+	if err := tx.mgr.Log.SyncCommitted(commitLSN); err != nil {
 		return tx.commitFailed(err)
 	}
 	tx.state = StateCommitted

@@ -25,6 +25,7 @@ import (
 	"io"
 	"os"
 	"sync"
+	"time"
 
 	"dmx/internal/fault"
 	"dmx/internal/obs"
@@ -143,11 +144,23 @@ type Log struct {
 	sinceCkpt int    // records appended since the last completed checkpoint
 	obs       *obs.WALStats
 	faults    *fault.Injector
+
+	// Group commit. durable is the highest LSN known to be on stable
+	// storage; syncing marks an in-flight leader fsync round; synced is
+	// broadcast when durable advances or the round ends. window is the
+	// optional batching delay a leader waits before its fsync so more
+	// concurrent committers can join the round.
+	durable LSN
+	syncing bool
+	synced  *sync.Cond
+	window  time.Duration
 }
 
 // New returns an in-memory log (no persistence).
 func New() *Log {
-	return &Log{lastLSN: make(map[TxnID]LSN), obs: &obs.WALStats{}}
+	l := &Log{lastLSN: make(map[TxnID]LSN), obs: &obs.WALStats{}}
+	l.synced = sync.NewCond(&l.mu)
+	return l
 }
 
 // SetObs points the log's instrumentation at a shared metric registry.
@@ -195,8 +208,21 @@ func Open(path string) (*Log, error) {
 	l.path = path
 	if len(records) > 0 {
 		l.base = records[0].LSN - 1
+		// Everything loaded survived the crash on stable storage.
+		l.durable = records[len(records)-1].LSN
 	}
 	return l, nil
+}
+
+// SetGroupCommitWindow sets the batching delay a group-commit leader waits
+// before forcing the log, so commits arriving within the window share one
+// fsync. Zero (the default) still batches naturally: committers that
+// arrive while a round's fsync is in flight are absorbed by the next
+// round. Call at assembly, before traffic.
+func (l *Log) SetGroupCommitWindow(d time.Duration) {
+	l.mu.Lock()
+	l.window = d
+	l.mu.Unlock()
 }
 
 // Close flushes buffered records to stable storage and releases the
@@ -303,6 +329,8 @@ func (l *Log) Sync() error {
 }
 
 func (l *Log) syncLocked() error {
+	// Everything appended so far is covered by this force.
+	target := l.base + LSN(len(l.records))
 	if l.file != nil {
 		if err := l.flushLocked(); err != nil {
 			return err
@@ -314,7 +342,79 @@ func (l *Log) syncLocked() error {
 	}
 	// The post-fsync crash site models losing the process after the
 	// records are durable but before anyone learns of it.
-	return l.faults.Hit(fault.SiteWALSynced)
+	if err := l.faults.Hit(fault.SiteWALSynced); err != nil {
+		return err
+	}
+	if target > l.durable {
+		l.durable = target
+		l.synced.Broadcast()
+	}
+	return nil
+}
+
+// Durable returns the highest LSN known to be on stable storage.
+func (l *Log) Durable() LSN {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.durable
+}
+
+// SyncCommitted makes the commit record at lsn durable using group
+// commit: the first committer to arrive becomes the round leader,
+// optionally waits the batching window, and forces the log once for every
+// commit appended so far; committers arriving during the round wait on it
+// (or on the next) instead of issuing their own fsync. Returns nil once
+// lsn is on stable storage.
+func (l *Log) SyncCommitted(lsn LSN) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for l.durable < lsn {
+		if l.syncing {
+			// Follower: a leader's round is in flight. Wait for it; if it
+			// did not cover lsn (we appended after its cut) or it failed,
+			// loop and lead the next round ourselves.
+			l.synced.Wait()
+			continue
+		}
+		l.syncing = true
+		if w := l.window; w > 0 {
+			// Batching window: let concurrent committers append their
+			// records before the cut. The lock is dropped so they can.
+			l.mu.Unlock()
+			time.Sleep(w)
+			l.mu.Lock()
+		}
+		err := l.syncLocked()
+		l.syncing = false
+		// Wake followers even on failure so they retry as leaders and
+		// observe their own errors rather than waiting forever.
+		l.synced.Broadcast()
+		if err != nil {
+			return err
+		}
+		l.obs.GroupBatches.Inc()
+	}
+	l.obs.GroupCommits.Inc()
+	return nil
+}
+
+// ForceTo forces the log through lsn without group-commit batching. The
+// buffer pool calls it to honour the write-ahead rule before a dirty page
+// leaves the pool; it returns immediately when lsn is already durable.
+func (l *Log) ForceTo(lsn LSN) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for l.durable < lsn {
+		if l.syncing {
+			l.synced.Wait()
+			continue
+		}
+		l.obs.ForcedSyncs.Inc()
+		if err := l.syncLocked(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // LastLSN returns the most recent LSN written for txn (0 if none).

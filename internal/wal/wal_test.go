@@ -7,6 +7,9 @@ import (
 	"path/filepath"
 	"sync"
 	"testing"
+	"time"
+
+	"dmx/internal/obs"
 )
 
 // recordingDispatcher collects undo/redo dispatches for assertions.
@@ -359,5 +362,140 @@ func TestEncodeDecodeRecord(t *testing.T) {
 	}
 	if _, err := decodeRecord([]byte{1, 2}); err == nil {
 		t.Fatal("short body should fail")
+	}
+}
+
+func TestSyncCommittedAdvancesDurable(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(filepath.Join(dir, "wal.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	lsn, err := l.Append(1, RecCommit, Owner{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Durable() >= lsn {
+		t.Fatalf("durable %d before any sync", l.Durable())
+	}
+	if err := l.SyncCommitted(lsn); err != nil {
+		t.Fatal(err)
+	}
+	if l.Durable() < lsn {
+		t.Fatalf("durable = %d, want >= %d", l.Durable(), lsn)
+	}
+	// Already durable: served without another fsync round.
+	if err := l.SyncCommitted(lsn); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGroupCommitBatchesConcurrentCommitters(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(filepath.Join(dir, "wal.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	st := &obs.WALStats{}
+	l.SetObs(st)
+	l.SetGroupCommitWindow(200 * time.Microsecond)
+	const committers = 16
+	var wg sync.WaitGroup
+	for g := 0; g < committers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				lsn, err := l.Append(TxnID(g+1), RecCommit, Owner{}, nil)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if err := l.SyncCommitted(lsn); err != nil {
+					t.Error(err)
+					return
+				}
+				if l.Durable() < lsn {
+					t.Errorf("commit returned before durable: %d < %d", l.Durable(), lsn)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	commits, batches := st.GroupCommits.Load(), st.GroupBatches.Load()
+	if commits != committers*20 {
+		t.Fatalf("group commits = %d, want %d", commits, committers*20)
+	}
+	if batches == 0 || batches > commits {
+		t.Fatalf("batches = %d out of range (commits %d)", batches, commits)
+	}
+	// The whole point: concurrent committers share fsync rounds. With a
+	// batching window and 16 writers this is deterministic-enough to
+	// assert strictly less than one fsync per commit.
+	if batches >= commits {
+		t.Fatalf("no batching: %d batches for %d commits", batches, commits)
+	}
+}
+
+func TestForceToOnlySyncsWhenBehind(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(filepath.Join(dir, "wal.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	st := &obs.WALStats{}
+	l.SetObs(st)
+	lsn, err := l.Append(1, RecUpdate, Owner{}, []byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.ForceTo(lsn); err != nil {
+		t.Fatal(err)
+	}
+	if st.ForcedSyncs.Load() != 1 {
+		t.Fatalf("forced syncs = %d", st.ForcedSyncs.Load())
+	}
+	if l.Durable() < lsn {
+		t.Fatalf("durable = %d after force to %d", l.Durable(), lsn)
+	}
+	// Already durable: no further force.
+	if err := l.ForceTo(lsn); err != nil {
+		t.Fatal(err)
+	}
+	if st.ForcedSyncs.Load() != 1 {
+		t.Fatalf("forced syncs after no-op = %d", st.ForcedSyncs.Load())
+	}
+}
+
+func TestDurableRestoredAtOpen(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal.log")
+	l, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lsn, err := l.Append(1, RecCommit, Owner{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.SyncCommitted(lsn); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	// Everything read back from the file is durable by construction, so a
+	// commit already on disk must not trigger a fresh fsync wait.
+	if l2.Durable() < lsn {
+		t.Fatalf("reopened durable = %d, want >= %d", l2.Durable(), lsn)
 	}
 }
