@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench crash race fmt vet
+.PHONY: build test check bench crash race fmt vet staticcheck trace-demo
 
 build:
 	$(GO) build ./...
@@ -8,12 +8,28 @@ build:
 test:
 	$(GO) test ./...
 
-# check is the pre-merge gate: tier-1 build + vet + tests, then the full
-# suite again under the race detector with caching disabled (the
-# crash-point harness sweep in crash_test.go runs in both passes).
-check: build vet
+# check is the pre-merge gate: tier-1 build + vet + static analysis +
+# tests, then the full suite again under the race detector with caching
+# disabled (the crash-point harness sweep in crash_test.go runs in both
+# passes).
+check: build vet staticcheck
 	$(GO) test ./...
 	$(GO) test -race -count=1 ./...
+
+# staticcheck runs honnef.co/go/tools when the binary is on PATH and is a
+# no-op otherwise, so check works in offline environments without it.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
+
+# trace-demo smoke-tests the observability surface end to end: traced
+# workload, debug HTTP server, and a self-read of /metrics, /traces, and
+# /healthz (non-zero exit on any malformed endpoint).
+trace-demo:
+	$(GO) run ./examples/tracedemo
 
 # race is the deep concurrency soak: the multi-worker stress harness
 # (stress_test.go) at its larger shape — more workers, more operations,

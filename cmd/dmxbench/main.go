@@ -96,6 +96,7 @@ func main() {
 		{"A2", "ablation: remote scan batch size", a2RemoteBatch},
 		{"A3", "ablation: ORDER BY via ordered access path vs scan + sort", a3OrderedAccess},
 		{"OBS", "engine-wide observability snapshot after a mixed workload", obsSnapshot},
+		{"TRACE", "span-tracing overhead at off / 1% / 100% sampling", traceOverhead},
 		{"CRASH", "restart replay cost vs checkpoint interval", crashRecovery},
 	}
 	for _, ex := range experiments {
@@ -952,6 +953,73 @@ func mtGroupCommit() []*rig.Table {
 				fmt.Sprintf("%.0f", float64(commits)/d.Seconds()),
 				batches, fmt.Sprintf("%.2f", cpf))
 		}
+	}
+	return []*rig.Table{t}
+}
+
+// --- TRACE: span-tracing overhead ---
+
+// traceOverhead reruns the MT insert workload with the transaction tracer
+// off, at 1-in-100 sampling, and fully on, so the cost of the span
+// machinery is measured against the engine's own commit path rather than a
+// microbenchmark. The sampled runs also report how many traces actually
+// carried detailed span trees.
+func traceOverhead() []*rig.Table {
+	perWorker := n(300)
+	const workers = 4
+	t := rig.NewTable("TRACE — single-insert commit throughput vs trace sampling (file-backed WAL, 4 workers)",
+		"sampling", "commits", "total", "commits/s", "sampled txns", "overhead")
+	t.Note = "sampling is a per-transaction counter decision; unsampled transactions carry a nil trace and every trace call is a nil-receiver no-op"
+
+	var baseline float64
+	for _, cfg := range []struct {
+		label  string
+		sample float64
+	}{{"off", 0}, {"1%", 0.01}, {"100%", 1}} {
+		dir, err := os.MkdirTemp("", "dmxbench-trace")
+		if err != nil {
+			panic(err)
+		}
+		db, err := dmx.Open(dmx.Config{
+			LogPath:         filepath.Join(dir, "wal.log"),
+			CheckpointEvery: -1,
+			TraceSample:     cfg.sample,
+			TraceRing:       64,
+		})
+		if err != nil {
+			panic(err)
+		}
+		if _, err := db.Exec("CREATE TABLE t (id INT NOT NULL, v STRING) USING heap"); err != nil {
+			panic(err)
+		}
+		var wg sync.WaitGroup
+		d := rig.Time(func() {
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					s := db.NewSession()
+					for i := 0; i < perWorker; i++ {
+						if _, err := s.Exec(fmt.Sprintf("INSERT INTO t VALUES (%d, 'r')", w*1_000_000+i)); err != nil {
+							panic(err)
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+		})
+		sampled := db.Env.Tracer.Stats().Sampled
+		db.Close()
+		os.RemoveAll(dir)
+		commits := workers * perWorker
+		rate := float64(commits) / d.Seconds()
+		overhead := "—"
+		if baseline == 0 {
+			baseline = rate
+		} else {
+			overhead = fmt.Sprintf("%+.1f%%", (baseline/rate-1)*100)
+		}
+		t.Add(cfg.label, commits, d, fmt.Sprintf("%.0f", rate), sampled, overhead)
 	}
 	return []*rig.Table{t}
 }

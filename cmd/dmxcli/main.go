@@ -18,6 +18,7 @@ import (
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"dmx"
 )
@@ -52,7 +53,7 @@ func main() {
 		}
 		return
 	}
-	fmt.Println("dmx shell — statements end at end of line; \\ continues; \\metrics dumps counters; ctrl-D exits")
+	fmt.Println("dmx shell — statements end at end of line; \\ continues; \\metrics dumps counters; \\trace on|off|show; \\serve ADDR; ctrl-D exits")
 	if err := run(db.Env, session, os.Stdin, os.Stdout, true); err != nil {
 		fmt.Fprintln(os.Stderr, "dmxcli:", err)
 		os.Exit(1)
@@ -114,7 +115,8 @@ func run(env *dmx.Env, session *dmx.Session, r io.Reader, w io.Writer, interacti
 
 // command dispatches a backslash shell command.
 func command(env *dmx.Env, w io.Writer, stmt string) error {
-	switch stmt {
+	fields := strings.Fields(stmt)
+	switch fields[0] {
 	case "\\metrics":
 		raw, err := json.MarshalIndent(env.MetricsSnapshot(), "", "  ")
 		if err != nil {
@@ -122,8 +124,71 @@ func command(env *dmx.Env, w io.Writer, stmt string) error {
 		}
 		fmt.Fprintln(w, string(raw))
 		return nil
+	case "\\trace":
+		return traceCommand(env, w, fields[1:])
+	case "\\serve":
+		if len(fields) != 2 {
+			return fmt.Errorf("usage: \\serve ADDR (e.g. \\serve 127.0.0.1:7654)")
+		}
+		addr, err := env.ServeDebug(fields[1])
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "debug server on http://%s (/metrics /traces /healthz)\n", addr)
+		return nil
 	default:
-		return fmt.Errorf("unknown command %q (try \\metrics)", stmt)
+		return fmt.Errorf("unknown command %q (try \\metrics, \\trace, \\serve)", fields[0])
+	}
+}
+
+// traceCommand controls the environment's transaction tracer:
+//
+//	\trace            current sampling state and counters
+//	\trace on [RATE]  sample every transaction, or the given fraction
+//	\trace off        stop sampling (slow-trace capture stays on)
+//	\trace show [MIN] dump the completed-trace ring as JSON, optionally
+//	                  only traces at least MIN long (e.g. \trace show 10ms)
+func traceCommand(env *dmx.Env, w io.Writer, args []string) error {
+	if len(args) == 0 {
+		fmt.Fprintln(w, env.Tracer.String())
+		return nil
+	}
+	switch args[0] {
+	case "on":
+		rate := 1.0
+		if len(args) > 1 {
+			if _, err := fmt.Sscanf(args[1], "%g", &rate); err != nil || rate <= 0 || rate > 1 {
+				return fmt.Errorf("bad sample rate %q (want a fraction in (0,1])", args[1])
+			}
+		}
+		env.Tracer.SetSampleRate(rate)
+		fmt.Fprintln(w, env.Tracer.String())
+		return nil
+	case "off":
+		env.Tracer.SetSampleRate(0)
+		fmt.Fprintln(w, env.Tracer.String())
+		return nil
+	case "show":
+		var min time.Duration
+		if len(args) > 1 {
+			d, err := time.ParseDuration(args[1])
+			if err != nil {
+				return fmt.Errorf("bad min duration %q: %w", args[1], err)
+			}
+			min = d
+		}
+		traces := env.Tracer.Traces(min)
+		raw, err := json.MarshalIndent(map[string]any{
+			"stats":  env.Tracer.Stats(),
+			"traces": traces,
+		}, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, string(raw))
+		return nil
+	default:
+		return fmt.Errorf("usage: \\trace [on [RATE] | off | show [MIN]]")
 	}
 }
 

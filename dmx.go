@@ -25,6 +25,7 @@ package dmx
 
 import (
 	"fmt"
+	"io"
 	"time"
 
 	// Factory linking: importing an extension package installs its
@@ -139,6 +140,19 @@ type Config struct {
 	// Faults arms the engine's crash-point fault injector (testing; see
 	// internal/fault). Nil leaves every site disarmed.
 	Faults *fault.Injector
+	// TraceSample is the fraction of transactions that carry a detailed
+	// span trace (0 disables sampling; 1 traces everything). Slow
+	// transactions are always traced when SlowThreshold is set.
+	TraceSample float64
+	// SlowThreshold marks any span (and its transaction) slower than this
+	// as slow: the trace is kept in the ring regardless of sampling and a
+	// structured event line is written to SlowLog. 0 disables.
+	SlowThreshold time.Duration
+	// TraceRing is the completed-trace ring capacity (default 128).
+	TraceRing int
+	// SlowLog receives one JSON line per slow span/transaction; nil
+	// discards them (the trace ring still keeps slow traces).
+	SlowLog io.Writer
 }
 
 // DB is an open database.
@@ -176,6 +190,10 @@ func Open(cfg Config) (*DB, error) {
 		PoolFrames:        cfg.PoolFrames,
 		CommitBatchWindow: cfg.CommitBatchWindow,
 		Faults:            cfg.Faults,
+		TraceSample:       cfg.TraceSample,
+		SlowThreshold:     cfg.SlowThreshold,
+		TraceRing:         cfg.TraceRing,
+		SlowLog:           cfg.SlowLog,
 	})
 	db := &DB{Env: env, log: log, disk: disk, ckptOff: cfg.CheckpointEvery < 0}
 	db.session = ddl.NewSession(env)
@@ -211,6 +229,11 @@ func (db *DB) Checkpoint() error { return db.Env.Checkpoint() }
 // In-flight transactions are not waited for.
 func (db *DB) Close() error {
 	var first error
+	// The debug HTTP server (if serving) goes down first so no handler
+	// observes the log or disk mid-teardown.
+	if err := db.Env.Close(); err != nil {
+		first = err
+	}
 	if db.log != nil && !db.ckptOff {
 		// Best effort: a clean shutdown leaves a compact log, so the next
 		// open replays only the closing snapshot. Busy (in-flight writers)

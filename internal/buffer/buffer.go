@@ -159,27 +159,43 @@ func (p *Pool) SetLogForcer(force func(wal.LSN) error) {
 // Disk returns the underlying device.
 func (p *Pool) Disk() pagefile.Disk { return p.disk }
 
+// PinStats describes what one Pin cost: whether the page missed (was
+// read from disk) and whether satisfying it evicted a victim frame.
+// Callers that trace their transactions use it to attribute buffer
+// faults to the operation that caused them.
+type PinStats struct {
+	Miss    bool
+	Evicted bool
+}
+
 // Pin fetches the page into the pool (reading from disk on a miss) and
 // pins it. Every Pin must be matched by an Unpin.
 func (p *Pool) Pin(id pagefile.PageID) (*Frame, error) {
+	f, _, err := p.PinWithStats(id)
+	return f, err
+}
+
+// PinWithStats is Pin, additionally reporting what the pin cost.
+func (p *Pool) PinWithStats(id pagefile.PageID) (*Frame, PinStats, error) {
 	sh := p.shardFor(id)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	if f, ok := sh.frames[id]; ok {
 		p.obs.Hits.Inc()
 		sh.pinLocked(f)
-		return f, nil
+		return f, PinStats{}, nil
 	}
 	p.obs.Misses.Inc()
+	st := PinStats{Miss: true, Evicted: len(sh.frames) >= sh.cap}
 	f, err := p.frameForLocked(sh, id)
 	if err != nil {
-		return nil, err
+		return nil, st, err
 	}
 	if err := p.disk.ReadPage(id, f.Data); err != nil {
 		delete(sh.frames, f.ID)
-		return nil, err
+		return nil, st, err
 	}
-	return f, nil
+	return f, st, nil
 }
 
 // NewPage allocates a fresh zero page on disk and returns it pinned. For a

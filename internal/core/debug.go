@@ -1,0 +1,177 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"dmx/internal/obs"
+)
+
+// debugServer is the optional HTTP introspection endpoint of an
+// environment: live metrics in Prometheus text exposition, the
+// completed-trace ring as JSON, and a liveness probe.
+type debugServer struct {
+	env *Env
+	srv *http.Server
+	ln  net.Listener
+}
+
+// ServeDebug starts the debug HTTP server on addr (e.g. "127.0.0.1:7654";
+// ":0" picks a free port) and returns the bound address. Endpoints:
+//
+//	/metrics  obs.Snapshot rendered in Prometheus text exposition format
+//	/traces   completed-trace ring as JSON; ?min=DURATION filters (e.g.
+//	          ?min=10ms), ?limit=N keeps only the most recent N
+//	/healthz  WAL/buffer/lock liveness as JSON; 503 when a subsystem probe
+//	          fails
+//
+// The server runs until Env.Close (or StopDebug); a second ServeDebug
+// call replaces the first server.
+func (env *Env) ServeDebug(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("core: debug server listen: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", env.handleMetrics)
+	mux.HandleFunc("/traces", env.handleTraces)
+	mux.HandleFunc("/healthz", env.handleHealthz)
+	ds := &debugServer{
+		env: env,
+		srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
+		ln:  ln,
+	}
+	env.debugMu.Lock()
+	prev := env.debug
+	env.debug = ds
+	env.debugMu.Unlock()
+	if prev != nil {
+		prev.srv.Close()
+	}
+	go ds.srv.Serve(ln)
+	return ln.Addr().String(), nil
+}
+
+// StopDebug shuts the debug server down, closing its listener and any
+// in-flight connections. It is a no-op when no server is running, and is
+// called by Env.Close.
+func (env *Env) StopDebug() error {
+	env.debugMu.Lock()
+	ds := env.debug
+	env.debug = nil
+	env.debugMu.Unlock()
+	if ds == nil {
+		return nil
+	}
+	return ds.srv.Close()
+}
+
+// DebugAddr returns the running debug server's bound address ("" when no
+// server is up).
+func (env *Env) DebugAddr() string {
+	env.debugMu.Lock()
+	defer env.debugMu.Unlock()
+	if env.debug == nil {
+		return ""
+	}
+	return env.debug.ln.Addr().String()
+}
+
+func (env *Env) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	snap := env.MetricsSnapshot()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := obs.WritePrometheus(w, snap.Snapshot); err != nil {
+		// Headers are out; nothing more to do than drop the connection.
+		return
+	}
+	// Tracer activity rides along as plain gauges/counters.
+	st := env.Tracer.Stats()
+	fmt.Fprintf(w, "# HELP dmx_trace_sample_rate fraction of transactions carrying a detailed span trace\n")
+	fmt.Fprintf(w, "# TYPE dmx_trace_sample_rate gauge\n")
+	fmt.Fprintf(w, "dmx_trace_sample_rate %g\n", env.Tracer.SampleRate())
+	fmt.Fprintf(w, "# HELP dmx_trace_txns_started_total transactions given a trace\n")
+	fmt.Fprintf(w, "# TYPE dmx_trace_txns_started_total counter\n")
+	fmt.Fprintf(w, "dmx_trace_txns_started_total %d\n", st.Started)
+	fmt.Fprintf(w, "# HELP dmx_trace_txns_sampled_total transactions with detailed span trees\n")
+	fmt.Fprintf(w, "# TYPE dmx_trace_txns_sampled_total counter\n")
+	fmt.Fprintf(w, "dmx_trace_txns_sampled_total %d\n", st.Sampled)
+	fmt.Fprintf(w, "# HELP dmx_trace_slow_spans_total spans that exceeded the slow threshold\n")
+	fmt.Fprintf(w, "# TYPE dmx_trace_slow_spans_total counter\n")
+	fmt.Fprintf(w, "dmx_trace_slow_spans_total %d\n", st.SlowSpans)
+	fmt.Fprintf(w, "# HELP dmx_trace_slow_txns_total transactions that exceeded the slow threshold\n")
+	fmt.Fprintf(w, "# TYPE dmx_trace_slow_txns_total counter\n")
+	fmt.Fprintf(w, "dmx_trace_slow_txns_total %d\n", st.SlowTxns)
+}
+
+func (env *Env) handleTraces(w http.ResponseWriter, r *http.Request) {
+	var min time.Duration
+	if v := r.URL.Query().Get("min"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil {
+			http.Error(w, fmt.Sprintf("bad min duration %q: %v", v, err), http.StatusBadRequest)
+			return
+		}
+		min = d
+	}
+	traces := env.Tracer.Traces(min)
+	if v := r.URL.Query().Get("limit"); v != "" {
+		var n int
+		if _, err := fmt.Sscanf(v, "%d", &n); err != nil || n < 0 {
+			http.Error(w, fmt.Sprintf("bad limit %q", v), http.StatusBadRequest)
+			return
+		}
+		if n < len(traces) {
+			traces = traces[len(traces)-n:] // the ring is oldest-first
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(map[string]any{
+		"stats":  env.Tracer.Stats(),
+		"traces": traces,
+	})
+}
+
+// handleHealthz probes each common service with a cheap live operation:
+// the log reports its durable high-water mark, the buffer pool its frame
+// accounting, the lock manager its queue state. A probe error (e.g. a
+// closed log device) turns the response into a 503.
+func (env *Env) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	type probe struct {
+		OK     bool   `json:"ok"`
+		Detail string `json:"detail,omitempty"`
+	}
+	snap := env.Obs.Snapshot()
+	health := struct {
+		OK     bool  `json:"ok"`
+		WAL    probe `json:"wal"`
+		Buffer probe `json:"buffer"`
+		Lock   probe `json:"lock"`
+	}{OK: true}
+
+	// The WAL probe is a real round trip: Sync forces the log device, so a
+	// dead or closed device turns the probe red instead of lying green.
+	if err := env.Log.Sync(); err != nil {
+		health.WAL = probe{OK: false, Detail: err.Error()}
+		health.OK = false
+	} else {
+		health.WAL = probe{OK: true, Detail: fmt.Sprintf("durable_lsn=%d appends=%d syncs=%d",
+			env.Log.Durable(), snap.WAL.Appends, snap.WAL.Syncs)}
+	}
+	health.Buffer = probe{OK: true, Detail: fmt.Sprintf("hits=%d misses=%d hit_ratio=%.3f",
+		snap.Buffer.Hits, snap.Buffer.Misses, snap.Buffer.HitRatio)}
+	health.Lock = probe{OK: true, Detail: fmt.Sprintf("requests=%d waiting=%d deadlocks=%d",
+		snap.Lock.Requests, snap.Lock.Waiting, snap.Lock.Deadlocks)}
+
+	w.Header().Set("Content-Type", "application/json")
+	if !health.OK {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(health)
+}

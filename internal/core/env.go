@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"io"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -12,6 +13,7 @@ import (
 	"dmx/internal/lock"
 	"dmx/internal/obs"
 	"dmx/internal/pagefile"
+	"dmx/internal/trace"
 	"dmx/internal/txn"
 	"dmx/internal/wal"
 )
@@ -45,6 +47,19 @@ type Config struct {
 	// flush and sync, buffer write-back, page-file writes) with a
 	// deterministic crash-point injector for recovery testing.
 	Faults *fault.Injector
+	// TraceSample is the fraction of transactions that carry a detailed
+	// span trace (0 disables detailed tracing; adjustable at runtime via
+	// Env.Tracer.SetSampleRate).
+	TraceSample float64
+	// SlowThreshold enables always-on slow detection: every transaction is
+	// root-traced and those at least this slow are kept in the trace ring
+	// and reported to the slow-event log regardless of sampling.
+	SlowThreshold time.Duration
+	// TraceRing is the completed-trace ring capacity (default 256).
+	TraceRing int
+	// SlowLog receives one structured JSON line per slow span/transaction
+	// (nil: slow events are ring-kept but not written anywhere).
+	SlowLog io.Writer
 }
 
 // Env is the database execution environment storage method and attachment
@@ -63,6 +78,7 @@ type Env struct {
 	Authz   *Authz
 	Metrics Metrics
 	Obs     *obs.Engine
+	Tracer  *trace.Tracer
 
 	mu       sync.RWMutex
 	smInst   map[uint32]StorageInstance
@@ -71,6 +87,9 @@ type Env struct {
 
 	recovering    atomic.Bool // restart recovery in progress
 	checkpointing atomic.Bool // guards against overlapping checkpoints
+
+	debugMu sync.Mutex
+	debug   *debugServer
 }
 
 // ExtState returns the extension-private environment state stored under
@@ -139,13 +158,19 @@ func NewEnv(cfg Config) *Env {
 		}
 	}
 	env := &Env{
-		Reg:      cfg.Registry,
-		Log:      cfg.Log,
-		Locks:    locks,
-		Txns:     txn.NewManager(cfg.Log, locks),
-		Pool:     pool,
-		Eval:     expr.NewEvaluator(),
-		Obs:      engine,
+		Reg:   cfg.Registry,
+		Log:   cfg.Log,
+		Locks: locks,
+		Txns:  txn.NewManager(cfg.Log, locks),
+		Pool:  pool,
+		Eval:  expr.NewEvaluator(),
+		Obs:   engine,
+		Tracer: trace.New(trace.Config{
+			Sample:        cfg.TraceSample,
+			SlowThreshold: cfg.SlowThreshold,
+			RingSize:      cfg.TraceRing,
+			SlowLog:       cfg.SlowLog,
+		}),
 		smInst:   make(map[uint32]StorageInstance),
 		attInst:  make(map[attKey]*attEntry),
 		extState: make(map[string]any),
@@ -156,8 +181,23 @@ func NewEnv(cfg Config) *Env {
 	return env
 }
 
-// Begin starts a transaction in this environment.
-func (env *Env) Begin() *txn.Txn { return env.Txns.Begin() }
+// Begin starts a transaction in this environment. When tracing is
+// enabled (sampling or slow detection), the transaction carries a span
+// trace that every dispatch layer below records into.
+func (env *Env) Begin() *txn.Txn {
+	tx := env.Txns.Begin()
+	if env.Tracer.Enabled() {
+		tx.SetTrace(env.Tracer.StartTxn(uint64(tx.ID())))
+	}
+	return tx
+}
+
+// Close releases environment-level services: the debug server (if one is
+// running) is shut down. The buffer pool, log, and disk are owned by the
+// embedding database handle and closed there.
+func (env *Env) Close() error {
+	return env.StopDebug()
+}
 
 // StorageInstance returns the (cached) runtime storage instance for rd,
 // opening it through the storage-method procedure vector on first use.

@@ -7,6 +7,7 @@ import (
 	"dmx/internal/expr"
 	"dmx/internal/lock"
 	"dmx/internal/obs"
+	"dmx/internal/trace"
 	"dmx/internal/txn"
 	"dmx/internal/types"
 	"dmx/internal/wal"
@@ -56,7 +57,11 @@ func (r *Relation) Env() *Env { return r.env }
 
 // Insert stores rec, then presents the new record and its newly assigned
 // record key to each attachment type with instances on the relation.
-func (r *Relation) Insert(tx *txn.Txn, rec types.Record) (types.Key, error) {
+func (r *Relation) Insert(tx *txn.Txn, rec types.Record) (key types.Key, err error) {
+	if tx.Trace().Detailed() {
+		sp := tx.Trace().StartSpan("rel.insert", r.rd.Name, "insert")
+		defer func() { sp.End(err) }()
+	}
 	if err := r.env.Authz.Check(tx, r.rd, PrivWrite); err != nil {
 		return nil, err
 	}
@@ -68,9 +73,11 @@ func (r *Relation) Insert(tx *txn.Txn, rec types.Record) (types.Key, error) {
 	}
 	mark := r.env.Log.LastLSN(tx.ID())
 	r.env.Metrics.SMCalls.Add(1)
+	smSp := r.smSpan(tx, obs.OpInsert)
 	start := time.Now()
-	key, err := r.sm.Insert(tx, rec)
+	key, err = r.sm.Insert(tx, rec)
 	r.env.Obs.SM.Observe(int(r.rd.SM), obs.OpInsert, time.Since(start), err != nil)
+	smSp.End(err)
 	if err != nil {
 		return nil, r.vetoed(tx, mark, r.smName(), err)
 	}
@@ -88,7 +95,11 @@ func (r *Relation) Insert(tx *txn.Txn, rec types.Record) (types.Key, error) {
 // Update replaces the record at key with newRec. The old record value is
 // fetched and presented, with both record keys, to the attached
 // procedures. The returned key is the record's (possibly new) record key.
-func (r *Relation) Update(tx *txn.Txn, key types.Key, newRec types.Record) (types.Key, error) {
+func (r *Relation) Update(tx *txn.Txn, key types.Key, newRec types.Record) (newKey types.Key, err error) {
+	if tx.Trace().Detailed() {
+		sp := tx.Trace().StartSpan("rel.update", r.rd.Name, "update")
+		defer func() { sp.End(err) }()
+	}
 	if err := r.env.Authz.Check(tx, r.rd, PrivWrite); err != nil {
 		return nil, err
 	}
@@ -107,9 +118,11 @@ func (r *Relation) Update(tx *txn.Txn, key types.Key, newRec types.Record) (type
 	}
 	mark := r.env.Log.LastLSN(tx.ID())
 	r.env.Metrics.SMCalls.Add(1)
+	smSp := r.smSpan(tx, obs.OpUpdate)
 	start := time.Now()
-	newKey, err := r.sm.Update(tx, key, oldRec, newRec)
+	newKey, err = r.sm.Update(tx, key, oldRec, newRec)
 	r.env.Obs.SM.Observe(int(r.rd.SM), obs.OpUpdate, time.Since(start), err != nil)
+	smSp.End(err)
 	if err != nil {
 		return nil, r.vetoed(tx, mark, r.smName(), err)
 	}
@@ -128,7 +141,11 @@ func (r *Relation) Update(tx *txn.Txn, key types.Key, newRec types.Record) (type
 
 // Delete removes the record at key, presenting the old record value and
 // key to the attached procedures.
-func (r *Relation) Delete(tx *txn.Txn, key types.Key) error {
+func (r *Relation) Delete(tx *txn.Txn, key types.Key) (err error) {
+	if tx.Trace().Detailed() {
+		sp := tx.Trace().StartSpan("rel.delete", r.rd.Name, "delete")
+		defer func() { sp.End(err) }()
+	}
 	if err := r.env.Authz.Check(tx, r.rd, PrivWrite); err != nil {
 		return err
 	}
@@ -144,9 +161,11 @@ func (r *Relation) Delete(tx *txn.Txn, key types.Key) error {
 	}
 	mark := r.env.Log.LastLSN(tx.ID())
 	r.env.Metrics.SMCalls.Add(1)
+	smSp := r.smSpan(tx, obs.OpDelete)
 	start := time.Now()
 	err = r.sm.Delete(tx, key, oldRec)
 	r.env.Obs.SM.Observe(int(r.rd.SM), obs.OpDelete, time.Since(start), err != nil)
+	smSp.End(err)
 	if err != nil {
 		return r.vetoed(tx, mark, r.smName(), err)
 	}
@@ -156,7 +175,9 @@ func (r *Relation) Delete(tx *txn.Txn, key types.Key) error {
 }
 
 // notify runs the attached procedures for every attachment type with
-// instances on the relation, in identifier order, vetoing on error.
+// instances on the relation, in identifier order, vetoing on error. In a
+// traced transaction each attached-procedure call is its own span; the
+// attachment that vetoes carries the veto tag and reason.
 func (r *Relation) notify(tx *txn.Txn, op obs.Op, call func(AttachmentInstance) error, mark MarkLSN) error {
 	for i := 1; i < MaxAttachmentTypes; i++ {
 		if r.rd.AttDesc[i] == nil {
@@ -168,15 +189,43 @@ func (r *Relation) notify(tx *txn.Txn, op obs.Op, call func(AttachmentInstance) 
 			return err
 		}
 		r.env.Metrics.AttCalls.Add(1)
+		attSp := r.attSpan(tx, id, op)
 		start := time.Now()
 		err = call(inst)
 		r.env.Obs.Att.Observe(i, op, time.Since(start), err != nil)
 		if err != nil {
 			r.env.Obs.AttVetoes[i].Inc()
+			attSp.MarkVeto()
+			attSp.End(err)
 			return r.vetoed(tx, mark, r.env.Reg.AttachmentOps(id).Name, err)
 		}
+		attSp.End(nil)
 	}
 	return nil
+}
+
+// smSpan opens a storage-method dispatch span for a detailed-traced
+// transaction (nil, at the cost of one nil check, otherwise).
+func (r *Relation) smSpan(tx *txn.Txn, op obs.Op) *trace.Span {
+	tr := tx.Trace()
+	if !tr.Detailed() {
+		return nil
+	}
+	return tr.StartSpan("sm."+op.String(), r.smName(), op.String())
+}
+
+// attSpan opens an attached-procedure dispatch span for a detailed-traced
+// transaction.
+func (r *Relation) attSpan(tx *txn.Txn, id AttID, op obs.Op) *trace.Span {
+	tr := tx.Trace()
+	if !tr.Detailed() {
+		return nil
+	}
+	name := fmt.Sprintf("attachment-%d", id)
+	if ops := r.env.Reg.AttachmentOps(id); ops != nil {
+		name = ops.Name
+	}
+	return tr.StartSpan("att."+op.String(), name, op.String())
 }
 
 // MarkLSN marks a statement-level rollback point: the transaction's last
@@ -222,9 +271,11 @@ func (r *Relation) Fetch(tx *txn.Txn, key types.Key, fields []int, filter *expr.
 		return nil, err
 	}
 	r.env.Metrics.Fetches.Add(1)
+	smSp := r.smSpan(tx, obs.OpFetch)
 	start := time.Now()
 	rec, err := r.sm.FetchByKey(tx, key, fields, filter)
 	r.env.Obs.SM.Observe(int(r.rd.SM), obs.OpFetch, time.Since(start), err != nil)
+	smSp.End(err)
 	return rec, err
 }
 
@@ -240,9 +291,11 @@ func (r *Relation) OpenScan(tx *txn.Txn, opts ScanOptions) (Scan, error) {
 		return nil, err
 	}
 	r.env.Metrics.Scans.Add(1)
+	smSp := r.smSpan(tx, obs.OpScan)
 	start := time.Now()
 	s, err := r.sm.OpenScan(tx, opts)
 	r.env.Obs.SM.Observe(int(r.rd.SM), obs.OpScan, time.Since(start), err != nil)
+	smSp.End(err)
 	if err != nil {
 		return nil, err
 	}
@@ -269,9 +322,11 @@ func (r *Relation) OpenAccessScan(tx *txn.Txn, id AttID, instance int, opts Scan
 		return nil, fmt.Errorf("core: attachment type %d is not an access path", id)
 	}
 	r.env.Metrics.Scans.Add(1)
+	attSp := r.attSpan(tx, id, obs.OpScan)
 	start := time.Now()
 	s, err := ap.OpenScan(tx, instance, opts)
 	r.env.Obs.Att.Observe(int(id), obs.OpScan, time.Since(start), err != nil)
+	attSp.End(err)
 	if err != nil {
 		return nil, err
 	}
@@ -296,9 +351,11 @@ func (r *Relation) LookupAccess(tx *txn.Txn, id AttID, instance int, key types.K
 		return nil, fmt.Errorf("core: attachment type %d is not an access path", id)
 	}
 	r.env.Metrics.Fetches.Add(1)
+	attSp := r.attSpan(tx, id, obs.OpLookup)
 	start := time.Now()
 	keys, err := ap.LookupByKey(tx, instance, key)
 	r.env.Obs.Att.Observe(int(id), obs.OpLookup, time.Since(start), err != nil)
+	attSp.End(err)
 	return keys, err
 }
 

@@ -125,8 +125,14 @@ func (s *Session) Exec(src string) (*Result, error) {
 	}
 
 	var res *Result
-	runErr := s.withTxn(func(tx *txn.Txn) error {
-		var err error
+	runErr := s.withTxn(func(tx *txn.Txn) (err error) {
+		// Each DML/query statement is one span under the transaction root,
+		// tagged with the (truncated) statement text.
+		if tx.Trace().Detailed() {
+			sp := tx.Trace().StartSpan("stmt", "", stmtOp(stmt))
+			sp.SetNote(truncateSrc(src))
+			defer func() { sp.End(err) }()
+		}
 		res, err = s.execInTxn(tx, stmt, src)
 		return err
 	})
@@ -134,6 +140,33 @@ func (s *Session) Exec(src string) (*Result, error) {
 		return nil, runErr
 	}
 	return res, nil
+}
+
+// stmtOp names the statement kind for span tagging.
+func stmtOp(stmt Stmt) string {
+	switch stmt.(type) {
+	case Insert:
+		return "insert"
+	case Update:
+		return "update"
+	case Delete:
+		return "delete"
+	case Select:
+		return "select"
+	case CreateTable, CreateAttachment, DropTable, DropAttachment:
+		return "ddl"
+	default:
+		return fmt.Sprintf("%T", stmt)
+	}
+}
+
+// truncateSrc bounds the statement text carried on a span.
+func truncateSrc(src string) string {
+	src = strings.TrimSpace(src)
+	if len(src) > 120 {
+		return src[:117] + "..."
+	}
+	return src
 }
 
 // execGrant applies a GRANT statement; granting requires ADMIN on the

@@ -15,6 +15,7 @@ package obs
 
 import (
 	"fmt"
+	"math"
 	"sync/atomic"
 	"time"
 )
@@ -75,7 +76,11 @@ type Gauge struct {
 	max atomic.Int64
 }
 
-// Inc raises the gauge, updating the high-water mark.
+// Inc raises the gauge, updating the high-water mark. The mark is
+// maintained by a CAS loop over the value returned by the counter add, so
+// concurrent Incs cannot lose a peak: every thread retries until the mark
+// is at least the value it personally observed, and the mark ends at the
+// largest value any thread saw.
 func (g *Gauge) Inc() {
 	n := g.v.Add(1)
 	for {
@@ -92,8 +97,17 @@ func (g *Gauge) Dec() { g.v.Add(-1) }
 // Load returns the current value.
 func (g *Gauge) Load() int64 { return g.v.Load() }
 
-// Max returns the high-water mark.
-func (g *Gauge) Max() int64 { return g.max.Load() }
+// Max returns the high-water mark. The value and the mark are two atomics,
+// so between a thread's Add and its CAS there is a window where the stored
+// mark trails the live value; the current value is itself a lower bound on
+// the true peak, so Max folds it in rather than reporting Max < Load.
+func (g *Gauge) Max() int64 {
+	m := g.max.Load()
+	if v := g.v.Load(); v > m {
+		return v
+	}
+	return m
+}
 
 // NumBuckets is the number of latency histogram buckets. Bucket i counts
 // observations below BucketUpper(i); the last bucket is the overflow.
@@ -179,15 +193,29 @@ func (s HistogramSnapshot) Mean() time.Duration {
 	return time.Duration(s.SumNanos / s.Count)
 }
 
-// Quantile returns an upper bound for the q-quantile (0 < q <= 1) from the
-// bucket boundaries; the overflow bucket reports the observed maximum.
+// Quantile returns an upper bound for the q-quantile from the bucket
+// boundaries; the overflow bucket reports the observed maximum. q is
+// clamped to [0, 1]. An empty histogram reports 0. q=0 reports the bound
+// of the smallest populated bucket, q=1 the bound of the largest — so on
+// a single-bucket snapshot every quantile reports that bucket's bound.
+// The target rank is the ceiling of q·Count (inverse CDF): on 3 samples,
+// q=0.5 means "the 2nd", not "the 1st".
 func (s HistogramSnapshot) Quantile(q float64) time.Duration {
 	if s.Count == 0 {
 		return 0
 	}
-	target := int64(q * float64(s.Count))
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := int64(math.Ceil(q * float64(s.Count)))
 	if target < 1 {
 		target = 1
+	}
+	if target > s.Count {
+		target = s.Count
 	}
 	var cum int64
 	for i := 0; i < NumBuckets; i++ {

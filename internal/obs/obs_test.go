@@ -109,6 +109,120 @@ func TestGaugeHighWaterMark(t *testing.T) {
 	}
 }
 
+// TestGaugeConcurrentHighWaterMark is the lost-max regression test: all
+// workers raise the gauge to its peak before any lowers it, so the exact
+// peak is known and a racy high-water update would under-report it.
+func TestGaugeConcurrentHighWaterMark(t *testing.T) {
+	const workers = 16
+	for round := 0; round < 200; round++ {
+		var g Gauge
+		var up, down sync.WaitGroup
+		up.Add(workers)
+		down.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				g.Inc()
+				up.Done()
+				up.Wait() // barrier: every Inc lands before any Dec
+				g.Dec()
+				down.Done()
+			}()
+		}
+		down.Wait()
+		if m := g.Max(); m != workers {
+			t.Fatalf("round %d: max = %d, want %d", round, m, workers)
+		}
+		if v := g.Load(); v != 0 {
+			t.Fatalf("round %d: load = %d, want 0", round, v)
+		}
+	}
+}
+
+// TestGaugeMaxNeverTrailsLoad locks in the Max >= Load invariant: the
+// value add and the mark CAS are separate atomics, and a reader landing
+// between them must not see the mark below the live value.
+func TestGaugeMaxNeverTrailsLoad(t *testing.T) {
+	var g Gauge
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					g.Inc()
+					g.Dec()
+				}
+			}
+		}()
+	}
+	for i := 0; i < 100000; i++ {
+		// Load then Max: the gauge can only have grown in between, which
+		// never breaks the invariant, while the reverse order would race
+		// benignly and mask a real regression.
+		v := g.Load()
+		if m := g.Max(); m < v {
+			close(stop)
+			wg.Wait()
+			t.Fatalf("max %d < load %d", m, v)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	empty := HistogramSnapshot{}
+
+	var single Histogram
+	single.Observe(300 * time.Nanosecond) // bucket 1, upper bound 512ns
+	singleSnap := single.Snapshot()
+
+	var overflowOnly Histogram
+	overflowOnly.Observe(time.Hour) // overflow bucket only
+	overflowSnap := overflowOnly.Snapshot()
+
+	var three Histogram
+	three.Observe(100 * time.Nanosecond) // bucket 0, upper 256ns
+	three.Observe(300 * time.Nanosecond) // bucket 1, upper 512ns
+	three.Observe(700 * time.Nanosecond) // bucket 2, upper 1024ns
+	threeSnap := three.Snapshot()
+
+	cases := []struct {
+		name string
+		s    HistogramSnapshot
+		q    float64
+		want time.Duration
+	}{
+		{"empty q=0", empty, 0, 0},
+		{"empty q=0.5", empty, 0.5, 0},
+		{"empty q=1", empty, 1, 0},
+		{"single q=0", singleSnap, 0, 512 * time.Nanosecond},
+		{"single q=0.5", singleSnap, 0.5, 512 * time.Nanosecond},
+		{"single q=1", singleSnap, 1, 512 * time.Nanosecond},
+		{"overflow q=0.5", overflowSnap, 0.5, time.Hour},
+		{"overflow q=1", overflowSnap, 1, time.Hour},
+		{"three q=0", threeSnap, 0, 256 * time.Nanosecond},
+		// ceil(0.5*3) = 2nd observation, not the 1st
+		{"three q=0.5", threeSnap, 0.5, 512 * time.Nanosecond},
+		{"three q=0.34", threeSnap, 0.34, 512 * time.Nanosecond},
+		{"three q=0.33", threeSnap, 0.33, 256 * time.Nanosecond},
+		{"three q=1", threeSnap, 1, 1024 * time.Nanosecond},
+		// out-of-range q clamps instead of walking off the buckets
+		{"three q=-1", threeSnap, -1, 256 * time.Nanosecond},
+		{"three q=2", threeSnap, 2, 1024 * time.Nanosecond},
+	}
+	for _, c := range cases {
+		if got := c.s.Quantile(c.q); got != c.want {
+			t.Errorf("%s: got %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
 // TestConcurrentRecording hammers every metric type from many goroutines
 // while snapshots are taken; run under -race it proves the layer needs no
 // external synchronisation.

@@ -5,6 +5,8 @@ import (
 	"strings"
 	"time"
 
+	"dmx/internal/trace"
+	"dmx/internal/txn"
 	"dmx/internal/types"
 )
 
@@ -22,10 +24,23 @@ type OperatorStats struct {
 // current execution and returns the counting cursor. Bound plans are
 // goroutine-confined (like the transactions that run them), so plain
 // counters suffice.
-func (b *Bound) track(name string, r Rows) Rows {
+//
+// In a detailed-traced transaction the operator additionally carries a
+// span. Operator cursors interleave (a join's outer and inner sides
+// alternate Next calls), so the span is detached from the stack and
+// re-entered around each Next: dispatch spans and events recorded during
+// the call (storage-method fetches, buffer misses, lock waits) nest under
+// the operator that caused them, and the span's duration is the
+// operator's cumulative in-cursor time, matching its ExecStats.
+func (b *Bound) track(tx *txn.Txn, name string, r Rows) Rows {
 	st := &OperatorStats{Name: name}
 	b.stats = append(b.stats, st)
-	return &countedRows{inner: r, st: st}
+	c := &countedRows{inner: r, st: st}
+	if tr := tx.Trace(); tr.Detailed() {
+		c.tr = tr
+		c.span = tr.OpenChild("plan.op", name, "next")
+	}
+	return c
 }
 
 // Stats returns the per-operator counters recorded by the most recent
@@ -51,13 +66,18 @@ func (b *Bound) ExplainAnalyze() string {
 	return sb.String()
 }
 
-// countedRows wraps a cursor, charging each Next to an OperatorStats.
+// countedRows wraps a cursor, charging each Next to an OperatorStats and
+// (when traced) attributing the call to the operator's span.
 type countedRows struct {
-	inner Rows
-	st    *OperatorStats
+	inner  Rows
+	st     *OperatorStats
+	tr     *trace.TxnTrace
+	span   *trace.Span
+	closed bool
 }
 
 func (c *countedRows) Next() (types.Record, bool, error) {
+	prev := c.tr.Enter(c.span)
 	start := time.Now()
 	rec, ok, err := c.inner.Next()
 	c.st.Calls++
@@ -65,7 +85,15 @@ func (c *countedRows) Next() (types.Record, bool, error) {
 		c.st.Rows++
 	}
 	c.st.TimeNanos += time.Since(start).Nanoseconds()
+	c.tr.Exit(prev)
 	return rec, ok, err
 }
 
-func (c *countedRows) Close() error { return c.inner.Close() }
+func (c *countedRows) Close() error {
+	err := c.inner.Close()
+	if !c.closed {
+		c.closed = true
+		c.span.EndAggregate(time.Duration(c.st.TimeNanos), err)
+	}
+	return err
+}

@@ -337,7 +337,7 @@ func (p *Planner) openAccess(tx *txn.Txn, b *Bound, a *access, fields []int) (Ro
 	if err != nil {
 		return nil, err
 	}
-	return b.track(a.describe(p.env), rows), nil
+	return b.track(tx, a.describe(p.env), rows), nil
 }
 
 func (p *Planner) openAccessRaw(tx *txn.Txn, a *access, fields []int) (Rows, error) {
@@ -451,7 +451,7 @@ func (p *Planner) openNL(tx *txn.Txn, b *Bound, outer *access, innerRD *core.Rel
 	if err != nil {
 		return nil, err
 	}
-	return b.track(fmt.Sprintf("nestedloop(%s)", innerRD.Name), &nlRows{
+	return b.track(tx, fmt.Sprintf("nestedloop(%s)", innerRD.Name), &nlRows{
 		p: p, tx: tx, q: q, outer: outerRows, innerRel: innerRel,
 	}), nil
 }
@@ -531,7 +531,7 @@ func (p *Planner) openIndexNL(tx *txn.Txn, b *Bound, outer *access, innerRD *cor
 	}
 	name := fmt.Sprintf("probe(%s via %s #%d)",
 		innerRD.Name, p.env.Reg.AttachmentOps(probe.attID).Name, probe.instance)
-	return b.track(name, &indexNLRows{
+	return b.track(tx, name, &indexNLRows{
 		tx: tx, q: q, outer: outerRows, innerRel: innerRel, probe: probe,
 	}), nil
 }
@@ -610,7 +610,7 @@ func (p *Planner) openJoinIndex(tx *txn.Txn, b *Bound, outerRD, innerRD *core.Re
 		return nil, err
 	}
 	name := fmt.Sprintf("joinindex(%s ⋈ %s)", outerRD.Name, innerRD.Name)
-	return b.track(name, &joinIndexRows{tx: tx, q: q, outerRel: outerRel, innerRel: innerRel, pairs: pairs}), nil
+	return b.track(tx, name, &joinIndexRows{tx: tx, q: q, outerRel: outerRel, innerRel: innerRel, pairs: pairs}), nil
 }
 
 type joinIndexRows struct {

@@ -15,6 +15,7 @@ import (
 	_ "dmx/internal/sm/btreesm"
 	_ "dmx/internal/sm/heap"
 	_ "dmx/internal/sm/memsm"
+	"dmx/internal/trace"
 	"dmx/internal/types"
 )
 
@@ -562,5 +563,102 @@ func TestExecStatsJoinOperators(t *testing.T) {
 	}
 	if b.Stats()[1].Rows != 30 {
 		t.Errorf("re-executed probe rows = %d, want 30", b.Stats()[1].Rows)
+	}
+}
+
+// TestExecStatsMatchTracedOperatorSpans runs a join plan whose probe side
+// fires the inner table's btree attachment inside a fully-sampled traced
+// transaction, then cross-checks the two observability layers: every
+// operator's ExecStats total must equal its plan.op span duration exactly
+// (the span is closed from the same counter), and the work dispatched
+// during the operator's cursor calls — attachment lookups on the probe —
+// must appear as child spans whose durations sum to no more than the
+// operator's own total.
+func TestExecStatsMatchTracedOperatorSpans(t *testing.T) {
+	env := core.NewEnv(core.Config{TraceSample: 1})
+	loadEmp(t, env, "memory", nil, 40)
+	addDept(t, env, true) // btree attachment on dept: the probe fires it per outer row
+	q := plan.Query{
+		Table: "emp",
+		Join:  &plan.JoinSpec{Table: "dept", OuterCol: 1, InnerCol: 0, Fields: []int{1}},
+	}
+	p := plan.New(env)
+	b, err := p.Plan(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := env.Begin()
+	if !tx.Trace().Detailed() {
+		t.Fatal("TraceSample=1 must give every transaction a detailed trace")
+	}
+	txnID := uint64(tx.ID())
+	rows, err := plan.Collect(b.Execute(tx))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 40 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	stats := b.Stats()
+	if len(stats) != 2 {
+		t.Fatalf("want outer + probe operators, got %+v", stats)
+	}
+
+	// The ring also holds the (fully sampled) load transactions; pick the
+	// query's own trace by transaction id.
+	var td *trace.TraceData
+	for _, cand := range env.Tracer.Traces(0) {
+		if cand.TxnID == txnID {
+			td = &cand
+			break
+		}
+	}
+	if td == nil || !td.Sampled || td.State != "committed" {
+		t.Fatalf("query trace not in ring or wrong shape: %+v", td)
+	}
+
+	// Operator spans hang off the root (no statement layer here: the plan
+	// was executed directly, not through a session).
+	ops := map[string]trace.SpanData{}
+	for _, c := range td.Root.Children {
+		if c.Name == "plan.op" {
+			ops[c.Ext] = c
+		}
+	}
+	if len(ops) != 2 {
+		t.Fatalf("plan.op spans = %d, want 2 (root children %+v)", len(ops), td.Root.Children)
+	}
+	for _, st := range stats {
+		sp, ok := ops[st.Name]
+		if !ok {
+			t.Fatalf("no span for operator %q", st.Name)
+		}
+		if sp.DurNanos != st.TimeNanos {
+			t.Errorf("operator %q: span dur %dns, ExecStats %dns", st.Name, sp.DurNanos, st.TimeNanos)
+		}
+		var childSum int64
+		for _, c := range sp.Children {
+			childSum += c.DurNanos
+		}
+		if childSum > st.TimeNanos {
+			t.Errorf("operator %q: children sum %dns exceeds operator total %dns",
+				st.Name, childSum, st.TimeNanos)
+		}
+	}
+
+	// The probe operator dispatched through dept's btree attachment: its
+	// lookups must be recorded as att.* child spans under the probe span.
+	probe := ops[stats[1].Name]
+	attLookups := 0
+	for _, c := range probe.Children {
+		if strings.HasPrefix(c.Name, "att.") {
+			attLookups++
+		}
+	}
+	if attLookups == 0 {
+		t.Errorf("probe span %q has no attachment child spans: %+v", probe.Ext, probe.Children)
 	}
 }

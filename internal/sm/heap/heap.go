@@ -14,6 +14,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sync"
+	"time"
 
 	"dmx/internal/buffer"
 	"dmx/internal/core"
@@ -116,11 +117,35 @@ func (s *store) ensurePage(p uint32) error {
 // bytes before erroring (e.g. a log append refused after the slot was
 // written), and an unchanged page written back is harmless while a changed
 // one silently dropped is not.
-func (s *store) withPage(p uint32, write bool, fn func(f *buffer.Frame) error) error {
+//
+// tx is the transaction charged for buffer faults in its span trace; nil
+// on recovery and replay paths, which run with no transaction.
+func (s *store) withPage(tx *txn.Txn, p uint32, write bool, fn func(f *buffer.Frame) error) error {
 	if err := s.ensurePage(p); err != nil {
 		return err
 	}
-	f, err := s.env.Pool.Pin(s.pages[p])
+	tr := tx.Trace()
+	if !tr.Detailed() {
+		f, err := s.env.Pool.Pin(s.pages[p])
+		if err != nil {
+			return err
+		}
+		ferr := fn(f)
+		uerr := s.env.Pool.Unpin(f, write)
+		if ferr != nil {
+			return ferr
+		}
+		return uerr
+	}
+	start := time.Now()
+	f, st, err := s.env.Pool.PinWithStats(s.pages[p])
+	if st.Miss || err != nil {
+		op := "pin"
+		if st.Evicted {
+			op = "pin+evict"
+		}
+		tr.Event("buffer.miss", s.rd.Name, op, start, time.Since(start), err)
+	}
 	if err != nil {
 		return err
 	}
@@ -202,7 +227,7 @@ func (s *store) placeAtLocked(f *buffer.Frame, r rid, enc []byte) (rid, error) {
 
 // setDeleted flips the tombstone flag of a slot.
 func (s *store) setDeleted(r rid, deleted bool) error {
-	return s.withPage(r.page, true, func(f *buffer.Frame) error {
+	return s.withPage(nil, r.page, true, func(f *buffer.Frame) error {
 		nslots := int(binary.BigEndian.Uint16(f.Data))
 		if int(r.slot) >= nslots {
 			return fmt.Errorf("heap: %w: slot %d of page %d", core.ErrNotFound, r.slot, r.page)
@@ -225,7 +250,7 @@ func (s *store) setDeleted(r rid, deleted bool) error {
 
 // overwriteAt rewrites the record bytes of an existing slot in place.
 func (s *store) overwriteAt(r rid, enc []byte) error {
-	return s.withPage(r.page, true, func(f *buffer.Frame) error {
+	return s.withPage(nil, r.page, true, func(f *buffer.Frame) error {
 		so := slotOffset(int(r.slot))
 		capBytes := int(binary.BigEndian.Uint16(f.Data[so+2:]))
 		if len(enc) > capBytes {
@@ -250,7 +275,7 @@ func (s *store) Insert(tx *txn.Txn, rec types.Record) (types.Key, error) {
 		return nil, err
 	}
 	var key types.Key
-	err = s.withPage(uint32(page), true, func(f *buffer.Frame) error {
+	err = s.withPage(tx, uint32(page), true, func(f *buffer.Frame) error {
 		nslots := uint32(binary.BigEndian.Uint16(f.Data))
 		r, perr := s.placeAtLocked(f, rid{page: uint32(page), slot: nslots}, enc)
 		if perr != nil {
@@ -276,7 +301,7 @@ func (s *store) Update(tx *txn.Txn, key types.Key, oldRec, newRec types.Record) 
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	fits := false
-	err = s.withPage(r.page, true, func(f *buffer.Frame) error {
+	err = s.withPage(tx, r.page, true, func(f *buffer.Frame) error {
 		nslots := int(binary.BigEndian.Uint16(f.Data))
 		if int(r.slot) >= nslots {
 			return fmt.Errorf("heap: %w: slot %d of page %d", core.ErrNotFound, r.slot, r.page)
@@ -310,7 +335,7 @@ func (s *store) Update(tx *txn.Txn, key types.Key, oldRec, newRec types.Record) 
 		return nil, err
 	}
 	var newR rid
-	err = s.withPage(uint32(page), false, func(f *buffer.Frame) error {
+	err = s.withPage(tx, uint32(page), false, func(f *buffer.Frame) error {
 		newR = rid{page: uint32(page), slot: uint32(binary.BigEndian.Uint16(f.Data))}
 		return nil
 	})
@@ -322,7 +347,7 @@ func (s *store) Update(tx *txn.Txn, key types.Key, oldRec, newRec types.Record) 
 	if err != nil {
 		return nil, err
 	}
-	err = s.withPage(r.page, true, func(f *buffer.Frame) error {
+	err = s.withPage(tx, r.page, true, func(f *buffer.Frame) error {
 		so := slotOffset(int(r.slot))
 		f.Data[so+6] |= flagDeleted
 		s.nrecords--
@@ -332,7 +357,7 @@ func (s *store) Update(tx *txn.Txn, key types.Key, oldRec, newRec types.Record) 
 	if err != nil {
 		return nil, err
 	}
-	err = s.withPage(newR.page, true, func(f *buffer.Frame) error {
+	err = s.withPage(tx, newR.page, true, func(f *buffer.Frame) error {
 		if _, perr := s.placeAtLocked(f, newR, enc); perr != nil {
 			return perr
 		}
@@ -354,7 +379,7 @@ func (s *store) Delete(tx *txn.Txn, key types.Key, oldRec types.Record) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.withPage(r.page, true, func(f *buffer.Frame) error {
+	return s.withPage(tx, r.page, true, func(f *buffer.Frame) error {
 		nslots := int(binary.BigEndian.Uint16(f.Data))
 		if int(r.slot) >= nslots {
 			return fmt.Errorf("heap: %w: slot %d of page %d", core.ErrNotFound, r.slot, r.page)
@@ -378,7 +403,7 @@ func (s *store) FetchByKey(tx *txn.Txn, key types.Key, fields []int, filter *exp
 	}
 	s.mu.Lock()
 	var rec types.Record
-	err = s.withPage(r.page, false, func(f *buffer.Frame) error {
+	err = s.withPage(tx, r.page, false, func(f *buffer.Frame) error {
 		nslots := int(binary.BigEndian.Uint16(f.Data))
 		if int(r.slot) >= nslots {
 			return fmt.Errorf("heap: %w: slot %d of page %d", core.ErrNotFound, r.slot, r.page)
@@ -425,7 +450,7 @@ func (s *store) FetchByKey(tx *txn.Txn, key types.Key, fields []int, filter *exp
 
 // OpenScan implements core.StorageInstance: record-address order.
 func (s *store) OpenScan(tx *txn.Txn, opts core.ScanOptions) (core.Scan, error) {
-	sc := &heapScan{store: s, opts: opts, nextRID: startRID(opts.Start)}
+	sc := &heapScan{store: s, tx: tx, opts: opts, nextRID: startRID(opts.Start)}
 	if opts.Filter != nil {
 		sc.filterFields = expr.FieldsUsed(opts.Filter)
 	}
@@ -531,7 +556,7 @@ func (s *store) ApplyLogged(payload []byte, undo bool) error {
 // over state that already contains it (idempotent for repeated recovery).
 func (s *store) redoPlace(r rid, rec types.Record) error {
 	exists := false
-	err := s.withPage(r.page, false, func(f *buffer.Frame) error {
+	err := s.withPage(nil, r.page, false, func(f *buffer.Frame) error {
 		nslots := int(binary.BigEndian.Uint16(f.Data))
 		if int(r.slot) < nslots {
 			so := slotOffset(int(r.slot))
@@ -548,7 +573,7 @@ func (s *store) redoPlace(r rid, rec types.Record) error {
 		return s.setDeleted(r, false)
 	}
 	enc := rec.AppendEncode(nil)
-	return s.withPage(r.page, true, func(f *buffer.Frame) error {
+	return s.withPage(nil, r.page, true, func(f *buffer.Frame) error {
 		_, err := s.placeAtLocked(f, r, enc)
 		return err
 	})
@@ -559,6 +584,7 @@ var _ core.StorageInstance = (*store)(nil)
 // heapScan is a key-sequential access in record-address order.
 type heapScan struct {
 	store        *store
+	tx           *txn.Txn // buffer faults during the scan charge its trace
 	opts         core.ScanOptions
 	filterFields []int // fields the filter needs, isolated before decoding
 	nextRID      rid   // first candidate to examine
@@ -584,7 +610,7 @@ func (sc *heapScan) Next() (types.Key, types.Record, bool, error) {
 		var outRec types.Record
 		found := false
 		ended := false
-		err := s.withPage(page, false, func(f *buffer.Frame) error {
+		err := s.withPage(sc.tx, page, false, func(f *buffer.Frame) error {
 			nslots := int(binary.BigEndian.Uint16(f.Data))
 			for int(sc.nextRID.slot) < nslots {
 				cur := sc.nextRID

@@ -16,8 +16,10 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"dmx/internal/lock"
+	"dmx/internal/trace"
 	"dmx/internal/wal"
 )
 
@@ -180,6 +182,21 @@ type Txn struct {
 	subscribers [numEvents][]Action
 	stash       map[string]any
 	user        string
+	tr          *trace.TxnTrace
+}
+
+// SetTrace attaches a span trace to the transaction. The trace shares the
+// transaction's goroutine confinement; nil (tracing off) is fine.
+func (tx *Txn) SetTrace(t *trace.TxnTrace) { tx.tr = t }
+
+// Trace returns the transaction's span trace. The receiver and the result
+// may both be nil and every trace method is nil-safe, so callers use it
+// unconditionally (recovery and maintenance paths run with no transaction).
+func (tx *Txn) Trace() *trace.TxnTrace {
+	if tx == nil {
+		return nil
+	}
+	return tx.tr
 }
 
 // SetUser attaches a user identity for the uniform authorization facility.
@@ -206,7 +223,17 @@ func (tx *Txn) Lock(res lock.Resource, mode lock.Mode) error {
 	if tx.state != StateActive && tx.state != StatePreparing {
 		return ErrNotActive
 	}
-	return tx.mgr.Locks.Acquire(tx.id, res, mode)
+	if !tx.tr.Detailed() {
+		return tx.mgr.Locks.Acquire(tx.id, res, mode)
+	}
+	// Traced: an uncontended grant stays below the floor and records
+	// nothing; a real wait (or a deadlock refusal) becomes a span.
+	start := time.Now()
+	err := tx.mgr.Locks.Acquire(tx.id, res, mode)
+	if d := time.Since(start); d >= trace.LockWaitFloor || err != nil {
+		tx.tr.Event("lock.wait", res.String(), mode.String(), start, d, err)
+	}
+	return err
 }
 
 // Defer places an entry on the deferred action queue for event. Entries
@@ -244,7 +271,13 @@ func (tx *Txn) AppendLog(owner wal.Owner, payload []byte) (wal.LSN, error) {
 	if tx.state != StateActive && tx.state != StatePreparing {
 		return 0, ErrNotActive
 	}
-	return tx.mgr.Log.Append(tx.id, wal.RecUpdate, owner, payload)
+	if !tx.tr.Detailed() {
+		return tx.mgr.Log.Append(tx.id, wal.RecUpdate, owner, payload)
+	}
+	start := time.Now()
+	lsn, err := tx.mgr.Log.Append(tx.id, wal.RecUpdate, owner, payload)
+	tx.tr.Event("wal.append", "", "append", start, time.Since(start), err)
+	return lsn, err
 }
 
 // Savepoint establishes a named rollback point, fires EventSavepoint so
@@ -315,9 +348,11 @@ func (tx *Txn) Commit() error {
 	// not be told the commit succeeded, and EventCommit (whose contract
 	// promises durability) must not fire. SyncCommitted group-commits:
 	// concurrently arriving commit records share one fsync.
+	forceStart := time.Now()
 	if err := tx.mgr.Log.SyncCommitted(commitLSN); err != nil {
 		return tx.commitFailed(err)
 	}
+	tx.tr.Event("wal.force", "", "commit", forceStart, time.Since(forceStart), nil)
 	tx.state = StateCommitted
 	commitErr := tx.fire(EventCommit, "")
 	endErr := tx.fire(EventEnd, "")
@@ -326,6 +361,7 @@ func (tx *Txn) Commit() error {
 		return err
 	}
 	tx.mgr.finish(tx)
+	tx.tr.Finish("committed")
 	if h := tx.mgr.OnEnd; h != nil {
 		h()
 	}
@@ -345,6 +381,7 @@ func (tx *Txn) commitFailed(err error) error {
 	tx.state = StateAborted
 	tx.mgr.Locks.ReleaseAll(tx.id)
 	tx.mgr.finish(tx)
+	tx.tr.Finish("commit_failed")
 	return fmt.Errorf("txn: commit not durable: %w", err)
 }
 
@@ -366,6 +403,7 @@ func (tx *Txn) Abort() error {
 		return err
 	}
 	tx.mgr.finish(tx)
+	tx.tr.Finish("aborted")
 	if h := tx.mgr.OnEnd; h != nil {
 		h()
 	}

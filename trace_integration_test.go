@@ -1,0 +1,234 @@
+package dmx
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"dmx/internal/expr"
+	"dmx/internal/fault"
+	"dmx/internal/trace"
+)
+
+// traceDB opens a fully-sampled in-memory database with an indexed,
+// check-constrained table.
+func traceDB(t *testing.T) *DB {
+	t.Helper()
+	db, err := Open(Config{TraceSample: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	db.RegisterCheckPredicate("positive_salary",
+		expr.Gt(expr.Field(2), expr.Const(Float(0))))
+	if _, err := db.Exec(
+		`CREATE TABLE emp (eno INT NOT NULL, dno INT, salary FLOAT) USING heap`,
+		`CREATE INDEX byeno ON emp (eno)`,
+		`CREATE ATTACHMENT check ON emp WITH (name=paid, predicate=positive_salary)`,
+	); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// lastTrace returns the most recent completed trace.
+func lastTrace(t *testing.T, db *DB) trace.TraceData {
+	t.Helper()
+	traces := db.Env.Tracer.Traces(0)
+	if len(traces) == 0 {
+		t.Fatal("trace ring is empty")
+	}
+	return traces[len(traces)-1]
+}
+
+// findSpans walks the span tree collecting every span whose name has the
+// given prefix.
+func findSpans(d trace.SpanData, prefix string) []trace.SpanData {
+	var out []trace.SpanData
+	if strings.HasPrefix(d.Name, prefix) {
+		out = append(out, d)
+	}
+	for _, c := range d.Children {
+		out = append(out, findSpans(c, prefix)...)
+	}
+	return out
+}
+
+// TestTraceNestedDispatchLayers asserts the acceptance shape of a sampled
+// transaction trace: at least four nested dispatch layers (txn → stmt →
+// relation op → storage method → WAL), with the statement text noted on
+// the statement span.
+func TestTraceNestedDispatchLayers(t *testing.T) {
+	db := traceDB(t)
+	if _, err := db.Exec(`INSERT INTO emp VALUES (1, 2, 100.0)`); err != nil {
+		t.Fatal(err)
+	}
+	td := lastTrace(t, db)
+	if td.State != "committed" || !td.Sampled {
+		t.Fatalf("trace shape: %+v", td)
+	}
+	if depth := td.Root.Depth(); depth < 4 {
+		t.Fatalf("span tree depth = %d, want >= 4", depth)
+	}
+	stmts := findSpans(td.Root, "stmt")
+	if len(stmts) != 1 || !strings.Contains(stmts[0].Note, "INSERT INTO emp") {
+		t.Fatalf("statement span: %+v", stmts)
+	}
+	if sm := findSpans(td.Root, "sm."); len(sm) == 0 {
+		t.Error("no storage-method spans")
+	}
+	if wal := findSpans(td.Root, "wal."); len(wal) == 0 {
+		t.Error("no WAL spans")
+	}
+	if att := findSpans(td.Root, "att."); len(att) == 0 {
+		t.Error("no attachment spans (index + check should both fire)")
+	}
+}
+
+// TestTraceVetoTaggedSpan asserts that a constraint rejection is visible
+// in the trace as a veto-tagged span naming the vetoing attachment, on a
+// transaction that finished as aborted.
+func TestTraceVetoTaggedSpan(t *testing.T) {
+	db := traceDB(t)
+	if _, err := db.Exec(`INSERT INTO emp VALUES (9, 1, -5.0)`); err == nil {
+		t.Fatal("check constraint did not veto")
+	}
+	td := lastTrace(t, db)
+	if td.State != "aborted" {
+		t.Fatalf("vetoed txn state = %q, want aborted", td.State)
+	}
+	var veto *trace.SpanData
+	for _, sp := range findSpans(td.Root, "att.") {
+		if sp.Veto {
+			veto = &sp
+			break
+		}
+	}
+	if veto == nil {
+		t.Fatalf("no veto-tagged attachment span in %+v", td.Root)
+	}
+	if veto.Ext != "check" {
+		t.Errorf("veto span names %q, want the check attachment type", veto.Ext)
+	}
+	if veto.Err == "" {
+		t.Error("veto span carries no error")
+	}
+}
+
+// TestTraceSurvivesCrashInjection sweeps the crash-site matrix with
+// tracing fully on and an always-firing slow threshold: every injected
+// failure leaves half-built span trees behind (aborts, failed commits,
+// mid-operation errors), and none of them may panic the tracer or wedge
+// Env.Close. The debug server must come down cleanly even though the
+// database itself "died" without closing its files.
+func TestTraceSurvivesCrashInjection(t *testing.T) {
+	for _, s := range fault.Matrix(false) {
+		t.Run(s.Name, func(t *testing.T) {
+			inj := fault.New()
+			if s.Torn {
+				inj.ArmTorn(s.Site, s.Nth, s.Keep)
+			} else {
+				inj.Arm(s.Site, s.Nth)
+			}
+			dir := t.TempDir()
+			db, err := Open(Config{
+				LogPath:         filepath.Join(dir, "wal.log"),
+				DiskPath:        filepath.Join(dir, "data.db"),
+				PoolFrames:      4,
+				CheckpointEvery: -1,
+				Faults:          inj,
+				TraceSample:     1,
+				SlowThreshold:   time.Nanosecond, // every span is "slow"
+				SlowLog:         io.Discard,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			addr, err := db.Env.ServeDebug("127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := db.Exec("CREATE TABLE t (id INT NOT NULL, pad STRING) USING heap"); err == nil {
+				if _, err := db.Exec("CREATE INDEX byid ON t (id)"); err == nil {
+					pad := strings.Repeat("x", 500)
+					for i := 1; i <= 400; i++ {
+						if _, err := db.Exec(fmt.Sprintf("INSERT INTO t VALUES (%d, '%s')", i, pad)); err != nil {
+							break
+						}
+					}
+				}
+			}
+			if !inj.Crashed() {
+				t.Skipf("site %s not reached by this workload", s.Site)
+			}
+			// The tracer must still be coherent: materialising the ring and
+			// the counters cannot panic, and finished traces carry a state.
+			for _, td := range db.Env.Tracer.Traces(0) {
+				if td.State == "" {
+					t.Errorf("finished trace with no state: %+v", td)
+				}
+			}
+			if st := db.Env.Tracer.Stats(); st.Started == 0 {
+				t.Error("no transactions traced")
+			}
+			// Post-crash cleanup still shuts the debug server down.
+			if err := db.Env.Close(); err != nil {
+				t.Errorf("Env.Close after crash: %v", err)
+			}
+			if conn, err := net.DialTimeout("tcp", addr, time.Second); err == nil {
+				conn.Close()
+				t.Error("debug server still accepting after Env.Close")
+			}
+		})
+	}
+}
+
+// TestDebugServerClosesWithDB asserts DB.Close tears the debug HTTP
+// server down with the database.
+func TestDebugServerClosesWithDB(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(Config{LogPath: filepath.Join(dir, "wal.log"), TraceSample: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := db.Env.ServeDebug("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(`CREATE TABLE t (id INT NOT NULL) USING heap`); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "dmx_trace_sample_rate 1") {
+		t.Fatalf("metrics body: %s", body)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if conn, err := net.DialTimeout("tcp", addr, time.Second); err == nil {
+		conn.Close()
+		t.Error("debug server still accepting after DB.Close")
+	}
+	// The slow-event log file path: reopening with recovery must not trip
+	// over tracing state from the crashed-open era.
+	db2, err := Open(Config{LogPath: filepath.Join(dir, "wal.log"), Recover: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if _, err := db2.Exec(`SELECT id FROM t`); err != nil {
+		t.Fatal(err)
+	}
+	_ = os.Remove(filepath.Join(dir, "wal.log"))
+}
