@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench crash race fmt vet staticcheck trace-demo
+.PHONY: build test check bench crash race model fmt vet staticcheck trace-demo
 
 build:
 	$(GO) build ./...
@@ -9,11 +9,15 @@ test:
 	$(GO) test ./...
 
 # check is the pre-merge gate: tier-1 build + vet + static analysis +
-# tests, then the full suite again under the race detector with caching
-# disabled (the crash-point harness sweep in crash_test.go runs in both
-# passes).
+# tests with coverage in shuffled order (catches order-dependent tests
+# and tracks the covered fraction), then the full suite again under the
+# race detector with caching disabled (the crash-point harness sweep in
+# crash_test.go runs in both passes). The shuffled pass includes the
+# fixed-seed model run: TestModel (40 seeds) and TestModelCrashRecovery
+# (12 crash-recovery cycles) cross-check the engine against the
+# reference model on every gate.
 check: build vet staticcheck
-	$(GO) test ./...
+	$(GO) test -shuffle=on -cover ./...
 	$(GO) test -race -count=1 ./...
 
 # staticcheck runs honnef.co/go/tools when the binary is on PATH and is a
@@ -36,6 +40,16 @@ trace-demo:
 # more crash-restart rounds — under the race detector.
 race:
 	DMX_STRESS_DEEP=1 $(GO) test -race -count=1 -run 'TestStress' -v .
+
+# model is the differential-testing soak: many more generated workloads
+# than the check gate runs, engine vs reference model, including
+# file-backed crash-recovery cycles. Override the ranges to go deeper:
+#   make model DMX_MODEL_SEEDS=2000 DMX_MODEL_CRASH_SEEDS=500
+DMX_MODEL_SEEDS ?= 500
+DMX_MODEL_CRASH_SEEDS ?= 100
+model:
+	DMX_MODEL_SEEDS=$(DMX_MODEL_SEEDS) DMX_MODEL_CRASH_SEEDS=$(DMX_MODEL_CRASH_SEEDS) \
+		$(GO) test -count=1 -run 'TestModel$$|TestModelCrashRecovery' -v .
 
 # crash runs the full deterministic crash-point fault-injection matrix
 # (every site, later-hit and torn-write variants) under the race detector.

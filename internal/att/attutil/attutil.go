@@ -117,8 +117,10 @@ func AddDef(prior []byte, d IndexDef) ([]byte, error) {
 	return EncodeDefs(nextSeq+1, defs), nil
 }
 
-// RemoveDef removes the named definition, returning the new field value
-// (nil when no instances remain).
+// RemoveDef removes the named definition, returning the new field value.
+// The field stays non-nil (an empty list) even when no instances remain:
+// nextSeq must survive so a later AddDef cannot reuse a dropped Seq,
+// whose in-memory state instances deliberately retain for abort-undo.
 func RemoveDef(prior []byte, name string) ([]byte, error) {
 	nextSeq, defs, err := DecodeDefs(prior)
 	if err != nil {
@@ -135,9 +137,6 @@ func RemoveDef(prior []byte, name string) ([]byte, error) {
 	}
 	if !found {
 		return nil, fmt.Errorf("attutil: %w: instance %q", core.ErrNotFound, name)
-	}
-	if len(out) == 0 {
-		return nil, nil
 	}
 	return EncodeDefs(nextSeq, out), nil
 }

@@ -60,11 +60,21 @@ func TestAddRemoveDef(t *testing.T) {
 	if defs[1].Seq != 3 {
 		t.Fatalf("seq reuse: %+v", defs)
 	}
-	// Removing the last instance yields nil (NULL descriptor field).
+	// Removing the last instance keeps the descriptor (empty list): the
+	// Seq counter must survive so re-created instances get fresh Seqs.
 	field, _ = RemoveDef(field, "second")
 	field, err = RemoveDef(field, "third")
-	if err != nil || field != nil {
+	if err != nil || field == nil {
 		t.Fatalf("final remove: %v %v", field, err)
+	}
+	next, defs, _ := DecodeDefs(field)
+	if next != 4 || len(defs) != 0 {
+		t.Fatalf("after final remove: next=%d defs=%+v", next, defs)
+	}
+	field, _ = AddDef(field, IndexDef{Name: "fourth"})
+	_, defs, _ = DecodeDefs(field)
+	if len(defs) != 1 || defs[0].Seq != 4 {
+		t.Fatalf("seq reuse after drop-all: %+v", defs)
 	}
 	if _, err := RemoveDef(EncodeDefs(1, nil), "ghost"); err == nil {
 		t.Fatal("removing unknown def should fail")

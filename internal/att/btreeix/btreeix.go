@@ -68,44 +68,39 @@ func init() {
 			}
 			return inst, nil
 		},
-		Build: func(env *core.Env, tx *txn.Txn, rd *core.RelDesc) error {
-			return buildFromRelation(env, tx, rd)
+		Build: func(env *core.Env, tx *txn.Txn, rd *core.RelDesc, newOnly bool) error {
+			return buildFromRelation(env, tx, rd, newOnly)
 		},
 	})
 }
 
 // buildFromRelation populates indexes from the relation's existing records
 // (entries are logged, so an aborted CREATE INDEX unwinds them).
-func buildFromRelation(env *core.Env, tx *txn.Txn, rd *core.RelDesc) error {
-	sm, err := env.StorageInstance(rd)
-	if err != nil {
-		return err
-	}
-	if sm.RecordCount() == 0 {
-		return nil
-	}
+func buildFromRelation(env *core.Env, tx *txn.Txn, rd *core.RelDesc, newOnly bool) error {
 	instAny, err := env.AttachmentInstance(rd, core.AttBTree)
 	if err != nil {
 		return err
 	}
 	inst := instAny.(*Instance)
-	scan, err := sm.OpenScan(tx, core.ScanOptions{})
-	if err != nil {
-		return err
+	inst.mu.Lock()
+	defs := inst.defs
+	inst.mu.Unlock()
+	if newOnly && len(defs) > 0 {
+		defs = defs[len(defs)-1:] // Create appends, so the new def is last
 	}
-	defer scan.Close()
-	for {
-		key, r, ok, err := scan.Next()
-		if err != nil {
-			return err
+	return core.BuildScan(env, tx, rd, func(key types.Key, rec types.Record) error {
+		for _, d := range defs {
+			// Creating a unique index over duplicate-carrying contents
+			// vetoes the DDL.
+			if err := inst.checkUnique(d, rec, key); err != nil {
+				return err
+			}
+			if err := inst.apply(tx, d, core.ModInsert, rec, key); err != nil {
+				return err
+			}
 		}
-		if !ok {
-			return nil
-		}
-		if err := inst.OnInsert(tx, key, r); err != nil {
-			return err
-		}
-	}
+		return nil
+	})
 }
 
 // Instance services every B-tree index instance on one relation.

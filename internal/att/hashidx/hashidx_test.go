@@ -142,3 +142,73 @@ func TestBuildAbortRecovery(t *testing.T) {
 	}
 	tx4.Commit()
 }
+
+// Regression: creating an index on a populated relation must populate only
+// the new instance. Build used to re-apply every existing instance as well,
+// duplicating their buckets (and re-logging their entries, so aborting the
+// DDL transaction stripped live entries from pre-existing indexes).
+func TestCreateSecondIndexLeavesFirstExact(t *testing.T) {
+	env := core.NewEnv(core.Config{})
+	setup(t, env)
+	tx := env.Begin()
+	r, _ := env.OpenRelationByName("users")
+	r.Insert(tx, rec(1, "a@x"))
+	r.Insert(tx, rec(2, "b@x"))
+	tx.Commit()
+
+	tx = env.Begin()
+	if _, err := env.CreateAttachment(tx, "users", "hash", core.AttrList{"name": "byid", "on": "id"}); err != nil {
+		t.Fatal(err)
+	}
+	tx.Commit()
+
+	tx = env.Begin()
+	defer tx.Commit()
+	r, _ = env.OpenRelationByName("users")
+	keys, err := r.LookupAccess(tx, core.AttHash, 0, types.EncodeKeyValues(types.Str("a@x")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 1 {
+		t.Fatalf("existing index: %d keys for a@x, want 1", len(keys))
+	}
+	keys, err = r.LookupAccess(tx, core.AttHash, 1, types.EncodeKeyValues(types.Int(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 1 {
+		t.Fatalf("new index: %d keys for id=2, want 1", len(keys))
+	}
+}
+
+// Regression: dropping the last instance must not reset the Seq counter.
+// A later create reused the dropped instance's Seq and inherited its
+// retained in-memory bucket entries, so probes returned phantom keys.
+func TestDropAllThenRecreateStaysExact(t *testing.T) {
+	env := core.NewEnv(core.Config{})
+	setup(t, env)
+	tx := env.Begin()
+	r, _ := env.OpenRelationByName("users")
+	r.Insert(tx, rec(1, "a@x"))
+	tx.Commit()
+
+	tx = env.Begin()
+	if _, err := env.DropAttachment(tx, "users", "hash", core.AttrList{"name": "bymail"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := env.CreateAttachment(tx, "users", "hash", core.AttrList{"name": "bymail2", "on": "email"}); err != nil {
+		t.Fatal(err)
+	}
+	tx.Commit()
+
+	tx = env.Begin()
+	defer tx.Commit()
+	r, _ = env.OpenRelationByName("users")
+	keys, err := r.LookupAccess(tx, core.AttHash, 0, types.EncodeKeyValues(types.Str("a@x")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 1 {
+		t.Fatalf("recreated index: %d keys for a@x, want 1", len(keys))
+	}
+}

@@ -100,36 +100,24 @@ func init() {
 			}
 			return inst, nil
 		},
-		Build: func(env *core.Env, tx *txn.Txn, rd *core.RelDesc) error {
-			sm, err := env.StorageInstance(rd)
-			if err != nil {
-				return err
-			}
-			if sm.RecordCount() == 0 {
-				return nil
-			}
+		Build: func(env *core.Env, tx *txn.Txn, rd *core.RelDesc, newOnly bool) error {
 			instAny, err := env.AttachmentInstance(rd, core.AttJoin)
 			if err != nil {
 				return err
 			}
 			inst := instAny.(*Instance)
-			scan, err := sm.OpenScan(tx, core.ScanOptions{})
-			if err != nil {
-				return err
+			defs := inst.snapshot()
+			if newOnly && len(defs) > 0 {
+				defs = defs[len(defs)-1:] // Create appends, so the new def is last
 			}
-			defer scan.Close()
-			for {
-				key, r, ok, err := scan.Next()
-				if err != nil {
-					return err
+			return core.BuildScan(env, tx, rd, func(key types.Key, rec types.Record) error {
+				for _, d := range defs {
+					if err := inst.apply(tx, d, core.ModInsert, rec, key); err != nil {
+						return err
+					}
 				}
-				if !ok {
-					return nil
-				}
-				if err := inst.OnInsert(tx, key, r); err != nil {
-					return err
-				}
-			}
+				return nil
+			})
 		},
 	})
 }

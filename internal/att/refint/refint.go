@@ -293,8 +293,34 @@ func (in *Instance) deferCheck(tx *txn.Txn, cfg *defCfg, vals []types.Value) err
 	}
 	tx.Stash()[stashKey] = true
 	return tx.Defer(txn.EventBeforePrepare, func(tx *txn.Txn, _ string) error {
+		// The queued closure survives savepoint rollbacks and deletes of
+		// the row that enqueued it, so re-check at commit that some child
+		// row still carries these values before demanding a parent.
+		ok, err := in.selfMatches(tx, cfg, vals)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
 		return in.checkParentExists(tx, cfg, vals)
 	})
+}
+
+// selfMatches reports whether the constrained relation still holds at
+// least one record with the given foreign-key values.
+func (in *Instance) selfMatches(tx *txn.Txn, cfg *defCfg, vals []types.Value) (bool, error) {
+	self, err := in.env.OpenRelationByName(in.rd.Name)
+	if err != nil {
+		return false, err
+	}
+	scan, err := self.OpenScan(tx, core.ScanOptions{Filter: matchFilter(cfg.ownFields, vals), Fields: []int{}})
+	if err != nil {
+		return false, err
+	}
+	defer scan.Close()
+	_, _, ok, err := scan.Next()
+	return ok, err
 }
 
 func (in *Instance) childCheck(tx *txn.Txn, cfg *defCfg, rec types.Record) error {

@@ -241,6 +241,50 @@ func TestDeferredCheckRunsAtCommit(t *testing.T) {
 	}
 }
 
+func TestDeferredCheckSkipsRemovedRow(t *testing.T) {
+	// A deferred check enqueued by a child row that no longer exists at
+	// commit (deleted, or rolled back to a savepoint) must not veto.
+	env := core.NewEnv(core.Config{})
+	_, e := setupFK(t, env, "restrict", "deferred")
+
+	// Insert a dangling child, then delete it before commit.
+	tx := env.Begin()
+	k, err := e.Insert(tx, emp(1, 99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Delete(tx, k); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatalf("deferred check fired for deleted row: %v", err)
+	}
+
+	// Insert a dangling child, then roll back past it to a savepoint.
+	tx2 := env.Begin()
+	if _, err := tx2.Savepoint("before"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Insert(tx2, emp(2, 98)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx2.RollbackTo("before"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx2.Commit(); err != nil {
+		t.Fatalf("deferred check fired for rolled-back row: %v", err)
+	}
+
+	// A surviving dangling row still vetoes.
+	tx3 := env.Begin()
+	if _, err := e.Insert(tx3, emp(3, 97)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx3.Commit(); !errors.Is(err, refint.ErrNoParent) {
+		t.Fatalf("surviving dangling row should veto commit, got %v", err)
+	}
+}
+
 func TestParentKeyUpdateTreatedAsRemoval(t *testing.T) {
 	env := core.NewEnv(core.Config{})
 	d, e := setupFK(t, env, "restrict", "immediate")

@@ -38,36 +38,18 @@ func init() {
 		Open: func(env *core.Env, rd *core.RelDesc) (core.AttachmentInstance, error) {
 			return &Instance{rd: rd, mins: make(map[int]types.Value), maxs: make(map[int]types.Value)}, nil
 		},
-		Build: func(env *core.Env, tx *txn.Txn, rd *core.RelDesc) error {
-			sm, err := env.StorageInstance(rd)
-			if err != nil {
-				return err
-			}
-			if sm.RecordCount() == 0 {
-				return nil
-			}
+		// Statistics are a singleton per relation (a repeated create is a
+		// no-op Create, so CreateAttachment skips Build), hence newOnly
+		// and full rebuild coincide.
+		Build: func(env *core.Env, tx *txn.Txn, rd *core.RelDesc, _ bool) error {
 			instAny, err := env.AttachmentInstance(rd, core.AttStats)
 			if err != nil {
 				return err
 			}
 			inst := instAny.(*Instance)
-			scan, err := sm.OpenScan(tx, core.ScanOptions{})
-			if err != nil {
-				return err
-			}
-			defer scan.Close()
-			for {
-				key, r, ok, err := scan.Next()
-				if err != nil {
-					return err
-				}
-				if !ok {
-					return nil
-				}
-				if err := inst.OnInsert(tx, key, r); err != nil {
-					return err
-				}
-			}
+			return core.BuildScan(env, tx, rd, func(key types.Key, rec types.Record) error {
+				return inst.OnInsert(tx, key, rec)
+			})
 		},
 	})
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"fmt"
 
 	"dmx/internal/lock"
@@ -87,12 +88,44 @@ func (env *Env) CreateAttachment(tx *txn.Txn, relName, attName string, attrs Att
 	if err := env.Cat.UpdateDesc(tx, rd, newRD); err != nil {
 		return nil, err
 	}
-	if ops.Build != nil {
-		if err := ops.Build(env, tx, newRD); err != nil {
+	// A no-op Create (e.g. re-creating a singleton instance) leaves the
+	// descriptor field unchanged; building again would double-apply.
+	if ops.Build != nil && !bytes.Equal(field, rd.AttDesc[ops.ID]) {
+		if err := ops.Build(env, tx, newRD, true); err != nil {
 			return nil, err
 		}
 	}
 	return newRD, nil
+}
+
+// BuildScan drives an attachment Build operation over rd's current
+// contents, calling fn once per stored record. No-op when the relation is
+// empty.
+func BuildScan(env *Env, tx *txn.Txn, rd *RelDesc, fn func(key types.Key, rec types.Record) error) error {
+	sm, err := env.StorageInstance(rd)
+	if err != nil {
+		return err
+	}
+	if sm.RecordCount() == 0 {
+		return nil
+	}
+	scan, err := sm.OpenScan(tx, ScanOptions{})
+	if err != nil {
+		return err
+	}
+	defer scan.Close()
+	for {
+		key, rec, ok, err := scan.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		if err := fn(key, rec); err != nil {
+			return err
+		}
+	}
 }
 
 // DropAttachment removes attachment instance(s) selected by attrs from the

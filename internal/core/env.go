@@ -80,6 +80,13 @@ type Env struct {
 	Obs     *obs.Engine
 	Tracer  *trace.Tracer
 
+	// NotifySkip, when non-nil, suppresses the attached-procedure
+	// notification for attachment type id on the named relation. It is a
+	// deliberate-mutation hook for the model-based differential harness
+	// (internal/model), which uses it to prove that a dropped notify is
+	// caught as a semantic divergence; production code leaves it nil.
+	NotifySkip func(relName string, id AttID) bool
+
 	mu       sync.RWMutex
 	smInst   map[uint32]StorageInstance
 	attInst  map[attKey]*attEntry
@@ -418,7 +425,7 @@ func (env *Env) rebuildAttachments() error {
 			if aops == nil || aops.Build == nil {
 				continue
 			}
-			if err := aops.Build(env, tx, rd); err != nil {
+			if err := aops.Build(env, tx, rd, false); err != nil {
 				tx.Abort()
 				return fmt.Errorf("core: rebuild %s attachments on %s: %w", aops.Name, rd.Name, err)
 			}

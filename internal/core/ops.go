@@ -203,9 +203,17 @@ type AttachmentOps struct {
 	// Open returns the runtime instance servicing all of the type's
 	// instances on rd. Called once per (Env, relation); cached.
 	Open func(env *Env, rd *RelDesc) (AttachmentInstance, error)
-	// Build populates a freshly created instance from the relation's
-	// existing contents (e.g. indexing pre-existing records). Optional.
-	Build func(env *Env, tx *txn.Txn, rd *RelDesc) error
+	// Build populates instance state from the relation's existing
+	// contents (e.g. indexing pre-existing records). Optional.
+	//
+	// newOnly is true when a single new instance was just created by DDL:
+	// only the newest def may be populated, because the type's other
+	// instances on the relation are already maintained and re-applying
+	// their entries corrupts duplicate-sensitive state (hash buckets,
+	// counters) and logs spurious entries whose undo would strip live
+	// state if the DDL transaction aborts. newOnly is false at restart
+	// rebuild, where every instance starts empty.
+	Build func(env *Env, tx *txn.Txn, rd *RelDesc, newOnly bool) error
 }
 
 // SystemUndoer handles undo/redo for OwnerSystem log records (catalog

@@ -184,6 +184,9 @@ func (r *Relation) notify(tx *txn.Txn, op obs.Op, call func(AttachmentInstance) 
 			continue
 		}
 		id := AttID(i)
+		if skip := r.env.NotifySkip; skip != nil && skip(r.rd.Name, id) {
+			continue
+		}
 		inst, err := r.env.AttachmentInstance(r.rd, id)
 		if err != nil {
 			return err

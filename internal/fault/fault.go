@@ -147,6 +147,18 @@ func (in *Injector) BeforeWrite(site Site, n int) (allow int, err error) {
 	return n, nil
 }
 
+// Armed reports whether a crash is scheduled but has not happened yet.
+// Differential harnesses use it to decide when a pre-operation state
+// snapshot is worth taking.
+func (in *Injector) Armed() bool {
+	if in == nil {
+		return false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return !in.crashed && in.left > 0
+}
+
 // Crashed reports whether the simulated crash has happened.
 func (in *Injector) Crashed() bool {
 	if in == nil {

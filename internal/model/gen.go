@@ -1,0 +1,279 @@
+package model
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dmx/internal/core"
+	"dmx/internal/fault"
+	"dmx/internal/types"
+)
+
+// GenConfig parameterises one generated scenario.
+type GenConfig struct {
+	Seed  int64
+	Ops   int  // workload length (default 120)
+	Crash bool // sprinkle crash-point ops into the workload
+}
+
+// Scenario is a generated fleet plus the op sequence to run over it.
+type Scenario struct {
+	Fleet Fleet
+	Ops   []Op
+}
+
+// Generate derives a fleet and a mixed DML/DDL workload from the seed.
+// Everything — storage methods, attachment combinations, record values,
+// op mix, crash sites — is a pure function of cfg, so a scenario replays
+// bit-identically. The generator runs its own oracle alongside to bias
+// ops toward live targets; ops that still miss at replay time are skipped
+// deterministically by Eligible.
+func Generate(cfg GenConfig) Scenario {
+	if cfg.Ops <= 0 {
+		cfg.Ops = 120
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	fleet := genFleet(rng, cfg.Crash)
+	g := &generator{rng: rng, m: NewModel(fleet), crash: cfg.Crash}
+	ops := make([]Op, 0, cfg.Ops)
+	for len(ops) < cfg.Ops {
+		op, ok := g.next(len(ops))
+		if !ok {
+			continue
+		}
+		ops = append(ops, op)
+		g.m.Step(op)
+		if op.Kind == OpCrash {
+			g.m.CrashRestart()
+		}
+	}
+	// Leave no transaction dangling: the runner aborts an open one at the
+	// end, but an explicit commit exercises the deferred-check boundary.
+	if g.m.InTxn() {
+		ops = append(ops, Op{Kind: OpCommit})
+		g.m.Step(Op{Kind: OpCommit})
+	}
+	return Scenario{Fleet: fleet, Ops: ops}
+}
+
+// genFleet picks the three-relation fleet for one seed: a parent "p"
+// carrying the constraint-heavy attachment load, a child "c" referencing
+// it, and an extra "x" cycling through the remaining storage methods.
+func genFleet(rng *rand.Rand, crash bool) Fleet {
+	fk := &FKDef{
+		Name:       "pc",
+		OwnFields:  []int{ColGrp},
+		Peer:       "p",
+		PeerFields: []int{ColID},
+		Cascade:    rng.Intn(2) == 0,
+		Deferred:   rng.Intn(2) == 0,
+	}
+	parentRole := &FKDef{
+		Name:       "pc",
+		OwnFields:  []int{ColID},
+		Peer:       "c",
+		PeerFields: []int{ColGrp},
+		Cascade:    fk.Cascade,
+		Deferred:   fk.Deferred,
+	}
+
+	p := &RelCfg{
+		Name:     "p",
+		SM:       pick(rng, "heap", "memory", "btree"),
+		Uniques:  []IxDef{{Name: "pu", Fields: []int{ColID}}},
+		BTree:    []IxDef{{Name: "pgrp", Fields: []int{ColGrp}}},
+		Hash:     []IxDef{{Name: "pid", Fields: []int{ColID}}},
+		Aggs:     []AggDef{{Name: "pagg", GroupField: ColGrp, ValueField: ColVal}},
+		Trig:     rng.Intn(2) == 0,
+		ParentOf: parentRole,
+	}
+	if p.SM == "btree" {
+		p.SMAttrs = core.AttrList{"key": "id"}
+		p.KeyFields = []int{ColID}
+	}
+	if rng.Intn(2) == 0 {
+		p.Aggs = append(p.Aggs, AggDef{Name: "pall", GroupField: -1, ValueField: ColVal})
+	}
+
+	c := &RelCfg{
+		Name:    "c",
+		SM:      pick(rng, "heap", "memory"),
+		ChildFK: fk,
+	}
+	if rng.Intn(2) == 0 {
+		c.BTree = []IxDef{{Name: "cgrp", Fields: []int{ColGrp}}}
+	}
+	if rng.Intn(2) == 0 {
+		c.Aggs = []AggDef{{Name: "cagg", GroupField: ColGrp, ValueField: ColVal}}
+	}
+	c.Trig = rng.Intn(3) == 0
+
+	smx := []string{"heap", "btree", "memory", "append", "temp"}
+	if !crash {
+		// Remote contents live on a foreign server the harness attaches at
+		// open; crash fleets skip it so recovery stays self-contained.
+		smx = append(smx, "remote")
+	}
+	x := &RelCfg{Name: "x", SM: smx[rng.Intn(len(smx))]}
+	switch x.SM {
+	case "btree":
+		x.SMAttrs = core.AttrList{"key": "id"}
+		x.KeyFields = []int{ColID}
+	case "remote":
+		x.SMAttrs = core.AttrList{"server": "srv"}
+	}
+	if x.SM != "temp" {
+		// Unlogged temp storage takes no attachments in the model's scope:
+		// its rows vanish at restart while attachment state would not.
+		if rng.Intn(2) == 0 {
+			x.BTree = []IxDef{{Name: "xgrp", Fields: []int{ColGrp}}}
+		}
+		if rng.Intn(3) == 0 {
+			x.Uniques = []IxDef{{Name: "xu", Fields: []int{ColID}}}
+		}
+	}
+	return Fleet{p, c, x}
+}
+
+type generator struct {
+	rng     *rand.Rand
+	m       *Model
+	crash   bool
+	nextRID int
+}
+
+// next proposes one op; ok is false when the draw was ineligible (the
+// caller just redraws — the rng stream advances either way, keeping the
+// sequence a pure function of the seed).
+func (g *generator) next(i int) (Op, bool) {
+	w := g.rng.Intn(100)
+	var op Op
+	switch {
+	case w < 36:
+		rel := g.pickRel()
+		op = Op{Kind: OpInsert, Rel: rel, RID: g.nextRID, Rec: g.genRec(rel)}
+	case w < 53:
+		rel := g.pickRel()
+		rid, ok := g.pickRID(rel)
+		if !ok {
+			return Op{}, false
+		}
+		op = Op{Kind: OpUpdate, Rel: rel, RID: rid, Rec: g.genRec(rel)}
+	case w < 65:
+		rel := g.pickRel()
+		rid, ok := g.pickRID(rel)
+		if !ok {
+			return Op{}, false
+		}
+		op = Op{Kind: OpDelete, Rel: rel, RID: rid}
+	case w < 70:
+		op = Op{Kind: OpSavepoint, Name: fmt.Sprintf("s%d", i)}
+	case w < 74:
+		saves := g.m.Savepoints()
+		if len(saves) == 0 {
+			return Op{}, false
+		}
+		op = Op{Kind: OpRollbackTo, Name: saves[g.rng.Intn(len(saves))]}
+	case w < 84:
+		op = Op{Kind: OpCommit}
+	case w < 88:
+		op = Op{Kind: OpAbort}
+	case w < 91:
+		op = Op{
+			Kind: OpAddIndex,
+			Rel:  pick(g.rng, "p", "c"),
+			Att:  pick(g.rng, "btree", "hash"),
+			Name: fmt.Sprintf("ix%d", i),
+			Cols: pick(g.rng, "id", "grp", "val", "grp,val", "note"),
+		}
+	case w < 94:
+		rel := pick(g.rng, "p", "c")
+		att := pick(g.rng, "btree", "hash")
+		defs := g.m.Cfg(rel).BTree
+		if att == "hash" {
+			defs = g.m.Cfg(rel).Hash
+		}
+		if len(defs) == 0 {
+			return Op{}, false
+		}
+		op = Op{Kind: OpDropIndex, Rel: rel, Att: att, Name: defs[g.rng.Intn(len(defs))].Name}
+	case w < 97:
+		op = Op{Kind: OpCheckpoint}
+	default:
+		if !g.crash {
+			return Op{}, false
+		}
+		// WAL sites are hit on every logged modification and commit, so an
+		// armed crash reliably fires within a few ops.
+		site := pick(g.rng,
+			string(fault.SiteWALAppend), string(fault.SiteWALFlush), string(fault.SiteWALSynced))
+		op = Op{Kind: OpCrash, Site: site, Nth: 1 + g.rng.Intn(4)}
+	}
+	if !g.m.Eligible(op) {
+		return Op{}, false
+	}
+	if op.Kind == OpInsert {
+		g.nextRID++
+	}
+	return op, true
+}
+
+func (g *generator) pickRel() string {
+	w := g.rng.Intn(10)
+	switch {
+	case w < 4:
+		return "p"
+	case w < 8:
+		return "c"
+	default:
+		return "x"
+	}
+}
+
+func (g *generator) pickRID(rel string) (int, bool) {
+	rids := g.m.RIDs(rel)
+	if len(rids) == 0 {
+		return 0, false
+	}
+	return rids[g.rng.Intn(len(rids))], true
+}
+
+// genRec draws one record. Value ranges are chosen to provoke every
+// modelled outcome: ids collide (unique and key-organised storage
+// vetoes), a quarter of values are negative (trigger vetoes), child
+// groups mostly hit live parents but sometimes dangle or go NULL (refint
+// vetoes and deferred checks), and all floats are exact quarter
+// multiples so aggregate sums compare exactly.
+func (g *generator) genRec(rel string) types.Record {
+	id := types.Int(int64(1 + g.rng.Intn(24)))
+
+	var grp types.Value
+	if rel == "c" {
+		w := g.rng.Intn(10)
+		parents := g.m.Rows("p")
+		switch {
+		case w < 8 && len(parents) > 0:
+			grp = parents[g.rng.Intn(len(parents))].Rec[ColID]
+		case w < 9:
+			grp = types.Int(int64(50 + g.rng.Intn(10)))
+		default:
+			grp = types.Null()
+		}
+	} else {
+		if g.rng.Intn(100) < 15 {
+			grp = types.Null()
+		} else {
+			grp = types.Int(int64(1 + g.rng.Intn(5)))
+		}
+	}
+
+	val := types.Float(float64(g.rng.Intn(81)-20) * 0.25)
+
+	note := types.Str(fmt.Sprintf("n%d", g.rng.Intn(8)))
+	if g.rng.Intn(10) == 0 {
+		note = types.Null()
+	}
+	return types.Record{id, grp, val, note}
+}
+
+func pick(rng *rand.Rand, opts ...string) string { return opts[rng.Intn(len(opts))] }

@@ -1,0 +1,171 @@
+package model
+
+import (
+	"testing"
+
+	"dmx/internal/types"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(GenConfig{Seed: 7})
+	b := Generate(GenConfig{Seed: 7})
+	if Script(a.Ops) != Script(b.Ops) {
+		t.Fatal("same seed generated different op sequences")
+	}
+	if len(a.Fleet) != len(b.Fleet) || a.Fleet[0].SM != b.Fleet[0].SM {
+		t.Fatal("same seed generated different fleets")
+	}
+	c := Generate(GenConfig{Seed: 8})
+	if Script(a.Ops) == Script(c.Ops) {
+		t.Fatal("different seeds generated identical op sequences")
+	}
+}
+
+func TestGenerateCrashOpsOnlyInCrashMode(t *testing.T) {
+	plain := Generate(GenConfig{Seed: 3})
+	for _, op := range plain.Ops {
+		if op.Kind == OpCrash {
+			t.Fatal("crash op generated without crash mode")
+		}
+	}
+	found := false
+	for seed := int64(1); seed <= 20 && !found; seed++ {
+		for _, op := range Generate(GenConfig{Seed: seed, Crash: true}).Ops {
+			if op.Kind == OpCrash {
+				found = true
+				break
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no crash op generated across 20 crash-mode seeds")
+	}
+}
+
+func testFleet() Fleet {
+	return Fleet{&RelCfg{Name: "p", SM: "heap", Uniques: []IxDef{{Name: "u", Fields: []int{ColID}}}}}
+}
+
+func rec(id, grp int64, val float64) types.Record {
+	return types.Record{types.Int(id), types.Int(grp), types.Float(val), types.Null()}
+}
+
+func TestModelUniqueAndUndo(t *testing.T) {
+	m := NewModel(testFleet())
+	if out := m.Step(Op{Kind: OpInsert, Rel: "p", RID: 0, Rec: rec(1, 1, 1)}); !out.OK {
+		t.Fatalf("insert rejected: %+v", out)
+	}
+	if out := m.Step(Op{Kind: OpInsert, Rel: "p", RID: 1, Rec: rec(1, 2, 2)}); out.OK || out.Ext != "unique" {
+		t.Fatalf("duplicate id accepted or wrong veto: %+v", out)
+	}
+	m.Step(Op{Kind: OpSavepoint, Name: "s"})
+	m.Step(Op{Kind: OpInsert, Rel: "p", RID: 2, Rec: rec(2, 1, 1)})
+	if m.RowCount("p") != 2 {
+		t.Fatalf("row count %d before partial rollback", m.RowCount("p"))
+	}
+	m.Step(Op{Kind: OpRollbackTo, Name: "s"})
+	if m.RowCount("p") != 1 {
+		t.Fatalf("row count %d after partial rollback", m.RowCount("p"))
+	}
+	m.Rollback()
+	if m.RowCount("p") != 0 {
+		t.Fatalf("row count %d after abort", m.RowCount("p"))
+	}
+}
+
+func TestModelCloneIndependent(t *testing.T) {
+	m := NewModel(testFleet())
+	m.Step(Op{Kind: OpInsert, Rel: "p", RID: 0, Rec: rec(1, 1, 1)})
+	snap := m.Clone()
+	m.Step(Op{Kind: OpInsert, Rel: "p", RID: 1, Rec: rec(2, 1, 1)})
+	m.Commit()
+	if snap.RowCount("p") != 1 {
+		t.Fatalf("clone saw later mutation: %d rows", snap.RowCount("p"))
+	}
+	// The clone's open transaction is still undoable on its own.
+	snap.Rollback()
+	if snap.RowCount("p") != 0 || m.RowCount("p") != 2 {
+		t.Fatalf("clone rollback leaked: clone=%d orig=%d", snap.RowCount("p"), m.RowCount("p"))
+	}
+}
+
+func TestEligibleSkipRules(t *testing.T) {
+	m := NewModel(testFleet())
+	if m.Eligible(Op{Kind: OpUpdate, Rel: "p", RID: 9, Rec: rec(1, 1, 1)}) {
+		t.Fatal("update of dead rid eligible")
+	}
+	if m.Eligible(Op{Kind: OpCommit}) || m.Eligible(Op{Kind: OpAbort}) {
+		t.Fatal("txn control eligible without open txn")
+	}
+	if m.Eligible(Op{Kind: OpRollbackTo, Name: "s"}) {
+		t.Fatal("rollback to unknown savepoint eligible")
+	}
+	m.Step(Op{Kind: OpInsert, Rel: "p", RID: 0, Rec: rec(1, 1, 1)})
+	if m.Eligible(Op{Kind: OpAddIndex, Rel: "p", Att: "btree", Name: "i", Cols: "grp"}) {
+		t.Fatal("DDL eligible inside open txn")
+	}
+	if !m.Eligible(Op{Kind: OpCommit}) {
+		t.Fatal("commit ineligible inside open txn")
+	}
+}
+
+func TestShrinkFindsMinimalSubsequence(t *testing.T) {
+	// Synthetic predicate: the sequence "fails" iff it contains both op
+	// RID 3 and RID 7 — the shrinker must isolate exactly those two.
+	var ops []Op
+	for i := 0; i < 30; i++ {
+		ops = append(ops, Op{Kind: OpInsert, Rel: "p", RID: i, Rec: rec(int64(i), 1, 1)})
+	}
+	test := func(sub []Op) *Divergence {
+		has3, has7 := false, false
+		for _, op := range sub {
+			if op.RID == 3 {
+				has3 = true
+			}
+			if op.RID == 7 {
+				has7 = true
+			}
+		}
+		if has3 && has7 {
+			return &Divergence{Detail: "synthetic"}
+		}
+		return nil
+	}
+	min, div, _ := Shrink(ops, len(ops)-1, test, 500)
+	if div == nil {
+		t.Fatal("shrink lost the failure")
+	}
+	if len(min) != 2 || min[0].RID != 3 || min[1].RID != 7 {
+		t.Fatalf("shrunk to %d ops: %v", len(min), Script(min))
+	}
+}
+
+func TestRunAgreesInMemory(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		sc := Generate(GenConfig{Seed: seed})
+		if div := Run(RunConfig{Fleet: sc.Fleet, Ops: sc.Ops}); div != nil {
+			t.Fatalf("seed %d: %v\nscript:\n%s", seed, div, Script(sc.Ops))
+		}
+	}
+}
+
+// TestCrashDuringDropIndexMatchesUndoneCandidate replays the shrunk
+// seed-166 repro: a crash armed at the WAL kills the engine before a
+// dropindex reaches the log, so recovery keeps the index. The harness
+// must match the *not-applied* candidate here — the applied candidate's
+// shorter def list once matched vacuously (the surviving index was
+// never probed) and misaligned every later dense instance index, so the
+// follow-up addindex reported a falsely empty hash path.
+func TestCrashDuringDropIndexMatchesUndoneCandidate(t *testing.T) {
+	sc := Generate(GenConfig{Seed: 166, Ops: 120, Crash: true})
+	ops := []Op{
+		{Kind: OpInsert, Rel: "p", RID: 3, Rec: rec(10, 5, 5.75)},
+		{Kind: OpCommit},
+		{Kind: OpCrash, Site: "wal.append", Nth: 1},
+		{Kind: OpDropIndex, Rel: "p", Att: "hash", Name: "pid"},
+		{Kind: OpAddIndex, Rel: "p", Att: "hash", Name: "ix70", Cols: "grp"},
+	}
+	if div := Run(RunConfig{Fleet: sc.Fleet, Ops: ops, Dir: t.TempDir()}); div != nil {
+		t.Fatalf("divergence: %v", div)
+	}
+}

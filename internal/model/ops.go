@@ -1,0 +1,121 @@
+// Package model is the model-based differential-testing harness: a pure
+// in-memory reference implementation of the engine's visible semantics
+// (the oracle), a seeded deterministic workload generator that drives the
+// real engine and the oracle in lockstep, a cross-checking runner that
+// compares full relation contents, every access path against the full
+// scan, aggregate attachment values, and error/veto parity at each
+// statement and transaction boundary, and a delta-debugging shrinker that
+// reduces any divergence to a minimal replayable operation script.
+//
+// The operation vocabulary is deliberately small and replayable: every op
+// is plain data (no closures, no engine handles), identified rows are
+// addressed by generator-assigned logical record ids, and ops whose
+// target no longer exists are skipped deterministically — which is what
+// makes arbitrary subsequences (shrinking candidates) executable.
+package model
+
+import (
+	"fmt"
+	"strings"
+
+	"dmx/internal/types"
+)
+
+// Kind enumerates the workload operations.
+type Kind uint8
+
+const (
+	OpInsert Kind = iota + 1
+	OpUpdate
+	OpDelete
+	OpSavepoint
+	OpRollbackTo
+	OpCommit
+	OpAbort
+	OpAddIndex
+	OpDropIndex
+	OpCheckpoint
+	OpCrash
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case OpInsert:
+		return "insert"
+	case OpUpdate:
+		return "update"
+	case OpDelete:
+		return "delete"
+	case OpSavepoint:
+		return "savepoint"
+	case OpRollbackTo:
+		return "rollbackto"
+	case OpCommit:
+		return "commit"
+	case OpAbort:
+		return "abort"
+	case OpAddIndex:
+		return "addindex"
+	case OpDropIndex:
+		return "dropindex"
+	case OpCheckpoint:
+		return "checkpoint"
+	case OpCrash:
+		return "crash"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(k))
+	}
+}
+
+// Op is one replayable workload operation.
+type Op struct {
+	Kind Kind
+	Rel  string       // target relation (DML and index DDL)
+	RID  int          // logical row id: assigned by Insert, targeted by Update/Delete
+	Rec  types.Record // new record value (Insert/Update)
+	Name string       // savepoint name, or index instance name (index DDL)
+	Att  string       // index DDL: attachment type name ("btree" or "hash")
+	Cols string       // index DDL: on= column spec
+	Site string       // Crash: fault-injection site
+	Nth  int          // Crash: crash on the nth hit of Site
+}
+
+// String renders the op as one line of the replayable script.
+func (o Op) String() string {
+	switch o.Kind {
+	case OpInsert:
+		return fmt.Sprintf("insert %s r%d %s", o.Rel, o.RID, o.Rec)
+	case OpUpdate:
+		return fmt.Sprintf("update %s r%d %s", o.Rel, o.RID, o.Rec)
+	case OpDelete:
+		return fmt.Sprintf("delete %s r%d", o.Rel, o.RID)
+	case OpSavepoint:
+		return fmt.Sprintf("savepoint %s", o.Name)
+	case OpRollbackTo:
+		return fmt.Sprintf("rollbackto %s", o.Name)
+	case OpCommit:
+		return "commit"
+	case OpAbort:
+		return "abort"
+	case OpAddIndex:
+		return fmt.Sprintf("addindex %s %s %s on=%s", o.Rel, o.Att, o.Name, o.Cols)
+	case OpDropIndex:
+		return fmt.Sprintf("dropindex %s %s %s", o.Rel, o.Att, o.Name)
+	case OpCheckpoint:
+		return "checkpoint"
+	case OpCrash:
+		return fmt.Sprintf("crash site=%s nth=%d", o.Site, o.Nth)
+	default:
+		return o.Kind.String()
+	}
+}
+
+// Script renders an op sequence as a numbered, replayable script.
+func Script(ops []Op) string {
+	var b strings.Builder
+	for i, o := range ops {
+		fmt.Fprintf(&b, "%3d  %s\n", i, o)
+	}
+	return b.String()
+}

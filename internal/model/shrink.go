@@ -1,0 +1,60 @@
+package model
+
+// Shrink reduces a failing op sequence to a small reproducer with
+// delta debugging: first the sequence is truncated to the prefix ending
+// at the failing op, then ddmin removes progressively finer-grained
+// chunks, keeping any candidate that still diverges. Ops whose targets
+// disappear with the removed chunk are skipped by Eligible at replay, so
+// every subsequence is executable. test runs a candidate and returns its
+// divergence (nil = passes); maxRuns bounds the total replays.
+//
+// The result is 1-minimal within budget: when the budget was not
+// exhausted, removing any single remaining op makes the failure vanish.
+func Shrink(ops []Op, firstFail int, test func([]Op) *Divergence, maxRuns int) ([]Op, *Divergence, int) {
+	if firstFail >= 0 && firstFail < len(ops) {
+		ops = ops[:firstFail+1]
+	}
+	runs := 0
+	cur := append([]Op(nil), ops...)
+	div := test(cur)
+	runs++
+	if div == nil {
+		return cur, nil, runs
+	}
+
+	n := 2
+	for len(cur) >= 2 && n <= len(cur) {
+		chunk := (len(cur) + n - 1) / n
+		reduced := false
+		for start := 0; start < len(cur); start += chunk {
+			if runs >= maxRuns {
+				return cur, div, runs
+			}
+			end := start + chunk
+			if end > len(cur) {
+				end = len(cur)
+			}
+			cand := make([]Op, 0, len(cur)-(end-start))
+			cand = append(cand, cur[:start]...)
+			cand = append(cand, cur[end:]...)
+			if len(cand) == 0 {
+				continue
+			}
+			d := test(cand)
+			runs++
+			if d != nil {
+				cur, div = cand, d
+				n = max(2, n-1)
+				reduced = true
+				break
+			}
+		}
+		if !reduced {
+			if n >= len(cur) {
+				break
+			}
+			n = min(len(cur), 2*n)
+		}
+	}
+	return cur, div, runs
+}

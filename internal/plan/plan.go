@@ -42,7 +42,22 @@ type Query struct {
 	// though a full ordered pass would not.
 	Limit int
 	Join  *JoinSpec
+	// ForcePath, when set, pins the access path for Table instead of
+	// cost-based selection — the differential tests use it to prove every
+	// viable path returns the same rows.
+	ForcePath *ForcedPath
 }
+
+// ForcedPath names one access path: Att 0 is the storage method scan
+// (access path zero), any other value is that attachment type. Planning
+// fails with ErrForcedUnusable when the forced path cannot answer the
+// query (e.g. a hash index without an equality conjunct).
+type ForcedPath struct {
+	Att core.AttID
+}
+
+// ErrForcedUnusable reports that a ForcePath cannot serve the query.
+var ErrForcedUnusable = fmt.Errorf("plan: forced access path not usable for this query")
 
 // JoinSpec describes an equi-join with an inner table. The result records
 // are the outer projection followed by the inner projection.
@@ -143,8 +158,9 @@ type access struct {
 }
 
 // chooseAccess asks the storage method and every access-path attachment
-// for a cost estimate and picks the cheapest.
-func (p *Planner) chooseAccess(rd *core.RelDesc, filter *expr.Expr, orderBy []int, limit int) (*access, error) {
+// for a cost estimate and picks the cheapest — or, when force is set,
+// exactly the requested path.
+func (p *Planner) chooseAccess(rd *core.RelDesc, filter *expr.Expr, orderBy []int, limit int, force *ForcedPath) (*access, error) {
 	conjuncts := expr.Conjuncts(filter)
 	req := core.CostRequest{Conjuncts: conjuncts, OrderBy: orderBy}
 
@@ -172,9 +188,36 @@ func (p *Planner) chooseAccess(rd *core.RelDesc, filter *expr.Expr, orderBy []in
 		return t
 	}
 
+	if force != nil && force.Att != 0 {
+		inst, err := p.env.AttachmentInstance(rd, force.Att)
+		if err != nil {
+			return nil, err
+		}
+		ap, ok := inst.(core.AccessPath)
+		if !ok {
+			return nil, fmt.Errorf("%w: attachment %d is not an access path", ErrForcedUnusable, force.Att)
+		}
+		est := ap.EstimateCost(req)
+		if !est.Usable {
+			return nil, fmt.Errorf("%w: attachment %d", ErrForcedUnusable, force.Att)
+		}
+		best := &access{
+			rd: rd, useAtt: force.Att, instance: est.Instance,
+			start: est.Start, end: est.End, estimate: est,
+		}
+		return withResidual(best, conjuncts, est.Handled), nil
+	}
+
 	best := &access{rd: rd, useAtt: 0, estimate: sm.EstimateCost(req)}
 	bestHandled := best.estimate.Handled
 	best.start, best.end = best.estimate.Start, best.estimate.End
+
+	if force != nil {
+		if !best.estimate.Usable {
+			return nil, fmt.Errorf("%w: storage method scan", ErrForcedUnusable)
+		}
+		return withResidual(best, conjuncts, bestHandled), nil
+	}
 
 	for _, attID := range rd.AttachmentTypes() {
 		inst, err := p.env.AttachmentInstance(rd, attID)
@@ -197,10 +240,14 @@ func (p *Planner) chooseAccess(rd *core.RelDesc, filter *expr.Expr, orderBy []in
 			bestHandled = est.Handled
 		}
 	}
-	// Conjuncts the chosen path does not handle are re-applied by the
-	// executor against the fetched records.
+	return withResidual(best, conjuncts, bestHandled), nil
+}
+
+// withResidual records the conjuncts the chosen path does not handle; the
+// executor re-applies them against the fetched records.
+func withResidual(a *access, conjuncts []*expr.Expr, handledIdx []int) *access {
 	handled := map[int]bool{}
-	for _, h := range bestHandled {
+	for _, h := range handledIdx {
 		handled[h] = true
 	}
 	var residual []*expr.Expr
@@ -209,8 +256,8 @@ func (p *Planner) chooseAccess(rd *core.RelDesc, filter *expr.Expr, orderBy []in
 			residual = append(residual, c)
 		}
 	}
-	best.pushdown = expr.And(residual...)
-	return best, nil
+	a.pushdown = expr.And(residual...)
+	return a
 }
 
 func (a *access) describe(env *core.Env) string {
@@ -232,7 +279,7 @@ func (b *Bound) translate() error {
 	}
 	b.deps = append(b.deps, dep{rd.RelID, rd.Version})
 
-	outer, err := p.chooseAccess(rd, b.query.Filter, b.query.OrderBy, b.query.Limit)
+	outer, err := p.chooseAccess(rd, b.query.Filter, b.query.OrderBy, b.query.Limit, b.query.ForcePath)
 	if err != nil {
 		return err
 	}

@@ -1,6 +1,8 @@
 package plan_test
 
 import (
+	"errors"
+	"fmt"
 	"sort"
 	"strings"
 	"testing"
@@ -660,5 +662,106 @@ func TestExecStatsMatchTracedOperatorSpans(t *testing.T) {
 	}
 	if attLookups == 0 {
 		t.Errorf("probe span %q has no attachment child spans: %+v", probe.Ext, probe.Children)
+	}
+}
+
+// TestForcedPathsAgree is the planner differential test: for each query
+// shape, every access path that claims to be usable must return exactly
+// the same multiset of rows as the storage-method full scan.
+func TestForcedPathsAgree(t *testing.T) {
+	env := core.NewEnv(core.Config{})
+	loadEmp(t, env, "heap", nil, 200)
+	tx := env.Begin()
+	if _, err := env.CreateAttachment(tx, "emp", "btree", core.AttrList{"name": "bydno", "on": "dno"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := env.CreateAttachment(tx, "emp", "hash", core.AttrList{"name": "byeno", "on": "eno"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	multiset := func(rows []types.Record) []string {
+		out := make([]string, len(rows))
+		for i, r := range rows {
+			out[i] = fmt.Sprintf("%v", r)
+		}
+		sort.Strings(out)
+		return out
+	}
+	queries := map[string]plan.Query{
+		"eq-eno":     {Table: "emp", Filter: expr.Eq(expr.Field(0), expr.Const(types.Int(7)))},
+		"eq-dno":     {Table: "emp", Filter: expr.Eq(expr.Field(1), expr.Const(types.Int(3)))},
+		"range-dno":  {Table: "emp", Filter: expr.Lt(expr.Field(1), expr.Const(types.Int(4)))},
+		"unfiltered": {Table: "emp"},
+		"projected":  {Table: "emp", Filter: expr.Eq(expr.Field(1), expr.Const(types.Int(5))), Fields: []int{0, 2}},
+	}
+	paths := []core.AttID{0, core.AttBTree, core.AttHash}
+	for name, q := range queries {
+		q.ForcePath = &plan.ForcedPath{Att: 0}
+		baseline, _ := runQuery(t, env, q)
+		want := multiset(baseline)
+		viable := 1
+		for _, att := range paths[1:] {
+			fq := q
+			fq.ForcePath = &plan.ForcedPath{Att: att}
+			p := plan.New(env)
+			b, err := p.Plan(fq)
+			if errors.Is(err, plan.ErrForcedUnusable) {
+				continue // this path cannot answer this query shape
+			}
+			if err != nil {
+				t.Fatalf("%s att %d: %v", name, att, err)
+			}
+			viable++
+			tx := env.Begin()
+			rows, err := plan.Collect(b.Execute(tx))
+			tx.Commit()
+			if err != nil {
+				t.Fatalf("%s att %d: %v", name, att, err)
+			}
+			got := multiset(rows)
+			if len(got) != len(want) {
+				t.Fatalf("%s via att %d: %d rows, scan has %d", name, att, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%s via att %d differs at %d: %q vs %q", name, att, i, got[i], want[i])
+				}
+			}
+		}
+		// Sanity: the matrix actually exercises indexed paths where expected.
+		switch name {
+		case "eq-eno": // scan + hash (the btree is on dno)
+			if viable != 2 {
+				t.Fatalf("eq-eno: %d viable paths, want 2", viable)
+			}
+		case "range-dno", "eq-dno": // scan + btree (hash answers only eq on eno)
+			if viable != 2 {
+				t.Fatalf("%s: %d viable paths, want 2", name, viable)
+			}
+		}
+	}
+}
+
+// TestForcedPathUnusableIsAnError pins the failure mode: forcing a hash
+// index for a range query must fail with ErrForcedUnusable, not silently
+// fall back to another path.
+func TestForcedPathUnusableIsAnError(t *testing.T) {
+	env := core.NewEnv(core.Config{})
+	loadEmp(t, env, "heap", nil, 20)
+	tx := env.Begin()
+	if _, err := env.CreateAttachment(tx, "emp", "hash", core.AttrList{"name": "byeno", "on": "eno"}); err != nil {
+		t.Fatal(err)
+	}
+	tx.Commit()
+	_, err := plan.New(env).Plan(plan.Query{
+		Table:     "emp",
+		Filter:    expr.Lt(expr.Field(0), expr.Const(types.Int(5))),
+		ForcePath: &plan.ForcedPath{Att: core.AttHash},
+	})
+	if !errors.Is(err, plan.ErrForcedUnusable) {
+		t.Fatalf("err = %v, want ErrForcedUnusable", err)
 	}
 }

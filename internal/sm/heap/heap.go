@@ -535,7 +535,7 @@ func (s *store) ApplyLogged(payload []byte, undo bool) error {
 			if undo {
 				rec = p.Old
 			}
-			return s.overwriteAt(oldR, rec.AppendEncode(nil))
+			return s.redoOverwrite(oldR, rec.AppendEncode(nil))
 		}
 		if undo {
 			if err := s.setDeleted(newR, true); err != nil {
@@ -576,6 +576,42 @@ func (s *store) redoPlace(r rid, rec types.Record) error {
 	return s.withPage(nil, r.page, true, func(f *buffer.Frame) error {
 		_, err := s.placeAtLocked(f, r, enc)
 		return err
+	})
+}
+
+// redoOverwrite rewrites a slot's record bytes during log replay. Replay
+// can meet a slot smaller than it was at run time: a checkpoint snapshot
+// re-places each record at its current size, so a slot that once held a
+// larger record (in-place shrinking update) loses the headroom a replayed
+// earlier overwrite needs. The record is then moved to fresh space on the
+// same page with the slot repointed — the record address stays stable.
+func (s *store) redoOverwrite(r rid, enc []byte) error {
+	return s.withPage(nil, r.page, true, func(f *buffer.Frame) error {
+		nslots := int(binary.BigEndian.Uint16(f.Data))
+		so := slotOffset(int(r.slot))
+		if int(r.slot) >= nslots {
+			_, err := s.placeAtLocked(f, r, enc)
+			return err
+		}
+		capBytes := int(binary.BigEndian.Uint16(f.Data[so+2:]))
+		if len(enc) <= capBytes {
+			off := int(binary.BigEndian.Uint16(f.Data[so:]))
+			copy(f.Data[off:], enc)
+			binary.BigEndian.PutUint16(f.Data[so+4:], uint16(len(enc)))
+			return nil
+		}
+		freeHigh := int(binary.BigEndian.Uint16(f.Data[2:]))
+		newFreeHigh := freeHigh - len(enc)
+		if newFreeHigh < slotOffset(nslots) {
+			return fmt.Errorf("heap: page %d overflow re-placing %d bytes", r.page, len(enc))
+		}
+		copy(f.Data[newFreeHigh:], enc)
+		binary.BigEndian.PutUint16(f.Data[so:], uint16(newFreeHigh))
+		binary.BigEndian.PutUint16(f.Data[so+2:], uint16(len(enc)))
+		binary.BigEndian.PutUint16(f.Data[so+4:], uint16(len(enc)))
+		binary.BigEndian.PutUint16(f.Data[2:], uint16(newFreeHigh))
+		s.free[r.page] -= len(enc)
+		return nil
 	})
 }
 

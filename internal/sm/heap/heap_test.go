@@ -338,3 +338,51 @@ func TestDiskIOCounted(t *testing.T) {
 		t.Fatal("expected disk reads with tiny pool")
 	}
 }
+
+// Regression: a checkpoint snapshot re-places each record at its current
+// size, so a slot that shrank in place before the checkpoint loses the
+// headroom an overwrite replayed after it needs. Redo must re-place the
+// record on the page instead of failing the capacity check.
+func TestRecoveryReplaysOverwriteIntoSnapshotShrunkSlot(t *testing.T) {
+	log := wal.New()
+	env := core.NewEnv(core.Config{Log: log})
+	r := mkHeap(t, env, "t")
+	tx := env.Begin()
+	k, _ := r.Insert(tx, rec(1, "a-long-initial-payload"))
+	tx.Commit()
+
+	tx2 := env.Begin()
+	if _, err := r.Update(tx2, k, rec(1, "tiny")); err != nil {
+		t.Fatal(err)
+	}
+	tx2.Commit()
+	if err := env.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// Same length as the original, so the run-time slot still has the
+	// headroom and the update stays in place at the same record address.
+	tx3 := env.Begin()
+	nk, err := r.Update(tx3, k, rec(1, "b-long-update-payload!"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !nk.Equal(k) {
+		t.Fatal("update should have stayed in place")
+	}
+	tx3.Commit()
+
+	env2 := core.NewEnv(core.Config{Log: log})
+	if err := env2.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := env2.OpenRelationByName("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx4 := env2.Begin()
+	got, err := r2.Fetch(tx4, k, nil, nil)
+	if err != nil || got[1].S != "b-long-update-payload!" {
+		t.Fatalf("recovered: %v %v", got, err)
+	}
+	tx4.Commit()
+}

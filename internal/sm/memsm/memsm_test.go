@@ -60,3 +60,122 @@ func TestMemoryRejectsUnknownAttrs(t *testing.T) {
 	}
 	tx.Commit()
 }
+
+func mkMem(t *testing.T, env *core.Env, name string) *core.Relation {
+	t.Helper()
+	tx := env.Begin()
+	if _, err := env.CreateRelation(tx, name, schema(), "memory", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := env.OpenRelationByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func mrec(id int64, v string) types.Record {
+	return types.Record{types.Int(id), types.Str(v)}
+}
+
+func TestMemoryUpdateDeleteUnderScan(t *testing.T) {
+	env := core.NewEnv(core.Config{})
+	r := mkMem(t, env, "t")
+	tx := env.Begin()
+	for i := 0; i < 5; i++ {
+		r.Insert(tx, mrec(int64(i), "x"))
+	}
+	scan, err := r.OpenScan(tx, core.ScanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k0, _, _, _ := scan.Next()
+	pos := scan.Pos()
+	// Delete at position: the scan sits just after the removed record.
+	if err := r.Delete(tx, k0); err != nil {
+		t.Fatal(err)
+	}
+	k1, r1, ok, err := scan.Next()
+	if err != nil || !ok || r1[0].AsInt() != 1 {
+		t.Fatalf("next after delete-at-position: %v %v %v", r1, ok, err)
+	}
+	// Update under the scan: the new value is visible on replay.
+	if _, err := r.Update(tx, k1, mrec(1, "changed")); err != nil {
+		t.Fatal(err)
+	}
+	if err := scan.Restore(pos); err != nil {
+		t.Fatal(err)
+	}
+	_, r1b, ok, _ := scan.Next()
+	if !ok || r1b[0].AsInt() != 1 || r1b[1].S != "changed" {
+		t.Fatalf("restored scan returned %v", r1b)
+	}
+	tx.Commit()
+}
+
+func TestMemoryKeyRangeScan(t *testing.T) {
+	env := core.NewEnv(core.Config{})
+	r := mkMem(t, env, "t")
+	tx := env.Begin()
+	keys := make([]types.Key, 0, 10)
+	for i := 0; i < 10; i++ {
+		k, _ := r.Insert(tx, mrec(int64(i), "x"))
+		keys = append(keys, k)
+	}
+	// Record keys are insertion sequence numbers; a [keys[3], keys[7])
+	// range must return exactly records 3..6 in key order.
+	scan, err := r.OpenScan(tx, core.ScanOptions{Start: keys[3], End: keys[7]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(3)
+	for {
+		_, got, ok, err := scan.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		if got[0].AsInt() != want {
+			t.Fatalf("range scan returned id %d, want %d", got[0].AsInt(), want)
+		}
+		want++
+	}
+	if want != 7 {
+		t.Fatalf("range scan stopped at id %d, want 7", want)
+	}
+	tx.Commit()
+}
+
+func TestMemoryAbortRestoresContents(t *testing.T) {
+	env := core.NewEnv(core.Config{})
+	r := mkMem(t, env, "t")
+	tx := env.Begin()
+	k1, _ := r.Insert(tx, mrec(1, "keep"))
+	k2, _ := r.Insert(tx, mrec(2, "keep"))
+	tx.Commit()
+
+	tx2 := env.Begin()
+	r.Insert(tx2, mrec(3, "drop"))
+	r.Delete(tx2, k1)
+	r.Update(tx2, k2, mrec(2, "changed"))
+	tx2.Abort()
+
+	if r.Storage().RecordCount() != 2 {
+		t.Fatalf("count after abort = %d", r.Storage().RecordCount())
+	}
+	tx3 := env.Begin()
+	g1, err := r.Fetch(tx3, k1, nil, nil)
+	if err != nil || g1[1].S != "keep" {
+		t.Fatalf("k1 = %v %v", g1, err)
+	}
+	g2, err := r.Fetch(tx3, k2, nil, nil)
+	if err != nil || g2[1].S != "keep" {
+		t.Fatalf("k2 = %v %v", g2, err)
+	}
+	tx3.Commit()
+}
