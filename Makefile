@@ -15,7 +15,9 @@ test:
 # crash_test.go runs in both passes). The shuffled pass includes the
 # fixed-seed model run: TestModel (40 seeds) and TestModelCrashRecovery
 # (12 crash-recovery cycles) cross-check the engine against the
-# reference model on every gate.
+# reference model on every gate — the generated workloads include
+# read-only snapshot transactions, so snapshot visibility is
+# cross-checked against the oracle's captured committed state here too.
 check: build vet staticcheck
 	$(GO) test -shuffle=on -cover ./...
 	$(GO) test -race -count=1 ./...

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"testing"
 
+	"dmx/internal/core"
 	"dmx/internal/fault"
 )
 
@@ -202,5 +203,78 @@ func TestCheckpointBoundsRedo(t *testing.T) {
 	_, full := run(-1)
 	if bounded*2 >= full {
 		t.Fatalf("checkpointing did not bound redo: %d vs %d records", bounded, full)
+	}
+}
+
+// TestCrashBetweenCommitForceAndStampPublication pins the commit-stamp
+// recovery contract: the crash lands after the commit record's fsync but
+// before the commit's stamp is published into the in-memory high-water.
+// After restart the transaction must be fully in — redo replays it and
+// the re-derived stamp high-water covers it — so locked reads and
+// snapshot reads agree on the recovered row, never a half-published
+// state where the row is present but invisible to snapshots.
+func TestCrashBetweenCommitForceAndStampPublication(t *testing.T) {
+	dir := t.TempDir()
+	inj := fault.New()
+	cfg := Config{
+		LogPath:         filepath.Join(dir, "wal.log"),
+		DiskPath:        filepath.Join(dir, "data.db"),
+		CheckpointEvery: -1,
+		Faults:          inj,
+	}
+	db, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(
+		"CREATE TABLE t (id INT NOT NULL, v STRING) USING heap",
+		"INSERT INTO t VALUES (1, 'one')",
+	); err != nil {
+		t.Fatal(err)
+	}
+	inj.Arm(fault.SiteWALSynced, 1)
+	if _, err := db.Exec("INSERT INTO t VALUES (2, 'two')"); err == nil {
+		t.Fatal("commit survived the armed wal.synced crash")
+	}
+	// No db.Close(): the injected crash is a process death.
+
+	cfg2 := cfg
+	cfg2.Faults = nil
+	cfg2.Recover = true
+	db2, err := Open(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	res, err := db2.Exec("SELECT id FROM t")
+	if err != nil || len(res.Rows) != 2 {
+		t.Fatalf("locked read after recovery: %+v, %v", res, err)
+	}
+	rel, err := db2.Relation("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ro := db2.BeginReadOnly()
+	sc, err := rel.OpenScan(ro, core.ScanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int64]bool{}
+	for {
+		_, rec, ok, err := sc.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		seen[rec[0].AsInt()] = true
+	}
+	sc.Close()
+	if err := ro.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if !seen[1] || !seen[2] || len(seen) != 2 {
+		t.Fatalf("snapshot read after recovery saw %v, want rows 1 and 2", seen)
 	}
 }

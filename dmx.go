@@ -282,6 +282,13 @@ func (db *DB) NewSession() *Session { return ddl.NewSession(db.Env) }
 // Begin starts an explicit transaction for direct generic-interface use.
 func (db *DB) Begin() *Txn { return db.Env.Begin() }
 
+// BeginReadOnly starts a snapshot read-only transaction: it observes the
+// state committed when it began, refuses modifications, and — on
+// relations of MVCC storage methods (heap) — reads with zero
+// lock-manager acquisitions, so it never blocks writers or waits for
+// them.
+func (db *DB) BeginReadOnly() *Txn { return db.Env.BeginReadOnly() }
+
 // Relation opens the runtime handle for a relation by name.
 func (db *DB) Relation(name string) (*Relation, error) {
 	return db.Env.OpenRelationByName(name)

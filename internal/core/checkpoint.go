@@ -9,8 +9,10 @@ import (
 )
 
 // ErrCheckpointBusy is returned when a checkpoint cannot run because
-// another checkpoint is in progress or active writers hold relation
-// locks. Checkpoints are opportunistic; callers retry later.
+// another checkpoint is in progress, active writers hold relation locks,
+// or read-only snapshot transactions are open (a truncating checkpoint
+// would cut the WAL records their version reconstruction reads).
+// Checkpoints are opportunistic; callers retry later.
 var ErrCheckpointBusy = errors.New("core: checkpoint busy (writers active)")
 
 // Checkpoint writes a recovery checkpoint to the common log and truncates
@@ -71,6 +73,15 @@ func (env *Env) Checkpoint() error {
 		}
 	}
 
+	// Open snapshots pin the log head: their version reconstruction reads
+	// WAL records by LSN, which truncation would drop. A snapshot that
+	// begins after this check is safe — writers are already quiesced, so
+	// every version chain head is stamped below the newcomer's high-water
+	// and it reads page state, never the log.
+	if env.Txns.ActiveReadOnly() > 0 {
+		return ErrCheckpointBusy
+	}
+
 	snap := func(emit func(owner wal.Owner, payload []byte) error) error {
 		for _, name := range env.Cat.List() {
 			rd, ok := env.Cat.ByName(name)
@@ -114,5 +125,27 @@ func (env *Env) Checkpoint() error {
 		}
 		return nil
 	}
-	return env.Log.Checkpoint(env.Txns.ActiveIDs(), snap)
+	if err := env.Log.Checkpoint(env.Txns.ActiveIDs(), env.Txns.StampHW(), snap); err != nil {
+		return err
+	}
+
+	// The checkpoint truncated the log head, so version-chain entries
+	// referencing pre-checkpoint records can no longer reconstruct from
+	// the WAL. Freeze them: the chains are cleared (still under the
+	// relation S locks, with no snapshot open), and page state — which
+	// the checkpoint just captured — becomes the version every future
+	// snapshot starts from. Post-checkpoint writes rebuild chains whose
+	// LSNs all sit above the new log head.
+	for _, name := range env.Cat.List() {
+		rd, ok := env.Cat.ByName(name)
+		if !ok || !locked[rd.RelID] {
+			continue
+		}
+		if inst, err := env.StorageInstance(rd); err == nil {
+			if f, ok := inst.(VersionFreezer); ok {
+				f.FreezeVersions()
+			}
+		}
+	}
+	return nil
 }

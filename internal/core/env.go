@@ -199,6 +199,18 @@ func (env *Env) Begin() *txn.Txn {
 	return tx
 }
 
+// BeginReadOnly starts a snapshot read-only transaction: reads observe
+// the state committed when it began, modifications are refused, and —
+// for relations of MVCC storage methods — no lock-manager acquisitions
+// are performed at all, so readers never contend with writers.
+func (env *Env) BeginReadOnly() *txn.Txn {
+	tx := env.Txns.BeginReadOnly()
+	if env.Tracer.Enabled() {
+		tx.SetTrace(env.Tracer.StartTxn(uint64(tx.ID())))
+	}
+	return tx
+}
+
 // Close releases environment-level services: the debug server (if one is
 // running) is shut down. The buffer pool, log, and disk are owned by the
 // embedding database handle and closed there.
@@ -399,6 +411,27 @@ func (env *Env) Recover() error {
 	if err != nil {
 		return err
 	}
+	// Re-seed the commit-stamp sequence from the recovered log: the
+	// largest stamp among surviving commit records and the checkpoint's
+	// recorded high-water. Recovery rebuilt state for exactly the
+	// transactions whose commit records survived, so a snapshot at this
+	// high-water sees precisely the committed history — a crash between
+	// a commit's force and its stamp publication leaves the transaction
+	// either fully in or fully out, never half-published.
+	var maxStamp uint64
+	for _, rec := range env.Log.Records() {
+		var s uint64
+		switch rec.Kind {
+		case wal.RecCommit:
+			s = wal.DecodeCommitStamp(rec.Payload)
+		case wal.RecCheckpoint:
+			s = wal.DecodeCheckpointStamp(rec.Payload)
+		}
+		if s > maxStamp {
+			maxStamp = s
+		}
+	}
+	env.Txns.RestoreStamps(maxStamp)
 	return env.rebuildAttachments()
 }
 

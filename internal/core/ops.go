@@ -145,6 +145,36 @@ type StorageOps struct {
 	// be scanned at restart (remote: the foreign server is attached
 	// later).
 	ReplayAttachments bool
+	// MVCC marks storage methods that stamp record versions, letting
+	// read-only snapshot transactions read them with zero lock-manager
+	// acquisitions. The method's instances must implement
+	// VersionedStorage, answer FetchByKey/OpenScan with
+	// snapshot-consistent versions when tx.ReadOnly(), and implement
+	// VersionFreezer so truncating checkpoints can retire chains whose
+	// WAL records are going away. Relations of non-MVCC methods fall back
+	// to ordinary share-locked reads for read-only transactions.
+	MVCC bool
+}
+
+// VersionedStorage is implemented by MVCC storage instances. It answers
+// point visibility questions for keys obtained outside the storage method
+// itself — access-path lookups return record keys without consulting
+// version stamps, so the read path filters them through the base
+// relation's snapshot visibility before use.
+type VersionedStorage interface {
+	// SnapshotVisible reports whether the record at key exists in tx's
+	// snapshot (tx must be read-only). It never takes locks.
+	SnapshotVisible(tx *txn.Txn, key types.Key) (bool, error)
+}
+
+// VersionFreezer is implemented by MVCC storage instances whose version
+// chains reference WAL records by LSN. A truncating checkpoint — which
+// only runs with writers quiesced and no snapshot open — calls
+// FreezeVersions afterwards to drop the chains: current page state, which
+// the checkpoint just captured, becomes the version every future snapshot
+// starts from, and no chain entry outlives the log records it points at.
+type VersionFreezer interface {
+	FreezeVersions()
 }
 
 // AttachmentInstance is the runtime handle for all instances of one

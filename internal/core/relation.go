@@ -22,9 +22,10 @@ import (
 // modification, in which case the common recovery log drives the storage
 // method and attachments to undo the partial effects.
 type Relation struct {
-	env *Env
-	rd  *RelDesc
-	sm  StorageInstance
+	env  *Env
+	rd   *RelDesc
+	sm   StorageInstance
+	mvcc bool // storage method stamps versions: snapshot reads skip the lock manager
 }
 
 // OpenRelation returns a runtime handle for rd. The descriptor may come
@@ -34,8 +35,19 @@ func (env *Env) OpenRelation(rd *RelDesc) (*Relation, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Relation{env: env, rd: rd, sm: sm}, nil
+	r := &Relation{env: env, rd: rd, sm: sm}
+	if ops := env.Reg.StorageOps(rd.SM); ops != nil {
+		r.mvcc = ops.MVCC
+	}
+	return r, nil
 }
+
+// lockFree reports whether this access can bypass the lock manager: a
+// read-only snapshot transaction over version-stamped storage reads a
+// consistent snapshot without any locks. Relations of non-MVCC storage
+// methods keep ordinary share-locked reads even for read-only
+// transactions.
+func (r *Relation) lockFree(tx *txn.Txn) bool { return tx.ReadOnly() && r.mvcc }
 
 // OpenRelationByName resolves name in the catalog and opens it.
 func (env *Env) OpenRelationByName(name string) (*Relation, error) {
@@ -61,6 +73,9 @@ func (r *Relation) Insert(tx *txn.Txn, rec types.Record) (key types.Key, err err
 	if tx.Trace().Detailed() {
 		sp := tx.Trace().StartSpan("rel.insert", r.rd.Name, "insert")
 		defer func() { sp.End(err) }()
+	}
+	if tx.ReadOnly() {
+		return nil, txn.ErrReadOnly
 	}
 	if err := r.env.Authz.Check(tx, r.rd, PrivWrite); err != nil {
 		return nil, err
@@ -99,6 +114,9 @@ func (r *Relation) Update(tx *txn.Txn, key types.Key, newRec types.Record) (newK
 	if tx.Trace().Detailed() {
 		sp := tx.Trace().StartSpan("rel.update", r.rd.Name, "update")
 		defer func() { sp.End(err) }()
+	}
+	if tx.ReadOnly() {
+		return nil, txn.ErrReadOnly
 	}
 	if err := r.env.Authz.Check(tx, r.rd, PrivWrite); err != nil {
 		return nil, err
@@ -145,6 +163,9 @@ func (r *Relation) Delete(tx *txn.Txn, key types.Key) (err error) {
 	if tx.Trace().Detailed() {
 		sp := tx.Trace().StartSpan("rel.delete", r.rd.Name, "delete")
 		defer func() { sp.End(err) }()
+	}
+	if tx.ReadOnly() {
+		return txn.ErrReadOnly
 	}
 	if err := r.env.Authz.Check(tx, r.rd, PrivWrite); err != nil {
 		return err
@@ -263,15 +284,20 @@ func (r *Relation) smName() string {
 // Fetch is the direct-by-key access to the stored record: selected fields
 // are returned after the filter is applied against the buffer-resident
 // record by the storage method.
+// Read-only snapshot transactions on MVCC storage skip both locks: the
+// storage method answers with the version visible in the transaction's
+// snapshot, so no writer coordination is needed.
 func (r *Relation) Fetch(tx *txn.Txn, key types.Key, fields []int, filter *expr.Expr) (types.Record, error) {
 	if err := r.env.Authz.Check(tx, r.rd, PrivRead); err != nil {
 		return nil, err
 	}
-	if err := tx.Lock(lock.RelResource(r.rd.RelID), lock.ModeIS); err != nil {
-		return nil, err
-	}
-	if err := tx.Lock(lock.KeyResource(r.rd.RelID, key), lock.ModeS); err != nil {
-		return nil, err
+	if !r.lockFree(tx) {
+		if err := tx.Lock(lock.RelResource(r.rd.RelID), lock.ModeIS); err != nil {
+			return nil, err
+		}
+		if err := tx.Lock(lock.KeyResource(r.rd.RelID, key), lock.ModeS); err != nil {
+			return nil, err
+		}
 	}
 	r.env.Metrics.Fetches.Add(1)
 	smSp := r.smSpan(tx, obs.OpFetch)
@@ -290,8 +316,10 @@ func (r *Relation) OpenScan(tx *txn.Txn, opts ScanOptions) (Scan, error) {
 	if err := r.env.Authz.Check(tx, r.rd, PrivRead); err != nil {
 		return nil, err
 	}
-	if err := tx.Lock(lock.RelResource(r.rd.RelID), lock.ModeS); err != nil {
-		return nil, err
+	if !r.lockFree(tx) {
+		if err := tx.Lock(lock.RelResource(r.rd.RelID), lock.ModeS); err != nil {
+			return nil, err
+		}
 	}
 	r.env.Metrics.Scans.Add(1)
 	smSp := r.smSpan(tx, obs.OpScan)
@@ -309,12 +337,20 @@ func (r *Relation) OpenScan(tx *txn.Txn, opts ScanOptions) (Scan, error) {
 // (attachment type id, instance). It returns record keys (and stored
 // access-path key fields) in access-path key order; records are then
 // fetched directly via the storage method.
+// Access paths are unversioned, so for a read-only snapshot transaction
+// the record keys they yield are filtered through the base storage's
+// snapshot visibility: entries from post-snapshot or uncommitted inserts
+// are dropped. (Entries a concurrent writer already removed cannot be
+// resurrected from the index; a snapshot read that must see every
+// qualifying historical record uses OpenScan.)
 func (r *Relation) OpenAccessScan(tx *txn.Txn, id AttID, instance int, opts ScanOptions) (Scan, error) {
 	if err := r.env.Authz.Check(tx, r.rd, PrivRead); err != nil {
 		return nil, err
 	}
-	if err := tx.Lock(lock.RelResource(r.rd.RelID), lock.ModeS); err != nil {
-		return nil, err
+	if !r.lockFree(tx) {
+		if err := tx.Lock(lock.RelResource(r.rd.RelID), lock.ModeS); err != nil {
+			return nil, err
+		}
 	}
 	inst, err := r.env.AttachmentInstance(r.rd, id)
 	if err != nil {
@@ -333,17 +369,27 @@ func (r *Relation) OpenAccessScan(tx *txn.Txn, id AttID, instance int, opts Scan
 	if err != nil {
 		return nil, err
 	}
+	if r.lockFree(tx) {
+		if vs, ok := r.sm.(VersionedStorage); ok {
+			s = &snapFilterScan{Scan: s, vs: vs, tx: tx}
+		}
+	}
 	return manageScan(tx, s)
 }
 
 // LookupAccess is the direct-by-key access through an access path: it
 // returns the record keys mapped from the given access-path key.
+// For read-only snapshot transactions the lookup is lock-free and the
+// returned keys are filtered for snapshot visibility (see OpenAccessScan
+// for the limits of unversioned access paths).
 func (r *Relation) LookupAccess(tx *txn.Txn, id AttID, instance int, key types.Key) ([]types.Key, error) {
 	if err := r.env.Authz.Check(tx, r.rd, PrivRead); err != nil {
 		return nil, err
 	}
-	if err := tx.Lock(lock.RelResource(r.rd.RelID), lock.ModeIS); err != nil {
-		return nil, err
+	if !r.lockFree(tx) {
+		if err := tx.Lock(lock.RelResource(r.rd.RelID), lock.ModeIS); err != nil {
+			return nil, err
+		}
 	}
 	inst, err := r.env.AttachmentInstance(r.rd, id)
 	if err != nil {
@@ -359,7 +405,46 @@ func (r *Relation) LookupAccess(tx *txn.Txn, id AttID, instance int, key types.K
 	keys, err := ap.LookupByKey(tx, instance, key)
 	r.env.Obs.Att.Observe(int(id), obs.OpLookup, time.Since(start), err != nil)
 	attSp.End(err)
+	if err == nil && r.lockFree(tx) {
+		if vs, ok := r.sm.(VersionedStorage); ok {
+			kept := keys[:0]
+			for _, k := range keys {
+				vis, verr := vs.SnapshotVisible(tx, k)
+				if verr != nil {
+					return nil, verr
+				}
+				if vis {
+					kept = append(kept, k)
+				}
+			}
+			keys = kept
+		}
+	}
 	return keys, err
+}
+
+// snapFilterScan drops access-path entries that are not visible in the
+// read-only transaction's snapshot.
+type snapFilterScan struct {
+	Scan
+	vs VersionedStorage
+	tx *txn.Txn
+}
+
+func (s *snapFilterScan) Next() (types.Key, types.Record, bool, error) {
+	for {
+		key, rec, ok, err := s.Scan.Next()
+		if err != nil || !ok {
+			return key, rec, ok, err
+		}
+		vis, err := s.vs.SnapshotVisible(s.tx, key)
+		if err != nil {
+			return nil, nil, false, err
+		}
+		if vis {
+			return key, rec, true, nil
+		}
+	}
 }
 
 // managedScan wires a scan into the transaction event services.

@@ -149,36 +149,36 @@ func (g *generator) next(i int) (Op, bool) {
 	w := g.rng.Intn(100)
 	var op Op
 	switch {
-	case w < 36:
+	case w < 30:
 		rel := g.pickRel()
 		op = Op{Kind: OpInsert, Rel: rel, RID: g.nextRID, Rec: g.genRec(rel)}
-	case w < 53:
+	case w < 45:
 		rel := g.pickRel()
 		rid, ok := g.pickRID(rel)
 		if !ok {
 			return Op{}, false
 		}
 		op = Op{Kind: OpUpdate, Rel: rel, RID: rid, Rec: g.genRec(rel)}
-	case w < 65:
+	case w < 55:
 		rel := g.pickRel()
 		rid, ok := g.pickRID(rel)
 		if !ok {
 			return Op{}, false
 		}
 		op = Op{Kind: OpDelete, Rel: rel, RID: rid}
-	case w < 70:
+	case w < 60:
 		op = Op{Kind: OpSavepoint, Name: fmt.Sprintf("s%d", i)}
-	case w < 74:
+	case w < 64:
 		saves := g.m.Savepoints()
 		if len(saves) == 0 {
 			return Op{}, false
 		}
 		op = Op{Kind: OpRollbackTo, Name: saves[g.rng.Intn(len(saves))]}
-	case w < 84:
+	case w < 74:
 		op = Op{Kind: OpCommit}
-	case w < 88:
+	case w < 78:
 		op = Op{Kind: OpAbort}
-	case w < 91:
+	case w < 81:
 		op = Op{
 			Kind: OpAddIndex,
 			Rel:  pick(g.rng, "p", "c"),
@@ -186,7 +186,7 @@ func (g *generator) next(i int) (Op, bool) {
 			Name: fmt.Sprintf("ix%d", i),
 			Cols: pick(g.rng, "id", "grp", "val", "grp,val", "note"),
 		}
-	case w < 94:
+	case w < 83:
 		rel := pick(g.rng, "p", "c")
 		att := pick(g.rng, "btree", "hash")
 		defs := g.m.Cfg(rel).BTree
@@ -197,8 +197,14 @@ func (g *generator) next(i int) (Op, bool) {
 			return Op{}, false
 		}
 		op = Op{Kind: OpDropIndex, Rel: rel, Att: att, Name: defs[g.rng.Intn(len(defs))].Name}
-	case w < 97:
+	case w < 86:
 		op = Op{Kind: OpCheckpoint}
+	case w < 90:
+		op = Op{Kind: OpSnapBegin}
+	case w < 95:
+		op = Op{Kind: OpSnapRead}
+	case w < 97:
+		op = Op{Kind: OpSnapEnd}
 	default:
 		if !g.crash {
 			return Op{}, false

@@ -93,8 +93,14 @@ func Run(cfg RunConfig) *Divergence {
 		}
 	}
 
-	// Close the trailing transaction (engine and model together), then
-	// verify the final quiescent state.
+	// Close a trailing snapshot and the trailing transaction (engine and
+	// model together), then verify the final quiescent state.
+	if r.m.SnapOpen() {
+		r.step(len(r.cfg.Ops), Op{Kind: OpSnapEnd})
+		if r.div != nil {
+			return r.div
+		}
+	}
 	if r.m.InTxn() {
 		r.step(len(r.cfg.Ops), Op{Kind: OpAbort})
 		if r.div != nil {
@@ -127,6 +133,7 @@ type runner struct {
 	disk *pagefile.FileDisk
 	inj  *fault.Injector
 	tx   *txn.Txn
+	roTx *txn.Txn // open snapshot (read-only) transaction, if any
 	div  *Divergence
 }
 
@@ -336,6 +343,7 @@ func (r *runner) engineOp(op Op, targetKey types.Key) error {
 		key, err := rel.Insert(r.ensureTx(), op.Rec.Clone())
 		if err == nil {
 			r.m.LearnKey(op.Rel, op.RID, key)
+			return r.checkOwnWrite(rel, op.Rel, key, op.Rec)
 		}
 		return err
 	case OpUpdate:
@@ -346,6 +354,7 @@ func (r *runner) engineOp(op Op, targetKey types.Key) error {
 		newKey, err := rel.Update(r.ensureTx(), targetKey, op.Rec.Clone())
 		if err == nil {
 			r.m.LearnKey(op.Rel, op.RID, newKey)
+			return r.checkOwnWrite(rel, op.Rel, newKey, op.Rec)
 		}
 		return err
 	case OpDelete:
@@ -391,9 +400,100 @@ func (r *runner) engineOp(op Op, targetKey types.Key) error {
 			r.inj.Arm(fault.Site(op.Site), op.Nth)
 		}
 		return nil
+	case OpSnapBegin:
+		r.roTx = r.env.BeginReadOnly()
+		return nil
+	case OpSnapRead:
+		return r.snapRead()
+	case OpSnapEnd:
+		roTx := r.roTx
+		r.roTx = nil
+		return roTx.Commit()
 	default:
 		return fmt.Errorf("model: unknown op kind %v", op.Kind)
 	}
+}
+
+// checkOwnWrite fetches a just-written record back inside the writing
+// transaction: a transaction must see its own uncommitted writes through
+// the same read path that snapshot transactions branch off.
+func (r *runner) checkOwnWrite(rel *core.Relation, name string, key types.Key, want types.Record) error {
+	rec, err := rel.Fetch(r.tx, key, nil, nil)
+	if err != nil {
+		return fmt.Errorf("own-write readback on %s key %v: %w", name, key, err)
+	}
+	if !rec.Equal(want) {
+		return fmt.Errorf("own-write readback on %s key %v: got %s, wrote %s",
+			name, key, recString(rec), recString(want))
+	}
+	return nil
+}
+
+// snapRead cross-checks the open snapshot transaction against the state
+// the model captured when it began: a full scan must return exactly the
+// captured rows (as a multiset), and each captured row must fetch back
+// unchanged by its key — no matter what has committed since. Only heap-SM
+// relations are checked; they are the only versioned storage method, and
+// the capture in Model.snapBegin is restricted the same way.
+func (r *runner) snapRead() error {
+	for _, name := range r.m.Rels() {
+		rows := r.m.SnapRows(name)
+		if rows == nil {
+			continue
+		}
+		rel, err := r.env.OpenRelationByName(name)
+		if err != nil {
+			return fmt.Errorf("snapshot read on %s: open: %w", name, err)
+		}
+		scan, err := rel.OpenScan(r.roTx, core.ScanOptions{})
+		if err != nil {
+			return fmt.Errorf("snapshot read on %s: scan open: %w", name, err)
+		}
+		var got []string
+		for {
+			_, rec, ok, err := scan.Next()
+			if err != nil {
+				scan.Close()
+				return fmt.Errorf("snapshot read on %s: scan: %w", name, err)
+			}
+			if !ok {
+				break
+			}
+			got = append(got, recString(rec))
+		}
+		scan.Close()
+		want := make([]string, 0, len(rows))
+		for _, row := range rows {
+			want = append(want, recString(row.Rec))
+		}
+		sort.Strings(got)
+		sort.Strings(want)
+		if len(got) != len(want) {
+			return fmt.Errorf("snapshot read on %s: scan returned %d records, snapshot captured %d (%v vs %v)",
+				name, len(got), len(want), got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return fmt.Errorf("snapshot read on %s: scan multiset differs: engine %s vs snapshot %s",
+					name, got[i], want[i])
+			}
+		}
+		for _, row := range rows {
+			if row.Key == nil {
+				continue
+			}
+			rec, err := rel.Fetch(r.roTx, row.Key, nil, nil)
+			if err != nil {
+				return fmt.Errorf("snapshot read on %s: fetch key %v: %w (snapshot row %s)",
+					name, row.Key, err, recString(row.Rec))
+			}
+			if !rec.Equal(row.Rec) {
+				return fmt.Errorf("snapshot read on %s: fetch key %v: engine %s vs snapshot %s",
+					name, row.Key, recString(rec), recString(row.Rec))
+			}
+		}
+	}
+	return nil
 }
 
 // compareOutcome checks error/veto parity: a predicted success must
@@ -451,7 +551,7 @@ func (r *runner) handleCrash(i int, op Op, pre *Model) {
 	}
 
 	r.closeEnv()
-	r.tx = nil
+	r.tx, r.roTx = nil, nil
 	if err := r.openEnv(true); err != nil {
 		r.div = &Divergence{OpIndex: i, Op: op, Detail: "recovery failed: " + err.Error()}
 		return

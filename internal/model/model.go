@@ -158,6 +158,13 @@ type Model struct {
 	saves    []savept
 	deferred []deferredFK
 	defSeen  map[string]bool
+
+	// snapRows is the committed state of each MVCC-capable (heap-SM)
+	// relation captured when the open model snapshot began; nil when no
+	// snapshot transaction is open. Snapshot reads must keep seeing exactly
+	// these rows no matter what commits afterwards.
+	snapOpen bool
+	snapRows map[string][]*Row
 }
 
 // NewModel builds the oracle for a fleet. The fleet is deep-copied:
@@ -200,6 +207,17 @@ func (m *Model) Clone() *Model {
 	out.defSeen = make(map[string]bool, len(m.defSeen))
 	for k := range m.defSeen {
 		out.defSeen[k] = true
+	}
+	out.snapOpen = m.snapOpen
+	if m.snapRows != nil {
+		out.snapRows = make(map[string][]*Row, len(m.snapRows))
+		for name, rows := range m.snapRows {
+			cp := make([]*Row, 0, len(rows))
+			for _, row := range rows {
+				cp = append(cp, row.clone())
+			}
+			out.snapRows[name] = cp
+		}
 	}
 	return out
 }
@@ -316,6 +334,10 @@ func (m *Model) Eligible(op Op) bool {
 		return !m.inTxn
 	case OpCrash:
 		return true
+	case OpSnapBegin:
+		return !m.snapOpen
+	case OpSnapRead, OpSnapEnd:
+		return m.snapOpen
 	default:
 		return false
 	}
@@ -356,9 +378,60 @@ func (m *Model) Step(op Op) Outcome {
 		return success()
 	case OpCheckpoint, OpCrash:
 		return success()
+	case OpSnapBegin:
+		m.snapBegin()
+		return success()
+	case OpSnapRead:
+		// The reads themselves are checked by the harness against SnapRows;
+		// the model only predicts that they succeed.
+		return success()
+	case OpSnapEnd:
+		m.snapEnd()
+		return success()
 	default:
 		return success()
 	}
+}
+
+// --- snapshot transactions ---
+
+// SnapOpen reports whether a model snapshot transaction is open.
+func (m *Model) SnapOpen() bool { return m.snapOpen }
+
+// SnapRows returns the committed rows captured for rel when the open
+// snapshot began (nil when rel is not snapshot-readable or no snapshot is
+// open).
+func (m *Model) SnapRows(rel string) []*Row { return m.snapRows[rel] }
+
+// snapBegin captures the committed state a snapshot transaction must keep
+// observing: the live rows with the open writer transaction's journal
+// undone, restricted to heap-SM relations (the only storage method with
+// versioned snapshot reads — elsewhere read-only transactions still read
+// via locks and are not modelled here).
+func (m *Model) snapBegin() {
+	committed := m
+	if m.inTxn {
+		committed = m.Clone()
+		committed.Rollback()
+	}
+	m.snapRows = make(map[string][]*Row)
+	for _, name := range m.names {
+		if m.rels[name].cfg.SM != "heap" {
+			continue
+		}
+		rows := committed.Rows(name)
+		cp := make([]*Row, 0, len(rows))
+		for _, row := range rows {
+			cp = append(cp, row.clone())
+		}
+		m.snapRows[name] = cp
+	}
+	m.snapOpen = true
+}
+
+func (m *Model) snapEnd() {
+	m.snapOpen = false
+	m.snapRows = nil
 }
 
 // --- DML prediction + application ---
@@ -661,10 +734,12 @@ func (m *Model) rollbackTo(name string) {
 }
 
 // CrashRestart reconciles the model with a crash: the open transaction
-// (if any) is a loser and is undone, and unlogged temp relations lose
-// their contents while keeping their catalog entries.
+// (if any) is a loser and is undone, an open snapshot transaction dies
+// with the process, and unlogged temp relations lose their contents while
+// keeping their catalog entries.
 func (m *Model) CrashRestart() {
 	m.Rollback()
+	m.snapEnd()
 	for _, name := range m.names {
 		rs := m.rels[name]
 		if rs.cfg.SM == "temp" {

@@ -36,6 +36,9 @@ const (
 	OpDropIndex
 	OpCheckpoint
 	OpCrash
+	OpSnapBegin // open a read-only snapshot transaction
+	OpSnapRead  // cross-check snapshot reads against the captured state
+	OpSnapEnd   // close the snapshot transaction
 )
 
 // String implements fmt.Stringer.
@@ -63,6 +66,12 @@ func (k Kind) String() string {
 		return "checkpoint"
 	case OpCrash:
 		return "crash"
+	case OpSnapBegin:
+		return "snapbegin"
+	case OpSnapRead:
+		return "snapread"
+	case OpSnapEnd:
+		return "snapend"
 	default:
 		return fmt.Sprintf("op(%d)", uint8(k))
 	}

@@ -299,6 +299,15 @@ type BufferStats struct {
 	Flushes   Counter // dirty pages written back by FlushAll
 }
 
+// MVCCStats instruments snapshot reads over versioned storage.
+type MVCCStats struct {
+	SnapshotReads   Counter // lock-free fetches and scans opened by snapshot transactions
+	ChainWalks      Counter // version-chain walks past an invisible head
+	Reconstructions Counter // record versions rebuilt from WAL records
+	Pruned          Counter // chain entries dropped below the oldest-snapshot horizon
+	Frozen          Counter // chains retired by checkpoint freezes
+}
+
 // Engine aggregates every component's metrics into one registry. All
 // fields are recorded into concurrently without locks.
 type Engine struct {
@@ -308,6 +317,7 @@ type Engine struct {
 	Lock      LockStats
 	WAL       WALStats
 	Buffer    BufferStats
+	MVCC      MVCCStats
 }
 
 // NewEngine returns a fresh engine metric registry.
@@ -321,6 +331,7 @@ type Snapshot struct {
 	Lock   LockSnapshot   `json:"lock"`
 	WAL    WALSnapshot    `json:"wal"`
 	Buffer BufferSnapshot `json:"buffer"`
+	MVCC   MVCCSnapshot   `json:"mvcc"`
 }
 
 // ExtSnapshot is the per-extension view: one entry per operation with
@@ -365,6 +376,15 @@ type WALSnapshot struct {
 	GroupBatches    int64   `json:"group_batches"`
 	ForcedSyncs     int64   `json:"forced_syncs"`
 	CommitsPerFsync float64 `json:"commits_per_fsync"`
+}
+
+// MVCCSnapshot is the snapshot-read view.
+type MVCCSnapshot struct {
+	SnapshotReads   int64 `json:"snapshot_reads"`
+	ChainWalks      int64 `json:"chain_walks"`
+	Reconstructions int64 `json:"reconstructions"`
+	Pruned          int64 `json:"pruned"`
+	Frozen          int64 `json:"frozen"`
 }
 
 // BufferSnapshot is the buffer-pool view.
@@ -446,6 +466,13 @@ func (e *Engine) Snapshot() Snapshot {
 			Evictions: e.Buffer.Evictions.Load(),
 			Flushes:   e.Buffer.Flushes.Load(),
 			HitRatio:  ratio,
+		},
+		MVCC: MVCCSnapshot{
+			SnapshotReads:   e.MVCC.SnapshotReads.Load(),
+			ChainWalks:      e.MVCC.ChainWalks.Load(),
+			Reconstructions: e.MVCC.Reconstructions.Load(),
+			Pruned:          e.MVCC.Pruned.Load(),
+			Frozen:          e.MVCC.Frozen.Load(),
 		},
 	}
 }

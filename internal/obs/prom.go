@@ -69,6 +69,17 @@ func WritePrometheus(w io.Writer, s Snapshot) error {
 	p.sample("buffer_flushes_total", "", float64(s.Buffer.Flushes))
 	p.family("buffer_hit_ratio", "gauge", "buffer pool hit ratio")
 	p.sample("buffer_hit_ratio", "", s.Buffer.HitRatio)
+
+	p.family("mvcc_snapshot_reads_total", "counter", "lock-free fetches and scans by snapshot transactions")
+	p.sample("mvcc_snapshot_reads_total", "", float64(s.MVCC.SnapshotReads))
+	p.family("mvcc_chain_walks_total", "counter", "version-chain walks past an invisible head")
+	p.sample("mvcc_chain_walks_total", "", float64(s.MVCC.ChainWalks))
+	p.family("mvcc_reconstructions_total", "counter", "record versions rebuilt from WAL records")
+	p.sample("mvcc_reconstructions_total", "", float64(s.MVCC.Reconstructions))
+	p.family("mvcc_pruned_total", "counter", "version-chain entries pruned below the oldest snapshot")
+	p.sample("mvcc_pruned_total", "", float64(s.MVCC.Pruned))
+	p.family("mvcc_frozen_total", "counter", "version chains retired by checkpoint freezes")
+	p.sample("mvcc_frozen_total", "", float64(s.MVCC.Frozen))
 	return p.err
 }
 

@@ -23,6 +23,7 @@ import (
 	"dmx/internal/sm/smutil"
 	"dmx/internal/txn"
 	"dmx/internal/types"
+	"dmx/internal/wal"
 )
 
 // Name is the DDL name of the storage method.
@@ -33,6 +34,7 @@ func init() {
 		ID:               core.SMHeap,
 		Name:             Name,
 		SnapshotContents: true,
+		MVCC:             true,
 		ValidateAttrs: func(schema *types.Schema, attrs core.AttrList) error {
 			return attrs.CheckAllowed(Name, "fillpercent")
 		},
@@ -89,6 +91,28 @@ type store struct {
 	pages    []pagefile.PageID // logical page number -> physical page
 	free     []int             // free bytes per logical page
 	nrecords int
+	vers     map[rid]*verMeta // MVCC version chains, newest first (nil until a write stamps one)
+}
+
+// verMeta is one entry of a record address's version chain: the state
+// change a writer applied at that rid, newest first. The entry's payload
+// is not stored here — it is reconstructed on demand from the WAL record
+// at lsn (New for the version the entry created, Old of the oldest entry
+// for the pre-chain version), so the chain costs a few words per
+// uncommitted or recently committed write.
+//
+// stamp is 0 while the writer is uncommitted and becomes its commit
+// stamp when EventCommit fires (after the commit record is durable,
+// before the stamp is published into the high-water). An aborting writer
+// pops its entries during undo, so stamp-0 entries never outlive their
+// transaction.
+type verMeta struct {
+	writer wal.TxnID
+	lsn    wal.LSN
+	stamp  uint64
+	born   bool // this entry created the record at this rid (insert, moved-in update)
+	gone   bool // this entry removed the record at this rid (delete, moved-out update)
+	prev   *verMeta
 }
 
 func newStore(env *core.Env, rd *core.RelDesc) *store {
@@ -179,13 +203,218 @@ func (s *store) pageFor(encLen int) (int, error) {
 // frames cannot be evicted) and stamps the frame with the record's LSN, so
 // the buffer pool forces the log up to it before the page can reach disk
 // (write-ahead rule under the steal policy).
-func (s *store) logStamped(tx *txn.Txn, f *buffer.Frame, p core.ModPayload) error {
+func (s *store) logStamped(tx *txn.Txn, f *buffer.Frame, p core.ModPayload) (wal.LSN, error) {
 	lsn, err := core.LogSMLSN(tx, s.rd, p)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	s.env.Pool.StampLSN(f, lsn)
-	return nil
+	return lsn, nil
+}
+
+// pendingVers accumulates the version-chain entries one transaction
+// created in one heap store, to be stamped in bulk at commit.
+type pendingVers struct {
+	entries []*verMeta
+}
+
+// pushVersion prepends a chain entry at r and registers it for commit
+// stamping. The chain below is pruned past the newest entry every open
+// snapshot can already see — nothing ever walks below that — which
+// bounds chain length even under long-running readers once the oldest
+// snapshot advances. Caller holds s.mu.
+func (s *store) pushVersion(tx *txn.Txn, r rid, lsn wal.LSN, born, gone bool) {
+	if s.vers == nil {
+		s.vers = make(map[rid]*verMeta)
+	}
+	e := &verMeta{writer: tx.ID(), lsn: lsn, born: born, gone: gone, prev: s.vers[r]}
+	s.vers[r] = e
+	horizon := s.env.Txns.OldestSnapshotHW()
+	for p := e; p != nil; p = p.prev {
+		if p.stamp != 0 && p.stamp <= horizon {
+			if p.prev != nil {
+				p.prev = nil
+				s.env.Obs.MVCC.Pruned.Inc()
+			}
+			break
+		}
+	}
+	s.notePending(tx, e)
+}
+
+// notePending queues e for stamping when tx commits. The first entry per
+// (transaction, store) subscribes to EventCommit, which fires after the
+// commit record is durable and before the stamp is published into the
+// high-water — so by the time any snapshot's high-water covers the
+// stamp, every entry carries it.
+func (s *store) notePending(tx *txn.Txn, e *verMeta) {
+	key := fmt.Sprintf("heap.pending:%d", s.rd.RelID)
+	stash := tx.Stash()
+	if lst, ok := stash[key].(*pendingVers); ok {
+		lst.entries = append(lst.entries, e)
+		return
+	}
+	lst := &pendingVers{entries: []*verMeta{e}}
+	stash[key] = lst
+	// Subscribe (not Defer): registration happens once, outside s.mu
+	// contention at commit time. Entries popped by undo before commit may
+	// linger in the list; stamping an unlinked entry is harmless.
+	_ = tx.Subscribe(txn.EventCommit, func(tx2 *txn.Txn, _ string) error {
+		stamp := tx2.CommitStamp()
+		if stamp == 0 {
+			return nil
+		}
+		s.mu.Lock()
+		for _, e := range lst.entries {
+			e.stamp = stamp
+		}
+		s.mu.Unlock()
+		return nil
+	})
+}
+
+// unchain pops the head of r's version chain if it is uncommitted: undo
+// is removing the state change that pushed it. Only the owning
+// transaction can hold an uncommitted entry at r (writers keep 2PL, so
+// one X lock holder per record), and undo applies its records newest
+// first, so the stamp-0 head is always the entry being undone. Restart
+// recovery runs against fresh stores with empty chains and no-ops here.
+// Caller holds s.mu.
+func (s *store) unchain(r rid) {
+	head := s.vers[r]
+	if head == nil || head.stamp != 0 {
+		return
+	}
+	if head.prev == nil {
+		delete(s.vers, r)
+	} else {
+		s.vers[r] = head.prev
+	}
+}
+
+// versionFor resolves which version of the record at r a snapshot sees.
+// usePage means current page state is the visible version (also the
+// answer for chainless records: a record with no chain predates every
+// tracked write and is frozen-visible). Otherwise the visible version
+// was reconstructed from the WAL: present=false means the record does
+// not exist in the snapshot, else rec is its value. Caller holds s.mu.
+func (s *store) versionFor(r rid, snap *txn.Snapshot) (usePage bool, rec types.Record, present bool, err error) {
+	head := s.vers[r]
+	if head == nil {
+		return true, nil, true, nil
+	}
+	e := head
+	for e != nil && !snap.Visible(e.stamp) {
+		e = e.prev
+	}
+	if e == head {
+		return true, nil, true, nil
+	}
+	s.env.Obs.MVCC.ChainWalks.Inc()
+	if e == nil {
+		// Nothing in the chain is visible: the snapshot predates every
+		// tracked write at r. The pre-chain version is the before-image
+		// of the oldest entry — unless that entry created the record,
+		// in which case there was nothing before it.
+		oldest := head
+		for oldest.prev != nil {
+			oldest = oldest.prev
+		}
+		if oldest.born {
+			return false, nil, false, nil
+		}
+		rec, err = s.versionPayload(oldest.lsn, true)
+		return false, rec, err == nil, err
+	}
+	if e.gone {
+		return false, nil, false, nil
+	}
+	rec, err = s.versionPayload(e.lsn, false)
+	return false, rec, err == nil, err
+}
+
+// versionPayload reconstructs a record version from the WAL record at
+// lsn: the after-image (old=false) for the version an entry created, or
+// the before-image (old=true) below the oldest chain entry. Checkpoints
+// cannot truncate records a chain still references (they refuse to run
+// while snapshots are open and freeze all chains afterwards), so the
+// lookup only fails on corruption.
+func (s *store) versionPayload(lsn wal.LSN, old bool) (types.Record, error) {
+	logRec, ok := s.env.Log.At(lsn)
+	if !ok {
+		return nil, fmt.Errorf("heap: version log record %d unavailable", lsn)
+	}
+	p, err := core.DecodeMod(logRec.Payload)
+	if err != nil {
+		return nil, err
+	}
+	s.env.Obs.MVCC.Reconstructions.Inc()
+	if old {
+		return p.Old, nil
+	}
+	return p.New, nil
+}
+
+// SnapshotVisible implements core.VersionedStorage: whether the record
+// at key exists in tx's snapshot. Access-path results are filtered
+// through it on the lock-free read path.
+func (s *store) SnapshotVisible(tx *txn.Txn, key types.Key) (bool, error) {
+	r, err := decodeRID(key)
+	if err != nil {
+		return false, err
+	}
+	snap := tx.Snapshot()
+	if snap == nil {
+		return false, fmt.Errorf("heap: SnapshotVisible requires a snapshot transaction")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if int(r.page) >= len(s.pages) {
+		return false, nil
+	}
+	usePage, _, present, err := s.versionFor(r, snap)
+	if err != nil || !usePage {
+		return present && err == nil, err
+	}
+	visible := false
+	err = s.withPage(tx, r.page, false, func(f *buffer.Frame) error {
+		nslots := int(binary.BigEndian.Uint16(f.Data))
+		if int(r.slot) < nslots {
+			so := slotOffset(int(r.slot))
+			visible = f.Data[so+6]&flagDeleted == 0
+		}
+		return nil
+	})
+	return visible, err
+}
+
+// FreezeVersions implements core.VersionFreezer: a truncating checkpoint
+// (writers quiesced, no snapshot open) drops every chain. Page state,
+// which the checkpoint just captured, becomes the frozen version all
+// future snapshots start from, and no chain entry outlives the WAL
+// records it references.
+func (s *store) FreezeVersions() {
+	s.mu.Lock()
+	if len(s.vers) > 0 {
+		s.env.Obs.MVCC.Frozen.Add(int64(len(s.vers)))
+	}
+	s.vers = nil
+	s.mu.Unlock()
+}
+
+// VersionChainLen reports the version-chain length at key (tests).
+func (s *store) VersionChainLen(key types.Key) int {
+	r, err := decodeRID(key)
+	if err != nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for e := s.vers[r]; e != nil; e = e.prev {
+		n++
+	}
+	return n
 }
 
 // placeAtLocked stores enc at the given rid on the pinned frame, extending
@@ -282,7 +511,12 @@ func (s *store) Insert(tx *txn.Txn, rec types.Record) (types.Key, error) {
 			return perr
 		}
 		key = encodeRID(r)
-		return s.logStamped(tx, f, core.ModPayload{Op: core.ModInsert, Key: key, New: rec})
+		lsn, lerr := s.logStamped(tx, f, core.ModPayload{Op: core.ModInsert, Key: key, New: rec})
+		if lerr != nil {
+			return lerr
+		}
+		s.pushVersion(tx, r, lsn, true, false)
+		return nil
 	})
 	if err != nil {
 		return nil, err
@@ -317,7 +551,12 @@ func (s *store) Update(tx *txn.Txn, key types.Key, oldRec, newRec types.Record) 
 		off := int(binary.BigEndian.Uint16(f.Data[so:]))
 		copy(f.Data[off:], enc)
 		binary.BigEndian.PutUint16(f.Data[so+4:], uint16(len(enc)))
-		return s.logStamped(tx, f, core.ModPayload{Op: core.ModUpdate, Key: key, NewKey: key, Old: oldRec, New: newRec})
+		lsn, lerr := s.logStamped(tx, f, core.ModPayload{Op: core.ModUpdate, Key: key, NewKey: key, Old: oldRec, New: newRec})
+		if lerr != nil {
+			return lerr
+		}
+		s.pushVersion(tx, r, lsn, false, false)
+		return nil
 	})
 	if err != nil {
 		return nil, err
@@ -347,6 +586,11 @@ func (s *store) Update(tx *txn.Txn, key types.Key, oldRec, newRec types.Record) 
 	if err != nil {
 		return nil, err
 	}
+	// Chain entries go in as soon as the log record exists, before the
+	// page mutations: if either mutation fails, the veto rollback undoes
+	// this record and unchains exactly these two entries.
+	s.pushVersion(tx, r, lsn, false, true)
+	s.pushVersion(tx, newR, lsn, true, false)
 	err = s.withPage(tx, r.page, true, func(f *buffer.Frame) error {
 		so := slotOffset(int(r.slot))
 		f.Data[so+6] |= flagDeleted
@@ -389,7 +633,12 @@ func (s *store) Delete(tx *txn.Txn, key types.Key, oldRec types.Record) error {
 			f.Data[so+6] |= flagDeleted
 			s.nrecords--
 		}
-		return s.logStamped(tx, f, core.ModPayload{Op: core.ModDelete, Key: key, Old: oldRec})
+		lsn, lerr := s.logStamped(tx, f, core.ModPayload{Op: core.ModDelete, Key: key, Old: oldRec})
+		if lerr != nil {
+			return lerr
+		}
+		s.pushVersion(tx, r, lsn, false, true)
+		return nil
 	})
 }
 
@@ -402,6 +651,40 @@ func (s *store) FetchByKey(tx *txn.Txn, key types.Key, fields []int, filter *exp
 		return nil, err
 	}
 	s.mu.Lock()
+	// Snapshot transactions read the version visible at their high-water.
+	// When that is current page state the ordinary path below serves it;
+	// a record overwritten or deleted since the snapshot is reconstructed
+	// from the WAL instead.
+	if tx.ReadOnly() {
+		s.env.Obs.MVCC.SnapshotReads.Inc()
+		start := time.Now()
+		usePage, vrec, present, verr := s.versionFor(r, tx.Snapshot())
+		if !usePage || verr != nil {
+			s.mu.Unlock()
+			if tr := tx.Trace(); tr.Detailed() {
+				tr.Event("mvcc.reconstruct", s.rd.Name, "fetch", start, time.Since(start), verr)
+			}
+			if verr != nil {
+				return nil, verr
+			}
+			if !present {
+				return nil, fmt.Errorf("heap: %w: record %v not in snapshot", core.ErrNotFound, r)
+			}
+			if filter != nil {
+				match, ferr := s.env.Eval.EvalBool(filter, vrec, nil)
+				if ferr != nil {
+					return nil, ferr
+				}
+				if !match {
+					return nil, core.ErrFiltered
+				}
+			}
+			if fields != nil {
+				vrec = vrec.Project(fields)
+			}
+			return vrec, nil
+		}
+	}
 	var rec types.Record
 	err = s.withPage(tx, r.page, false, func(f *buffer.Frame) error {
 		nslots := int(binary.BigEndian.Uint16(f.Data))
@@ -448,9 +731,16 @@ func (s *store) FetchByKey(tx *txn.Txn, key types.Key, fields []int, filter *exp
 	return rec, nil
 }
 
-// OpenScan implements core.StorageInstance: record-address order.
+// OpenScan implements core.StorageInstance: record-address order. A
+// snapshot transaction's scan captures the snapshot once: every slot it
+// passes is resolved against it, so the scan observes one consistent
+// state no matter which transactions commit while it is open.
 func (s *store) OpenScan(tx *txn.Txn, opts core.ScanOptions) (core.Scan, error) {
 	sc := &heapScan{store: s, tx: tx, opts: opts, nextRID: startRID(opts.Start)}
+	if tx.ReadOnly() {
+		sc.snap = tx.Snapshot()
+		s.env.Obs.MVCC.SnapshotReads.Inc()
+	}
 	if opts.Filter != nil {
 		sc.filterFields = expr.FieldsUsed(opts.Filter)
 	}
@@ -512,6 +802,7 @@ func (s *store) ApplyLogged(payload []byte, undo bool) error {
 			return err
 		}
 		if undo {
+			s.unchain(r)
 			return s.setDeleted(r, true)
 		}
 		return s.redoPlace(r, p.New)
@@ -519,6 +810,9 @@ func (s *store) ApplyLogged(payload []byte, undo bool) error {
 		r, err := decodeRID(p.Key)
 		if err != nil {
 			return err
+		}
+		if undo {
+			s.unchain(r)
 		}
 		return s.setDeleted(r, !undo)
 	case core.ModUpdate:
@@ -533,11 +827,14 @@ func (s *store) ApplyLogged(payload []byte, undo bool) error {
 		if oldR == newR {
 			rec := p.New
 			if undo {
+				s.unchain(oldR)
 				rec = p.Old
 			}
 			return s.redoOverwrite(oldR, rec.AppendEncode(nil))
 		}
 		if undo {
+			s.unchain(newR)
+			s.unchain(oldR)
 			if err := s.setDeleted(newR, true); err != nil {
 				return err
 			}
@@ -622,9 +919,10 @@ type heapScan struct {
 	store        *store
 	tx           *txn.Txn // buffer faults during the scan charge its trace
 	opts         core.ScanOptions
-	filterFields []int // fields the filter needs, isolated before decoding
-	nextRID      rid   // first candidate to examine
+	filterFields []int          // fields the filter needs, isolated before decoding
+	nextRID      rid            // first candidate to examine
 	closed       bool
+	snap         *txn.Snapshot // non-nil: resolve every slot against this snapshot
 }
 
 // Next implements core.Scan. Each page is pinned once and its slots are
@@ -657,6 +955,34 @@ func (sc *heapScan) Next() (types.Key, types.Record, bool, error) {
 				}
 				sc.nextRID = rid{page: cur.page, slot: cur.slot + 1}
 				so := slotOffset(int(cur.slot))
+				if sc.snap != nil {
+					// Snapshot scan: slots whose visible version is not
+					// current page state are reconstructed (a record
+					// deleted or moved since the snapshot) or skipped (a
+					// record born after it).
+					usePage, vrec, present, verr := s.versionFor(cur, sc.snap)
+					if verr != nil {
+						return verr
+					}
+					if !usePage {
+						if !present {
+							continue
+						}
+						if sc.opts.Filter != nil {
+							match, ferr := s.env.Eval.EvalBool(sc.opts.Filter, vrec, sc.opts.Params)
+							if ferr != nil {
+								return ferr
+							}
+							if !match {
+								continue
+							}
+						}
+						outKey = key
+						outRec = vrec
+						found = true
+						return nil
+					}
+				}
 				if f.Data[so+6]&flagDeleted != 0 {
 					continue
 				}

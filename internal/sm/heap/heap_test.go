@@ -386,3 +386,128 @@ func TestRecoveryReplaysOverwriteIntoSnapshotShrunkSlot(t *testing.T) {
 	}
 	tx4.Commit()
 }
+
+// chainLen reads the version-chain length at key through the test
+// accessor on the heap store.
+func chainLen(t *testing.T, r *core.Relation, key types.Key) int {
+	t.Helper()
+	cl, ok := r.Storage().(interface{ VersionChainLen(types.Key) int })
+	if !ok {
+		t.Fatal("heap store does not expose VersionChainLen")
+	}
+	return cl.VersionChainLen(key)
+}
+
+// A long-running snapshot pins the pruning horizon, so repeated
+// overwrites grow the record's version chain; once the reader finishes
+// and the oldest snapshot advances, the next push prunes everything the
+// no-longer-pinned horizon covers, bounding chain growth.
+func TestVersionChainBoundedOnceSnapshotAdvances(t *testing.T) {
+	env := core.NewEnv(core.Config{Log: wal.New()})
+	r := mkHeap(t, env, "t")
+	tx := env.Begin()
+	k, err := r.Insert(tx, rec(1, "v0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	ro := env.BeginReadOnly()
+	for i := 1; i <= 8; i++ {
+		tx := env.Begin()
+		// Same encoded length, so every overwrite stays in place and
+		// stacks onto one chain.
+		if _, err := r.Update(tx, k, rec(1, fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := chainLen(t, r, k); got < 8 {
+		t.Fatalf("chain len %d while reader pins the horizon, want >= 8", got)
+	}
+	// The pinned reader still reconstructs the original version.
+	if got, err := r.Fetch(ro, k, nil, nil); err != nil || got[1].S != "v0" {
+		t.Fatalf("pinned snapshot reads %v %v, want v0", got, err)
+	}
+	if err := ro.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	tx = env.Begin()
+	if _, err := r.Update(tx, k, rec(1, "v9")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// The push prunes past the newest entry every open snapshot sees; with
+	// no snapshots open that is the chain head's predecessor.
+	if got := chainLen(t, r, k); got > 2 {
+		t.Fatalf("chain len %d after the oldest snapshot advanced, want <= 2", got)
+	}
+}
+
+// Commit stamps survive checkpoint and restart: recovery re-derives the
+// high-water from the checkpoint record and the commit records after it,
+// so post-restart snapshots see all pre-crash commits and new commits
+// stamp strictly above the restored high-water.
+func TestStampsSurviveCheckpointRecovery(t *testing.T) {
+	log := wal.New()
+	env := core.NewEnv(core.Config{Log: log})
+	r := mkHeap(t, env, "t")
+	tx := env.Begin()
+	k, err := r.Insert(tx, rec(1, "aaaa"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := env.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	tx = env.Begin()
+	if _, err := r.Update(tx, k, rec(1, "bbbb")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	hw := env.Txns.StampHW()
+	// crash
+
+	env2 := core.NewEnv(core.Config{Log: log})
+	if err := env2.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	// Recovery restores at least the pre-crash high-water; the
+	// attachment-rebuild transaction it commits afterwards may advance it.
+	if got := env2.Txns.StampHW(); got < hw {
+		t.Fatalf("recovered stamp high-water %d, want >= %d", got, hw)
+	}
+	r2, err := env2.OpenRelationByName("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ro := env2.BeginReadOnly()
+	if got, err := r2.Fetch(ro, k, nil, nil); err != nil || got[1].S != "bbbb" {
+		t.Fatalf("post-restart snapshot reads %v %v", got, err)
+	}
+	if err := ro.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	tx2 := env2.Begin()
+	if _, err := r2.Update(tx2, k, rec(1, "cccc")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if got := env2.Txns.StampHW(); got <= hw {
+		t.Fatalf("post-restart commit stamped %d, want above restored high-water %d", got, hw)
+	}
+}

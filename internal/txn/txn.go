@@ -108,6 +108,37 @@ var ErrNotActive = errors.New("txn: transaction is not active")
 // ErrUnknownSavepoint is returned by RollbackTo for undefined names.
 var ErrUnknownSavepoint = errors.New("txn: unknown savepoint")
 
+// ErrReadOnly is returned when a read-only transaction attempts a
+// modification (logging a change, or establishing a savepoint, which
+// writes a log record).
+var ErrReadOnly = errors.New("txn: read-only transaction")
+
+// FrozenStamp is the commit stamp of versions whose creating transaction
+// predates stamp tracking (e.g. state reconstructed by recovery, or
+// version chains frozen by a checkpoint). It is below every stamp the
+// manager assigns, so frozen versions are visible to every snapshot.
+const FrozenStamp uint64 = 1
+
+// Snapshot is the consistent view handed to a read-only transaction: the
+// committed-stamp high-water at begin time plus the set of writer
+// transactions then in flight. Visibility is decided by HW alone — every
+// stamp at or below it belongs to a transaction that was durably
+// committed and fully version-stamped before the snapshot was taken,
+// while in-flight writers either carry no stamp yet or will receive one
+// above HW. InFlight is advisory (introspection, tests): it may include
+// writers that finished between the two reads inside BeginReadOnly.
+type Snapshot struct {
+	HW       uint64
+	InFlight map[wal.TxnID]struct{}
+}
+
+// Visible reports whether a version carrying the given commit stamp is
+// part of this snapshot. Stamp 0 marks an uncommitted version and is
+// never visible.
+func (s *Snapshot) Visible(stamp uint64) bool {
+	return stamp != 0 && stamp <= s.HW
+}
+
 // Manager creates and tracks transactions. It owns the ID sequence and
 // wires transactions to the common log, lock manager, and undo dispatcher.
 type Manager struct {
@@ -124,11 +155,31 @@ type Manager struct {
 	// abort), outside all manager and transaction locks. The engine uses
 	// it to trigger periodic log checkpoints.
 	OnEnd func()
+
+	// Commit-stamp state for MVCC snapshot reads. Stamps are assigned
+	// densely, in commit-record order, under stampMu held across the
+	// commit append; the high-water advances in stamp order only after
+	// the owning transaction has stamped its version chains, so a
+	// snapshot at HW=s never misses data from any stamp <= s.
+	stampMu   sync.Mutex
+	nextStamp uint64               // next stamp to assign (starts above FrozenStamp)
+	stampHW   uint64               // all stamps <= stampHW are durable and fully stamped
+	pending   map[uint64]bool      // assigned stamps above stampHW; true = ready to publish
+	snaps     map[wal.TxnID]uint64 // open read-only snapshots: txn ID -> snapshot HW
 }
 
 // NewManager returns a manager over the given log and lock manager.
 func NewManager(log *wal.Log, locks *lock.Manager) *Manager {
-	return &Manager{nextID: 1, active: make(map[wal.TxnID]*Txn), Log: log, Locks: locks}
+	return &Manager{
+		nextID:    1,
+		active:    make(map[wal.TxnID]*Txn),
+		Log:       log,
+		Locks:     locks,
+		nextStamp: FrozenStamp + 1,
+		stampHW:   FrozenStamp,
+		pending:   make(map[uint64]bool),
+		snaps:     make(map[wal.TxnID]uint64),
+	}
 }
 
 // Begin starts a new transaction.
@@ -145,6 +196,104 @@ func (m *Manager) Begin() *Txn {
 	m.nextID++
 	m.active[tx.id] = tx
 	return tx
+}
+
+// BeginReadOnly starts a read-only transaction bound to a consistent
+// snapshot of the committed state. Snapshot transactions never touch the
+// lock manager or the log: reads are answered from stamped record
+// versions, writes are refused with ErrReadOnly, and commit/abort are
+// local events.
+func (m *Manager) BeginReadOnly() *Txn {
+	m.mu.Lock()
+	tx := &Txn{
+		id:         m.nextID,
+		mgr:        m,
+		state:      StateActive,
+		savepoints: make(map[string]wal.LSN),
+		stash:      make(map[string]any),
+		readOnly:   true,
+	}
+	m.nextID++
+	m.active[tx.id] = tx
+	inflight := make(map[wal.TxnID]struct{}, len(m.active))
+	for id, other := range m.active {
+		if !other.readOnly {
+			inflight[id] = struct{}{}
+		}
+	}
+	m.mu.Unlock()
+
+	m.stampMu.Lock()
+	tx.snap = &Snapshot{HW: m.stampHW, InFlight: inflight}
+	m.snaps[tx.id] = tx.snap.HW
+	m.stampMu.Unlock()
+	return tx
+}
+
+// StampHW returns the current committed-stamp high-water: every stamp at
+// or below it is durably committed and fully version-stamped.
+func (m *Manager) StampHW() uint64 {
+	m.stampMu.Lock()
+	defer m.stampMu.Unlock()
+	return m.stampHW
+}
+
+// ActiveReadOnly returns the number of open read-only snapshots.
+func (m *Manager) ActiveReadOnly() int {
+	m.stampMu.Lock()
+	defer m.stampMu.Unlock()
+	return len(m.snaps)
+}
+
+// OldestSnapshotHW returns the smallest high-water among open snapshots,
+// or the current high-water when none are open. Version chains only need
+// to retain versions a snapshot at that high-water could still ask for,
+// so storage methods use this as their pruning horizon.
+func (m *Manager) OldestSnapshotHW() uint64 {
+	m.stampMu.Lock()
+	defer m.stampMu.Unlock()
+	oldest := m.stampHW
+	for _, hw := range m.snaps {
+		if hw < oldest {
+			oldest = hw
+		}
+	}
+	return oldest
+}
+
+// RestoreStamps re-seeds the stamp sequence after restart recovery: the
+// high-water becomes the largest stamp found in the recovered log (commit
+// records and the checkpoint high-water), and the next stamp follows it.
+// Recovery rebuilds page state for exactly the transactions whose commit
+// records survived, so a post-restart snapshot at this high-water sees
+// precisely those — a transaction that crashed between its commit force
+// and its stamp publication is either fully in (record durable) or fully
+// out (record lost), never half-published.
+func (m *Manager) RestoreStamps(maxStamp uint64) {
+	m.stampMu.Lock()
+	defer m.stampMu.Unlock()
+	if maxStamp > m.stampHW {
+		m.stampHW = maxStamp
+	}
+	if m.stampHW >= m.nextStamp {
+		m.nextStamp = m.stampHW + 1
+	}
+}
+
+// publishStamp marks stamp as ready (its owner's version chains are
+// stamped, or the owner is dead and its chains will be undone) and
+// advances the high-water over every consecutive ready stamp.
+func (m *Manager) publishStamp(stamp uint64) {
+	if stamp == 0 {
+		return
+	}
+	m.stampMu.Lock()
+	m.pending[stamp] = true
+	for m.pending[m.stampHW+1] {
+		delete(m.pending, m.stampHW+1)
+		m.stampHW++
+	}
+	m.stampMu.Unlock()
 }
 
 // ActiveIDs returns the IDs of all unfinished transactions (the
@@ -170,6 +319,11 @@ func (m *Manager) finish(tx *Txn) {
 	m.mu.Lock()
 	delete(m.active, tx.id)
 	m.mu.Unlock()
+	if tx.readOnly {
+		m.stampMu.Lock()
+		delete(m.snaps, tx.id)
+		m.stampMu.Unlock()
+	}
 }
 
 // Txn is a transaction. A Txn is confined to one goroutine.
@@ -183,7 +337,31 @@ type Txn struct {
 	stash       map[string]any
 	user        string
 	tr          *trace.TxnTrace
+
+	readOnly    bool
+	snap        *Snapshot
+	commitStamp uint64
 }
+
+// ReadOnly reports whether tx is a snapshot read-only transaction.
+// Nil-safe: maintenance paths (recovery, checkpoint snapshot scans) run
+// with no transaction and behave as writers.
+func (tx *Txn) ReadOnly() bool { return tx != nil && tx.readOnly }
+
+// Snapshot returns the read-only transaction's snapshot; nil for writers
+// and on a nil receiver.
+func (tx *Txn) Snapshot() *Snapshot {
+	if tx == nil {
+		return nil
+	}
+	return tx.snap
+}
+
+// CommitStamp returns the commit stamp assigned to this transaction: 0
+// until the commit record has been appended, and always 0 for read-only
+// transactions. Storage methods read it from EventCommit subscribers to
+// stamp the record versions the transaction created.
+func (tx *Txn) CommitStamp() uint64 { return tx.commitStamp }
 
 // SetTrace attaches a span trace to the transaction. The trace shares the
 // transaction's goroutine confinement; nil (tracing off) is fine.
@@ -271,6 +449,9 @@ func (tx *Txn) AppendLog(owner wal.Owner, payload []byte) (wal.LSN, error) {
 	if tx.state != StateActive && tx.state != StatePreparing {
 		return 0, ErrNotActive
 	}
+	if tx.readOnly {
+		return 0, ErrReadOnly
+	}
 	if !tx.tr.Detailed() {
 		return tx.mgr.Log.Append(tx.id, wal.RecUpdate, owner, payload)
 	}
@@ -286,6 +467,9 @@ func (tx *Txn) AppendLog(owner wal.Owner, payload []byte) (wal.LSN, error) {
 func (tx *Txn) Savepoint(name string) (wal.LSN, error) {
 	if tx.state != StateActive {
 		return 0, ErrNotActive
+	}
+	if tx.readOnly {
+		return 0, ErrReadOnly
 	}
 	lsn, err := tx.mgr.Log.Append(tx.id, wal.RecSavepoint, wal.Owner{}, []byte(name))
 	if err != nil {
@@ -331,6 +515,9 @@ func (tx *Txn) Commit() error {
 	if tx.state != StateActive {
 		return ErrNotActive
 	}
+	if tx.readOnly {
+		return tx.finishReadOnly(StateCommitted, "committed")
+	}
 	tx.state = StatePreparing
 	if err := tx.fire(EventBeforePrepare, ""); err != nil {
 		tx.state = StateActive
@@ -339,8 +526,18 @@ func (tx *Txn) Commit() error {
 		}
 		return err
 	}
-	commitLSN, err := tx.mgr.Log.Append(tx.id, wal.RecCommit, wal.Owner{}, nil)
+	// The commit stamp is assigned under stampMu held across the append,
+	// so stamp order matches commit-record order and the high-water can
+	// advance densely. The stamp rides in the commit record's payload;
+	// recovery re-derives the high-water from it.
+	tx.mgr.stampMu.Lock()
+	stamp := tx.mgr.nextStamp
+	tx.mgr.nextStamp++
+	tx.mgr.pending[stamp] = false
+	commitLSN, err := tx.mgr.Log.Append(tx.id, wal.RecCommit, wal.Owner{}, wal.EncodeCommitStamp(stamp))
+	tx.mgr.stampMu.Unlock()
 	if err != nil {
+		tx.mgr.publishStamp(stamp)
 		return tx.commitFailed(err)
 	}
 	// The commit point: the transaction is committed only once the commit
@@ -350,11 +547,20 @@ func (tx *Txn) Commit() error {
 	// concurrently arriving commit records share one fsync.
 	forceStart := time.Now()
 	if err := tx.mgr.Log.SyncCommitted(commitLSN); err != nil {
+		// The stamp is published as dead so the high-water queue keeps
+		// draining; the transaction's versions stay unstamped (invisible)
+		// and restart recovery resolves its fate from the log.
+		tx.mgr.publishStamp(stamp)
 		return tx.commitFailed(err)
 	}
 	tx.tr.Event("wal.force", "", "commit", forceStart, time.Since(forceStart), nil)
 	tx.state = StateCommitted
+	tx.commitStamp = stamp
 	commitErr := tx.fire(EventCommit, "")
+	// Only after EventCommit has stamped this transaction's version
+	// chains may the high-water cover the stamp: a snapshot taken at
+	// HW >= stamp must find every version already stamped.
+	tx.mgr.publishStamp(stamp)
 	endErr := tx.fire(EventEnd, "")
 	tx.mgr.Locks.ReleaseAll(tx.id)
 	if _, err := tx.mgr.Log.Append(tx.id, wal.RecEnd, wal.Owner{}, nil); err != nil {
@@ -385,11 +591,38 @@ func (tx *Txn) commitFailed(err error) error {
 	return fmt.Errorf("txn: commit not durable: %w", err)
 }
 
+// finishReadOnly terminates a snapshot transaction. Nothing was logged
+// and no locks were acquired, so termination is local: EventEnd closes
+// any open scans, the snapshot is released, and the log stays untouched.
+// ReleaseAll is still called to keep the termination contract uniform
+// (it is a no-op for a lock-free transaction and acquires nothing).
+func (tx *Txn) finishReadOnly(st State, outcome string) error {
+	tx.state = st
+	var abortErr error
+	if st == StateAborted {
+		abortErr = tx.fire(EventAbort, "")
+	}
+	endErr := tx.fire(EventEnd, "")
+	tx.mgr.Locks.ReleaseAll(tx.id)
+	tx.mgr.finish(tx)
+	tx.tr.Finish(outcome)
+	if h := tx.mgr.OnEnd; h != nil {
+		h()
+	}
+	if abortErr != nil {
+		return abortErr
+	}
+	return endErr
+}
+
 // Abort rolls the whole transaction back through the common log, fires
 // abort and end notifications, and releases all locks.
 func (tx *Txn) Abort() error {
 	if tx.state != StateActive && tx.state != StatePreparing {
 		return ErrNotActive
+	}
+	if tx.readOnly {
+		return tx.finishReadOnly(StateAborted, "aborted")
 	}
 	rbErr := tx.mgr.Log.Rollback(tx.id, 0, tx.mgr.Undoer)
 	if _, err := tx.mgr.Log.Append(tx.id, wal.RecAbort, wal.Owner{}, nil); err != nil {

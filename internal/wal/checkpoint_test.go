@@ -13,7 +13,7 @@ func TestCheckpointTruncatesAndBoundsRedo(t *testing.T) {
 	mustAppend(t, l, 1, RecCommit, "")
 	mustAppend(t, l, 1, RecEnd, "")
 
-	err := l.Checkpoint(nil, func(emit func(Owner, []byte) error) error {
+	err := l.Checkpoint(nil, 0, func(emit func(Owner, []byte) error) error {
 		return emit(Owner{Class: OwnerStorage, ExtID: 2, RelID: 7}, []byte("snap"))
 	})
 	if err != nil {
@@ -63,7 +63,7 @@ func TestCheckpointPersistsAcrossReopen(t *testing.T) {
 	mustAppend(t, l, 1, RecUpdate, "pre")
 	mustAppend(t, l, 1, RecCommit, "")
 	mustAppend(t, l, 1, RecEnd, "")
-	if err := l.Checkpoint(nil, func(emit func(Owner, []byte) error) error {
+	if err := l.Checkpoint(nil, 0, func(emit func(Owner, []byte) error) error {
 		return emit(Owner{Class: OwnerStorage, ExtID: 2, RelID: 7}, []byte("snap"))
 	}); err != nil {
 		t.Fatal(err)

@@ -537,13 +537,18 @@ func (l *Log) ActiveTxns() []TxnID {
 // The caller must quiesce writers first (the engine holds every
 // relation's S lock across the callback), so the snapshot is the only
 // update activity between the checkpoint record and its END.
-func (l *Log) Checkpoint(att []TxnID, snap func(emit func(owner Owner, payload []byte) error) error) error {
+// The checkpoint record also carries the commit-stamp high-water
+// (stampHW) as a trailing field, so restart recovery can re-seed the
+// stamp sequence even after the commit records below the checkpoint have
+// been truncated away.
+func (l *Log) Checkpoint(att []TxnID, stampHW uint64, snap func(emit func(owner Owner, payload []byte) error) error) error {
 	l.mu.Lock()
 	entries := make([]ATTEntry, 0, len(att))
 	for _, t := range att {
 		entries = append(entries, ATTEntry{Txn: t, LastLSN: l.lastLSN[t]})
 	}
-	ckptLSN, err := l.appendLocked(CheckpointTxn, RecCheckpoint, Owner{}, EncodeATT(entries), 0)
+	payload := binary.BigEndian.AppendUint64(EncodeATT(entries), stampHW)
+	ckptLSN, err := l.appendLocked(CheckpointTxn, RecCheckpoint, Owner{}, payload, 0)
 	l.mu.Unlock()
 	if err != nil {
 		return err
@@ -732,6 +737,35 @@ func DecodeATT(b []byte) ([]ATTEntry, error) {
 		})
 	}
 	return out, nil
+}
+
+// EncodeCommitStamp serialises a commit stamp for a RecCommit payload.
+func EncodeCommitStamp(stamp uint64) []byte {
+	return binary.BigEndian.AppendUint64(nil, stamp)
+}
+
+// DecodeCommitStamp reads the stamp from a RecCommit payload; commit
+// records written before stamp tracking carry no payload and yield 0.
+func DecodeCommitStamp(b []byte) uint64 {
+	if len(b) < 8 {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+// DecodeCheckpointStamp reads the commit-stamp high-water trailing a
+// RecCheckpoint payload (0 for records written before stamp tracking, or
+// whose ATT is malformed).
+func DecodeCheckpointStamp(b []byte) uint64 {
+	if len(b) < 4 {
+		return 0
+	}
+	n := int(binary.BigEndian.Uint32(b))
+	off := 4 + 16*n
+	if off < 0 || len(b) < off+8 {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b[off:])
 }
 
 // frame format: len(u32) | crc(u32) | body; body is the encoded record.
