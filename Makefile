@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench crash race model fmt vet staticcheck trace-demo
+.PHONY: build test check bench crash race model ingest fmt vet staticcheck trace-demo
 
 build:
 	$(GO) build ./...
@@ -54,9 +54,21 @@ model:
 		$(GO) test -count=1 -run 'TestModel$$|TestModelCrashRecovery' -v .
 
 # crash runs the full deterministic crash-point fault-injection matrix
-# (every site, later-hit and torn-write variants) under the race detector.
+# (every site, later-hit and torn-write variants, plus the LSM ingest
+# matrix over the flush and compaction sites) under the race detector.
 crash:
 	DMX_CRASH_DEEP=1 $(GO) test -race -count=1 -run 'TestCrash' -v .
+
+# ingest is the LSM storage-method soak: seeded differential fuzzing of
+# insert/update/delete/tombstone workloads across flush and compaction
+# boundaries (engine vs reference oracle, including crash-recovery
+# cycles at the lsm.flush and lsm.compact sites), plus the deep LSM
+# crash matrix. Override the seed ranges to go deeper:
+#   make ingest DMX_INGEST_SEEDS=2000 DMX_INGEST_CRASH_SEEDS=500
+DMX_INGEST_SEEDS ?= 400
+DMX_INGEST_CRASH_SEEDS ?= 100
+ingest:
+	DMX_INGEST_SEEDS=$(DMX_INGEST_SEEDS) DMX_INGEST_CRASH_SEEDS=$(DMX_INGEST_CRASH_SEEDS) 		DMX_CRASH_DEEP=1 $(GO) test -count=1 -run 'TestModelIngest|TestCrashLSM' -v .
 
 bench:
 	$(GO) run ./cmd/dmxbench

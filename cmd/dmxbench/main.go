@@ -93,6 +93,7 @@ func main() {
 		{"E12", "common lock manager under contention", e12Locking},
 		{"MT", "concurrent commit throughput: group commit and sharded hot paths", mtGroupCommit},
 		{"MVCC", "snapshot reads: locked vs lock-free read-only throughput", mvccReads},
+		{"INGEST", "LSM tiered ingest: sustained writes, tombstones, bloom-filtered point reads", ingestLSM},
 		{"A1", "ablation: skipping index maintenance when no indexed field changed", a1SkipUnchanged},
 		{"A2", "ablation: remote scan batch size", a2RemoteBatch},
 		{"A3", "ablation: ORDER BY via ordered access path vs scan + sort", a3OrderedAccess},
@@ -586,7 +587,7 @@ func e7StorageMethods() []*rig.Table {
 		{"btree (key=eno)", "btree", core.AttrList{"key": "eno"}, nil},
 		{"memory", "memory", nil, nil},
 		{"temp (unlogged)", "temp", nil, nil},
-		{"append (publish)", "append", nil, nil},
+		{"append (lsm)", "append", nil, nil},
 		{"remote (20µs RTT)", "remote", core.AttrList{"server": "fed"}, func(env *core.Env) {
 			fed = remote.NewServer(20 * time.Microsecond)
 			remotesm.AttachServer(env, "fed", fed)
@@ -631,6 +632,116 @@ func e7StorageMethods() []*rig.Table {
 			ios.Reads+ios.Writes, msgs)
 	}
 	return []*rig.Table{t}
+}
+
+// --- INGEST: LSM tiered ingest ---
+
+// ingestLSM measures the append storage method's LSM shape against the
+// in-place heap on a write-heavy workload: bulk ingest, scattered
+// updates and deletes (tombstones on the LSM side), then random
+// point reads across the accumulated runs. A second table reports the
+// LSM internals — flush and merge counts, the bounded memtable
+// high-water, resident runs, and the bloom filter's skip ratio on the
+// point-read phase.
+func ingestLSM() []*rig.Table {
+	rows := n(30000)
+	churn := rows / 10
+	points := n(5000)
+	const memBytes = 64 * 1024
+
+	t := rig.NewTable("INGEST — LSM tiered ingest vs in-place heap",
+		"storage method", "insert/op", "update/op", "delete/op", "point read/op", "full scan")
+	t.Note = fmt.Sprintf("%d inserts (64B pad), %d updates, %d deletes, %d random fetches; append runs a %dKiB memtable, fanout 4, inline compaction",
+		rows, churn, churn, points, memBytes/1024)
+
+	var lsm *core.Env
+	cases := []struct {
+		name  string
+		sm    string
+		attrs core.AttrList
+	}{
+		{"heap", "heap", nil},
+		{"append (lsm)", "append", core.AttrList{
+			"memtable": strconv.Itoa(memBytes), "fanout": "4", "compact": "sync"}},
+	}
+	for _, c := range cases {
+		env := core.NewEnv(core.Config{PoolFrames: 1024})
+		rel := rig.MustCreate(env, "t", c.sm, c.attrs)
+		var keys []types.Key
+		dInsert := rig.Time(func() { keys = rig.Load(env, rel, rows, 64) })
+		dUpdate := rig.Time(func() {
+			tx := env.Begin()
+			// Stride-7 targets stay below 0.7·rows, so they never collide
+			// with the deleted tail.
+			for i := 0; i < churn; i++ {
+				k := keys[(i*7)%rows]
+				if _, err := rel.Update(tx, k, rig.EmpRecord(i, 64)); err != nil {
+					panic(err)
+				}
+			}
+			if err := tx.Commit(); err != nil {
+				panic(err)
+			}
+		})
+		dDelete := rig.Time(func() {
+			tx := env.Begin()
+			for i := 0; i < churn; i++ {
+				if err := rel.Delete(tx, keys[rows-1-i]); err != nil {
+					panic(err)
+				}
+			}
+			if err := tx.Commit(); err != nil {
+				panic(err)
+			}
+		})
+		live := rows - churn
+		dPoint := rig.Time(func() {
+			tx := env.Begin()
+			for i := 0; i < points; i++ {
+				if _, err := rel.Fetch(tx, keys[(i*13)%live], []int{0}, nil); err != nil {
+					panic(err)
+				}
+			}
+			tx.Commit()
+		})
+		dScan := rig.Time(func() {
+			tx := env.Begin()
+			scan, err := rel.OpenScan(tx, core.ScanOptions{Fields: []int{0}})
+			if err != nil {
+				panic(err)
+			}
+			if got := rig.Drain(scan); got != live {
+				panic(fmt.Sprintf("scan saw %d records, want %d", got, live))
+			}
+			tx.Commit()
+		})
+		t.Add(c.name, rig.PerOp(dInsert, rows), rig.PerOp(dUpdate, churn),
+			rig.PerOp(dDelete, churn), rig.PerOp(dPoint, points), dScan)
+		if c.sm == "append" {
+			// A closing major compaction folds every run into one, retiring
+			// the delete tombstones the churn phase wrote.
+			if err := rel.Storage().(interface{ CompactNow() error }).CompactNow(); err != nil {
+				panic(err)
+			}
+			lsm = env
+		}
+	}
+
+	s := lsm.Obs.Snapshot().LSM
+	t2 := rig.NewTable("INGEST — LSM internals for the run above",
+		"metric", "value")
+	t2.Note = "the memtable high-water stays at the configured bound; blooms cut most per-run probes on point reads"
+	t2.Add("memtable flushes", s.Flushes)
+	t2.Add("entries flushed", s.FlushedEntries)
+	t2.Add("merge rounds", s.Compactions)
+	t2.Add("runs merged away", s.CompactedRuns)
+	t2.Add("tombstones dropped (closing major merge)", s.TombstonesDropped)
+	t2.Add("memtable bytes (high-water)", s.MemtableBytesMax)
+	t2.Add("resident runs (now / high-water)", fmt.Sprintf("%d / %d", s.Runs, s.RunsMax))
+	t2.Add("bloom probes (point-read phase)", s.BloomProbes)
+	t2.Add("bloom skip ratio", fmt.Sprintf("%.3f", s.BloomSkipRatio))
+	t2.Add("bloom false positives", s.BloomFalsePositives)
+	return []*rig.Table{t, t2}
 }
 
 // --- E8: veto and partial rollback ---

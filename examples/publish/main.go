@@ -1,8 +1,10 @@
-// Command publish demonstrates the read-only "database publishing"
-// storage method the paper motivates with optical disks: a reference
-// relation is pressed once (append-only load), after which updates and
-// deletes are refused by the medium while reads and index attachments
-// work normally.
+// Command publish demonstrates the append storage method's LSM shape.
+// The paper motivates "database publishing" with write-once media; this
+// extension grew from that press-once load into a tiered-ingest method:
+// inserts land in a bounded memtable, flushes seal sorted immutable runs,
+// updates and deletes overlay newer versions and tombstones, merges fold
+// runs together and retire tombstones at full depth, and bloom filters
+// keep direct-by-key reads from probing every run.
 package main
 
 import (
@@ -19,17 +21,21 @@ func main() {
 	}
 	defer db.Close()
 
+	// A memtable this small flushes every few articles, so the run and
+	// merge machinery is visible in a short demo.
 	mustExec(db,
-		"CREATE TABLE encyclopedia (id INT NOT NULL, title STRING, body STRING) USING append",
+		"CREATE TABLE encyclopedia (id INT NOT NULL, title STRING, body STRING)"+
+			" USING append WITH (memtable=256, fanout=2, compact=sync)",
 	)
 
-	fmt.Println("== pressing the disk (the publishing load) ==")
+	fmt.Println("== ingest: articles pour into the memtable and flush into runs ==")
 	rel, err := db.Relation("encyclopedia")
 	if err != nil {
 		log.Fatal(err)
 	}
 	tx := db.Begin()
-	titles := []string{"Aardvark", "Btrees", "Codd", "Databases", "Extensibility", "Filtering", "Guttman"}
+	titles := []string{"Aardvark", "Btrees", "Codd", "Databases", "Extensibility",
+		"Filtering", "Guttman", "Hashing", "Indexes", "Joins", "Keys", "Logging"}
 	for i, title := range titles {
 		if _, err := rel.Insert(tx, dmx.Record{
 			dmx.Int(int64(i)), dmx.Str(title), dmx.Str("article body for " + title),
@@ -40,13 +46,14 @@ func main() {
 	if err := tx.Commit(); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("   pressed %d articles\n", len(titles))
+	s := db.Env.Obs.Snapshot().LSM
+	fmt.Printf("   ingested %d articles: %d flushes, %d merge rounds so far\n",
+		len(titles), s.Flushes, s.Compactions)
 
-	// Secondary access paths can be attached to published media: the
-	// index is maintained at press time and read-only thereafter.
+	// Secondary access paths attach to LSM relations like any other.
 	mustExec(db, "CREATE INDEX bytitle ON encyclopedia (title)")
 
-	fmt.Println("== readers query the published relation ==")
+	fmt.Println("== readers query through the index ==")
 	res, err := db.Exec("SELECT id, title FROM encyclopedia WHERE title = 'Codd'")
 	if err != nil {
 		log.Fatal(err)
@@ -56,18 +63,28 @@ func main() {
 		fmt.Println("  ", row)
 	}
 
-	fmt.Println("== the medium refuses modifications ==")
-	if _, err := db.Exec("UPDATE encyclopedia SET title = 'Changed' WHERE id = 0"); err != nil {
-		fmt.Println("   update refused:", err)
-	}
-	if _, err := db.Exec("DELETE FROM encyclopedia WHERE id = 0"); err != nil {
-		fmt.Println("   delete refused:", err)
-	}
-	res, err = db.Exec("SELECT * FROM encyclopedia")
+	fmt.Println("== revisions overlay, deletions tombstone ==")
+	mustExec(db,
+		"UPDATE encyclopedia SET body = 'revised article for Codd' WHERE id = 2",
+		"DELETE FROM encyclopedia WHERE title = 'Aardvark'",
+	)
+	res, err = db.Exec("SELECT title FROM encyclopedia")
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("   still %d articles, untouched\n", len(res.Rows))
+	fmt.Printf("   %d articles visible; the deleted one is masked by its tombstone\n", len(res.Rows))
+
+	fmt.Println("== a major merge folds every run and retires the tombstone ==")
+	if err := rel.Storage().(interface{ CompactNow() error }).CompactNow(); err != nil {
+		log.Fatal(err)
+	}
+	s = db.Env.Obs.Snapshot().LSM
+	fmt.Printf("   %d runs resident, %d tombstones dropped\n", s.Runs, s.TombstonesDropped)
+	res, err = db.Exec("SELECT body FROM encyclopedia WHERE id = 2")
+	if err != nil || len(res.Rows) != 1 {
+		log.Fatal(res, err)
+	}
+	fmt.Printf("   revision survived the merge: %s\n", res.Rows[0][0].S)
 }
 
 func mustExec(db *dmx.DB, stmts ...string) {

@@ -80,6 +80,13 @@ type Env struct {
 	Obs     *obs.Engine
 	Tracer  *trace.Tracer
 
+	// Faults is the crash-point injector handed in via Config.Faults (nil
+	// in production). Storage methods with their own durability-bearing
+	// lifecycle transitions — e.g. the LSM method's memtable flush and
+	// run compaction — consult it at their declared sites; all Injector
+	// methods are nil-receiver safe.
+	Faults *fault.Injector
+
 	// NotifySkip, when non-nil, suppresses the attached-procedure
 	// notification for attachment type id on the named relation. It is a
 	// deliberate-mutation hook for the model-based differential harness
@@ -178,6 +185,7 @@ func NewEnv(cfg Config) *Env {
 			RingSize:      cfg.TraceRing,
 			SlowLog:       cfg.SlowLog,
 		}),
+		Faults:   cfg.Faults,
 		smInst:   make(map[uint32]StorageInstance),
 		attInst:  make(map[attKey]*attEntry),
 		extState: make(map[string]any),

@@ -40,11 +40,28 @@ const (
 	SiteBufFlush Site = "buffer.flush"
 	// SitePageWrite fires before the page file writes a page image.
 	SitePageWrite Site = "pagefile.write"
+	// SiteLSMFlush fires before the LSM storage method seals its memtable
+	// into a sorted run: the logged records exist in the WAL but the run
+	// was never built.
+	SiteLSMFlush Site = "lsm.flush"
+	// SiteLSMCompact fires after a run merge is computed but before the
+	// merged run replaces its inputs: the crash lands on a half-compacted
+	// in-memory state whose durable truth is still only the WAL.
+	SiteLSMCompact Site = "lsm.compact"
 )
 
-// Sites lists every registered crash site.
+// Sites lists the crash sites every engine workload reaches (WAL,
+// buffer pool, page file). The LSM sites are deliberately excluded: they
+// are only hit by workloads that ingest through the LSM storage method,
+// and the harness fails scenarios whose site is never reached.
 func Sites() []Site {
 	return []Site{SiteWALAppend, SiteWALFlush, SiteWALSynced, SiteBufFlush, SitePageWrite}
+}
+
+// LSMSites lists the crash sites of the LSM storage method's flush and
+// compaction boundaries, for workloads that drive it.
+func LSMSites() []Site {
+	return []Site{SiteLSMFlush, SiteLSMCompact}
 }
 
 // ErrInjected is the failure returned at an armed crash site and by every

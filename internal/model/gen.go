@@ -14,6 +14,12 @@ type GenConfig struct {
 	Seed  int64
 	Ops   int  // workload length (default 120)
 	Crash bool // sprinkle crash-point ops into the workload
+	// Ingest biases the scenario at the LSM storage method: relation x is
+	// always "append" with a tiny memtable and fanout so inserts, updates,
+	// deletes and tombstones cross flush and compaction boundaries within
+	// one workload, and most DML lands on x. Crash workloads additionally
+	// draw the lsm.flush and lsm.compact sites.
+	Ingest bool
 }
 
 // Scenario is a generated fleet plus the op sequence to run over it.
@@ -33,8 +39,8 @@ func Generate(cfg GenConfig) Scenario {
 		cfg.Ops = 120
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	fleet := genFleet(rng, cfg.Crash)
-	g := &generator{rng: rng, m: NewModel(fleet), crash: cfg.Crash}
+	fleet := genFleet(rng, cfg.Crash, cfg.Ingest)
+	g := &generator{rng: rng, m: NewModel(fleet), crash: cfg.Crash, ingest: cfg.Ingest}
 	ops := make([]Op, 0, cfg.Ops)
 	for len(ops) < cfg.Ops {
 		op, ok := g.next(len(ops))
@@ -59,7 +65,7 @@ func Generate(cfg GenConfig) Scenario {
 // genFleet picks the three-relation fleet for one seed: a parent "p"
 // carrying the constraint-heavy attachment load, a child "c" referencing
 // it, and an extra "x" cycling through the remaining storage methods.
-func genFleet(rng *rand.Rand, crash bool) Fleet {
+func genFleet(rng *rand.Rand, crash, ingest bool) Fleet {
 	fk := &FKDef{
 		Name:       "pc",
 		OwnFields:  []int{ColGrp},
@@ -115,12 +121,20 @@ func genFleet(rng *rand.Rand, crash bool) Fleet {
 		smx = append(smx, "remote")
 	}
 	x := &RelCfg{Name: "x", SM: smx[rng.Intn(len(smx))]}
+	if ingest {
+		x.SM = "append"
+	}
 	switch x.SM {
 	case "btree":
 		x.SMAttrs = core.AttrList{"key": "id"}
 		x.KeyFields = []int{ColID}
 	case "remote":
 		x.SMAttrs = core.AttrList{"server": "srv"}
+	case "append":
+		// A tiny memtable and minimum fanout make flushes and merges
+		// happen within a short workload; sync compaction keeps the run
+		// deterministic (the crash sites fire in the mutating call).
+		x.SMAttrs = core.AttrList{"memtable": "192", "fanout": "2", "compact": "sync"}
 	}
 	if x.SM != "temp" {
 		// Unlogged temp storage takes no attachments in the model's scope:
@@ -139,6 +153,7 @@ type generator struct {
 	rng     *rand.Rand
 	m       *Model
 	crash   bool
+	ingest  bool
 	nextRID int
 }
 
@@ -210,9 +225,17 @@ func (g *generator) next(i int) (Op, bool) {
 			return Op{}, false
 		}
 		// WAL sites are hit on every logged modification and commit, so an
-		// armed crash reliably fires within a few ops.
-		site := pick(g.rng,
-			string(fault.SiteWALAppend), string(fault.SiteWALFlush), string(fault.SiteWALSynced))
+		// armed crash reliably fires within a few ops. When x ingests
+		// through the LSM method its flush/compaction sites join the pool,
+		// landing crashes on half-flushed and half-compacted states.
+		sites := []string{
+			string(fault.SiteWALAppend), string(fault.SiteWALFlush), string(fault.SiteWALSynced)}
+		if g.m.Cfg("x").SM == "append" {
+			for _, s := range fault.LSMSites() {
+				sites = append(sites, string(s))
+			}
+		}
+		site := sites[g.rng.Intn(len(sites))]
 		op = Op{Kind: OpCrash, Site: site, Nth: 1 + g.rng.Intn(4)}
 	}
 	if !g.m.Eligible(op) {
@@ -226,6 +249,18 @@ func (g *generator) next(i int) (Op, bool) {
 
 func (g *generator) pickRel() string {
 	w := g.rng.Intn(10)
+	if g.ingest {
+		// Ingest scenarios pour most DML into the LSM relation so flush
+		// and compaction boundaries are crossed many times per workload.
+		switch {
+		case w < 2:
+			return "p"
+		case w < 4:
+			return "c"
+		default:
+			return "x"
+		}
+	}
 	switch {
 	case w < 4:
 		return "p"

@@ -577,9 +577,6 @@ func (m *Model) update(rel string, rid int, rec types.Record) Outcome {
 	cfg := rs.cfg
 	old := rs.rows[rid]
 
-	if cfg.SM == "append" {
-		return veto(cfg.SM, core.ErrReadOnly)
-	}
 	if cfg.SM == "btree" && fieldsChanged(cfg.KeyFields, old.Rec, rec) &&
 		m.findMatch(rs, cfg.KeyFields, rec, rid) >= 0 {
 		return veto(cfg.SM, btreesm.ErrDuplicateKey)
@@ -630,9 +627,6 @@ func (m *Model) delete(rel string, rid int) Outcome {
 	cfg := rs.cfg
 	old := rs.rows[rid]
 
-	if cfg.SM == "append" {
-		return veto(cfg.SM, core.ErrReadOnly)
-	}
 	var cascade []int
 	if d := cfg.ParentOf; d != nil {
 		if vals := fkValues(d.OwnFields, old.Rec); vals != nil {

@@ -94,6 +94,21 @@ func (g *Gauge) Inc() {
 // Dec lowers the gauge.
 func (g *Gauge) Dec() { g.v.Add(-1) }
 
+// Add moves the gauge by d (either direction), maintaining the high-water
+// mark with the same CAS loop as Inc when the move raises the value.
+func (g *Gauge) Add(d int64) {
+	n := g.v.Add(d)
+	if d <= 0 {
+		return
+	}
+	for {
+		m := g.max.Load()
+		if n <= m || g.max.CompareAndSwap(m, n) {
+			return
+		}
+	}
+}
+
 // Load returns the current value.
 func (g *Gauge) Load() int64 { return g.v.Load() }
 
@@ -308,6 +323,22 @@ type MVCCStats struct {
 	Frozen          Counter // chains retired by checkpoint freezes
 }
 
+// LSMStats instruments the tiered-ingest (LSM) storage method: memtable
+// lifecycle, run merges, and bloom-filter effectiveness. The gauges
+// aggregate across every LSM relation in the environment.
+type LSMStats struct {
+	Flushes             Counter // memtables sealed into sorted runs
+	FlushedEntries      Counter // entries moved out of memtables by flushes
+	Compactions         Counter // merge rounds installed
+	CompactedRuns       Counter // input runs consumed by merges
+	TombstonesDropped   Counter // delete markers retired by full-depth merges
+	BloomProbes         Counter // runs consulted by direct-by-key lookups
+	BloomSkips          Counter // runs skipped by their bloom filter
+	BloomFalsePositives Counter // bloom passes that then found no key
+	MemtableBytes       Gauge   // resident memtable payload bytes (with high-water)
+	Runs                Gauge   // resident sorted runs (with high-water)
+}
+
 // Engine aggregates every component's metrics into one registry. All
 // fields are recorded into concurrently without locks.
 type Engine struct {
@@ -318,6 +349,7 @@ type Engine struct {
 	WAL       WALStats
 	Buffer    BufferStats
 	MVCC      MVCCStats
+	LSM       LSMStats
 }
 
 // NewEngine returns a fresh engine metric registry.
@@ -332,6 +364,7 @@ type Snapshot struct {
 	WAL    WALSnapshot    `json:"wal"`
 	Buffer BufferSnapshot `json:"buffer"`
 	MVCC   MVCCSnapshot   `json:"mvcc"`
+	LSM    LSMSnapshot    `json:"lsm"`
 }
 
 // ExtSnapshot is the per-extension view: one entry per operation with
@@ -387,6 +420,24 @@ type MVCCSnapshot struct {
 	Frozen          int64 `json:"frozen"`
 }
 
+// LSMSnapshot is the tiered-ingest storage-method view. BloomSkipRatio is
+// the fraction of per-run probes the filters answered without a search.
+type LSMSnapshot struct {
+	Flushes             int64   `json:"flushes"`
+	FlushedEntries      int64   `json:"flushed_entries"`
+	Compactions         int64   `json:"compactions"`
+	CompactedRuns       int64   `json:"compacted_runs"`
+	TombstonesDropped   int64   `json:"tombstones_dropped"`
+	BloomProbes         int64   `json:"bloom_probes"`
+	BloomSkips          int64   `json:"bloom_skips"`
+	BloomFalsePositives int64   `json:"bloom_false_positives"`
+	BloomSkipRatio      float64 `json:"bloom_skip_ratio"`
+	MemtableBytes       int64   `json:"memtable_bytes"`
+	MemtableBytesMax    int64   `json:"memtable_bytes_max"`
+	Runs                int64   `json:"runs"`
+	RunsMax             int64   `json:"runs_max"`
+}
+
 // BufferSnapshot is the buffer-pool view.
 type BufferSnapshot struct {
 	Hits      int64   `json:"hits"`
@@ -437,6 +488,10 @@ func (e *Engine) Snapshot() Snapshot {
 	if b := e.WAL.GroupBatches.Load(); b > 0 {
 		commitsPerFsync = float64(e.WAL.GroupCommits.Load()) / float64(b)
 	}
+	bloomSkipRatio := 0.0
+	if probes := e.LSM.BloomProbes.Load(); probes > 0 {
+		bloomSkipRatio = float64(e.LSM.BloomSkips.Load()) / float64(probes)
+	}
 	return Snapshot{
 		SM:  snapshotVector(&e.SM, nil),
 		Att: snapshotVector(&e.Att, &e.AttVetoes),
@@ -473,6 +528,21 @@ func (e *Engine) Snapshot() Snapshot {
 			Reconstructions: e.MVCC.Reconstructions.Load(),
 			Pruned:          e.MVCC.Pruned.Load(),
 			Frozen:          e.MVCC.Frozen.Load(),
+		},
+		LSM: LSMSnapshot{
+			Flushes:             e.LSM.Flushes.Load(),
+			FlushedEntries:      e.LSM.FlushedEntries.Load(),
+			Compactions:         e.LSM.Compactions.Load(),
+			CompactedRuns:       e.LSM.CompactedRuns.Load(),
+			TombstonesDropped:   e.LSM.TombstonesDropped.Load(),
+			BloomProbes:         e.LSM.BloomProbes.Load(),
+			BloomSkips:          e.LSM.BloomSkips.Load(),
+			BloomFalsePositives: e.LSM.BloomFalsePositives.Load(),
+			BloomSkipRatio:      bloomSkipRatio,
+			MemtableBytes:       e.LSM.MemtableBytes.Load(),
+			MemtableBytesMax:    e.LSM.MemtableBytes.Max(),
+			Runs:                e.LSM.Runs.Load(),
+			RunsMax:             e.LSM.Runs.Max(),
 		},
 	}
 }

@@ -109,6 +109,27 @@ func TestGaugeHighWaterMark(t *testing.T) {
 	}
 }
 
+// TestGaugeAddHighWaterMark covers the batched-delta path: positive
+// deltas advance the mark to the post-add value, negative deltas never
+// move it.
+func TestGaugeAddHighWaterMark(t *testing.T) {
+	var g Gauge
+	g.Add(100)
+	g.Add(-40)
+	g.Add(30)
+	if g.Load() != 90 || g.Max() != 100 {
+		t.Fatalf("load=%d max=%d, want 90/100", g.Load(), g.Max())
+	}
+	g.Add(20)
+	if g.Load() != 110 || g.Max() != 110 {
+		t.Fatalf("load=%d max=%d, want 110/110", g.Load(), g.Max())
+	}
+	g.Add(-110)
+	if g.Load() != 0 || g.Max() != 110 {
+		t.Fatalf("load=%d max=%d, want 0/110", g.Load(), g.Max())
+	}
+}
+
 // TestGaugeConcurrentHighWaterMark is the lost-max regression test: all
 // workers raise the gauge to its peak before any lowers it, so the exact
 // peak is known and a racy high-water update would under-report it.

@@ -80,6 +80,31 @@ func WritePrometheus(w io.Writer, s Snapshot) error {
 	p.sample("mvcc_pruned_total", "", float64(s.MVCC.Pruned))
 	p.family("mvcc_frozen_total", "counter", "version chains retired by checkpoint freezes")
 	p.sample("mvcc_frozen_total", "", float64(s.MVCC.Frozen))
+
+	p.family("lsm_flushes_total", "counter", "LSM memtables sealed into sorted runs")
+	p.sample("lsm_flushes_total", "", float64(s.LSM.Flushes))
+	p.family("lsm_flushed_entries_total", "counter", "entries moved out of LSM memtables by flushes")
+	p.sample("lsm_flushed_entries_total", "", float64(s.LSM.FlushedEntries))
+	p.family("lsm_compactions_total", "counter", "LSM run-merge rounds installed")
+	p.sample("lsm_compactions_total", "", float64(s.LSM.Compactions))
+	p.family("lsm_compacted_runs_total", "counter", "input runs consumed by LSM merges")
+	p.sample("lsm_compacted_runs_total", "", float64(s.LSM.CompactedRuns))
+	p.family("lsm_tombstones_dropped_total", "counter", "delete markers retired by full-depth LSM merges")
+	p.sample("lsm_tombstones_dropped_total", "", float64(s.LSM.TombstonesDropped))
+	p.family("lsm_bloom_probes_total", "counter", "runs consulted by LSM direct-by-key lookups")
+	p.sample("lsm_bloom_probes_total", "", float64(s.LSM.BloomProbes))
+	p.family("lsm_bloom_skips_total", "counter", "runs skipped by their bloom filter")
+	p.sample("lsm_bloom_skips_total", "", float64(s.LSM.BloomSkips))
+	p.family("lsm_bloom_false_positives_total", "counter", "bloom passes that then found no key")
+	p.sample("lsm_bloom_false_positives_total", "", float64(s.LSM.BloomFalsePositives))
+	p.family("lsm_memtable_bytes", "gauge", "resident LSM memtable payload bytes")
+	p.sample("lsm_memtable_bytes", "", float64(s.LSM.MemtableBytes))
+	p.family("lsm_memtable_bytes_max", "gauge", "high-water mark of resident LSM memtable bytes")
+	p.sample("lsm_memtable_bytes_max", "", float64(s.LSM.MemtableBytesMax))
+	p.family("lsm_runs", "gauge", "resident LSM sorted runs")
+	p.sample("lsm_runs", "", float64(s.LSM.Runs))
+	p.family("lsm_runs_max", "gauge", "high-water mark of resident LSM sorted runs")
+	p.sample("lsm_runs_max", "", float64(s.LSM.RunsMax))
 	return p.err
 }
 

@@ -191,6 +191,53 @@ func TestWritePrometheusValid(t *testing.T) {
 	}
 }
 
+// TestWritePrometheusLSMFamilies pins the LSM exposition: counters,
+// gauges with their high-water twins, and the derived bloom skip ratio.
+func TestWritePrometheusLSMFamilies(t *testing.T) {
+	e := NewEngine()
+	e.LSM.Flushes.Add(4)
+	e.LSM.FlushedEntries.Add(64)
+	e.LSM.Compactions.Add(2)
+	e.LSM.CompactedRuns.Add(5)
+	e.LSM.TombstonesDropped.Add(3)
+	e.LSM.BloomProbes.Add(8)
+	e.LSM.BloomSkips.Add(6)
+	e.LSM.BloomFalsePositives.Add(1)
+	e.LSM.MemtableBytes.Add(900)
+	e.LSM.MemtableBytes.Add(-200)
+	e.LSM.Runs.Add(3)
+	e.LSM.Runs.Add(-1)
+
+	snap := e.Snapshot()
+	if snap.LSM.BloomSkipRatio != 0.75 {
+		t.Fatalf("bloom skip ratio = %v, want 0.75", snap.LSM.BloomSkipRatio)
+	}
+	var b strings.Builder
+	if err := WritePrometheus(&b, snap); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	validatePrometheus(t, text)
+	for _, want := range []string{
+		`dmx_lsm_flushes_total 4`,
+		`dmx_lsm_flushed_entries_total 64`,
+		`dmx_lsm_compactions_total 2`,
+		`dmx_lsm_compacted_runs_total 5`,
+		`dmx_lsm_tombstones_dropped_total 3`,
+		`dmx_lsm_bloom_probes_total 8`,
+		`dmx_lsm_bloom_skips_total 6`,
+		`dmx_lsm_bloom_false_positives_total 1`,
+		`dmx_lsm_memtable_bytes 700`,
+		`dmx_lsm_memtable_bytes_max 900`,
+		`dmx_lsm_runs 2`,
+		`dmx_lsm_runs_max 3`,
+	} {
+		if !strings.Contains(text, want+"\n") {
+			t.Errorf("missing line %q in exposition:\n%s", want, text)
+		}
+	}
+}
+
 func TestWritePrometheusEmptyEngine(t *testing.T) {
 	var b strings.Builder
 	if err := WritePrometheus(&b, NewEngine().Snapshot()); err != nil {

@@ -1,0 +1,62 @@
+package appendsm
+
+// bloom is a fixed-size bloom filter over press-sequence keys, built once
+// when a run is sealed and immutable afterwards. Sizing is ~10 bits per
+// key with 6 probes, giving a false-positive rate under 1%; the k probe
+// positions come from double hashing of two independent 64-bit mixes, the
+// standard trick that avoids computing k real hash functions.
+type bloom struct {
+	bits []uint64
+	k    uint32
+}
+
+const (
+	bloomBitsPerKey = 10
+	bloomProbes     = 6
+)
+
+// newBloom sizes a filter for n keys (n == 0 yields a tiny always-empty
+// filter that correctly answers "absent" for everything).
+func newBloom(n int) *bloom {
+	words := (n*bloomBitsPerKey + 63) / 64
+	if words == 0 {
+		words = 1
+	}
+	return &bloom{bits: make([]uint64, words), k: bloomProbes}
+}
+
+// mix64 is the splitmix64 finalizer: a cheap invertible 64-bit mix whose
+// output bits are uniformly sensitive to every input bit.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+func (b *bloom) add(seq uint64) {
+	nbits := uint64(len(b.bits)) * 64
+	h1 := mix64(seq)
+	h2 := mix64(seq ^ 0x9e3779b97f4a7c15)
+	h2 |= 1 // odd stride so probes cover the table
+	for i := uint32(0); i < b.k; i++ {
+		bit := (h1 + uint64(i)*h2) % nbits
+		b.bits[bit/64] |= 1 << (bit % 64)
+	}
+}
+
+func (b *bloom) mayContain(seq uint64) bool {
+	nbits := uint64(len(b.bits)) * 64
+	h1 := mix64(seq)
+	h2 := mix64(seq ^ 0x9e3779b97f4a7c15)
+	h2 |= 1
+	for i := uint32(0); i < b.k; i++ {
+		bit := (h1 + uint64(i)*h2) % nbits
+		if b.bits[bit/64]&(1<<(bit%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -919,8 +919,8 @@ type heapScan struct {
 	store        *store
 	tx           *txn.Txn // buffer faults during the scan charge its trace
 	opts         core.ScanOptions
-	filterFields []int          // fields the filter needs, isolated before decoding
-	nextRID      rid            // first candidate to examine
+	filterFields []int // fields the filter needs, isolated before decoding
+	nextRID      rid   // first candidate to examine
 	closed       bool
 	snap         *txn.Snapshot // non-nil: resolve every slot against this snapshot
 }

@@ -36,6 +36,47 @@ func PrefixSuccessor(p []byte) []byte {
 	return nil
 }
 
+// rangeBounds derives the [start, end) scan bounds for one range-bounded
+// key field. prefix is the equality prefix over earlier key fields;
+// lowerEnc/upperEnc are the order-preserving encodings of the bound
+// values appended to that prefix (nil when that side is unbounded);
+// lowerStrict marks a > bound, upperInclusive a <= bound.
+//
+// empty reports that the strict lower bound admits no key: its encoding
+// is all 0xFF, so no byte string sorts above it and the range holds
+// nothing. upperHandled reports whether the returned end fully enforces
+// the upper conjunct; it is false when an inclusive upper bound is all
+// 0xFF — every extension of it must stay in range but no finite end
+// covers them — in which case end stays at the prefix bound and the
+// caller must leave the conjunct to the executor. Real value encodings
+// always start with a kind-tag byte below 0xFF, so both edges are
+// unreachable through types.Value today; this keeps the contract honest
+// for any future raw-byte key source.
+func rangeBounds(prefix, lowerEnc, upperEnc []byte, lowerStrict, upperInclusive bool) (start, end types.Key, empty, upperHandled bool) {
+	start = append(types.Key(nil), prefix...)
+	end = PrefixSuccessor(prefix)
+	if lowerEnc != nil {
+		b := lowerEnc
+		if lowerStrict {
+			if b = PrefixSuccessor(b); b == nil {
+				return nil, nil, true, false
+			}
+		}
+		start = b
+	}
+	upperHandled = true
+	if upperEnc != nil {
+		b := upperEnc
+		if upperInclusive {
+			if b = PrefixSuccessor(b); b == nil {
+				return start, end, false, false
+			}
+		}
+		end = b
+	}
+	return start, end, false, upperHandled
+}
+
 // KeyRange analyses the planner's eligible predicates against an ordered
 // key composed of the given record fields, deriving the tightest
 // [start, end) bound on the order-preserving key encoding. It returns the
@@ -80,23 +121,34 @@ func KeyRange(keyFields []int, conjuncts []*expr.Expr) (start, end types.Key, ha
 			break
 		}
 		depth++
-		start = append(types.Key(nil), prefix...)
-		end = PrefixSuccessor(prefix)
+		var lowerEnc, upperEnc []byte
 		if lower != nil {
-			b := lower.Value.AppendOrderedEncode(append([]byte(nil), prefix...))
-			if lower.Op == expr.OpGt {
-				b = PrefixSuccessor(b)
-			}
-			start = b
+			lowerEnc = lower.Value.AppendOrderedEncode(append([]byte(nil), prefix...))
+		}
+		if upper != nil {
+			upperEnc = upper.Value.AppendOrderedEncode(append([]byte(nil), prefix...))
+		}
+		start, end, empty, upperOK := rangeBounds(prefix, lowerEnc, upperEnc,
+			lower != nil && lower.Op == expr.OpGt,
+			upper != nil && upper.Op == expr.OpLe)
+		if empty {
+			// The strict lower bound admits no key at all. Report an
+			// explicitly empty range (start == end, non-nil); a nil start
+			// here would read as "scan from the beginning" while the
+			// conjunct was claimed handled. The empty result trivially
+			// satisfies the upper conjunct too, but only the lower one is
+			// claimed.
+			return types.Key{}, types.Key{}, append(handled, lowerIdx), false, depth
+		}
+		if lower != nil {
 			handled = append(handled, lowerIdx)
 		}
 		if upper != nil {
-			b := upper.Value.AppendOrderedEncode(append([]byte(nil), prefix...))
-			if upper.Op == expr.OpLe {
-				b = PrefixSuccessor(b)
+			if upperOK {
+				handled = append(handled, upperIdx)
 			}
-			end = b
-			handled = append(handled, upperIdx)
+			// Otherwise end stays at the prefix bound and the executor
+			// re-applies the conjunct.
 		}
 		return start, end, handled, false, depth
 	}

@@ -126,6 +126,94 @@ func TestKeyRangeOpenEnds(t *testing.T) {
 	}
 }
 
+// TestRangeBoundsAllFFEdges covers the two unbounded-successor edges.
+// Real types.Value encodings always lead with a kind tag below 0xFF, so
+// these edges are unreachable through KeyRange today; rangeBounds is
+// tested directly to keep the contract honest for raw-byte key sources.
+func TestRangeBoundsAllFFEdges(t *testing.T) {
+	allFF := []byte{0xFF, 0xFF, 0xFF}
+
+	// A strict lower bound whose encoding is all 0xFF admits no key: no
+	// byte string sorts above it. The old behaviour returned a nil start
+	// — read downstream as "scan from the beginning" — while the conjunct
+	// was reported handled, silently turning an empty range into a full
+	// scan with the filter dropped.
+	_, _, empty, _ := rangeBounds(nil, allFF, nil, true, false)
+	if !empty {
+		t.Fatal("strict lower bound at all-0xFF not reported empty")
+	}
+
+	// An inclusive upper bound at all 0xFF has no finite end key; the end
+	// must stay at the prefix bound and the conjunct must be reported
+	// unhandled so the executor re-applies it. (The bound encoding
+	// embeds the prefix, so this edge requires the prefix itself to be
+	// empty or all 0xFF.)
+	start, end, empty, upperHandled := rangeBounds(nil, nil, allFF, false, true)
+	if empty || upperHandled {
+		t.Fatalf("inclusive all-0xFF upper: empty=%v handled=%v", empty, upperHandled)
+	}
+	if len(start) != 0 || end != nil {
+		t.Fatalf("bounds fell back wrong: start=%v end=%v", start, end)
+	}
+
+	// Both edges at once: the empty verdict wins.
+	if _, _, empty, _ := rangeBounds(nil, allFF, allFF, true, true); !empty {
+		t.Fatal("empty strict lower not reported when upper also edges")
+	}
+}
+
+func TestRangeBoundsOrdinaryBounds(t *testing.T) {
+	prefix := []byte{7}
+	lower := append(append([]byte(nil), prefix...), 3)
+	upper := append(append([]byte(nil), prefix...), 9)
+
+	// Strict lower: start is the successor of the bound encoding.
+	start, end, empty, handled := rangeBounds(prefix, lower, upper, true, false)
+	if empty || !handled {
+		t.Fatalf("empty=%v handled=%v", empty, handled)
+	}
+	if string(start) != string(PrefixSuccessor(lower)) || string(end) != string(upper) {
+		t.Fatalf("start=%v end=%v", start, end)
+	}
+
+	// Inclusive upper: end is the successor of the bound encoding.
+	start, end, _, handled = rangeBounds(prefix, lower, upper, false, true)
+	if !handled || string(start) != string(lower) || string(end) != string(PrefixSuccessor(upper)) {
+		t.Fatalf("handled=%v start=%v end=%v", handled, start, end)
+	}
+
+	// No bounds: the equality prefix alone governs.
+	start, end, _, _ = rangeBounds(prefix, nil, nil, false, false)
+	if string(start) != string(prefix) || string(end) != string(PrefixSuccessor(prefix)) {
+		t.Fatalf("prefix-only bounds: start=%v end=%v", start, end)
+	}
+}
+
+// TestKeyRangeStrictBoundContracts pins the reachable Gt/Le behaviour
+// around rangeBounds: strict lower bounds exclude their operand without
+// going empty, and inclusive upper bounds are fully handled, for the
+// extreme representable values.
+func TestKeyRangeStrictBoundContracts(t *testing.T) {
+	const maxI = int64(^uint64(0) >> 1)
+	gt := expr.Gt(expr.Field(0), expr.Const(types.Int(maxI)))
+	start, end, handled, _, depth := KeyRange([]int{0}, []*expr.Expr{gt})
+	if depth != 1 || len(handled) != 1 {
+		t.Fatalf("depth=%d handled=%v", depth, handled)
+	}
+	if keyIn(start, end, types.Int(maxI)) {
+		t.Fatal("x > MaxInt64 included MaxInt64")
+	}
+
+	leMax := le(0, maxI)
+	start, end, handled, _, _ = KeyRange([]int{0}, []*expr.Expr{leMax})
+	if len(handled) != 1 {
+		t.Fatalf("handled=%v", handled)
+	}
+	if !keyIn(start, end, types.Int(maxI)) || !keyIn(start, end, types.Int(0)) {
+		t.Fatal("x <= MaxInt64 excluded an in-range value")
+	}
+}
+
 func TestEstimateSelectivity(t *testing.T) {
 	if got := EstimateSelectivity(nil); got != 1.0 {
 		t.Fatalf("no conjuncts = %v", got)

@@ -29,9 +29,9 @@ func envSeeds(name string, def int) int {
 // reference model in lockstep. On divergence it shrinks the workload to a
 // minimal failing prefix and reports the seed, the replay command, and the
 // reduced op script.
-func runModelSeed(t *testing.T, seed int64, crash bool) {
+func runModelSeed(t *testing.T, seed int64, crash, ingest bool) {
 	t.Helper()
-	sc := model.Generate(model.GenConfig{Seed: seed, Ops: 120, Crash: crash})
+	sc := model.Generate(model.GenConfig{Seed: seed, Ops: 120, Crash: crash, Ingest: ingest})
 	run := func(ops []model.Op) *model.Divergence {
 		rc := model.RunConfig{Fleet: sc.Fleet, Ops: ops}
 		if crash {
@@ -45,7 +45,12 @@ func runModelSeed(t *testing.T, seed int64, crash bool) {
 	}
 	min, mdiv, runs := model.Shrink(sc.Ops, div.OpIndex, run, 300)
 	name := "TestModel$"
-	if crash {
+	switch {
+	case ingest && crash:
+		name = "TestModelIngestCrash"
+	case ingest:
+		name = "TestModelIngest$"
+	case crash:
 		name = "TestModelCrashRecovery"
 	}
 	t.Fatalf("seed %d: %v\nreplay: go test -run '%s' -seed=%d\nshrunk to %d ops in %d runs (divergence: %v):\n%s",
@@ -57,11 +62,11 @@ func runModelSeed(t *testing.T, seed int64, crash bool) {
 // checkpoints across every storage method and attachment combination).
 func TestModel(t *testing.T) {
 	if *modelSeed != 0 {
-		runModelSeed(t, *modelSeed, false)
+		runModelSeed(t, *modelSeed, false, false)
 		return
 	}
 	for seed := 1; seed <= envSeeds("DMX_MODEL_SEEDS", 40); seed++ {
-		runModelSeed(t, int64(seed), false)
+		runModelSeed(t, int64(seed), false, false)
 	}
 }
 
@@ -71,11 +76,42 @@ func TestModel(t *testing.T) {
 // crash-consistent candidate states.
 func TestModelCrashRecovery(t *testing.T) {
 	if *modelSeed != 0 {
-		runModelSeed(t, *modelSeed, true)
+		runModelSeed(t, *modelSeed, true, false)
 		return
 	}
 	for seed := 1; seed <= envSeeds("DMX_MODEL_CRASH_SEEDS", 12); seed++ {
-		runModelSeed(t, int64(seed), true)
+		runModelSeed(t, int64(seed), true, false)
+	}
+}
+
+// TestModelIngest soaks the differential model over the LSM storage
+// method: ingest-biased workloads pour inserts, updates, deletes and
+// tombstones into an append relation shaped (tiny memtable, minimum
+// fanout, sync compaction) so flush and compaction boundaries are
+// crossed many times per workload, and the engine is cross-checked
+// against the reference oracle after every op.
+func TestModelIngest(t *testing.T) {
+	if *modelSeed != 0 {
+		runModelSeed(t, *modelSeed, false, true)
+		return
+	}
+	for seed := 1; seed <= envSeeds("DMX_INGEST_SEEDS", 15); seed++ {
+		runModelSeed(t, int64(seed), false, true)
+	}
+}
+
+// TestModelIngestCrash adds crash injection to the ingest soak: the
+// generator draws the lsm.flush and lsm.compact sites alongside the WAL
+// sites, so recovery replays tombstone-heavy histories into the memtable
+// from half-flushed and half-compacted on-disk states, and the recovered
+// engine is matched against the model's crash-consistent candidates.
+func TestModelIngestCrash(t *testing.T) {
+	if *modelSeed != 0 {
+		runModelSeed(t, *modelSeed, true, true)
+		return
+	}
+	for seed := 1; seed <= envSeeds("DMX_INGEST_CRASH_SEEDS", 8); seed++ {
+		runModelSeed(t, int64(seed), true, true)
 	}
 }
 
