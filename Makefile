@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench crash race model ingest fmt vet staticcheck trace-demo
+.PHONY: build test check bench crash race model ingest par fmt vet staticcheck trace-demo
 
 build:
 	$(GO) build ./...
@@ -21,6 +21,7 @@ test:
 check: build vet staticcheck
 	$(GO) test -shuffle=on -cover ./...
 	$(GO) test -race -count=1 ./...
+	$(MAKE) par
 
 # staticcheck runs honnef.co/go/tools when the binary is on PATH and is a
 # no-op otherwise, so check works in offline environments without it.
@@ -69,6 +70,12 @@ DMX_INGEST_SEEDS ?= 400
 DMX_INGEST_CRASH_SEEDS ?= 100
 ingest:
 	DMX_INGEST_SEEDS=$(DMX_INGEST_SEEDS) DMX_INGEST_CRASH_SEEDS=$(DMX_INGEST_CRASH_SEEDS) 		DMX_CRASH_DEEP=1 $(GO) test -count=1 -run 'TestModelIngest|TestCrashLSM' -v .
+
+# par is the parallel-execution race soak: the exchange operator's
+# early-close shutdown paths, the partitioned-scan differentials across
+# storage methods, and the hash join, repeated under the race detector.
+par:
+	$(GO) test -race -count=3 -run 'TestExchangeEarlyClose|TestParallelScan|TestParallelHashJoin|TestDuplicateKeyJoin' ./internal/plan/
 
 bench:
 	$(GO) run ./cmd/dmxbench

@@ -94,6 +94,7 @@ func main() {
 		{"MT", "concurrent commit throughput: group commit and sharded hot paths", mtGroupCommit},
 		{"MVCC", "snapshot reads: locked vs lock-free read-only throughput", mvccReads},
 		{"INGEST", "LSM tiered ingest: sustained writes, tombstones, bloom-filtered point reads", ingestLSM},
+		{"PAR", "partitioned parallel scan and hash join vs serial execution", parExec},
 		{"A1", "ablation: skipping index maintenance when no indexed field changed", a1SkipUnchanged},
 		{"A2", "ablation: remote scan batch size", a2RemoteBatch},
 		{"A3", "ablation: ORDER BY via ordered access path vs scan + sort", a3OrderedAccess},
@@ -177,20 +178,26 @@ func e2Join() []*rig.Table {
 	t.Note = `"the join of two moderate sized relations can easily result in thousands of calls to storage method and attachment routines"`
 
 	type strat struct {
-		name string
-		prep func(env *core.Env)
-		spec plan.JoinSpec
+		name  string
+		prep  func(env *core.Env)
+		spec  plan.JoinSpec
+		force string // ForceJoin: keep each row on its named strategy
 	}
 	strats := []strat{
 		{"nested loop (rescan inner)", nil,
-			plan.JoinSpec{Table: "dept", OuterCol: 1, InnerCol: 0, Fields: []int{1}}},
+			plan.JoinSpec{Table: "dept", OuterCol: 1, InnerCol: 0, Fields: []int{1}}, "nl"},
+		// The join probes dept's field 0 (its records carry eno == dno), so
+		// the index must cover eno; on dno the probe path is unusable and
+		// the row would silently degrade to a nested loop.
 		{"index NL (B-tree probe)", func(env *core.Env) {
-			rig.MustAttach(env, "dept", "btree", core.AttrList{"on": "dno"})
-		}, plan.JoinSpec{Table: "dept", OuterCol: 1, InnerCol: 0, Fields: []int{1}}},
+			rig.MustAttach(env, "dept", "btree", core.AttrList{"on": "eno"})
+		}, plan.JoinSpec{Table: "dept", OuterCol: 1, InnerCol: 0, Fields: []int{1}}, "indexnl"},
+		{"hash join (build inner)", nil,
+			plan.JoinSpec{Table: "dept", OuterCol: 1, InnerCol: 0, Fields: []int{1}}, "hash"},
 		{"join index", func(env *core.Env) {
 			rig.MustAttach(env, "emp", "joinindex", core.AttrList{"name": "ed", "on": "dno", "peer": "dept"})
 			rig.MustAttach(env, "dept", "joinindex", core.AttrList{"name": "ed", "on": "dno", "peer": "emp"})
-		}, plan.JoinSpec{Table: "dept", OuterCol: 1, InnerCol: 0, Fields: []int{1}, JoinIndex: "ed"}},
+		}, plan.JoinSpec{Table: "dept", OuterCol: 1, InnerCol: 0, Fields: []int{1}, JoinIndex: "ed"}, ""},
 	}
 	for _, s := range strats {
 		env := core.NewEnv(core.Config{})
@@ -207,7 +214,7 @@ func e2Join() []*rig.Table {
 		}
 		p := plan.New(env)
 		spec := s.spec
-		b, err := p.Plan(plan.Query{Table: "emp", Fields: []int{0}, Join: &spec})
+		b, err := p.Plan(plan.Query{Table: "emp", Fields: []int{0}, Join: &spec, ForceJoin: s.force})
 		if err != nil {
 			panic(err)
 		}
@@ -1213,6 +1220,112 @@ func traceOverhead() []*rig.Table {
 		t.Add(cfg.label, commits, d, fmt.Sprintf("%.0f", rate), sampled, overhead)
 	}
 	return []*rig.Table{t}
+}
+
+// --- PAR: partitioned parallel scan and hash join vs serial ---
+
+func parExec() []*rig.Table {
+	rows := n(150_000)
+	env := core.NewEnv(core.Config{})
+	emp := rig.MustCreate(env, "emp", "memory", nil)
+	rig.Load(env, emp, rows, 20)
+	p := plan.New(env)
+
+	t := rig.NewTable(fmt.Sprintf("PAR — partitioned parallel scan, %d records (GOMAXPROCS=%d)",
+		rows, runtime.GOMAXPROCS(0)),
+		"workers", "rows", "time", "rows/ms", "speedup")
+	t.Note = "key-range partitions, one worker goroutine per partition, merged by an exchange; " +
+		"the filter and record decode run in the workers"
+
+	// A pass-everything filter keeps the row count fixed while giving the
+	// workers per-record predicate work to parallelise.
+	filter := expr.Ge(expr.Field(2), expr.Const(types.Float(0)))
+	var serial time.Duration
+	for _, workers := range []int{1, 4, 8} {
+		b, err := p.Plan(plan.Query{Table: "emp", Filter: filter, Fields: []int{0, 2}, ForceDegree: workers})
+		if err != nil {
+			panic(err)
+		}
+		count := 0
+		d := best3(func() {
+			count = 0
+			tx := env.Begin()
+			rs, err := b.Execute(tx)
+			if err != nil {
+				panic(err)
+			}
+			for {
+				_, ok, err := rs.Next()
+				if err != nil {
+					panic(err)
+				}
+				if !ok {
+					break
+				}
+				count++
+			}
+			rs.Close()
+			tx.Commit()
+		})
+		if workers == 1 {
+			serial = d
+		}
+		t.Add(workers, count, d,
+			fmt.Sprintf("%.0f", float64(count)/float64(d.Milliseconds()+1)),
+			fmt.Sprintf("%.2fx", float64(serial)/float64(d)))
+	}
+
+	// Join companion: the same emp against a 10k-row inner, naive nested
+	// loop vs single hash build at the planner's automatic degree.
+	inner := n(10_000)
+	dept := rig.MustCreate(env, "dept", "memory", nil)
+	rig.WithTxn(env, func(tx *txn.Txn) {
+		for i := 0; i < inner; i++ {
+			if _, err := dept.Insert(tx, rig.EmpRecord(i, 4)); err != nil {
+				panic(err)
+			}
+		}
+	})
+	outerN := n(500)
+	jt := rig.NewTable(fmt.Sprintf("PAR — equi-join on dno, %d ⋈ %d", outerN, inner),
+		"strategy", "rows", "time", "per row")
+	for _, s := range []struct{ name, force string }{
+		{"nested loop (rescan inner)", "nl"},
+		{"hash join (build inner once)", "hash"},
+	} {
+		b, err := p.Plan(plan.Query{
+			Table:     "emp",
+			Filter:    expr.Lt(expr.Field(0), expr.Const(types.Int(int64(outerN)))),
+			Fields:    []int{0},
+			Join:      &plan.JoinSpec{Table: "dept", OuterCol: 1, InnerCol: 1, Fields: []int{0}},
+			ForceJoin: s.force,
+		})
+		if err != nil {
+			panic(err)
+		}
+		count := 0
+		d := rig.Time(func() {
+			tx := env.Begin()
+			rs, err := b.Execute(tx)
+			if err != nil {
+				panic(err)
+			}
+			for {
+				_, ok, err := rs.Next()
+				if err != nil {
+					panic(err)
+				}
+				if !ok {
+					break
+				}
+				count++
+			}
+			rs.Close()
+			tx.Commit()
+		})
+		jt.Add(s.name, count, d, rig.PerOp(d, count))
+	}
+	return []*rig.Table{t, jt}
 }
 
 // --- A1: ablation — skip index maintenance when no indexed field changed ---

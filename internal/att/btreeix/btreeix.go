@@ -19,7 +19,6 @@ import (
 	"dmx/internal/att/attutil"
 	"dmx/internal/btree"
 	"dmx/internal/core"
-	"dmx/internal/expr"
 	"dmx/internal/sm/smutil"
 	"dmx/internal/txn"
 	"dmx/internal/types"
@@ -355,10 +354,7 @@ func (ix *Instance) EstimateCost(req core.CostRequest) core.CostEstimate {
 			est.CPU = height + 1
 			est.Selectivity = 1 / math.Max(n, 1)
 		} else {
-			frac := math.Pow(0.1, float64(countEq(req, handled)))
-			if frac >= 1 {
-				frac = 0.3
-			}
+			frac := smutil.HandledSelectivity(req, handled)
 			est.CPU = height + n*frac
 			est.Selectivity = frac
 		}
@@ -369,20 +365,6 @@ func (ix *Instance) EstimateCost(req core.CostRequest) core.CostEstimate {
 		}
 	}
 	return best
-}
-
-// countEq counts the handled conjuncts that are equality comparisons.
-func countEq(req core.CostRequest, handled []int) int {
-	n := 0
-	for _, h := range handled {
-		if h < 0 || h >= len(req.Conjuncts) {
-			continue
-		}
-		if fc, ok := expr.MatchFieldCompare(req.Conjuncts[h]); ok && fc.Op == expr.OpEq {
-			n++
-		}
-	}
-	return n
 }
 
 // InstanceCount implements core.AccessPath.

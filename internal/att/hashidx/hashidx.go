@@ -246,6 +246,10 @@ func (ix *Instance) OpenScan(tx *txn.Txn, instance int, opts core.ScanOptions) (
 	return nil, fmt.Errorf("hashidx: hash indexes support direct-by-key access only")
 }
 
+// DirectOnly implements core.DirectOnlyPath: the planner must fetch by
+// probe key rather than open a key-sequential access.
+func (ix *Instance) DirectOnly() bool { return true }
+
 // EstimateCost implements core.AccessPath: usable only when every index
 // field is bound by an equality conjunct.
 func (ix *Instance) EstimateCost(req core.CostRequest) core.CostEstimate {
@@ -300,4 +304,5 @@ var (
 	_ core.AttachmentInstance = (*Instance)(nil)
 	_ core.AccessPath         = (*Instance)(nil)
 	_ core.Reconfigurer       = (*Instance)(nil)
+	_ core.DirectOnlyPath     = (*Instance)(nil)
 )

@@ -18,6 +18,7 @@ import (
 	"dmx/internal/core"
 	"dmx/internal/expr"
 	"dmx/internal/rtree"
+	"dmx/internal/sm/smutil"
 	"dmx/internal/txn"
 	"dmx/internal/types"
 )
@@ -349,7 +350,7 @@ func (ix *Instance) EstimateCost(req core.CostRequest) core.CostEstimate {
 			est := core.CostEstimate{
 				Usable: true, Instance: i, Handled: []int{ci},
 				CPU: height + n*sel, IO: n * sel * 0.05,
-				Selectivity: sel,
+				Selectivity: sel * smutil.ResidualSelectivity(req, []int{ci}),
 				Start:       types.Key(query.Value().B),
 				End:         ModeKey(mode),
 			}

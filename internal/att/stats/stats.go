@@ -1,16 +1,22 @@
 // Package stats implements the statistics-maintenance attachment. The
 // paper notes attachments "may have associated storage … even to maintain
 // statistics about relations"; this one keeps a transactionally correct
-// record count plus per-column minimum/maximum watermarks that the query
-// planner consults for cardinality estimates.
+// record count plus per-column distribution summaries the query planner
+// consults for cardinality estimates: minimum/maximum watermarks, an
+// approximate distinct count (a small HyperLogLog-style sketch), a null
+// counter, and a reservoir sample from which equi-depth histogram bounds
+// are derived at snapshot time.
 //
 // The count is logged (so vetoed, aborted, and partially rolled back
-// modifications adjust it exactly); the min/max watermarks are monotone
-// approximations refreshed only by inserts and updates, which is the
-// usual statistics trade-off.
+// modifications adjust it exactly); the distribution summaries are
+// monotone approximations refreshed only by inserts and updates, which is
+// the usual statistics trade-off — deletes never shrink them, so they can
+// only over-estimate spread, never invent selectivity.
 package stats
 
 import (
+	"math"
+	"sort"
 	"sync"
 
 	"dmx/internal/att/attutil"
@@ -21,6 +27,17 @@ import (
 
 // Name is the DDL name of the attachment type.
 const Name = "stats"
+
+const (
+	// sampleSize bounds the per-column reservoir sample.
+	sampleSize = 256
+	// histBuckets is the number of equi-depth histogram buckets derived
+	// from the sample at snapshot time.
+	histBuckets = 16
+	// hllBits selects 2^hllBits HyperLogLog registers per column.
+	hllBits      = 6
+	hllRegisters = 1 << hllBits
+)
 
 func init() {
 	core.RegisterAttachment(&core.AttachmentOps{
@@ -36,7 +53,7 @@ func init() {
 			return attutil.AddDef(nil, attutil.IndexDef{Name: "stats"})
 		},
 		Open: func(env *core.Env, rd *core.RelDesc) (core.AttachmentInstance, error) {
-			return &Instance{rd: rd, mins: make(map[int]types.Value), maxs: make(map[int]types.Value)}, nil
+			return &Instance{rd: rd, cols: make(map[int]*colStat), rng: rngSeed}, nil
 		},
 		// Statistics are a singleton per relation (a repeated create is a
 		// no-op Create, so CreateAttachment skips Build), hence newOnly
@@ -54,35 +71,199 @@ func init() {
 	})
 }
 
+// colStat accumulates one column's distribution summary.
+type colStat struct {
+	min, max types.Value
+	nulls    int64
+	seen     int64 // non-null values observed
+	sample   []types.Value
+	hll      [hllRegisters]uint8
+}
+
 // Instance maintains statistics for one relation.
 type Instance struct {
 	rd *core.RelDesc
 
 	mu    sync.Mutex
 	count int64
-	mins  map[int]types.Value
-	maxs  map[int]types.Value
+	cols  map[int]*colStat
+	rng   uint64 // deterministic splitmix64 state for reservoir sampling
 }
 
-// Snapshot is the statistics view handed to the planner.
+// rngSeed is a fixed odd seed so statistics are reproducible run to run.
+const rngSeed = 0x9e3779b97f4a7c15
+
+// nextRand advances the deterministic PRNG (splitmix64). Called under mu.
+func (s *Instance) nextRand() uint64 {
+	s.rng += 0x9e3779b97f4a7c15
+	z := s.rng
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// hashValue hashes a value's order-preserving encoding (FNV-1a finished
+// with a splitmix64 mix for bit diffusion) for the distinct sketch.
+func hashValue(v types.Value) uint64 {
+	var buf [16]byte
+	enc := v.AppendOrderedEncode(buf[:0])
+	h := uint64(14695981039346656037)
+	for _, b := range enc {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9
+	h = (h ^ (h >> 27)) * 0x94d049bb133111eb
+	return h ^ (h >> 31)
+}
+
+// ColumnSnapshot is one column's statistics view handed to the planner.
+type ColumnSnapshot struct {
+	Min, Max types.Value
+	Distinct float64
+	NullFrac float64
+	// Hist holds ascending equi-depth bucket bounds (len B+1); each
+	// adjacent pair brackets ~1/B of the sampled rows.
+	Hist []types.Value
+}
+
+// Snapshot is the statistics view handed to the planner. Mins/Maxs are
+// retained alongside Cols for existing consumers.
 type Snapshot struct {
 	Count int64
 	Mins  map[int]types.Value
 	Maxs  map[int]types.Value
+	Cols  map[int]ColumnSnapshot
 }
 
 // Snapshot returns the current statistics.
 func (s *Instance) Snapshot() Snapshot {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	out := Snapshot{Count: s.count, Mins: make(map[int]types.Value), Maxs: make(map[int]types.Value)}
-	for k, v := range s.mins {
-		out.Mins[k] = v
+	out := Snapshot{
+		Count: s.count,
+		Mins:  make(map[int]types.Value),
+		Maxs:  make(map[int]types.Value),
+		Cols:  make(map[int]ColumnSnapshot),
 	}
-	for k, v := range s.maxs {
-		out.Maxs[k] = v
+	for i, c := range s.cols {
+		cs := ColumnSnapshot{Min: c.min, Max: c.max, Distinct: c.estimateDistinct(), Hist: c.histBounds()}
+		if total := c.seen + c.nulls; total > 0 {
+			cs.NullFrac = float64(c.nulls) / float64(total)
+		}
+		out.Cols[i] = cs
+		if c.seen > 0 {
+			out.Mins[i] = c.min
+			out.Maxs[i] = c.max
+		}
 	}
 	return out
+}
+
+// TableStats implements core.TableStatsProvider for the planner.
+func (s *Instance) TableStats() core.TableStats {
+	snap := s.Snapshot()
+	out := core.TableStats{Rows: snap.Count, Cols: make(map[int]core.ColumnStats, len(snap.Cols))}
+	for i, c := range snap.Cols {
+		out.Cols[i] = core.ColumnStats{
+			Distinct: c.Distinct,
+			Min:      c.Min,
+			Max:      c.Max,
+			Hist:     c.Hist,
+			NullFrac: c.NullFrac,
+		}
+	}
+	return out
+}
+
+// estimateDistinct evaluates the HyperLogLog sketch. Called under mu.
+func (c *colStat) estimateDistinct() float64 {
+	if c.seen == 0 {
+		return 0
+	}
+	sum := 0.0
+	zeros := 0
+	for _, r := range c.hll {
+		sum += 1 / float64(uint64(1)<<r)
+		if r == 0 {
+			zeros++
+		}
+	}
+	const m = float64(hllRegisters)
+	e := 0.709 * m * m / sum
+	if e <= 2.5*m && zeros > 0 {
+		// Small-range correction: linear counting.
+		e = m * math.Log(m/float64(zeros))
+	}
+	if e < 1 {
+		e = 1
+	}
+	if e > float64(c.seen) {
+		e = float64(c.seen)
+	}
+	return e
+}
+
+// histBounds derives equi-depth bucket bounds from the sorted reservoir
+// sample: B+1 ascending values bracketing ~equal sample counts. Called
+// under mu.
+func (c *colStat) histBounds() []types.Value {
+	n := len(c.sample)
+	if n < 2 {
+		return nil
+	}
+	sorted := make([]types.Value, n)
+	copy(sorted, c.sample)
+	sort.Slice(sorted, func(i, j int) bool { return types.Compare(sorted[i], sorted[j]) < 0 })
+	b := histBuckets
+	if n < 2*b {
+		b = n / 2
+	}
+	bounds := make([]types.Value, 0, b+1)
+	for i := 0; i <= b; i++ {
+		idx := i * (n - 1) / b
+		bounds = append(bounds, sorted[idx])
+	}
+	return bounds
+}
+
+// observe folds one record into the summaries. Called under mu.
+func (s *Instance) observe(rec types.Record) {
+	for i, v := range rec {
+		c := s.cols[i]
+		if c == nil {
+			c = &colStat{}
+			s.cols[i] = c
+		}
+		if v.IsNull() {
+			c.nulls++
+			continue
+		}
+		if c.seen == 0 || types.Compare(v, c.min) < 0 {
+			c.min = v
+		}
+		if c.seen == 0 || types.Compare(v, c.max) > 0 {
+			c.max = v
+		}
+		c.seen++
+		// Distinct sketch: bucket by the top register bits, rank by the
+		// leading-zero run of the rest.
+		h := hashValue(v)
+		reg := h >> (64 - hllBits)
+		rank := uint8(1)
+		for mask := uint64(1) << (63 - hllBits); mask != 0 && h&mask == 0; mask >>= 1 {
+			rank++
+		}
+		if rank > c.hll[reg] {
+			c.hll[reg] = rank
+		}
+		// Reservoir sample (Vitter's algorithm R).
+		if len(c.sample) < sampleSize {
+			c.sample = append(c.sample, v)
+		} else if j := s.nextRand() % uint64(c.seen); j < sampleSize {
+			c.sample[j] = v
+		}
+	}
 }
 
 func (s *Instance) logDelta(tx *txn.Txn, delta int) error {
@@ -91,20 +272,6 @@ func (s *Instance) logDelta(tx *txn.Txn, delta int) error {
 		op = core.ModDelete
 	}
 	return core.LogAttachment(tx, s.rd, core.AttStats, core.EntryPayload{Op: op})
-}
-
-func (s *Instance) observe(rec types.Record) {
-	for i, v := range rec {
-		if v.IsNull() {
-			continue
-		}
-		if cur, ok := s.mins[i]; !ok || types.Compare(v, cur) < 0 {
-			s.mins[i] = v
-		}
-		if cur, ok := s.maxs[i]; !ok || types.Compare(v, cur) > 0 {
-			s.maxs[i] = v
-		}
-	}
 }
 
 // OnInsert implements core.AttachmentInstance.
@@ -157,4 +324,7 @@ func (s *Instance) ApplyLogged(payload []byte, undo bool) error {
 	return nil
 }
 
-var _ core.AttachmentInstance = (*Instance)(nil)
+var (
+	_ core.AttachmentInstance = (*Instance)(nil)
+	_ core.TableStatsProvider = (*Instance)(nil)
+)

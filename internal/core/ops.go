@@ -57,6 +57,11 @@ type CostRequest struct {
 	// ordered (ascending) by these fields; extensions that can set
 	// CostEstimate.Ordered, letting the planner skip a sort.
 	OrderBy []int
+	// ConjunctSel, when non-nil, is parallel to Conjuncts: the planner's
+	// statistics-derived selectivity for each conjunct (from histograms and
+	// distinct counts). Extensions should prefer these over textbook
+	// guesses; entries < 0 mean "no estimate for this conjunct".
+	ConjunctSel []float64
 }
 
 // CostEstimate is an extension's answer: whether the path is usable for
@@ -82,6 +87,48 @@ type CostEstimate struct {
 // Total returns the weighted cost used for comparison (I/O dominates, as
 // in 1987).
 func (c CostEstimate) Total() float64 { return c.IO*10 + c.CPU }
+
+// ColumnStats summarize one column's value distribution for the planner.
+type ColumnStats struct {
+	// Distinct is the approximate number of distinct non-null values.
+	Distinct float64
+	// Min/Max are the observed value watermarks (monotone approximations).
+	Min, Max types.Value
+	// Hist, when non-empty, holds B+1 ascending equi-depth bucket bounds:
+	// each adjacent pair [Hist[i], Hist[i+1]) holds ~1/B of the rows.
+	Hist []types.Value
+	// NullFrac is the fraction of rows with a null in this column.
+	NullFrac float64
+}
+
+// TableStats is a relation-level statistics snapshot.
+type TableStats struct {
+	Rows int64
+	Cols map[int]ColumnStats
+}
+
+// TableStatsProvider is implemented by attachment instances that maintain
+// relation statistics (the stats attachment). The planner discovers it by
+// type assertion, keeping plan decoupled from concrete attachment types.
+type TableStatsProvider interface {
+	TableStats() TableStats
+}
+
+// RangePartitioner is implemented by storage instances whose record-key
+// space can be split for partitioned parallel scans. PartitionBounds
+// returns up to n-1 ascending interior split keys: partition i scans
+// [bounds[i-1], bounds[i]) with the outer ends unbounded. Fewer (or zero)
+// bounds mean the store is too small to split that finely.
+type RangePartitioner interface {
+	PartitionBounds(n int) []types.Key
+}
+
+// DirectOnlyPath is implemented by access paths that support only
+// direct-by-key probes (LookupByKey) and reject OpenScan — hash indexes.
+// The planner asks this instead of opening a throwaway scan to find out.
+type DirectOnlyPath interface {
+	DirectOnly() bool
+}
 
 // StorageInstance is the runtime handle for one relation's storage. The
 // generic direct operations on stored relations are its methods; the

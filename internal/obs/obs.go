@@ -339,6 +339,16 @@ type LSMStats struct {
 	Runs                Gauge   // resident sorted runs (with high-water)
 }
 
+// PlanStats instruments the query planner's parallel execution: how often
+// the cost model picked a partitioned parallel scan or a hash join, and
+// worker-goroutine utilization (current and high-water).
+type PlanStats struct {
+	ParallelScans Counter // partitioned parallel scans opened
+	HashJoins     Counter // hash joins chosen over nested loops
+	Workers       Gauge   // scan/build workers currently running (with high-water)
+	WorkerRows    Counter // rows produced inside parallel workers
+}
+
 // Engine aggregates every component's metrics into one registry. All
 // fields are recorded into concurrently without locks.
 type Engine struct {
@@ -350,6 +360,7 @@ type Engine struct {
 	Buffer    BufferStats
 	MVCC      MVCCStats
 	LSM       LSMStats
+	Plan      PlanStats
 }
 
 // NewEngine returns a fresh engine metric registry.
@@ -365,6 +376,7 @@ type Snapshot struct {
 	Buffer BufferSnapshot `json:"buffer"`
 	MVCC   MVCCSnapshot   `json:"mvcc"`
 	LSM    LSMSnapshot    `json:"lsm"`
+	Plan   PlanSnapshot   `json:"plan"`
 }
 
 // ExtSnapshot is the per-extension view: one entry per operation with
@@ -436,6 +448,15 @@ type LSMSnapshot struct {
 	MemtableBytesMax    int64   `json:"memtable_bytes_max"`
 	Runs                int64   `json:"runs"`
 	RunsMax             int64   `json:"runs_max"`
+}
+
+// PlanSnapshot is the parallel-execution view of the query planner.
+type PlanSnapshot struct {
+	ParallelScans int64 `json:"parallel_scans"`
+	HashJoins     int64 `json:"hash_joins"`
+	Workers       int64 `json:"workers"`
+	WorkersMax    int64 `json:"workers_max"`
+	WorkerRows    int64 `json:"worker_rows"`
 }
 
 // BufferSnapshot is the buffer-pool view.
@@ -543,6 +564,13 @@ func (e *Engine) Snapshot() Snapshot {
 			MemtableBytesMax:    e.LSM.MemtableBytes.Max(),
 			Runs:                e.LSM.Runs.Load(),
 			RunsMax:             e.LSM.Runs.Max(),
+		},
+		Plan: PlanSnapshot{
+			ParallelScans: e.Plan.ParallelScans.Load(),
+			HashJoins:     e.Plan.HashJoins.Load(),
+			Workers:       e.Plan.Workers.Load(),
+			WorkersMax:    e.Plan.Workers.Max(),
+			WorkerRows:    e.Plan.WorkerRows.Load(),
 		},
 	}
 }

@@ -105,6 +105,17 @@ func WritePrometheus(w io.Writer, s Snapshot) error {
 	p.sample("lsm_runs", "", float64(s.LSM.Runs))
 	p.family("lsm_runs_max", "gauge", "high-water mark of resident LSM sorted runs")
 	p.sample("lsm_runs_max", "", float64(s.LSM.RunsMax))
+
+	p.family("plan_parallel_scans_total", "counter", "partitioned parallel scans opened by the planner")
+	p.sample("plan_parallel_scans_total", "", float64(s.Plan.ParallelScans))
+	p.family("plan_hash_joins_total", "counter", "hash joins chosen over nested loops")
+	p.sample("plan_hash_joins_total", "", float64(s.Plan.HashJoins))
+	p.family("plan_workers", "gauge", "parallel scan/build workers currently running")
+	p.sample("plan_workers", "", float64(s.Plan.Workers))
+	p.family("plan_workers_max", "gauge", "high-water mark of concurrent parallel workers")
+	p.sample("plan_workers_max", "", float64(s.Plan.WorkersMax))
+	p.family("plan_worker_rows_total", "counter", "rows produced inside parallel workers")
+	p.sample("plan_worker_rows_total", "", float64(s.Plan.WorkerRows))
 	return p.err
 }
 

@@ -1,0 +1,45 @@
+package plan
+
+// White-box assertion of the Rows contract on the join cursors: Next must
+// return ok=false whenever it returns an error. The nested-loop cursors
+// used to forward the outer cursor's ok flag alongside its error, handing
+// callers (nil, true, err) — a violation that makes ok-first callers
+// dereference a nil record.
+
+import (
+	"errors"
+	"testing"
+
+	"dmx/internal/types"
+)
+
+// erringRows yields ok=true together with an error, the worst-shaped
+// upstream answer a cursor may have to normalize.
+type erringRows struct{}
+
+func (erringRows) Next() (types.Record, bool, error) {
+	return nil, true, errors.New("outer cursor failed")
+}
+func (erringRows) Close() error { return nil }
+
+func TestJoinCursorsNormalizeOuterError(t *testing.T) {
+	j := &JoinSpec{}
+	cursors := map[string]Rows{
+		"nl":            &nlRows{q: Query{Join: j}, outer: erringRows{}},
+		"indexnl":       &indexNLRows{q: Query{Join: j}, outer: erringRows{}},
+		"indexnl-smkey": &indexNLRows{q: Query{Join: j}, outer: erringRows{}, probe: probeSpec{viaSM: true}},
+		"hash":          &hashJoinRows{q: Query{Join: j}, outer: erringRows{}},
+	}
+	for name, r := range cursors {
+		rec, ok, err := r.Next()
+		if err == nil {
+			t.Fatalf("%s: want the outer error propagated", name)
+		}
+		if ok {
+			t.Errorf("%s: Next returned ok=true alongside err=%v — violates the Rows contract", name, err)
+		}
+		if rec != nil {
+			t.Errorf("%s: Next returned a record alongside an error", name)
+		}
+	}
+}

@@ -1,0 +1,215 @@
+package plan
+
+// The planner-side cost library: statistics-derived selectivities, degree
+// selection for partitioned parallel scans, and the join strategy cost
+// model. Storage methods and attachments receive the per-conjunct
+// selectivities through core.CostRequest.ConjunctSel, so the figures the
+// planner compares come from the extensions themselves, fed with honest
+// numbers instead of textbook guesses.
+
+import (
+	"math"
+	"runtime"
+
+	"dmx/internal/core"
+	"dmx/internal/expr"
+	"dmx/internal/types"
+)
+
+// minRowsPerWorker is the scan work below which an extra parallel worker
+// is not worth its startup and channel overhead.
+const minRowsPerWorker = 2048
+
+// tableStatsFor returns the statistics snapshot for rd when a stats
+// attachment is present (discovered structurally via TableStatsProvider).
+func (p *Planner) tableStatsFor(rd *core.RelDesc) (core.TableStats, bool) {
+	if !rd.HasAttachment(core.AttStats) {
+		return core.TableStats{}, false
+	}
+	inst, err := p.env.AttachmentInstance(rd, core.AttStats)
+	if err != nil {
+		return core.TableStats{}, false
+	}
+	prov, ok := inst.(core.TableStatsProvider)
+	if !ok {
+		return core.TableStats{}, false
+	}
+	return prov.TableStats(), true
+}
+
+// conjunctSels derives a per-conjunct selectivity vector from ts, parallel
+// to conjuncts. Entries are -1 ("no estimate") for conjuncts the
+// statistics cannot judge; extensions then fall back to their textbook
+// guesses for those entries only.
+func conjunctSels(ts core.TableStats, ok bool, conjuncts []*expr.Expr) []float64 {
+	if !ok || len(conjuncts) == 0 {
+		return nil
+	}
+	sels := make([]float64, len(conjuncts))
+	any := false
+	for i, c := range conjuncts {
+		sels[i] = -1
+		fc, isCmp := expr.MatchFieldCompare(c)
+		if !isCmp {
+			continue
+		}
+		cs, have := ts.Cols[fc.Field]
+		if !have {
+			continue
+		}
+		if s := columnSelectivity(cs, fc.Op, fc.Value); s >= 0 {
+			sels[i] = s
+			any = true
+		}
+	}
+	if !any {
+		return nil
+	}
+	return sels
+}
+
+// columnSelectivity estimates the fraction of rows satisfying
+// `col <op> v` from one column's statistics. Returns -1 when the
+// statistics cannot judge the comparison.
+func columnSelectivity(cs core.ColumnStats, op expr.Op, v types.Value) float64 {
+	nonNull := 1 - cs.NullFrac
+	switch op {
+	case expr.OpEq:
+		if cs.Distinct >= 1 {
+			return clampSel(nonNull / cs.Distinct)
+		}
+		return -1
+	case expr.OpNe:
+		if cs.Distinct >= 1 {
+			return clampSel(nonNull * (1 - 1/cs.Distinct))
+		}
+		return -1
+	case expr.OpLt, expr.OpLe:
+		if f := histFractionBelow(cs.Hist, v); f >= 0 {
+			return clampSel(nonNull * f)
+		}
+		return -1
+	case expr.OpGt, expr.OpGe:
+		if f := histFractionBelow(cs.Hist, v); f >= 0 {
+			return clampSel(nonNull * (1 - f))
+		}
+		return -1
+	default:
+		return -1
+	}
+}
+
+func clampSel(s float64) float64 {
+	if s < 0 {
+		return 0
+	}
+	if s > 1 {
+		return 1
+	}
+	return s
+}
+
+// histFractionBelow estimates the fraction of values strictly below v from
+// equi-depth histogram bounds (ascending, B+1 bounds for B equal buckets).
+// Numeric bucket ends are interpolated within the containing bucket;
+// other kinds count half the bucket. Returns -1 without a histogram.
+func histFractionBelow(hist []types.Value, v types.Value) float64 {
+	b := len(hist) - 1
+	if b < 1 {
+		return -1
+	}
+	if types.Compare(v, hist[0]) <= 0 {
+		return 0
+	}
+	if types.Compare(v, hist[b]) >= 0 {
+		return 1
+	}
+	// Find the bucket [hist[i], hist[i+1]) containing v.
+	for i := 0; i < b; i++ {
+		if types.Compare(v, hist[i+1]) > 0 {
+			continue
+		}
+		frac := 0.5
+		lo, hi := hist[i], hist[i+1]
+		if numericValue(lo) && numericValue(hi) && numericValue(v) {
+			if span := hi.AsFloat() - lo.AsFloat(); span > 0 {
+				frac = (v.AsFloat() - lo.AsFloat()) / span
+			}
+		}
+		return (float64(i) + clampSel(frac)) / float64(b)
+	}
+	return 1
+}
+
+// numericValue reports an INT or FLOAT value (interpolation-capable).
+func numericValue(v types.Value) bool { return v.K == types.KindInt || v.K == types.KindFloat }
+
+// chooseDegree picks the parallel-scan worker count for an access expected
+// to touch workRows records: one worker per minRowsPerWorker, capped by
+// GOMAXPROCS. forced > 0 pins the degree (1 = serial).
+func chooseDegree(workRows float64, forced int) int {
+	if forced > 0 {
+		return forced
+	}
+	d := int(workRows / minRowsPerWorker)
+	if max := runtime.GOMAXPROCS(0); d > max {
+		d = max
+	}
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// joinCosts holds the planner's estimates for the candidate join
+// strategies, in the Total() cost unit (IO*10 + CPU).
+type joinCosts struct {
+	outerRows float64 // expected outer rows after the outer filter
+	innerRows float64 // inner relation cardinality
+	naiveNL   float64
+	indexNL   float64 // +Inf without a usable probe path
+	hash      float64 // +Inf when the join columns hash-incompatibly
+}
+
+// scanOpenOverhead approximates the fixed cost of opening one inner scan
+// (lock acquisition, cursor setup) in Total() units.
+const scanOpenOverhead = 8
+
+// hashJoinOverhead is the fixed cost of standing up the hash-join build
+// side (table allocation, worker start).
+const hashJoinOverhead = 64
+
+// estimateJoinCosts prices the three generic join strategies. probeCost is
+// the per-outer-row cost of the best keyed probe (attachment lookup or
+// storage-method keyed scan), or +Inf when none is usable. innerScan is
+// the inner storage method's estimate for a full filtered pass.
+func estimateJoinCosts(outerEst core.CostEstimate, outerCount int, innerScan core.CostEstimate,
+	innerRows float64, probeCost float64, hashable bool) joinCosts {
+	outerRows := math.Max(1, float64(outerCount)*outerEst.Selectivity)
+	c := joinCosts{outerRows: outerRows, innerRows: innerRows}
+	c.naiveNL = outerEst.Total() + outerRows*(innerScan.Total()+scanOpenOverhead)
+	c.indexNL = math.Inf(1)
+	if !math.IsInf(probeCost, 1) {
+		// Each probe also direct-fetches its matching records (~1 per probe
+		// for the common key-to-key equi-join).
+		c.indexNL = outerEst.Total() + outerRows*(probeCost+1)
+	}
+	c.hash = math.Inf(1)
+	if hashable {
+		build := innerScan.Total() + innerRows*0.5
+		probe := outerRows * 1.0
+		c.hash = outerEst.Total() + build + probe + hashJoinOverhead
+	}
+	return c
+}
+
+// hashCompatible reports whether an equi-join on outer column oc and inner
+// column ic can be executed by hashing encoded values: the column kinds
+// must match exactly, because the order-preserving encoding of Int(1) and
+// Float(1) differ even though expression equality coerces them.
+func hashCompatible(outer, inner *types.Schema, oc, ic int) bool {
+	if oc < 0 || oc >= len(outer.Cols) || ic < 0 || ic >= len(inner.Cols) {
+		return false
+	}
+	return outer.Cols[oc].Kind == inner.Cols[ic].Kind
+}

@@ -1,0 +1,519 @@
+package plan_test
+
+import (
+	"encoding/binary"
+	"errors"
+	"reflect"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+
+	"dmx/internal/core"
+	"dmx/internal/expr"
+	"dmx/internal/plan"
+	"dmx/internal/txn"
+	"dmx/internal/types"
+)
+
+// --- countscan: a scannable access path that counts opens and closes, so
+// the tests can prove the planner never opens a scan it does not close. ---
+
+const attCount core.AttID = 25
+
+type countInst struct {
+	mu     sync.Mutex
+	keys   []types.Key
+	opens  int
+	closes int
+}
+
+func (c *countInst) OnInsert(tx *txn.Txn, key types.Key, rec types.Record) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.keys = append(c.keys, key.Clone())
+	return nil
+}
+
+func (c *countInst) OnUpdate(tx *txn.Txn, oldKey, newKey types.Key, oldRec, newRec types.Record) error {
+	return nil
+}
+func (c *countInst) OnDelete(tx *txn.Txn, key types.Key, oldRec types.Record) error { return nil }
+func (c *countInst) ApplyLogged(payload []byte, undo bool) error                    { return nil }
+
+func (c *countInst) LookupByKey(tx *txn.Txn, instance int, key types.Key) ([]types.Key, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]types.Key(nil), c.keys...), nil
+}
+
+func (c *countInst) OpenScan(tx *txn.Txn, instance int, opts core.ScanOptions) (core.Scan, error) {
+	c.mu.Lock()
+	c.opens++
+	keys := append([]types.Key(nil), c.keys...)
+	c.mu.Unlock()
+	return &countScan{inst: c, keys: keys}, nil
+}
+
+func (c *countInst) EstimateCost(req core.CostRequest) core.CostEstimate {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return core.CostEstimate{Usable: true, CPU: float64(len(c.keys)), Selectivity: 1}
+}
+
+func (c *countInst) InstanceCount() int { return 1 }
+
+func (c *countInst) counts() (opens, closes int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.opens, c.closes
+}
+
+type countScan struct {
+	inst *countInst
+	keys []types.Key
+	i    int
+}
+
+func (s *countScan) Next() (types.Key, types.Record, bool, error) {
+	if s.i >= len(s.keys) {
+		return nil, nil, false, nil
+	}
+	k := s.keys[s.i]
+	s.i++
+	return k, nil, true, nil
+}
+
+func (s *countScan) Pos() core.ScanPos {
+	return binary.BigEndian.AppendUint32(nil, uint32(s.i))
+}
+
+func (s *countScan) Restore(pos core.ScanPos) error {
+	s.i = int(binary.BigEndian.Uint32(pos))
+	return nil
+}
+
+func (s *countScan) Close() error {
+	s.inst.mu.Lock()
+	s.inst.closes++
+	s.inst.mu.Unlock()
+	return nil
+}
+
+var countInstances = map[*core.Env]*countInst{}
+
+func init() {
+	core.RegisterAttachment(&core.AttachmentOps{
+		ID: attCount, Name: "countscan",
+		Create: func(env *core.Env, tx *txn.Txn, rd *core.RelDesc, prior []byte, attrs core.AttrList) ([]byte, error) {
+			return []byte{1}, nil
+		},
+		Open: func(env *core.Env, rd *core.RelDesc) (core.AttachmentInstance, error) {
+			if inst, ok := countInstances[env]; ok {
+				return inst, nil
+			}
+			inst := &countInst{}
+			countInstances[env] = inst
+			return inst, nil
+		},
+	})
+}
+
+// TestProbeScanNotLeaked is the regression test for the planner's leaked
+// probe scan: openAccessRaw used to open a throwaway attachment scan just
+// to find out whether the path could scan at all, then opened the real
+// (managed) scan on top — leaking the probe whenever the path was
+// scannable. Every scan the attachment hands out must come back.
+func TestProbeScanNotLeaked(t *testing.T) {
+	env := core.NewEnv(core.Config{})
+	tx := env.Begin()
+	if _, err := env.CreateRelation(tx, "emp", empSchema(), "heap", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := env.CreateAttachment(tx, "emp", "countscan", nil); err != nil {
+		t.Fatal(err)
+	}
+	r, _ := env.OpenRelationByName("emp")
+	for i := 0; i < 20; i++ {
+		if _, err := r.Insert(tx, types.Record{
+			types.Int(int64(i)), types.Int(int64(i % 10)), types.Float(float64(i)),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	q := plan.Query{Table: "emp", ForcePath: &plan.ForcedPath{Att: attCount}}
+	rows, _ := runQuery(t, env, q)
+	if len(rows) != 20 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	inst := countInstances[env]
+	opens, closes := inst.counts()
+	if opens != closes {
+		t.Fatalf("attachment scans leaked: %d opened, %d closed", opens, closes)
+	}
+	if opens != 1 {
+		t.Errorf("want exactly 1 scan open for one execution, got %d", opens)
+	}
+}
+
+// TestSMKeyedJoinProbe is the regression test for the planner's dead
+// keyed-join path: the inner storage method's estimate for the join-column
+// equality was computed and then discarded, so a B-tree-organised inner
+// relation with no attachments never got index nested loops.
+func TestSMKeyedJoinProbe(t *testing.T) {
+	env := core.NewEnv(core.Config{})
+	loadEmp(t, env, "memory", nil, 30)
+	tx := env.Begin()
+	if _, err := env.CreateRelation(tx, "dept", deptSchema(), "btree", core.AttrList{"key": "dno"}); err != nil {
+		t.Fatal(err)
+	}
+	d, _ := env.OpenRelationByName("dept")
+	names := []string{"eng", "ops", "hr", "fin", "mkt", "it", "qa", "rd", "pr", "biz"}
+	for i, n := range names {
+		if _, err := d.Insert(tx, types.Record{types.Int(int64(i)), types.Str(n)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	q := plan.Query{
+		Table:     "emp",
+		Join:      &plan.JoinSpec{Table: "dept", OuterCol: 1, InnerCol: 0, Fields: []int{1}},
+		ForceJoin: "indexnl",
+	}
+	rows, b := runQuery(t, env, q)
+	if !strings.Contains(b.Explain(), "sm-key") {
+		t.Fatalf("explain = %s, want the storage method's keyed path", b.Explain())
+	}
+	if len(rows) != 30 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r[3].S != names[r[1].AsInt()] {
+			t.Fatalf("join mismatch: %v", r)
+		}
+	}
+
+	nq := q
+	nq.ForceJoin = "nl"
+	nlrows, _ := runQuery(t, env, nq)
+	if got, want := multiset(rows), multiset(nlrows); !reflect.DeepEqual(got, want) {
+		t.Fatalf("sm-key probe rows diverge from nested loop:\n probe=%v\n    nl=%v", got, want)
+	}
+}
+
+// TestSMKeyedJoinProbeChosen: with a large, statistics-covered inner side
+// the cost model picks the storage method's keyed path on its own.
+func TestSMKeyedJoinProbeChosen(t *testing.T) {
+	env := core.NewEnv(core.Config{})
+	loadEmp(t, env, "memory", nil, 30)
+	tx := env.Begin()
+	if _, err := env.CreateRelation(tx, "dept", deptSchema(), "btree", core.AttrList{"key": "dno"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := env.CreateAttachment(tx, "dept", "stats", nil); err != nil {
+		t.Fatal(err)
+	}
+	d, _ := env.OpenRelationByName("dept")
+	for i := 0; i < 1000; i++ {
+		if _, err := d.Insert(tx, types.Record{types.Int(int64(i)), types.Str("d")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	q := plan.Query{
+		Table: "emp",
+		Join:  &plan.JoinSpec{Table: "dept", OuterCol: 1, InnerCol: 0, Fields: []int{1}},
+	}
+	rows, b := runQuery(t, env, q)
+	if !strings.HasPrefix(b.Explain(), "indexNL(") || !strings.Contains(b.Explain(), "sm-key") {
+		t.Fatalf("explain = %s, want indexNL via sm-key", b.Explain())
+	}
+	if len(rows) != 30 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+}
+
+// TestParallelScanMatchesSerial is the differential test for the
+// partitioned parallel scan: across every range-partitionable storage
+// method, a forced-parallel plan must return exactly the serial plan's
+// multiset of rows.
+func TestParallelScanMatchesSerial(t *testing.T) {
+	cases := []struct {
+		sm    string
+		attrs core.AttrList
+	}{
+		{"heap", nil},
+		{"memory", nil},
+		{"btree", core.AttrList{"key": "eno"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.sm, func(t *testing.T) {
+			env := core.NewEnv(core.Config{})
+			loadEmp(t, env, tc.sm, tc.attrs, 6000)
+			q := plan.Query{
+				Table:  "emp",
+				Filter: expr.Lt(expr.Field(1), expr.Const(types.Int(5))),
+			}
+			serial := q
+			serial.ForceDegree = 1
+			srows, sb := runQuery(t, env, serial)
+			if !strings.HasPrefix(sb.Explain(), "scan(") {
+				t.Fatalf("serial explain = %s", sb.Explain())
+			}
+			par := q
+			par.ForceDegree = 4
+			prows, pb := runQuery(t, env, par)
+			if !strings.HasPrefix(pb.Explain(), "pscan(") {
+				t.Fatalf("parallel explain = %s", pb.Explain())
+			}
+			if got, want := multiset(prows), multiset(srows); !reflect.DeepEqual(got, want) {
+				t.Fatalf("parallel scan diverges from serial: %d vs %d rows", len(prows), len(srows))
+			}
+		})
+	}
+}
+
+// TestParallelScanOrdered: the exchange drains key-ordered partitions
+// sequentially, so a parallel scan over a key-organised store still
+// delivers the requested order.
+func TestParallelScanOrdered(t *testing.T) {
+	env := core.NewEnv(core.Config{})
+	loadEmp(t, env, "btree", core.AttrList{"key": "eno"}, 6000)
+	q := plan.Query{Table: "emp", OrderBy: []int{0}, ForceDegree: 4}
+	rows, b := runQuery(t, env, q)
+	if !b.Ordered() {
+		t.Fatalf("Ordered() = false; explain = %s", b.Explain())
+	}
+	if !strings.HasPrefix(b.Explain(), "pscan(") || !strings.Contains(b.Explain(), "[ordered]") {
+		t.Fatalf("explain = %s", b.Explain())
+	}
+	if len(rows) != 6000 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for i, r := range rows {
+		if r[0].AsInt() != int64(i) {
+			t.Fatalf("row %d out of order: %v", i, r)
+		}
+	}
+}
+
+// TestParallelHashJoinMatchesSerial: the partitioned hash join returns the
+// nested loop's exact multiset.
+func TestParallelHashJoinMatchesSerial(t *testing.T) {
+	env := core.NewEnv(core.Config{})
+	loadEmp(t, env, "memory", nil, 1200)
+	tx := env.Begin()
+	// memory (tree-backed) partitions the build side; dno repeats every 10
+	// rows, so the hash table must carry duplicate join keys.
+	if _, err := env.CreateRelation(tx, "dept", deptSchema(), "memory", nil); err != nil {
+		t.Fatal(err)
+	}
+	d, _ := env.OpenRelationByName("dept")
+	for i := 0; i < 1200; i++ {
+		if _, err := d.Insert(tx, types.Record{types.Int(int64(i % 10)), types.Str("d")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	q := plan.Query{
+		Table:  "emp",
+		Filter: expr.Lt(expr.Field(0), expr.Const(types.Int(50))),
+		Fields: []int{0, 1},
+		Join:   &plan.JoinSpec{Table: "dept", OuterCol: 1, InnerCol: 0, Fields: []int{1}},
+	}
+	hq := q
+	hq.ForceJoin, hq.ForceDegree = "hash", 4
+	hrows, hb := runQuery(t, env, hq)
+	if !strings.HasPrefix(hb.Explain(), "hash(") {
+		t.Fatalf("explain = %s", hb.Explain())
+	}
+	nq := q
+	nq.ForceJoin = "nl"
+	nrows, _ := runQuery(t, env, nq)
+	if got, want := multiset(hrows), multiset(nrows); !reflect.DeepEqual(got, want) {
+		t.Fatalf("hash join diverges from nested loop: %d vs %d rows", len(hrows), len(nrows))
+	}
+}
+
+// TestDuplicateKeyJoinWaysAgree: many-to-many join keys (duplicates on
+// both sides) through every join strategy.
+func TestDuplicateKeyJoinWaysAgree(t *testing.T) {
+	env := core.NewEnv(core.Config{})
+	loadEmp(t, env, "memory", nil, 100) // dno = i%10: ten rows per dno
+	addDept(t, env, true)
+	q := plan.Query{
+		Table: "emp",
+		Join:  &plan.JoinSpec{Table: "dept", OuterCol: 1, InnerCol: 0, Fields: []int{1}},
+	}
+	var base []string
+	for _, strat := range []string{"nl", "indexnl", "hash"} {
+		fq := q
+		fq.ForceJoin = strat
+		rows, _ := runQuery(t, env, fq)
+		if len(rows) != 100 {
+			t.Fatalf("%s: rows = %d", strat, len(rows))
+		}
+		ms := multiset(rows)
+		if base == nil {
+			base = ms
+		} else if !reflect.DeepEqual(ms, base) {
+			t.Fatalf("%s diverges from nl", strat)
+		}
+	}
+}
+
+// TestExchangeEarlyClose closes a parallel scan mid-stream, repeatedly:
+// the workers must stop, the partition scans must close, and nothing may
+// deadlock or race (the make-par soak runs this under -race).
+func TestExchangeEarlyClose(t *testing.T) {
+	env := core.NewEnv(core.Config{})
+	loadEmp(t, env, "memory", nil, 8000)
+	p := plan.New(env)
+	for _, ordered := range []bool{false, true} {
+		q := plan.Query{Table: "emp", ForceDegree: 8}
+		if ordered {
+			q.OrderBy = []int{0}
+		}
+		b, err := p.Plan(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 20; i++ {
+			tx := env.Begin()
+			rows, err := b.Execute(tx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for n := 0; n < 5; n++ {
+				if _, ok, err := rows.Next(); err != nil || !ok {
+					t.Fatalf("next: ok=%v err=%v", ok, err)
+				}
+			}
+			if err := rows.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if err := tx.Commit(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// TestStatsDrivenAccessChoice is the acceptance test for stats-fed
+// planning: on a histogram-covered column, a selective range conjunct
+// picks the index while an unselective one picks the (parallel) scan.
+// With the textbook one-third range guess both would pick the index.
+func TestStatsDrivenAccessChoice(t *testing.T) {
+	// The automatic degree is capped by GOMAXPROCS; pin it so the choice
+	// under test is deterministic on single-core runners.
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	env := core.NewEnv(core.Config{})
+	tx := env.Begin()
+	if _, err := env.CreateRelation(tx, "emp", empSchema(), "heap", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := env.CreateAttachment(tx, "emp", "stats", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := env.CreateAttachment(tx, "emp", "btree",
+		core.AttrList{"name": "bysal", "on": "salary"}); err != nil {
+		t.Fatal(err)
+	}
+	r, _ := env.OpenRelationByName("emp")
+	for i := 0; i < 10000; i++ {
+		if _, err := r.Insert(tx, types.Record{
+			types.Int(int64(i)), types.Int(int64(i % 10)), types.Float(float64(i)),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	selective := plan.Query{Table: "emp",
+		Filter: expr.Lt(expr.Field(2), expr.Const(types.Float(10)))}
+	rows, b := runQuery(t, env, selective)
+	if !strings.Contains(b.Explain(), "btree") {
+		t.Fatalf("selective conjunct: explain = %s, want the btree index", b.Explain())
+	}
+	if len(rows) != 10 {
+		t.Fatalf("selective rows = %d", len(rows))
+	}
+
+	unselective := plan.Query{Table: "emp",
+		Filter: expr.Lt(expr.Field(2), expr.Const(types.Float(9000)))}
+	rows, b = runQuery(t, env, unselective)
+	if !strings.HasPrefix(b.Explain(), "pscan(") {
+		t.Fatalf("unselective conjunct: explain = %s, want a parallel scan", b.Explain())
+	}
+	if len(rows) != 9000 {
+		t.Fatalf("unselective rows = %d", len(rows))
+	}
+}
+
+// TestPlanObsCounters: parallel plans feed the observability engine.
+func TestPlanObsCounters(t *testing.T) {
+	env := core.NewEnv(core.Config{})
+	loadEmp(t, env, "memory", nil, 3000)
+	q := plan.Query{Table: "emp", ForceDegree: 4}
+	if rows, _ := runQuery(t, env, q); len(rows) != 3000 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	addDept(t, env, false)
+	jq := plan.Query{
+		Table:     "emp",
+		Filter:    expr.Lt(expr.Field(0), expr.Const(types.Int(10))),
+		Join:      &plan.JoinSpec{Table: "dept", OuterCol: 1, InnerCol: 0, Fields: []int{1}},
+		ForceJoin: "hash",
+	}
+	if rows, _ := runQuery(t, env, jq); len(rows) != 10 {
+		t.Fatalf("join rows = %d", len(rows))
+	}
+
+	snap := env.Obs.Snapshot()
+	if snap.Plan.ParallelScans < 1 {
+		t.Errorf("parallel_scans = %d, want ≥1", snap.Plan.ParallelScans)
+	}
+	if snap.Plan.HashJoins < 1 {
+		t.Errorf("hash_joins = %d, want ≥1", snap.Plan.HashJoins)
+	}
+	if snap.Plan.WorkerRows < 3000 {
+		t.Errorf("worker_rows = %d, want ≥3000", snap.Plan.WorkerRows)
+	}
+	if snap.Plan.WorkersMax < 2 {
+		t.Errorf("workers_max = %d, want ≥2", snap.Plan.WorkersMax)
+	}
+	if snap.Plan.Workers != 0 {
+		t.Errorf("workers = %d after all plans closed, want 0", snap.Plan.Workers)
+	}
+}
+
+// TestForceJoinUnusable: forcing a strategy the query cannot run reports
+// ErrForcedUnusable instead of silently degrading.
+func TestForceJoinUnusable(t *testing.T) {
+	env := core.NewEnv(core.Config{})
+	loadEmp(t, env, "memory", nil, 10)
+	addDept(t, env, false) // no keyed path on dept
+	q := plan.Query{
+		Table:     "emp",
+		Join:      &plan.JoinSpec{Table: "dept", OuterCol: 1, InnerCol: 0},
+		ForceJoin: "indexnl",
+	}
+	if _, err := plan.New(env).Plan(q); !errors.Is(err, plan.ErrForcedUnusable) {
+		t.Fatalf("err = %v, want ErrForcedUnusable", err)
+	}
+}

@@ -23,6 +23,7 @@ import (
 
 	"dmx/internal/core"
 	"dmx/internal/expr"
+	"dmx/internal/sm/smutil"
 	"dmx/internal/txn"
 	"dmx/internal/types"
 )
@@ -46,6 +47,14 @@ type Query struct {
 	// cost-based selection — the differential tests use it to prove every
 	// viable path returns the same rows.
 	ForcePath *ForcedPath
+	// ForceDegree pins the parallel-scan worker count instead of the
+	// cardinality-based choice: 0 = automatic, 1 = serial, N = N workers
+	// (the storage method may still deliver fewer partitions).
+	ForceDegree int
+	// ForceJoin pins the join strategy instead of the cost-based choice:
+	// "" = automatic, "nl" = naive nested loop, "indexnl" = keyed probes,
+	// "hash" = hash join. ErrForcedUnusable when the strategy cannot run.
+	ForceJoin string
 }
 
 // ForcedPath names one access path: Att 0 is the storage method scan
@@ -162,7 +171,12 @@ type access struct {
 // exactly the requested path.
 func (p *Planner) chooseAccess(rd *core.RelDesc, filter *expr.Expr, orderBy []int, limit int, force *ForcedPath) (*access, error) {
 	conjuncts := expr.Conjuncts(filter)
-	req := core.CostRequest{Conjuncts: conjuncts, OrderBy: orderBy}
+	ts, hasStats := p.tableStatsFor(rd)
+	req := core.CostRequest{
+		Conjuncts:   conjuncts,
+		OrderBy:     orderBy,
+		ConjunctSel: conjunctSels(ts, hasStats, conjuncts),
+	}
 
 	sm, err := p.env.StorageInstance(rd)
 	if err != nil {
@@ -285,12 +299,41 @@ func (b *Bound) translate() error {
 	}
 
 	if b.query.Join == nil {
-		b.explain = outer.describe(p.env)
+		q := b.query
 		b.ordered = outer.estimate.Ordered
+		// Partitioned parallel scan: only access path zero (the storage
+		// method itself) partitions; the degree follows the estimated scan
+		// work (CPU ≈ records touched). Partitions are drained in key order
+		// when the plan's order matters, so Ordered is preserved.
+		degree := 1
+		if outer.useAtt == 0 {
+			degree = chooseDegree(outer.estimate.CPU, q.ForceDegree)
+			if degree > 1 {
+				sm, err := p.env.StorageInstance(rd)
+				if err != nil {
+					return err
+				}
+				if _, ok := sm.(core.RangePartitioner); !ok {
+					degree = 1
+				}
+			}
+		}
+		if degree > 1 {
+			ops := p.env.Reg.StorageOps(rd.SM)
+			b.explain = fmt.Sprintf("pscan(%s via %s, workers=%d)", rd.Name, ops.Name, degree)
+			if b.ordered {
+				b.explain += " [ordered]"
+			}
+			deg := degree
+			b.root = func(tx *txn.Txn) (Rows, error) {
+				return p.openParallelScan(tx, b, outer, q.Fields, deg)
+			}
+			return nil
+		}
+		b.explain = outer.describe(p.env)
 		if b.ordered {
 			b.explain += " [ordered]"
 		}
-		q := b.query
 		b.root = func(tx *txn.Txn) (Rows, error) {
 			return p.openAccess(tx, b, outer, q.Fields)
 		}
@@ -307,7 +350,7 @@ func (b *Bound) translate() error {
 	b.deps = append(b.deps, dep{innerRD.RelID, innerRD.Version})
 
 	// Strategy 1: a join index connecting the two relations.
-	if j.JoinIndex != "" && rd.HasAttachment(core.AttJoin) {
+	if j.JoinIndex != "" && rd.HasAttachment(core.AttJoin) && b.query.ForceJoin == "" {
 		b.explain = fmt.Sprintf("joinindex(%s ⋈ %s via %q)", rd.Name, innerRD.Name, j.JoinIndex)
 		q := b.query
 		b.root = func(tx *txn.Txn) (Rows, error) {
@@ -316,14 +359,20 @@ func (b *Bound) translate() error {
 		return nil
 	}
 
-	// Strategy 2: index nested loops when the inner side has an access
-	// path usable for equality on the join column.
-	innerEqReq := core.CostRequest{Conjuncts: append(
+	// Generic strategies, priced against each other: index nested loops
+	// (attachment probe or the inner storage method's own keyed path),
+	// hash join, and the naive re-scan nested loop.
+	innerStats, innerHasStats := p.tableStatsFor(innerRD)
+	innerEqConjs := append(
 		expr.Conjuncts(j.Filter),
 		// A placeholder equality on the join column stands in for the
 		// outer value bound at run time.
 		expr.Eq(expr.Field(j.InnerCol), expr.Const(types.Int(0))),
-	)}
+	)
+	innerEqReq := core.CostRequest{
+		Conjuncts:   innerEqConjs,
+		ConjunctSel: conjunctSels(innerStats, innerHasStats, innerEqConjs),
+	}
 	var probe *probeSpec
 	for _, attID := range innerRD.AttachmentTypes() {
 		inst, err := p.env.AttachmentInstance(innerRD, attID)
@@ -342,29 +391,94 @@ func (b *Bound) translate() error {
 			probe = &probeSpec{attID: attID, instance: est.Instance, est: est}
 		}
 	}
-	// Also consider the inner storage method itself as a keyed path
-	// (B-tree-organised relations answer join-column probes directly).
+	// Also consider the inner storage method itself as a keyed path:
+	// B-tree-organised relations answer join-column probes directly when
+	// the run-time-bound join equality lands on their key prefix.
 	innerSM, err := p.env.StorageInstance(innerRD)
 	if err != nil {
 		return err
 	}
 	smEst := innerSM.EstimateCost(innerEqReq)
+	phIdx := len(innerEqConjs) - 1
+	smKeyed := false
+	for _, h := range smEst.Handled {
+		if h == phIdx {
+			smKeyed = true
+		}
+	}
+	if smEst.Usable && smKeyed && (probe == nil || smEst.Total() < probe.est.Total()) {
+		probe = &probeSpec{viaSM: true, est: smEst}
+	}
 	innerN := innerSM.RecordCount()
 
-	q := b.query
+	innerScanConjs := expr.Conjuncts(j.Filter)
+	innerScanEst := innerSM.EstimateCost(core.CostRequest{
+		Conjuncts:   innerScanConjs,
+		RecordCount: innerN,
+		ConjunctSel: conjunctSels(innerStats, innerHasStats, innerScanConjs),
+	})
+
+	outerSM, err := p.env.StorageInstance(rd)
+	if err != nil {
+		return err
+	}
+	probeCost := math.Inf(1)
 	if probe != nil {
-		b.explain = fmt.Sprintf("indexNL(%s ⟕probe %s via %s #%d)",
-			outer.describe(p.env), innerRD.Name, p.env.Reg.AttachmentOps(probe.attID).Name, probe.instance)
+		probeCost = probe.est.Total()
+	}
+	hashable := hashCompatible(rd.Schema, innerRD.Schema, j.OuterCol, j.InnerCol)
+	costs := estimateJoinCosts(outer.estimate, outerSM.RecordCount(), innerScanEst,
+		float64(innerN), probeCost, hashable)
+
+	q := b.query
+	strategy := q.ForceJoin
+	switch strategy {
+	case "":
+		strategy = "nl"
+		bestCost := costs.naiveNL
+		if costs.indexNL < bestCost {
+			strategy, bestCost = "indexnl", costs.indexNL
+		}
+		if costs.hash < bestCost {
+			strategy = "hash"
+		}
+	case "nl":
+	case "indexnl":
+		if probe == nil {
+			return fmt.Errorf("%w: no keyed probe path on %s", ErrForcedUnusable, innerRD.Name)
+		}
+	case "hash":
+		if !hashable {
+			return fmt.Errorf("%w: join columns of %s and %s hash incompatibly",
+				ErrForcedUnusable, rd.Name, innerRD.Name)
+		}
+	default:
+		return fmt.Errorf("plan: unknown ForceJoin %q", q.ForceJoin)
+	}
+
+	switch strategy {
+	case "indexnl":
 		pr := *probe
+		if pr.viaSM {
+			b.explain = fmt.Sprintf("indexNL(%s ⟕probe %s via sm-key)", outer.describe(p.env), innerRD.Name)
+		} else {
+			b.explain = fmt.Sprintf("indexNL(%s ⟕probe %s via %s #%d)",
+				outer.describe(p.env), innerRD.Name, p.env.Reg.AttachmentOps(pr.attID).Name, pr.instance)
+		}
 		b.root = func(tx *txn.Txn) (Rows, error) {
 			return p.openIndexNL(tx, b, outer, innerRD, pr, q)
 		}
-		return nil
-	}
-	_ = smEst
-	b.explain = fmt.Sprintf("nestedloop(%s × scan(%s), inner=%d)", outer.describe(p.env), innerRD.Name, innerN)
-	b.root = func(tx *txn.Txn) (Rows, error) {
-		return p.openNL(tx, b, outer, innerRD, q)
+	case "hash":
+		degree := chooseDegree(float64(innerN), q.ForceDegree)
+		b.explain = fmt.Sprintf("hash(%s ⋈ %s, inner=%d)", outer.describe(p.env), innerRD.Name, innerN)
+		b.root = func(tx *txn.Txn) (Rows, error) {
+			return p.openHashJoin(tx, b, outer, innerRD, q, degree)
+		}
+	default:
+		b.explain = fmt.Sprintf("nestedloop(%s × scan(%s), inner=%d)", outer.describe(p.env), innerRD.Name, innerN)
+		b.root = func(tx *txn.Txn) (Rows, error) {
+			return p.openNL(tx, b, outer, innerRD, q)
+		}
 	}
 	return nil
 }
@@ -373,6 +487,9 @@ type probeSpec struct {
 	attID    core.AttID
 	instance int
 	est      core.CostEstimate
+	// viaSM probes the inner storage method's own key order (no
+	// attachment): each outer join value opens a keyed range scan.
+	viaSM bool
 }
 
 // --- executors ---
@@ -405,9 +522,11 @@ func (p *Planner) openAccessRaw(tx *txn.Txn, a *access, fields []int) (Rows, err
 	if err != nil {
 		return nil, err
 	}
-	ap := inst.(core.AccessPath)
-	// Hash indexes are direct-by-key only: probe, then fetch.
-	if _, err := ap.OpenScan(tx, a.instance, core.ScanOptions{Start: a.start, End: a.end}); err != nil {
+	// Direct-by-key paths (hash indexes) cannot scan: probe, then fetch.
+	// The capability is declared (core.DirectOnlyPath), not discovered by
+	// opening a throwaway scan — the old probe-open leaked the scan (and
+	// its subscription) whenever the path could scan after all.
+	if dop, ok := inst.(core.DirectOnlyPath); ok && dop.DirectOnly() {
 		keys, lerr := rel.LookupAccess(tx, a.useAtt, a.instance, a.start)
 		if lerr != nil {
 			return nil, lerr
@@ -519,8 +638,11 @@ func (r *nlRows) Next() (types.Record, bool, error) {
 	for {
 		if r.curOuter == nil {
 			rec, ok, err := r.outer.Next()
-			if err != nil || !ok {
-				return nil, ok, err
+			if err != nil {
+				return nil, false, err
+			}
+			if !ok {
+				return nil, false, nil
 			}
 			r.curOuter = rec
 			filter := expr.And(
@@ -576,8 +698,11 @@ func (p *Planner) openIndexNL(tx *txn.Txn, b *Bound, outer *access, innerRD *cor
 	if err != nil {
 		return nil, err
 	}
-	name := fmt.Sprintf("probe(%s via %s #%d)",
-		innerRD.Name, p.env.Reg.AttachmentOps(probe.attID).Name, probe.instance)
+	name := fmt.Sprintf("probe(%s via sm-key)", innerRD.Name)
+	if !probe.viaSM {
+		name = fmt.Sprintf("probe(%s via %s #%d)",
+			innerRD.Name, p.env.Reg.AttachmentOps(probe.attID).Name, probe.instance)
+	}
 	return b.track(tx, name, &indexNLRows{
 		tx: tx, q: q, outer: outerRows, innerRel: innerRel, probe: probe,
 	}), nil
@@ -590,17 +715,24 @@ type indexNLRows struct {
 	innerRel *core.Relation
 	probe    probeSpec
 
-	curOuter types.Record
-	pending  []types.Key
+	curOuter  types.Record
+	pending   []types.Key
+	innerScan core.Scan // viaSM mode: keyed range scan for the current outer
 }
 
 func (r *indexNLRows) Next() (types.Record, bool, error) {
+	if r.probe.viaSM {
+		return r.nextViaSM()
+	}
 	j := r.q.Join
 	for {
 		if r.curOuter == nil {
 			rec, ok, err := r.outer.Next()
-			if err != nil || !ok {
-				return nil, ok, err
+			if err != nil {
+				return nil, false, err
+			}
+			if !ok {
+				return nil, false, nil
 			}
 			r.curOuter = rec
 			keys, err := r.innerRel.LookupAccess(r.tx, r.probe.attID, r.probe.instance,
@@ -627,7 +759,55 @@ func (r *indexNLRows) Next() (types.Record, bool, error) {
 	}
 }
 
-func (r *indexNLRows) Close() error { return r.outer.Close() }
+// nextViaSM probes the inner storage method's own key order: each outer
+// join value bounds a keyed range scan [enc(v), succ(enc(v))). The explicit
+// equality in the filter guards prefix matches when the inner record key
+// extends beyond the join column.
+func (r *indexNLRows) nextViaSM() (types.Record, bool, error) {
+	j := r.q.Join
+	for {
+		if r.innerScan == nil {
+			rec, ok, err := r.outer.Next()
+			if err != nil {
+				return nil, false, err
+			}
+			if !ok {
+				return nil, false, nil
+			}
+			kv := rec[j.OuterCol]
+			if kv.IsNull() {
+				continue // NULL never equi-joins
+			}
+			r.curOuter = rec
+			start := types.EncodeKeyValues(kv)
+			filter := expr.And(expr.Eq(expr.Field(j.InnerCol), expr.Const(kv)), j.Filter)
+			scan, err := r.innerRel.OpenScan(r.tx, core.ScanOptions{
+				Start: start, End: smutil.PrefixSuccessor(start), Filter: filter, Fields: j.Fields,
+			})
+			if err != nil {
+				return nil, false, err
+			}
+			r.innerScan = scan
+		}
+		_, inner, ok, err := r.innerScan.Next()
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			r.innerScan.Close()
+			r.innerScan, r.curOuter = nil, nil
+			continue
+		}
+		return joinRecords(r.curOuter, r.q.Fields, inner), true, nil
+	}
+}
+
+func (r *indexNLRows) Close() error {
+	if r.innerScan != nil {
+		r.innerScan.Close()
+	}
+	return r.outer.Close()
+}
 
 // openJoinIndex executes the join by enumerating the join index's matched
 // record-key pairs and fetching both sides directly. The attachment is

@@ -3,6 +3,7 @@ package plan_test
 import (
 	"errors"
 	"fmt"
+	"reflect"
 	"sort"
 	"strings"
 	"testing"
@@ -11,6 +12,7 @@ import (
 	_ "dmx/internal/att/hashidx"
 	_ "dmx/internal/att/joinidx"
 	_ "dmx/internal/att/rtreeix"
+	_ "dmx/internal/att/stats"
 	"dmx/internal/core"
 	"dmx/internal/expr"
 	"dmx/internal/plan"
@@ -175,6 +177,16 @@ func TestProjectionApplied(t *testing.T) {
 	}
 }
 
+// multiset renders rows order-insensitively for cross-plan comparison.
+func multiset(rows []types.Record) []string {
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		out[i] = fmt.Sprintf("%v", r)
+	}
+	sort.Strings(out)
+	return out
+}
+
 func addDept(t *testing.T, env *core.Env, withIndex bool) {
 	t.Helper()
 	tx := env.Begin()
@@ -200,10 +212,11 @@ func TestNestedLoopJoin(t *testing.T) {
 	loadEmp(t, env, "memory", nil, 30)
 	addDept(t, env, false)
 	q := plan.Query{
-		Table:  "emp",
-		Filter: expr.Lt(expr.Field(0), expr.Const(types.Int(5))),
-		Fields: []int{0, 1},
-		Join:   &plan.JoinSpec{Table: "dept", OuterCol: 1, InnerCol: 0, Fields: []int{1}},
+		Table:     "emp",
+		Filter:    expr.Lt(expr.Field(0), expr.Const(types.Int(5))),
+		Fields:    []int{0, 1},
+		Join:      &plan.JoinSpec{Table: "dept", OuterCol: 1, InnerCol: 0, Fields: []int{1}},
+		ForceJoin: "nl",
 	}
 	rows, b := runQuery(t, env, q)
 	if !strings.HasPrefix(b.Explain(), "nestedloop(") {
@@ -219,10 +232,50 @@ func TestNestedLoopJoin(t *testing.T) {
 	}
 }
 
+// TestHashJoinChosen: without a keyed path on the inner side, the cost
+// model prefers one hash build over re-scanning the inner relation per
+// outer row — and the hash join returns exactly the nested loop's rows.
+func TestHashJoinChosen(t *testing.T) {
+	env := core.NewEnv(core.Config{})
+	loadEmp(t, env, "memory", nil, 30)
+	addDept(t, env, false)
+	q := plan.Query{
+		Table:  "emp",
+		Fields: []int{0, 1},
+		Join:   &plan.JoinSpec{Table: "dept", OuterCol: 1, InnerCol: 0, Fields: []int{1}},
+	}
+	rows, b := runQuery(t, env, q)
+	if !strings.HasPrefix(b.Explain(), "hash(") {
+		t.Fatalf("explain = %s", b.Explain())
+	}
+	nq := q
+	nq.ForceJoin = "nl"
+	nlrows, nb := runQuery(t, env, nq)
+	if !strings.HasPrefix(nb.Explain(), "nestedloop(") {
+		t.Fatalf("forced nl explain = %s", nb.Explain())
+	}
+	if got, want := multiset(rows), multiset(nlrows); !reflect.DeepEqual(got, want) {
+		t.Fatalf("hash join rows diverge from nested loop:\n hash=%v\n   nl=%v", got, want)
+	}
+}
+
 func TestIndexNestedLoopJoinChosen(t *testing.T) {
 	env := core.NewEnv(core.Config{})
 	loadEmp(t, env, "memory", nil, 30)
 	addDept(t, env, true)
+	// Grow the inner side until per-row keyed probes beat building a hash
+	// table over it, and give the planner statistics to price the probes.
+	tx := env.Begin()
+	if _, err := env.CreateAttachment(tx, "dept", "stats", nil); err != nil {
+		t.Fatal(err)
+	}
+	d, _ := env.OpenRelationByName("dept")
+	for i := 10; i < 1000; i++ {
+		d.Insert(tx, types.Record{types.Int(int64(i)), types.Str("filler")})
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
 	q := plan.Query{
 		Table: "emp",
 		Join:  &plan.JoinSpec{Table: "dept", OuterCol: 1, InnerCol: 0, Fields: []int{1}},
@@ -535,8 +588,9 @@ func TestExecStatsJoinOperators(t *testing.T) {
 	loadEmp(t, env, "memory", nil, 30)
 	addDept(t, env, true)
 	q := plan.Query{
-		Table: "emp",
-		Join:  &plan.JoinSpec{Table: "dept", OuterCol: 1, InnerCol: 0, Fields: []int{1}},
+		Table:     "emp",
+		Join:      &plan.JoinSpec{Table: "dept", OuterCol: 1, InnerCol: 0, Fields: []int{1}},
+		ForceJoin: "indexnl",
 	}
 	rows, b := runQuery(t, env, q)
 	if len(rows) != 30 {
@@ -581,8 +635,9 @@ func TestExecStatsMatchTracedOperatorSpans(t *testing.T) {
 	loadEmp(t, env, "memory", nil, 40)
 	addDept(t, env, true) // btree attachment on dept: the probe fires it per outer row
 	q := plan.Query{
-		Table: "emp",
-		Join:  &plan.JoinSpec{Table: "dept", OuterCol: 1, InnerCol: 0, Fields: []int{1}},
+		Table:     "emp",
+		Join:      &plan.JoinSpec{Table: "dept", OuterCol: 1, InnerCol: 0, Fields: []int{1}},
+		ForceJoin: "indexnl",
 	}
 	p := plan.New(env)
 	b, err := p.Plan(q)
@@ -682,14 +737,6 @@ func TestForcedPathsAgree(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	multiset := func(rows []types.Record) []string {
-		out := make([]string, len(rows))
-		for i, r := range rows {
-			out[i] = fmt.Sprintf("%v", r)
-		}
-		sort.Strings(out)
-		return out
-	}
 	queries := map[string]plan.Query{
 		"eq-eno":     {Table: "emp", Filter: expr.Eq(expr.Field(0), expr.Const(types.Int(7)))},
 		"eq-dno":     {Table: "emp", Filter: expr.Eq(expr.Field(1), expr.Const(types.Int(3)))},

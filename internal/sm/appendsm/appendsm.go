@@ -663,7 +663,7 @@ func (s *store) EstimateCost(req core.CostRequest) core.CostEstimate {
 		Usable:      true,
 		IO:          float64(pages) + float64(sources-1),
 		CPU:         float64(n) * (1 + math.Log2(float64(sources))),
-		Selectivity: smutil.EstimateSelectivity(req.Conjuncts),
+		Selectivity: smutil.RequestSelectivity(req),
 	}
 }
 

@@ -241,14 +241,22 @@ func (s *store) EstimateCost(req core.CostRequest) core.CostEstimate {
 		est.CPU = height + 1
 		est.Selectivity = 1 / math.Max(n, 1)
 	case depth > 0:
-		frac := math.Pow(0.3, float64(depth))
+		frac := smutil.HandledSelectivity(req, handled)
 		est.CPU = height + n*frac
-		est.Selectivity = frac
+		est.Selectivity = frac * smutil.ResidualSelectivity(req, handled)
 	default:
 		est.CPU = n
-		est.Selectivity = smutil.EstimateSelectivity(req.Conjuncts)
+		est.Selectivity = smutil.RequestSelectivity(req)
 	}
 	return est
+}
+
+// PartitionBounds implements core.RangePartitioner: interior key-space
+// split points at ~equal record counts, for partitioned parallel scans.
+func (s *store) PartitionBounds(n int) []types.Key {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return smutil.TreePartitionBounds(s.tree, n)
 }
 
 // RecordCount implements core.StorageInstance.

@@ -260,7 +260,7 @@ func (s *store) EstimateCost(req core.CostRequest) core.CostEstimate {
 		Usable:      true,
 		IO:          rounds * 4, // a round trip costs ~several page reads
 		CPU:         float64(n),
-		Selectivity: smutil.EstimateSelectivity(req.Conjuncts),
+		Selectivity: smutil.RequestSelectivity(req),
 	}
 }
 

@@ -14,19 +14,13 @@ import (
 
 // EstimateSelectivity is the shared textbook selectivity guess extensions
 // use when they have no statistics: 10% per equality conjunct, 30% per
-// range conjunct, 50% otherwise.
+// range conjunct, 50% otherwise. Estimators that receive a
+// core.CostRequest should call RequestSelectivity instead, which honors
+// the planner's statistics-derived per-conjunct figures.
 func EstimateSelectivity(conjuncts []*expr.Expr) float64 {
 	sel := 1.0
 	for _, c := range conjuncts {
-		if fc, ok := expr.MatchFieldCompare(c); ok {
-			if fc.Op == expr.OpEq {
-				sel *= 0.1
-			} else {
-				sel *= 0.3
-			}
-			continue
-		}
-		sel *= 0.5
+		sel *= textbookSelectivity(c)
 	}
 	return sel
 }
@@ -169,8 +163,36 @@ func (s *TreeStore) EstimateCost(req core.CostRequest) core.CostEstimate {
 		Usable:      true,
 		IO:          0,
 		CPU:         n,
-		Selectivity: EstimateSelectivity(req.Conjuncts),
+		Selectivity: RequestSelectivity(req),
 	}
+}
+
+// PartitionBounds implements core.RangePartitioner: interior split keys
+// dividing the sequence-key space into ~equal record counts.
+func (s *TreeStore) PartitionBounds(n int) []types.Key {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return TreePartitionBounds(s.tree, n)
+}
+
+// TreePartitionBounds walks tree (caller holds its latch) and returns up
+// to n-1 ascending interior split keys at ~equal record-count spacing.
+func TreePartitionBounds(tree *btree.Tree, n int) []types.Key {
+	total := tree.Len()
+	if n <= 1 || total < 2*n {
+		return nil
+	}
+	per := (total + n - 1) / n
+	bounds := make([]types.Key, 0, n-1)
+	i := 0
+	tree.Ascend(nil, func(k, v []byte) bool {
+		if i > 0 && i%per == 0 && len(bounds) < n-1 {
+			bounds = append(bounds, types.Key(k).Clone())
+		}
+		i++
+		return len(bounds) < n-1
+	})
+	return bounds
 }
 
 // RecordCount implements core.StorageInstance.
