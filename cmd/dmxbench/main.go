@@ -92,6 +92,7 @@ func main() {
 		{"E11", "record-structured relation descriptor overhead", e11Descriptor},
 		{"E12", "common lock manager under contention", e12Locking},
 		{"MT", "concurrent commit throughput: group commit and sharded hot paths", mtGroupCommit},
+		{"SELFOBS", "per-transaction resource accounting: overhead with counters on vs off", selfObs},
 		{"MVCC", "snapshot reads: locked vs lock-free read-only throughput", mvccReads},
 		{"INGEST", "LSM tiered ingest: sustained writes, tombstones, bloom-filtered point reads", ingestLSM},
 		{"PAR", "partitioned parallel scan and hash join vs serial execution", parExec},
@@ -1072,6 +1073,120 @@ func mtGroupCommit() []*rig.Table {
 				fmt.Sprintf("%.0f", float64(commits)/d.Seconds()),
 				batches, fmt.Sprintf("%.2f", cpf))
 		}
+	}
+	return []*rig.Table{t}
+}
+
+// --- SELFOBS: resource-accounting overhead ---
+
+// selfObs measures what the per-transaction resource counters behind
+// sys.stat_activity cost. Two workloads bracket the answer: the MT
+// commit workload (file-backed WAL, 8 workers — the realistic case,
+// where the fsync path dominates) and a tight single-session insert
+// loop over an in-memory WAL (the adversarial case, where the atomic
+// increments are the largest possible fraction of the work). Each is
+// run with accounting enabled (the default) and disabled via
+// txn.SetAccounting.
+func selfObs() []*rig.Table {
+	t := rig.NewTable("SELFOBS — per-transaction resource accounting overhead",
+		"workload", "accounting", "commits", "total", "commits/s", "overhead")
+	t.Note = "accounting is a handful of uncontended atomic adds per row touched; the observability tax stays within noise of the commit path"
+
+	mtRun := func() (time.Duration, int64) {
+		perWorker, workers := n(300), 8
+		dir, err := os.MkdirTemp("", "dmxbench-selfobs")
+		if err != nil {
+			panic(err)
+		}
+		defer os.RemoveAll(dir)
+		db, err := dmx.Open(dmx.Config{
+			LogPath:           filepath.Join(dir, "wal.log"),
+			CommitBatchWindow: 200 * time.Microsecond,
+			CheckpointEvery:   -1,
+		})
+		if err != nil {
+			panic(err)
+		}
+		defer db.Close()
+		if _, err := db.Exec("CREATE TABLE t (id INT NOT NULL, v STRING) USING heap"); err != nil {
+			panic(err)
+		}
+		var wg sync.WaitGroup
+		d := rig.Time(func() {
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					s := db.NewSession()
+					for i := 0; i < perWorker; i++ {
+						if _, err := s.Exec(fmt.Sprintf("INSERT INTO t VALUES (%d, 'r')", w*1_000_000+i)); err != nil {
+							panic(err)
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+		})
+		return d, int64(perWorker * workers)
+	}
+
+	tightRun := func() (time.Duration, int64) {
+		commits := n(20_000)
+		db, err := dmx.Open(dmx.Config{})
+		if err != nil {
+			panic(err)
+		}
+		defer db.Close()
+		if _, err := db.Exec("CREATE TABLE t (id INT NOT NULL, v STRING) USING heap"); err != nil {
+			panic(err)
+		}
+		rel, err := db.Relation("t")
+		if err != nil {
+			panic(err)
+		}
+		d := rig.Time(func() {
+			for i := 0; i < commits; i++ {
+				tx := db.Begin()
+				if _, err := rel.Insert(tx, dmx.Record{dmx.Int(int64(i)), dmx.Str("r")}); err != nil {
+					panic(err)
+				}
+				if err := tx.Commit(); err != nil {
+					panic(err)
+				}
+			}
+		})
+		return d, int64(commits)
+	}
+
+	workloads := []struct {
+		label string
+		run   func() (time.Duration, int64)
+	}{
+		{"MT commit (8 workers, file WAL)", mtRun},
+		{"tight insert loop (mem WAL)", tightRun},
+	}
+	for _, wl := range workloads {
+		var dOn, dOff time.Duration
+		var commits int64
+		// Interleave on/off runs and keep the best of three of each, so
+		// cache warm-up and GC noise fall on both sides equally.
+		for i := 0; i < 3; i++ {
+			txn.SetAccounting(true)
+			if d, c := wl.run(); dOn == 0 || d < dOn {
+				dOn, commits = d, c
+			}
+			txn.SetAccounting(false)
+			if d, _ := wl.run(); dOff == 0 || d < dOff {
+				dOff = d
+			}
+		}
+		txn.SetAccounting(true)
+		overhead := (float64(dOn) - float64(dOff)) / float64(dOff) * 100
+		t.Add(wl.label, "off", commits, dOff,
+			fmt.Sprintf("%.0f", float64(commits)/dOff.Seconds()), "—")
+		t.Add(wl.label, "on", commits, dOn,
+			fmt.Sprintf("%.0f", float64(commits)/dOn.Seconds()),
+			fmt.Sprintf("%+.1f%%", overhead))
 	}
 	return []*rig.Table{t}
 }

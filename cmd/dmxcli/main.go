@@ -53,7 +53,7 @@ func main() {
 		}
 		return
 	}
-	fmt.Println("dmx shell — statements end at end of line; \\ continues; \\metrics dumps counters; \\trace on|off|show; \\serve ADDR; ctrl-D exits")
+	fmt.Println("dmx shell — statements end at end of line; \\help lists shell commands; ctrl-D exits")
 	if err := run(db.Env, session, os.Stdin, os.Stdout, true); err != nil {
 		fmt.Fprintln(os.Stderr, "dmxcli:", err)
 		os.Exit(1)
@@ -92,7 +92,7 @@ func run(env *dmx.Env, session *dmx.Session, r io.Reader, w io.Writer, interacti
 			continue
 		}
 		if strings.HasPrefix(stmt, "\\") {
-			if err := command(env, w, stmt); err != nil {
+			if err := command(env, session, w, stmt); err != nil {
 				if interactive {
 					fmt.Fprintln(w, "error:", err)
 					continue
@@ -114,9 +114,16 @@ func run(env *dmx.Env, session *dmx.Session, r io.Reader, w io.Writer, interacti
 }
 
 // command dispatches a backslash shell command.
-func command(env *dmx.Env, w io.Writer, stmt string) error {
+func command(env *dmx.Env, session *dmx.Session, w io.Writer, stmt string) error {
 	fields := strings.Fields(stmt)
 	switch fields[0] {
+	case "\\help":
+		fmt.Fprint(w, helpText)
+		return nil
+	case "\\stat":
+		return statCommand(session, w, fields[1:])
+	case "\\top":
+		return topCommand(session, w, fields[1:])
 	case "\\metrics":
 		raw, err := json.MarshalIndent(env.MetricsSnapshot(), "", "  ")
 		if err != nil {
@@ -137,8 +144,57 @@ func command(env *dmx.Env, w io.Writer, stmt string) error {
 		fmt.Fprintf(w, "debug server on http://%s (/metrics /traces /healthz)\n", addr)
 		return nil
 	default:
-		return fmt.Errorf("unknown command %q (try \\metrics, \\trace, \\serve)", fields[0])
+		return fmt.Errorf("unknown command %q (try \\help)", fields[0])
 	}
+}
+
+const helpText = `shell commands:
+  \help            this text
+  \stat VIEW       dump a system relation (activity, relations, locks,
+                   lsm, buffer, traces, history — or any sys.* name)
+  \top [N]         top transactions by lock wait (default 10)
+  \metrics         engine counters as JSON
+  \trace ...       transaction tracer (\trace on|off|show)
+  \serve ADDR      start the debug HTTP server
+SQL statements run as typed; a trailing \ continues on the next line.
+`
+
+// statCommand dumps one system relation through the ordinary SQL path,
+// so \stat shows exactly what a query over the view would.
+func statCommand(session *dmx.Session, w io.Writer, args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: \\stat VIEW (e.g. \\stat activity; see \\help)")
+	}
+	view := args[0]
+	if !strings.Contains(view, ".") {
+		view = "sys.stat_" + view
+	}
+	res, err := session.Exec("SELECT * FROM " + view)
+	if err != nil {
+		return err
+	}
+	printResult(w, res)
+	return nil
+}
+
+// topCommand lists the in-flight transactions that have burned the most
+// time waiting on locks — the first thing to look at when the engine
+// feels stuck.
+func topCommand(session *dmx.Session, w io.Writer, args []string) error {
+	n := 10
+	if len(args) > 0 {
+		if _, err := fmt.Sscanf(args[0], "%d", &n); err != nil || n <= 0 {
+			return fmt.Errorf("usage: \\top [N] (N >= 1)")
+		}
+	}
+	res, err := session.Exec(fmt.Sprintf(
+		"SELECT id, state, lock_waits, lock_wait_ns, rows_read, rows_written "+
+			"FROM sys.stat_activity ORDER BY lock_wait_ns DESC LIMIT %d", n))
+	if err != nil {
+		return err
+	}
+	printResult(w, res)
+	return nil
 }
 
 // traceCommand controls the environment's transaction tracer:

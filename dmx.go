@@ -45,6 +45,7 @@ import (
 	_ "dmx/internal/sm/heap"
 	_ "dmx/internal/sm/memsm"
 	"dmx/internal/sm/remotesm"
+	_ "dmx/internal/sm/syssm"
 	_ "dmx/internal/sm/tempsm"
 
 	"dmx/internal/core"

@@ -24,6 +24,7 @@ package buffer
 import (
 	"container/list"
 	"fmt"
+	"sort"
 	"sync"
 
 	"dmx/internal/fault"
@@ -415,6 +416,40 @@ func (p *Pool) Stats() Stats {
 		Misses:    p.obs.Misses.Load(),
 		Evictions: p.obs.Evictions.Load(),
 	}
+}
+
+// FrameInfo describes one resident buffer frame for introspection
+// (sys.stat_buffer): which disk page it caches and its pin/dirty state.
+type FrameInfo struct {
+	Page   pagefile.PageID
+	Pins   int
+	Dirty  bool
+	LSN    wal.LSN
+	Shard  int
+	Pinned bool
+}
+
+// FrameInfos returns a point-in-time description of every resident frame,
+// shard by shard (each shard is internally consistent; the pool-wide view
+// may be torn across shards while pins churn). Sorted by page ID.
+func (p *Pool) FrameInfos() []FrameInfo {
+	var out []FrameInfo
+	for i, sh := range p.shards {
+		sh.mu.Lock()
+		for _, f := range sh.frames {
+			out = append(out, FrameInfo{
+				Page:   f.ID,
+				Pins:   f.pins,
+				Dirty:  f.dirty,
+				LSN:    f.lsn,
+				Shard:  i,
+				Pinned: f.pins > 0,
+			})
+		}
+		sh.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Page < out[j].Page })
+	return out
 }
 
 // PinnedCount returns the number of frames currently pinned (for tests).

@@ -152,9 +152,29 @@ func (c *Catalog) install(rd *RelDesc) {
 	defer c.mu.Unlock()
 	c.rels[rd.RelID] = rd
 	c.byName[strings.ToLower(rd.Name)] = rd.RelID
-	if rd.RelID >= c.nextID {
+	// System relations live in a reserved high ID range; installing one
+	// must not drag the user-relation ID sequence up behind it.
+	if rd.RelID >= c.nextID && !IsSystemRelID(rd.RelID) {
 		c.nextID = rd.RelID + 1
 	}
+}
+
+// InstallSystem places a system-relation descriptor in the catalog
+// without transaction control or logging: system relations are process
+// state, re-registered at every Env construction, never checkpointed or
+// recovered. Called by NewEnv only.
+func (c *Catalog) InstallSystem(rd *RelDesc) error {
+	if !IsSystemRelID(rd.RelID) {
+		return fmt.Errorf("core: system relation %q must use a reserved RelID, got %d", rd.Name, rd.RelID)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.byName[strings.ToLower(rd.Name)]; dup {
+		return fmt.Errorf("core: system relation %q already installed", rd.Name)
+	}
+	c.rels[rd.RelID] = rd
+	c.byName[strings.ToLower(rd.Name)] = rd.RelID
+	return nil
 }
 
 func (c *Catalog) remove(relID uint32) {

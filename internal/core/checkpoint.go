@@ -62,6 +62,11 @@ func (env *Env) Checkpoint() error {
 			if !ok || locked[rd.RelID] {
 				continue
 			}
+			// System relations are virtual process state: nothing to
+			// quiesce, snapshot, or freeze (the later loops key on locked).
+			if IsSystemRelID(rd.RelID) {
+				continue
+			}
 			if !env.Locks.TryAcquire(wal.CheckpointTxn, lock.RelResource(rd.RelID), lock.ModeS) {
 				return ErrCheckpointBusy
 			}

@@ -57,6 +57,7 @@ const (
 	SMMemory SMID = 4 // main-memory relations for high-traffic tables
 	SMAppend SMID = 5 // read-only/append-only "database publishing" storage
 	SMRemote SMID = 6 // foreign-database relations over a network protocol
+	SMSys    SMID = 7 // read-only virtual relations over live engine state
 )
 
 // Well-known attachment type identifiers.

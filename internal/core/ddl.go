@@ -3,6 +3,7 @@ package core
 import (
 	"bytes"
 	"fmt"
+	"strings"
 
 	"dmx/internal/lock"
 	"dmx/internal/txn"
@@ -16,6 +17,9 @@ import (
 // composite relation descriptor is installed in the catalog under
 // transaction control.
 func (env *Env) CreateRelation(tx *txn.Txn, name string, schema *types.Schema, smName string, attrs AttrList) (*RelDesc, error) {
+	if strings.HasPrefix(strings.ToLower(name), "sys.") {
+		return nil, fmt.Errorf("core: the sys. namespace is reserved for system relations")
+	}
 	ops := env.Reg.StorageMethodByName(smName)
 	if ops == nil {
 		return nil, fmt.Errorf("core: unknown storage method %q (registered: %v)",
@@ -64,6 +68,9 @@ func (env *Env) CreateAttachment(tx *txn.Txn, relName, attName string, attrs Att
 	rd, ok := env.Cat.ByName(relName)
 	if !ok {
 		return nil, fmt.Errorf("%w: relation %q", ErrNotFound, relName)
+	}
+	if IsSystemRelID(rd.RelID) {
+		return nil, fmt.Errorf("core: relation %q is a system relation; attachments are not supported", relName)
 	}
 	if err := env.Authz.Check(tx, rd, PrivAdmin); err != nil {
 		return nil, err
@@ -175,6 +182,9 @@ func (env *Env) DropRelation(tx *txn.Txn, relName string) error {
 	rd, ok := env.Cat.ByName(relName)
 	if !ok {
 		return fmt.Errorf("%w: relation %q", ErrNotFound, relName)
+	}
+	if IsSystemRelID(rd.RelID) {
+		return fmt.Errorf("core: relation %q is a system relation and cannot be dropped", relName)
 	}
 	if err := env.Authz.Check(tx, rd, PrivAdmin); err != nil {
 		return err

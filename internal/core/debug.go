@@ -5,9 +5,12 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"strconv"
+	"strings"
 	"time"
 
 	"dmx/internal/obs"
+	"dmx/internal/types"
 )
 
 // debugServer is the optional HTTP introspection endpoint of an
@@ -22,11 +25,14 @@ type debugServer struct {
 // ServeDebug starts the debug HTTP server on addr (e.g. "127.0.0.1:7654";
 // ":0" picks a free port) and returns the bound address. Endpoints:
 //
-//	/metrics  obs.Snapshot rendered in Prometheus text exposition format
-//	/traces   completed-trace ring as JSON; ?min=DURATION filters (e.g.
-//	          ?min=10ms), ?limit=N keeps only the most recent N
-//	/healthz  WAL/buffer/lock liveness as JSON; 503 when a subsystem probe
-//	          fails
+//	/metrics      obs.Snapshot rendered in Prometheus text exposition format
+//	/traces       completed-trace ring as JSON; ?min=DURATION filters (e.g.
+//	              ?min=10ms), ?limit=N (N >= 1) keeps only the most recent N
+//	/stat/<view>  a system relation as JSON rows (e.g. /stat/activity or
+//	              /stat/sys.stat_activity), scanned through the ordinary
+//	              relation machinery
+//	/healthz      WAL/buffer/lock liveness as JSON; 503 when a subsystem
+//	              probe fails
 //
 // The server runs until Env.Close (or StopDebug); a second ServeDebug
 // call replaces the first server.
@@ -38,6 +44,7 @@ func (env *Env) ServeDebug(addr string) (string, error) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", env.handleMetrics)
 	mux.HandleFunc("/traces", env.handleTraces)
+	mux.HandleFunc("/stat/", env.handleStat)
 	mux.HandleFunc("/healthz", env.handleHealthz)
 	ds := &debugServer{
 		env: env,
@@ -118,9 +125,12 @@ func (env *Env) handleTraces(w http.ResponseWriter, r *http.Request) {
 	}
 	traces := env.Tracer.Traces(min)
 	if v := r.URL.Query().Get("limit"); v != "" {
-		var n int
-		if _, err := fmt.Sscanf(v, "%d", &n); err != nil || n < 0 {
-			http.Error(w, fmt.Sprintf("bad limit %q", v), http.StatusBadRequest)
+		// strconv.Atoi rejects trailing garbage Sscanf would swallow, and a
+		// zero or negative limit is an explicit client error, not "keep
+		// nothing" silently.
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			http.Error(w, fmt.Sprintf("bad limit %q (want an integer >= 1)", v), http.StatusBadRequest)
 			return
 		}
 		if n < len(traces) {
@@ -134,6 +144,77 @@ func (env *Env) handleTraces(w http.ResponseWriter, r *http.Request) {
 		"stats":  env.Tracer.Stats(),
 		"traces": traces,
 	})
+}
+
+// handleStat serves one system relation as JSON rows. The view name after
+// /stat/ may be short ("activity") or fully qualified
+// ("sys.stat_activity"); rows come through the ordinary relation scan
+// path, so this endpoint exercises exactly what SQL over the view would.
+func (env *Env) handleStat(w http.ResponseWriter, r *http.Request) {
+	name := strings.TrimPrefix(r.URL.Path, "/stat/")
+	if name == "" {
+		http.Error(w, "missing view name (e.g. /stat/activity)", http.StatusBadRequest)
+		return
+	}
+	if !strings.Contains(name, ".") {
+		name = "sys.stat_" + name
+	}
+	rd, ok := env.Cat.ByName(name)
+	if !ok || !IsSystemRelID(rd.RelID) {
+		http.Error(w, fmt.Sprintf("unknown system relation %q", name), http.StatusNotFound)
+		return
+	}
+	rel, err := env.OpenRelation(rd)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	tx := env.Begin()
+	defer tx.Commit()
+	sc, err := rel.OpenScan(tx, ScanOptions{})
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	defer sc.Close()
+	rows := []map[string]any{}
+	for {
+		_, rec, ok, err := sc.Next()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		if !ok {
+			break
+		}
+		row := make(map[string]any, len(rd.Schema.Cols))
+		for i, c := range rd.Schema.Cols {
+			row[c.Name] = valueJSON(rec[i])
+		}
+		rows = append(rows, row)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(map[string]any{"view": name, "rows": rows})
+}
+
+// valueJSON converts a field value to its natural JSON representation.
+func valueJSON(v types.Value) any {
+	switch v.K {
+	case types.KindInt:
+		return v.I
+	case types.KindFloat:
+		return v.F
+	case types.KindString:
+		return v.S
+	case types.KindBytes:
+		return v.B
+	case types.KindBool:
+		return v.I != 0
+	default:
+		return nil
+	}
 }
 
 // handleHealthz probes each common service with a cheap live operation:

@@ -121,6 +121,26 @@ func TestDebugServerTracesEndpoint(t *testing.T) {
 	if code, _ := debugGet(t, addr, "/traces?limit=x"); code != http.StatusBadRequest {
 		t.Errorf("bad limit: status %d, want 400", code)
 	}
+	// A limit that parses but keeps nothing is a client error, not a
+	// silently empty response; trailing garbage must not half-parse either.
+	for _, q := range []string{"limit=0", "limit=-1", "limit=5x"} {
+		if code, _ := debugGet(t, addr, "/traces?"+q); code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", q, code)
+		}
+	}
+	if code, _ := debugGet(t, addr, "/traces?limit=1"); code != http.StatusOK {
+		t.Errorf("limit=1: status %d, want 200", code)
+	}
+}
+
+func TestDebugServerStatUnknownView(t *testing.T) {
+	_, addr := debugEnv(t)
+	if code, _ := debugGet(t, addr, "/stat/nope"); code != http.StatusNotFound {
+		t.Errorf("/stat/nope: status %d, want 404", code)
+	}
+	if code, _ := debugGet(t, addr, "/stat/"); code != http.StatusBadRequest {
+		t.Errorf("/stat/: status %d, want 400", code)
+	}
 }
 
 func TestDebugServerHealthz(t *testing.T) {

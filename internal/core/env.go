@@ -99,6 +99,10 @@ type Env struct {
 	attInst  map[attKey]*attEntry
 	extState map[string]any
 
+	// relStats holds the per-relation dispatch rollups behind
+	// sys.stat_relations, keyed by relation ID.
+	relStats relStatsTable
+
 	recovering    atomic.Bool // restart recovery in progress
 	checkpointing atomic.Bool // guards against overlapping checkpoints
 
@@ -193,6 +197,8 @@ func NewEnv(cfg Config) *Env {
 	env.Cat = NewCatalog(env)
 	env.Authz = newAuthz()
 	env.Txns.Undoer = env
+	env.Txns.SetObs(&engine.Txn)
+	env.installSystemRelations()
 	return env
 }
 
@@ -454,7 +460,7 @@ func (env *Env) rebuildAttachments() error {
 	tx := env.Begin()
 	for _, name := range names {
 		rd, ok := env.Cat.ByName(name)
-		if !ok {
+		if !ok || IsSystemRelID(rd.RelID) {
 			continue
 		}
 		sops := env.Reg.StorageOps(rd.SM)

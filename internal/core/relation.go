@@ -25,7 +25,8 @@ type Relation struct {
 	env  *Env
 	rd   *RelDesc
 	sm   StorageInstance
-	mvcc bool // storage method stamps versions: snapshot reads skip the lock manager
+	stat *RelStat // per-relation rollup (sys.stat_relations); cached to skip the table lookup per op
+	mvcc bool     // storage method stamps versions: snapshot reads skip the lock manager
 }
 
 // OpenRelation returns a runtime handle for rd. The descriptor may come
@@ -35,11 +36,29 @@ func (env *Env) OpenRelation(rd *RelDesc) (*Relation, error) {
 	if err != nil {
 		return nil, err
 	}
-	r := &Relation{env: env, rd: rd, sm: sm}
+	r := &Relation{env: env, rd: rd, sm: sm, stat: env.relStats.get(rd.RelID)}
 	if ops := env.Reg.StorageOps(rd.SM); ops != nil {
 		r.mvcc = ops.MVCC
 	}
 	return r, nil
+}
+
+// chargeWritten books n modified rows against the transaction's ledger
+// and the relation rollup (both gated on the accounting switch, which
+// tx.Acct already checks).
+func (r *Relation) chargeWritten(tx *txn.Txn, n int64) {
+	if st := tx.Acct(); st != nil {
+		st.RowsWritten.Add(n)
+		r.stat.RowsWritten.Add(n)
+	}
+}
+
+// chargeRead books n returned rows.
+func (r *Relation) chargeRead(tx *txn.Txn, n int64) {
+	if st := tx.Acct(); st != nil {
+		st.RowsRead.Add(n)
+		r.stat.RowsRead.Add(n)
+	}
 }
 
 // lockFree reports whether this access can bypass the lock manager: a
@@ -91,7 +110,9 @@ func (r *Relation) Insert(tx *txn.Txn, rec types.Record) (key types.Key, err err
 	smSp := r.smSpan(tx, obs.OpInsert)
 	start := time.Now()
 	key, err = r.sm.Insert(tx, rec)
-	r.env.Obs.SM.Observe(int(r.rd.SM), obs.OpInsert, time.Since(start), err != nil)
+	d := time.Since(start)
+	r.env.Obs.SM.Observe(int(r.rd.SM), obs.OpInsert, d, err != nil)
+	r.stat.observe(obs.OpInsert, d, err != nil)
 	smSp.End(err)
 	if err != nil {
 		return nil, r.vetoed(tx, mark, r.smName(), err)
@@ -104,6 +125,7 @@ func (r *Relation) Insert(tx *txn.Txn, rec types.Record) (key types.Key, err err
 	}, mark); err != nil {
 		return nil, err
 	}
+	r.chargeWritten(tx, 1)
 	return key, nil
 }
 
@@ -139,7 +161,9 @@ func (r *Relation) Update(tx *txn.Txn, key types.Key, newRec types.Record) (newK
 	smSp := r.smSpan(tx, obs.OpUpdate)
 	start := time.Now()
 	newKey, err = r.sm.Update(tx, key, oldRec, newRec)
-	r.env.Obs.SM.Observe(int(r.rd.SM), obs.OpUpdate, time.Since(start), err != nil)
+	d := time.Since(start)
+	r.env.Obs.SM.Observe(int(r.rd.SM), obs.OpUpdate, d, err != nil)
+	r.stat.observe(obs.OpUpdate, d, err != nil)
 	smSp.End(err)
 	if err != nil {
 		return nil, r.vetoed(tx, mark, r.smName(), err)
@@ -154,6 +178,7 @@ func (r *Relation) Update(tx *txn.Txn, key types.Key, newRec types.Record) (newK
 	}, mark); err != nil {
 		return nil, err
 	}
+	r.chargeWritten(tx, 1)
 	return newKey, nil
 }
 
@@ -185,14 +210,20 @@ func (r *Relation) Delete(tx *txn.Txn, key types.Key) (err error) {
 	smSp := r.smSpan(tx, obs.OpDelete)
 	start := time.Now()
 	err = r.sm.Delete(tx, key, oldRec)
-	r.env.Obs.SM.Observe(int(r.rd.SM), obs.OpDelete, time.Since(start), err != nil)
+	d := time.Since(start)
+	r.env.Obs.SM.Observe(int(r.rd.SM), obs.OpDelete, d, err != nil)
+	r.stat.observe(obs.OpDelete, d, err != nil)
 	smSp.End(err)
 	if err != nil {
 		return r.vetoed(tx, mark, r.smName(), err)
 	}
-	return r.notify(tx, obs.OpDelete, func(inst AttachmentInstance) error {
+	if err := r.notify(tx, obs.OpDelete, func(inst AttachmentInstance) error {
 		return inst.OnDelete(tx, key, oldRec)
-	}, mark)
+	}, mark); err != nil {
+		return err
+	}
+	r.chargeWritten(tx, 1)
+	return nil
 }
 
 // notify runs the attached procedures for every attachment type with
@@ -303,8 +334,13 @@ func (r *Relation) Fetch(tx *txn.Txn, key types.Key, fields []int, filter *expr.
 	smSp := r.smSpan(tx, obs.OpFetch)
 	start := time.Now()
 	rec, err := r.sm.FetchByKey(tx, key, fields, filter)
-	r.env.Obs.SM.Observe(int(r.rd.SM), obs.OpFetch, time.Since(start), err != nil)
+	d := time.Since(start)
+	r.env.Obs.SM.Observe(int(r.rd.SM), obs.OpFetch, d, err != nil)
+	r.stat.observe(obs.OpFetch, d, err != nil)
 	smSp.End(err)
+	if err == nil {
+		r.chargeRead(tx, 1)
+	}
 	return rec, err
 }
 
@@ -325,12 +361,14 @@ func (r *Relation) OpenScan(tx *txn.Txn, opts ScanOptions) (Scan, error) {
 	smSp := r.smSpan(tx, obs.OpScan)
 	start := time.Now()
 	s, err := r.sm.OpenScan(tx, opts)
-	r.env.Obs.SM.Observe(int(r.rd.SM), obs.OpScan, time.Since(start), err != nil)
+	d := time.Since(start)
+	r.env.Obs.SM.Observe(int(r.rd.SM), obs.OpScan, d, err != nil)
+	r.stat.observe(obs.OpScan, d, err != nil)
 	smSp.End(err)
 	if err != nil {
 		return nil, err
 	}
-	return manageScan(tx, s)
+	return manageScan(tx, r.counted(tx, s))
 }
 
 // OpenAccessScan starts a key-sequential access through access path
@@ -374,7 +412,7 @@ func (r *Relation) OpenAccessScan(tx *txn.Txn, id AttID, instance int, opts Scan
 			s = &snapFilterScan{Scan: s, vs: vs, tx: tx}
 		}
 	}
-	return manageScan(tx, s)
+	return manageScan(tx, r.counted(tx, s))
 }
 
 // LookupAccess is the direct-by-key access through an access path: it
@@ -421,6 +459,34 @@ func (r *Relation) LookupAccess(tx *txn.Txn, id AttID, instance int, key types.K
 		}
 	}
 	return keys, err
+}
+
+// countedScan charges each row a scan produces to the transaction's
+// resource accounting and the relation's rollup.
+type countedScan struct {
+	Scan
+	tx *txn.Txn
+	rs *RelStat
+}
+
+func (s *countedScan) Next() (types.Key, types.Record, bool, error) {
+	key, rec, ok, err := s.Scan.Next()
+	if ok && err == nil {
+		if st := s.tx.Acct(); st != nil {
+			st.RowsRead.Add(1)
+			s.rs.RowsRead.Add(1)
+		}
+	}
+	return key, rec, ok, err
+}
+
+// counted wraps s with per-row accounting when a transaction is present
+// (internal scans pass tx == nil and stay unwrapped).
+func (r *Relation) counted(tx *txn.Txn, s Scan) Scan {
+	if tx == nil {
+		return s
+	}
+	return &countedScan{Scan: s, tx: tx, rs: r.stat}
 }
 
 // snapFilterScan drops access-path entries that are not visible in the

@@ -204,6 +204,25 @@ func (p *parser) ident() (string, error) {
 	return t.text, nil
 }
 
+// tableName parses a possibly qualified relation name — ident ('.' ident)*
+// joined with dots. Catalog names are flat strings, so "sys.stat_activity"
+// is simply a name containing a dot (the system relations live in that
+// namespace).
+func (p *parser) tableName() (string, error) {
+	name, err := p.ident()
+	if err != nil {
+		return "", err
+	}
+	for p.punct(".") {
+		seg, err := p.ident()
+		if err != nil {
+			return "", err
+		}
+		name += "." + seg
+	}
+	return name, nil
+}
+
 func (p *parser) statement() (Stmt, error) {
 	switch {
 	case p.kw("create"):
@@ -220,7 +239,7 @@ func (p *parser) statement() (Stmt, error) {
 	case p.kw("drop"):
 		switch {
 		case p.kw("table"):
-			name, err := p.ident()
+			name, err := p.tableName()
 			if err != nil {
 				return nil, err
 			}
@@ -279,7 +298,7 @@ func (p *parser) statement() (Stmt, error) {
 		if err := p.expectKw("on"); err != nil {
 			return nil, err
 		}
-		table, err := p.ident()
+		table, err := p.tableName()
 		if err != nil {
 			return nil, err
 		}
@@ -295,7 +314,7 @@ func (p *parser) statement() (Stmt, error) {
 		if err := p.expectKw("on"); err != nil {
 			return nil, err
 		}
-		table, err := p.ident()
+		table, err := p.tableName()
 		if err != nil {
 			return nil, err
 		}
@@ -414,7 +433,7 @@ func (p *parser) createAttachment() (Stmt, error) {
 	if err := p.expectKw("on"); err != nil {
 		return nil, err
 	}
-	table, err := p.ident()
+	table, err := p.tableName()
 	if err != nil {
 		return nil, err
 	}
@@ -434,7 +453,7 @@ func (p *parser) createIndex() (Stmt, error) {
 	if err := p.expectKw("on"); err != nil {
 		return nil, err
 	}
-	table, err := p.ident()
+	table, err := p.tableName()
 	if err != nil {
 		return nil, err
 	}
@@ -477,7 +496,7 @@ func (p *parser) dropAttachment() (Stmt, error) {
 	if err := p.expectKw("on"); err != nil {
 		return nil, err
 	}
-	table, err := p.ident()
+	table, err := p.tableName()
 	if err != nil {
 		return nil, err
 	}
@@ -492,7 +511,7 @@ func (p *parser) insert() (Stmt, error) {
 	if err := p.expectKw("into"); err != nil {
 		return nil, err
 	}
-	table, err := p.ident()
+	table, err := p.tableName()
 	if err != nil {
 		return nil, err
 	}
@@ -591,14 +610,24 @@ func (p *parser) colRef() (colRef, error) {
 	if err != nil {
 		return colRef{}, err
 	}
-	if p.punct(".") {
-		col, err := p.ident()
+	// ident ('.' ident)*: the last segment is the column, everything before
+	// it is the (possibly dotted) table qualifier — so
+	// sys.stat_activity.id resolves as table "sys.stat_activity".
+	parts := []string{first}
+	for p.punct(".") {
+		seg, err := p.ident()
 		if err != nil {
 			return colRef{}, err
 		}
-		return colRef{Table: first, Column: col}, nil
+		parts = append(parts, seg)
 	}
-	return colRef{Column: first}, nil
+	if len(parts) == 1 {
+		return colRef{Column: first}, nil
+	}
+	return colRef{
+		Table:  strings.Join(parts[:len(parts)-1], "."),
+		Column: parts[len(parts)-1],
+	}, nil
 }
 
 func (p *parser) selectStmt() (Stmt, error) {
@@ -632,14 +661,14 @@ func (p *parser) selectStmt() (Stmt, error) {
 	if err := p.expectKw("from"); err != nil {
 		return nil, err
 	}
-	table, err := p.ident()
+	table, err := p.tableName()
 	if err != nil {
 		return nil, err
 	}
 	sel.Table = table
 	if p.kw("join") {
 		jc := &joinClause{}
-		if jc.Table, err = p.ident(); err != nil {
+		if jc.Table, err = p.tableName(); err != nil {
 			return nil, err
 		}
 		if err := p.expectKw("on"); err != nil {
@@ -701,7 +730,7 @@ func (p *parser) selectStmt() (Stmt, error) {
 }
 
 func (p *parser) update() (Stmt, error) {
-	table, err := p.ident()
+	table, err := p.tableName()
 	if err != nil {
 		return nil, err
 	}
@@ -742,7 +771,7 @@ func (p *parser) delete() (Stmt, error) {
 	if err := p.expectKw("from"); err != nil {
 		return nil, err
 	}
-	table, err := p.ident()
+	table, err := p.tableName()
 	if err != nil {
 		return nil, err
 	}
@@ -924,12 +953,19 @@ func (p *parser) factor() (*rawExpr, error) {
 			}
 			return &rawExpr{op: expr.OpFunc, name: name, args: args}, nil
 		}
-		if p.punct(".") {
-			col, err := p.ident()
+		parts := []string{name}
+		for p.punct(".") {
+			seg, err := p.ident()
 			if err != nil {
 				return nil, err
 			}
-			return &rawExpr{op: expr.OpField, col: colRef{Table: name, Column: col}}, nil
+			parts = append(parts, seg)
+		}
+		if len(parts) > 1 {
+			return &rawExpr{op: expr.OpField, col: colRef{
+				Table:  strings.Join(parts[:len(parts)-1], "."),
+				Column: parts[len(parts)-1],
+			}}, nil
 		}
 		return &rawExpr{op: expr.OpField, col: colRef{Column: name}}, nil
 	default:

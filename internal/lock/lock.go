@@ -20,6 +20,7 @@ package lock
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -175,6 +176,12 @@ type Manager struct {
 	held  map[wal.TxnID]map[Resource]Mode // per-txn held set for ReleaseAll
 	waits map[wal.TxnID]*request          // txn -> its single pending request
 	obs   *obs.LockStats
+
+	// waitSink, when set, is called on the waiter's goroutine after every
+	// blocked Acquire resolves, with the waiting transaction and the time
+	// it spent blocked. Uncontended grants never reach it. The transaction
+	// manager uses it to charge waits to per-transaction ledgers.
+	waitSink func(wal.TxnID, time.Duration)
 }
 
 // NewManager returns an empty lock manager.
@@ -210,6 +217,12 @@ func (m *Manager) SetObs(ls *obs.LockStats) {
 	if ls != nil {
 		m.obs = ls
 	}
+}
+
+// SetWaitSink installs the blocked-acquire callback. Call before
+// concurrent use (the transaction manager wires it at construction).
+func (m *Manager) SetWaitSink(sink func(wal.TxnID, time.Duration)) {
+	m.waitSink = sink
 }
 
 // Acquire obtains mode on res for txn, blocking until granted. If the wait
@@ -287,7 +300,11 @@ func (m *Manager) Acquire(txn wal.TxnID, res Resource, mode Mode) error {
 	// signalling, so no phantom wait edge survives the grant.
 	err := <-req.done
 	m.obs.Queue.Dec()
-	m.obs.WaitTime.Observe(time.Since(waitStart))
+	waited := time.Since(waitStart)
+	m.obs.WaitTime.Observe(waited)
+	if m.waitSink != nil {
+		m.waitSink(txn, waited)
+	}
 	return err
 }
 
@@ -472,6 +489,66 @@ func (m *Manager) wouldDeadlockLocked(start wal.TxnID) bool {
 		return false
 	}
 	return dfs(start)
+}
+
+// HeldLock is one granted lock as seen by sys.stat_locks.
+type HeldLock struct {
+	Txn  wal.TxnID
+	Res  Resource
+	Mode Mode
+}
+
+// WaitingLock is one pending request plus its waits-for edges: the
+// transactions whose incompatible holds block it.
+type WaitingLock struct {
+	Txn      wal.TxnID
+	Res      Resource
+	Mode     Mode
+	Blockers []wal.TxnID
+}
+
+// SnapshotLocks returns the granted and waiting lock requests, with
+// waits-for edges resolved for each waiter. It takes gmu and then each
+// waiter's shard mutex — the same global-then-shard order every slow path
+// uses — so it can run concurrently with Acquire/ReleaseAll without
+// deadlock risk. Results are sorted (txn, then resource) for stable
+// relation output.
+func (m *Manager) SnapshotLocks() (held []HeldLock, waiting []WaitingLock) {
+	m.gmu.Lock()
+	for txn, hm := range m.held {
+		for res, mode := range hm {
+			held = append(held, HeldLock{Txn: txn, Res: res, Mode: mode})
+		}
+	}
+	for txn, req := range m.waits {
+		w := WaitingLock{Txn: txn, Res: req.res, Mode: req.mode}
+		sh := m.shardFor(req.res)
+		sh.mu.Lock()
+		if ls := sh.state(req.res, false); ls != nil {
+			for holder, heldMode := range ls.holders {
+				if holder != txn && !compatible(req.mode, heldMode) {
+					w.Blockers = append(w.Blockers, holder)
+				}
+			}
+		}
+		sh.mu.Unlock()
+		sort.Slice(w.Blockers, func(i, j int) bool { return w.Blockers[i] < w.Blockers[j] })
+		waiting = append(waiting, w)
+	}
+	m.gmu.Unlock()
+	sort.Slice(held, func(i, j int) bool {
+		if held[i].Txn != held[j].Txn {
+			return held[i].Txn < held[j].Txn
+		}
+		return held[i].Res.String() < held[j].Res.String()
+	})
+	sort.Slice(waiting, func(i, j int) bool {
+		if waiting[i].Txn != waiting[j].Txn {
+			return waiting[i].Txn < waiting[j].Txn
+		}
+		return waiting[i].Res.String() < waiting[j].Res.String()
+	})
+	return held, waiting
 }
 
 // HeldMode returns the mode txn holds on res (ModeNone if not held).

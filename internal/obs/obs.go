@@ -349,6 +349,19 @@ type PlanStats struct {
 	WorkerRows    Counter // rows produced inside parallel workers
 }
 
+// TxnStats are the transaction-lifecycle rollups fed by the transaction
+// manager as each transaction finishes: outcome counts by mode plus the
+// engine-wide totals of the per-transaction resource ledgers.
+type TxnStats struct {
+	CommitsWrite    Counter // committed write transactions
+	CommitsReadOnly Counter // committed read-only snapshot transactions
+	Aborts          Counter // aborted transactions (incl. commit failures)
+	LockWaitNanos   Counter // cumulative lock-wait time across finished txns
+	WALBytes        Counter // cumulative WAL payload bytes across finished txns
+	RowsRead        Counter // rows returned to finished txns
+	RowsWritten     Counter // rows modified by finished txns
+}
+
 // Engine aggregates every component's metrics into one registry. All
 // fields are recorded into concurrently without locks.
 type Engine struct {
@@ -361,6 +374,7 @@ type Engine struct {
 	MVCC      MVCCStats
 	LSM       LSMStats
 	Plan      PlanStats
+	Txn       TxnStats
 }
 
 // NewEngine returns a fresh engine metric registry.
@@ -377,6 +391,7 @@ type Snapshot struct {
 	MVCC   MVCCSnapshot   `json:"mvcc"`
 	LSM    LSMSnapshot    `json:"lsm"`
 	Plan   PlanSnapshot   `json:"plan"`
+	Txn    TxnSnapshot    `json:"txn"`
 }
 
 // ExtSnapshot is the per-extension view: one entry per operation with
@@ -457,6 +472,17 @@ type PlanSnapshot struct {
 	Workers       int64 `json:"workers"`
 	WorkersMax    int64 `json:"workers_max"`
 	WorkerRows    int64 `json:"worker_rows"`
+}
+
+// TxnSnapshot is the transaction-lifecycle view.
+type TxnSnapshot struct {
+	CommitsWrite    int64 `json:"commits_write"`
+	CommitsReadOnly int64 `json:"commits_readonly"`
+	Aborts          int64 `json:"aborts"`
+	LockWaitNanos   int64 `json:"lock_wait_nanos"`
+	WALBytes        int64 `json:"wal_bytes"`
+	RowsRead        int64 `json:"rows_read"`
+	RowsWritten     int64 `json:"rows_written"`
 }
 
 // BufferSnapshot is the buffer-pool view.
@@ -571,6 +597,15 @@ func (e *Engine) Snapshot() Snapshot {
 			Workers:       e.Plan.Workers.Load(),
 			WorkersMax:    e.Plan.Workers.Max(),
 			WorkerRows:    e.Plan.WorkerRows.Load(),
+		},
+		Txn: TxnSnapshot{
+			CommitsWrite:    e.Txn.CommitsWrite.Load(),
+			CommitsReadOnly: e.Txn.CommitsReadOnly.Load(),
+			Aborts:          e.Txn.Aborts.Load(),
+			LockWaitNanos:   e.Txn.LockWaitNanos.Load(),
+			WALBytes:        e.Txn.WALBytes.Load(),
+			RowsRead:        e.Txn.RowsRead.Load(),
+			RowsWritten:     e.Txn.RowsWritten.Load(),
 		},
 	}
 }

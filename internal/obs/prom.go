@@ -106,6 +106,20 @@ func WritePrometheus(w io.Writer, s Snapshot) error {
 	p.family("lsm_runs_max", "gauge", "high-water mark of resident LSM sorted runs")
 	p.sample("lsm_runs_max", "", float64(s.LSM.RunsMax))
 
+	p.family("txn_commits_total", "counter", "committed transactions by mode")
+	p.sample("txn_commits_total", `mode="write"`, float64(s.Txn.CommitsWrite))
+	p.sample("txn_commits_total", `mode="readonly"`, float64(s.Txn.CommitsReadOnly))
+	p.family("txn_aborts_total", "counter", "aborted transactions (incl. commit failures)")
+	p.sample("txn_aborts_total", "", float64(s.Txn.Aborts))
+	p.family("txn_lock_wait_nanos_total", "counter", "cumulative per-transaction lock-wait time")
+	p.sample("txn_lock_wait_nanos_total", "", float64(s.Txn.LockWaitNanos))
+	p.family("txn_wal_bytes_total", "counter", "WAL payload bytes charged to finished transactions")
+	p.sample("txn_wal_bytes_total", "", float64(s.Txn.WALBytes))
+	p.family("txn_rows_read_total", "counter", "rows returned to finished transactions")
+	p.sample("txn_rows_read_total", "", float64(s.Txn.RowsRead))
+	p.family("txn_rows_written_total", "counter", "rows modified by finished transactions")
+	p.sample("txn_rows_written_total", "", float64(s.Txn.RowsWritten))
+
 	p.family("plan_parallel_scans_total", "counter", "partitioned parallel scans opened by the planner")
 	p.sample("plan_parallel_scans_total", "", float64(s.Plan.ParallelScans))
 	p.family("plan_hash_joins_total", "counter", "hash joins chosen over nested loops")

@@ -598,6 +598,36 @@ func (s *store) RunCount() int {
 	return len(s.runs)
 }
 
+// RunInfos implements core.LSMIntrospector: one entry for the memtable
+// followed by one per resident run, newest first.
+func (s *store) RunInfos() []core.LSMRunInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	infos := make([]core.LSMRunInfo, 0, len(s.runs)+1)
+	infos = append(infos, core.LSMRunInfo{
+		Memtable: true,
+		Pos:      -1,
+		Tier:     -1,
+		Entries:  s.mem.Len(),
+		Bytes:    s.memBytes,
+	})
+	for i, r := range s.runs {
+		info := core.LSMRunInfo{
+			Pos:       i,
+			Tier:      s.tierOf(r.bytes),
+			Entries:   len(r.keys),
+			Bytes:     r.bytes,
+			BloomBits: len(r.bloom.bits) * 64,
+		}
+		if n := len(r.keys); n > 0 {
+			info.MinSeq = r.keys[0]
+			info.MaxSeq = r.keys[n-1]
+		}
+		infos = append(infos, info)
+	}
+	return infos
+}
+
 // FetchByKey implements core.StorageInstance: memtable first, then runs
 // newest to oldest with bloom-filter skips.
 func (s *store) FetchByKey(tx *txn.Txn, key types.Key, fields []int, filter *expr.Expr) (types.Record, error) {

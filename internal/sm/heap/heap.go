@@ -149,8 +149,22 @@ func (s *store) withPage(tx *txn.Txn, p uint32, write bool, fn func(f *buffer.Fr
 		return err
 	}
 	tr := tx.Trace()
+	acct := tx.Acct()
 	if !tr.Detailed() {
-		f, err := s.env.Pool.Pin(s.pages[p])
+		if acct == nil {
+			f, err := s.env.Pool.Pin(s.pages[p])
+			if err != nil {
+				return err
+			}
+			ferr := fn(f)
+			uerr := s.env.Pool.Unpin(f, write)
+			if ferr != nil {
+				return ferr
+			}
+			return uerr
+		}
+		f, st, err := s.env.Pool.PinWithStats(s.pages[p])
+		chargePin(acct, st)
 		if err != nil {
 			return err
 		}
@@ -163,6 +177,7 @@ func (s *store) withPage(tx *txn.Txn, p uint32, write bool, fn func(f *buffer.Fr
 	}
 	start := time.Now()
 	f, st, err := s.env.Pool.PinWithStats(s.pages[p])
+	chargePin(acct, st)
 	if st.Miss || err != nil {
 		op := "pin"
 		if st.Evicted {
@@ -179,6 +194,18 @@ func (s *store) withPage(tx *txn.Txn, p uint32, write bool, fn func(f *buffer.Fr
 		return ferr
 	}
 	return uerr
+}
+
+// chargePin books one page pin against the transaction's ledger.
+func chargePin(acct *txn.Stats, st buffer.PinStats) {
+	if acct == nil {
+		return
+	}
+	if st.Miss {
+		acct.BufferMisses.Add(1)
+	} else {
+		acct.BufferHits.Add(1)
+	}
 }
 
 // pageFor returns a logical page with room for an encLen-byte record,
@@ -298,7 +325,7 @@ func (s *store) unchain(r rid) {
 // tracked write and is frozen-visible). Otherwise the visible version
 // was reconstructed from the WAL: present=false means the record does
 // not exist in the snapshot, else rec is its value. Caller holds s.mu.
-func (s *store) versionFor(r rid, snap *txn.Snapshot) (usePage bool, rec types.Record, present bool, err error) {
+func (s *store) versionFor(tx *txn.Txn, r rid, snap *txn.Snapshot) (usePage bool, rec types.Record, present bool, err error) {
 	head := s.vers[r]
 	if head == nil {
 		return true, nil, true, nil
@@ -311,6 +338,9 @@ func (s *store) versionFor(r rid, snap *txn.Snapshot) (usePage bool, rec types.R
 		return true, nil, true, nil
 	}
 	s.env.Obs.MVCC.ChainWalks.Inc()
+	if st := tx.Acct(); st != nil {
+		st.ChainWalks.Add(1)
+	}
 	if e == nil {
 		// Nothing in the chain is visible: the snapshot predates every
 		// tracked write at r. The pre-chain version is the before-image
@@ -372,7 +402,7 @@ func (s *store) SnapshotVisible(tx *txn.Txn, key types.Key) (bool, error) {
 	if int(r.page) >= len(s.pages) {
 		return false, nil
 	}
-	usePage, _, present, err := s.versionFor(r, snap)
+	usePage, _, present, err := s.versionFor(tx, r, snap)
 	if err != nil || !usePage {
 		return present && err == nil, err
 	}
@@ -658,7 +688,7 @@ func (s *store) FetchByKey(tx *txn.Txn, key types.Key, fields []int, filter *exp
 	if tx.ReadOnly() {
 		s.env.Obs.MVCC.SnapshotReads.Inc()
 		start := time.Now()
-		usePage, vrec, present, verr := s.versionFor(r, tx.Snapshot())
+		usePage, vrec, present, verr := s.versionFor(tx, r, tx.Snapshot())
 		if !usePage || verr != nil {
 			s.mu.Unlock()
 			if tr := tx.Trace(); tr.Detailed() {
@@ -977,7 +1007,7 @@ func (sc *heapScan) Next() (types.Key, types.Record, bool, error) {
 					// current page state are reconstructed (a record
 					// deleted or moved since the snapshot) or skipped (a
 					// record born after it).
-					usePage, vrec, present, verr := s.versionFor(cur, sc.snap)
+					usePage, vrec, present, verr := s.versionFor(sc.tx, cur, sc.snap)
 					if verr != nil {
 						return verr
 					}

@@ -1,0 +1,271 @@
+package txn
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dmx/internal/obs"
+	"dmx/internal/wal"
+)
+
+// Stats is the per-transaction resource ledger: every dispatch boundary
+// the transaction crosses charges its work here. Fields are atomics not
+// because the owning goroutine races itself (a Txn is goroutine-confined)
+// but because the self-observation relations (sys.stat_activity) read the
+// ledger of in-flight transactions from other goroutines, and the lock
+// manager's wait path charges the waiter from inside Acquire.
+//
+// Accounting is always on; SetAccounting exists so the overhead benchmark
+// can measure the delta honestly, not so deployments can turn it off.
+type Stats struct {
+	RowsRead      atomic.Int64 // records returned by fetches and scan Next
+	RowsWritten   atomic.Int64 // records inserted, updated, or deleted
+	LockWaits     atomic.Int64 // lock requests that blocked
+	LockWaitNanos atomic.Int64 // cumulative time blocked on locks
+	WALRecords    atomic.Int64 // log records appended on the txn's behalf
+	WALBytes      atomic.Int64 // log payload bytes appended
+	BufferHits    atomic.Int64 // buffer-pool page pins answered from memory
+	BufferMisses  atomic.Int64 // buffer-pool page pins that read from disk
+	ChainWalks    atomic.Int64 // MVCC version-chain walks past an invisible head
+}
+
+// StatsSnapshot is a point-in-time copy of a Stats ledger, safe to hold
+// after the transaction finishes.
+type StatsSnapshot struct {
+	RowsRead      int64 `json:"rows_read"`
+	RowsWritten   int64 `json:"rows_written"`
+	LockWaits     int64 `json:"lock_waits"`
+	LockWaitNanos int64 `json:"lock_wait_nanos"`
+	WALRecords    int64 `json:"wal_records"`
+	WALBytes      int64 `json:"wal_bytes"`
+	BufferHits    int64 `json:"buffer_hits"`
+	BufferMisses  int64 `json:"buffer_misses"`
+	ChainWalks    int64 `json:"chain_walks"`
+}
+
+// Snapshot copies the ledger with atomic loads. Counters are read
+// individually, so a snapshot taken while the owner is mid-operation may
+// be torn across fields but never within one.
+func (s *Stats) Snapshot() StatsSnapshot {
+	return StatsSnapshot{
+		RowsRead:      s.RowsRead.Load(),
+		RowsWritten:   s.RowsWritten.Load(),
+		LockWaits:     s.LockWaits.Load(),
+		LockWaitNanos: s.LockWaitNanos.Load(),
+		WALRecords:    s.WALRecords.Load(),
+		WALBytes:      s.WALBytes.Load(),
+		BufferHits:    s.BufferHits.Load(),
+		BufferMisses:  s.BufferMisses.Load(),
+		ChainWalks:    s.ChainWalks.Load(),
+	}
+}
+
+// accountingOn gates the accounting charge points. Defaults to on; only
+// the SELFOBS overhead benchmark flips it.
+var accountingOn atomic.Bool
+
+func init() { accountingOn.Store(true) }
+
+// SetAccounting enables or disables per-transaction resource accounting
+// process-wide and returns the previous setting. Exists for overhead
+// measurement (cmd/dmxbench -run SELFOBS); production keeps it on.
+func SetAccounting(on bool) bool { return accountingOn.Swap(on) }
+
+// AccountingEnabled reports whether per-transaction accounting is on.
+func AccountingEnabled() bool { return accountingOn.Load() }
+
+// Acct returns the transaction's resource ledger, or nil when there is
+// nothing to charge: a nil transaction (recovery and maintenance paths
+// run with none) or accounting disabled. Charge points write through it:
+//
+//	if st := tx.Acct(); st != nil {
+//		st.RowsRead.Add(1)
+//	}
+func (tx *Txn) Acct() *Stats {
+	if tx == nil || !accountingOn.Load() {
+		return nil
+	}
+	return &tx.stats
+}
+
+// StatsNow snapshots the transaction's ledger. Nil-safe; a nil receiver
+// returns the zero snapshot.
+func (tx *Txn) StatsNow() StatsSnapshot {
+	if tx == nil {
+		return StatsSnapshot{}
+	}
+	return tx.stats.Snapshot()
+}
+
+// Start returns the wall-clock time the transaction began.
+func (tx *Txn) Start() time.Time { return tx.start }
+
+// Mode returns "readonly" for snapshot transactions and "write" otherwise.
+func (tx *Txn) Mode() string {
+	if tx.readOnly {
+		return "readonly"
+	}
+	return "write"
+}
+
+// TxnInfo describes one open transaction as seen by sys.stat_activity: a
+// consistent-enough view assembled from atomic counter loads while the
+// owner keeps running.
+type TxnInfo struct {
+	ID    wal.TxnID     `json:"id"`
+	Mode  string        `json:"mode"`
+	State string        `json:"state"`
+	User  string        `json:"user,omitempty"`
+	Start time.Time     `json:"start"`
+	Stats StatsSnapshot `json:"stats"`
+}
+
+// FinishedTxn is one entry of the recently-finished ring backing
+// sys.stat_history: the transaction's final ledger plus its outcome.
+type FinishedTxn struct {
+	TxnInfo
+	End         time.Time `json:"end"`
+	Outcome     string    `json:"outcome"` // committed | aborted | commit_failed
+	CommitStamp uint64    `json:"commit_stamp,omitempty"`
+}
+
+// historySize bounds the recently-finished ring. Large enough that a
+// diagnostic query lands after a burst of short transactions, small
+// enough to be an irrelevant memory cost.
+const historySize = 256
+
+// txnHistory is the bounded ring of recently-finished transactions.
+type txnHistory struct {
+	mu   sync.Mutex
+	ring [historySize]FinishedTxn
+	n    uint64 // total recorded; ring[(n-1)%historySize] is newest
+}
+
+func (h *txnHistory) add(f FinishedTxn) {
+	h.mu.Lock()
+	h.ring[h.n%historySize] = f
+	h.n++
+	h.mu.Unlock()
+}
+
+// list returns the retained entries, newest first.
+func (h *txnHistory) list() []FinishedTxn {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	n := h.n
+	keep := n
+	if keep > historySize {
+		keep = historySize
+	}
+	out := make([]FinishedTxn, 0, keep)
+	for i := uint64(0); i < keep; i++ {
+		out = append(out, h.ring[(n-1-i)%historySize])
+	}
+	return out
+}
+
+// SetObs wires the manager's lifecycle counters (commits by mode, aborts,
+// rolled-up wait and WAL totals) into the engine metrics registry.
+func (m *Manager) SetObs(ts *obs.TxnStats) { m.obs = ts }
+
+// ActiveSnapshot returns one TxnInfo per open transaction, ordered by ID.
+// The counter loads race the owners by design: each field is internally
+// consistent, and that is exactly the contract sys.stat_activity offers.
+func (m *Manager) ActiveSnapshot() []TxnInfo {
+	m.mu.Lock()
+	txs := make([]*Txn, 0, len(m.active))
+	for _, tx := range m.active {
+		txs = append(txs, tx)
+	}
+	m.mu.Unlock()
+	out := make([]TxnInfo, 0, len(txs))
+	for _, tx := range txs {
+		out = append(out, tx.info())
+	}
+	sortTxnInfos(out)
+	return out
+}
+
+func sortTxnInfos(infos []TxnInfo) {
+	for i := 1; i < len(infos); i++ { // tiny n; insertion sort avoids a sort import
+		for j := i; j > 0 && infos[j].ID < infos[j-1].ID; j-- {
+			infos[j], infos[j-1] = infos[j-1], infos[j]
+		}
+	}
+}
+
+// info assembles the live view of tx. state is read atomically via the
+// manager's map membership (an active map entry is Active or Preparing);
+// reading tx.state directly would race the owner, so the published state
+// string is derived from mode + the stats-visible facts only.
+func (tx *Txn) info() TxnInfo {
+	return TxnInfo{
+		ID:    tx.id,
+		Mode:  tx.Mode(),
+		State: "active",
+		User:  tx.user,
+		Start: tx.start,
+		Stats: tx.stats.Snapshot(),
+	}
+}
+
+// History returns the recently-finished transactions, newest first.
+func (m *Manager) History() []FinishedTxn {
+	return m.history.list()
+}
+
+// recordFinished snapshots a terminating transaction into the history
+// ring and rolls its totals into the engine metrics. Called from finish,
+// which every termination path funnels through.
+func (m *Manager) recordFinished(tx *Txn, outcome string) {
+	snap := tx.stats.Snapshot()
+	m.history.add(FinishedTxn{
+		TxnInfo: TxnInfo{
+			ID:    tx.id,
+			Mode:  tx.Mode(),
+			State: "finished",
+			User:  tx.user,
+			Start: tx.start,
+			Stats: snap,
+		},
+		End:         time.Now(),
+		Outcome:     outcome,
+		CommitStamp: tx.commitStamp,
+	})
+	if m.obs == nil {
+		return
+	}
+	switch outcome {
+	case "committed":
+		if tx.readOnly {
+			m.obs.CommitsReadOnly.Inc()
+		} else {
+			m.obs.CommitsWrite.Inc()
+		}
+	default:
+		m.obs.Aborts.Inc()
+	}
+	m.obs.LockWaitNanos.Add(snap.LockWaitNanos)
+	m.obs.WALBytes.Add(snap.WALBytes)
+	m.obs.RowsRead.Add(snap.RowsRead)
+	m.obs.RowsWritten.Add(snap.RowsWritten)
+}
+
+// chargeLockWait is the lock manager's wait-sink: it runs on the waiter's
+// goroutine after a blocked Acquire resolves, charging the wait to the
+// owning transaction if it is still open. Only the slow path pays the map
+// lookup; uncontended grants never reach here.
+func (m *Manager) chargeLockWait(id wal.TxnID, d time.Duration) {
+	if !accountingOn.Load() {
+		return
+	}
+	m.mu.Lock()
+	tx := m.active[id]
+	m.mu.Unlock()
+	if tx == nil {
+		return
+	}
+	tx.stats.LockWaits.Add(1)
+	tx.stats.LockWaitNanos.Add(int64(d))
+}

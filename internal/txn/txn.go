@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"dmx/internal/lock"
+	"dmx/internal/obs"
 	"dmx/internal/trace"
 	"dmx/internal/wal"
 )
@@ -166,11 +167,17 @@ type Manager struct {
 	stampHW   uint64               // all stamps <= stampHW are durable and fully stamped
 	pending   map[uint64]bool      // assigned stamps above stampHW; true = ready to publish
 	snaps     map[wal.TxnID]uint64 // open read-only snapshots: txn ID -> snapshot HW
+
+	// history retains the ledgers of recently-finished transactions for
+	// sys.stat_history; obs rolls lifecycle totals into the engine
+	// metrics registry (nil until SetObs).
+	history txnHistory
+	obs     *obs.TxnStats
 }
 
 // NewManager returns a manager over the given log and lock manager.
 func NewManager(log *wal.Log, locks *lock.Manager) *Manager {
-	return &Manager{
+	m := &Manager{
 		nextID:    1,
 		active:    make(map[wal.TxnID]*Txn),
 		Log:       log,
@@ -180,6 +187,10 @@ func NewManager(log *wal.Log, locks *lock.Manager) *Manager {
 		pending:   make(map[uint64]bool),
 		snaps:     make(map[wal.TxnID]uint64),
 	}
+	if locks != nil {
+		locks.SetWaitSink(m.chargeLockWait)
+	}
+	return m
 }
 
 // Begin starts a new transaction.
@@ -192,6 +203,7 @@ func (m *Manager) Begin() *Txn {
 		state:      StateActive,
 		savepoints: make(map[string]wal.LSN),
 		stash:      make(map[string]any),
+		start:      time.Now(),
 	}
 	m.nextID++
 	m.active[tx.id] = tx
@@ -211,6 +223,7 @@ func (m *Manager) BeginReadOnly() *Txn {
 		state:      StateActive,
 		savepoints: make(map[string]wal.LSN),
 		stash:      make(map[string]any),
+		start:      time.Now(),
 		readOnly:   true,
 	}
 	m.nextID++
@@ -315,7 +328,7 @@ func (m *Manager) ActiveCount() int {
 	return len(m.active)
 }
 
-func (m *Manager) finish(tx *Txn) {
+func (m *Manager) finish(tx *Txn, outcome string) {
 	m.mu.Lock()
 	delete(m.active, tx.id)
 	m.mu.Unlock()
@@ -324,6 +337,7 @@ func (m *Manager) finish(tx *Txn) {
 		delete(m.snaps, tx.id)
 		m.stampMu.Unlock()
 	}
+	m.recordFinished(tx, outcome)
 }
 
 // Txn is a transaction. A Txn is confined to one goroutine.
@@ -341,6 +355,9 @@ type Txn struct {
 	readOnly    bool
 	snap        *Snapshot
 	commitStamp uint64
+
+	start time.Time
+	stats Stats
 }
 
 // ReadOnly reports whether tx is a snapshot read-only transaction.
@@ -451,6 +468,10 @@ func (tx *Txn) AppendLog(owner wal.Owner, payload []byte) (wal.LSN, error) {
 	}
 	if tx.readOnly {
 		return 0, ErrReadOnly
+	}
+	if st := tx.Acct(); st != nil {
+		st.WALRecords.Add(1)
+		st.WALBytes.Add(int64(len(payload)))
 	}
 	if !tx.tr.Detailed() {
 		return tx.mgr.Log.Append(tx.id, wal.RecUpdate, owner, payload)
@@ -566,7 +587,7 @@ func (tx *Txn) Commit() error {
 	if _, err := tx.mgr.Log.Append(tx.id, wal.RecEnd, wal.Owner{}, nil); err != nil {
 		return err
 	}
-	tx.mgr.finish(tx)
+	tx.mgr.finish(tx, "committed")
 	tx.tr.Finish("committed")
 	if h := tx.mgr.OnEnd; h != nil {
 		h()
@@ -586,7 +607,7 @@ func (tx *Txn) Commit() error {
 func (tx *Txn) commitFailed(err error) error {
 	tx.state = StateAborted
 	tx.mgr.Locks.ReleaseAll(tx.id)
-	tx.mgr.finish(tx)
+	tx.mgr.finish(tx, "commit_failed")
 	tx.tr.Finish("commit_failed")
 	return fmt.Errorf("txn: commit not durable: %w", err)
 }
@@ -604,7 +625,7 @@ func (tx *Txn) finishReadOnly(st State, outcome string) error {
 	}
 	endErr := tx.fire(EventEnd, "")
 	tx.mgr.Locks.ReleaseAll(tx.id)
-	tx.mgr.finish(tx)
+	tx.mgr.finish(tx, outcome)
 	tx.tr.Finish(outcome)
 	if h := tx.mgr.OnEnd; h != nil {
 		h()
@@ -635,7 +656,7 @@ func (tx *Txn) Abort() error {
 	if _, err := tx.mgr.Log.Append(tx.id, wal.RecEnd, wal.Owner{}, nil); err != nil {
 		return err
 	}
-	tx.mgr.finish(tx)
+	tx.mgr.finish(tx, "aborted")
 	tx.tr.Finish("aborted")
 	if h := tx.mgr.OnEnd; h != nil {
 		h()
