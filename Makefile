@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench crash race model ingest par fmt vet staticcheck trace-demo
+.PHONY: build test check bench crash race model ingest par part fmt vet staticcheck trace-demo
 
 build:
 	$(GO) build ./...
@@ -18,6 +18,10 @@ test:
 # reference model on every gate — the generated workloads include
 # read-only snapshot transactions, so snapshot visibility is
 # cross-checked against the oracle's captured committed state here too.
+# The partitioned suite rides in both passes at its small default shape:
+# TestModelPart/TestModelPartCrash (15/8 seeds), the TestCrashPart2PC
+# two-phase-commit matrix, and the TestStressPartConcurrent2PC storm;
+# `make part` runs the same suite at soak depth.
 check: build vet staticcheck
 	$(GO) test -shuffle=on -cover ./...
 	$(GO) test -race -count=1 ./...
@@ -67,6 +71,20 @@ DMX_INGEST_SEEDS ?= 400
 DMX_INGEST_CRASH_SEEDS ?= 100
 ingest:
 	DMX_INGEST_SEEDS=$(DMX_INGEST_SEEDS) DMX_INGEST_CRASH_SEEDS=$(DMX_INGEST_CRASH_SEEDS) 		DMX_CRASH_DEEP=1 $(GO) test -count=1 -run 'TestModelIngest|TestCrashLSM' -v .
+
+# part is the partitioned storage-method soak: seeded differential
+# fuzzing of relation x hash-sharded over three foreign servers (every
+# scan merges per-shard cursors, nearly every commit runs two-phase),
+# crash-recovery cycles at the part.decide site, the deterministic 2PC
+# crash matrix including commit-ack loss, and the concurrent 2PC storm
+# under the race detector. Override the seed ranges to go deeper:
+#   make part DMX_PART_SEEDS=2000 DMX_PART_CRASH_SEEDS=500
+DMX_PART_SEEDS ?= 400
+DMX_PART_CRASH_SEEDS ?= 100
+part:
+	DMX_PART_SEEDS=$(DMX_PART_SEEDS) DMX_PART_CRASH_SEEDS=$(DMX_PART_CRASH_SEEDS) \
+		DMX_CRASH_DEEP=1 DMX_STRESS_DEEP=1 \
+		$(GO) test -race -count=1 -run 'TestModelPart|TestCrashPart|TestStressPart' -v .
 
 # par is the parallel-execution race soak: the exchange operator's
 # early-close shutdown paths, the partitioned-scan differentials across

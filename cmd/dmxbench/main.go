@@ -31,6 +31,7 @@ import (
 	"dmx/internal/plan"
 	"dmx/internal/remote"
 	"dmx/internal/rig"
+	"dmx/internal/sm/partsm"
 	"dmx/internal/sm/remotesm"
 	"dmx/internal/txn"
 	"dmx/internal/types"
@@ -96,6 +97,7 @@ func main() {
 		{"MVCC", "snapshot reads: locked vs lock-free read-only throughput", mvccReads},
 		{"INGEST", "LSM tiered ingest: sustained writes, tombstones, bloom-filtered point reads", ingestLSM},
 		{"PAR", "partitioned parallel scan and hash join vs serial execution", parExec},
+		{"PART", "hash-sharded relations: routed access, scatter-gather, two-phase commit", partRouting},
 		{"A1", "ablation: skipping index maintenance when no indexed field changed", a1SkipUnchanged},
 		{"A2", "ablation: remote scan batch size", a2RemoteBatch},
 		{"A3", "ablation: ORDER BY via ordered access path vs scan + sort", a3OrderedAccess},
@@ -1441,6 +1443,119 @@ func parExec() []*rig.Table {
 		jt.Add(s.name, count, d, rig.PerOp(d, count))
 	}
 	return []*rig.Table{t, jt}
+}
+
+// --- PART: hash-sharded relations over foreign shard servers ---
+
+// partRouting measures the partitioned storage method's routing claims on
+// a relation hash-sharded across four foreign servers: a point access by
+// key talks to exactly one shard, a full scan scatter-gathers per-shard
+// cursors, and every multi-shard commit pays a prepare round plus a
+// decision delivery per touched shard (two-phase commit). The per-server
+// message counters make the routing observable; a second table reports
+// the coordinator's own counters for the whole run.
+func partRouting() []*rig.Table {
+	rows := n(8000)
+	fetches := n(2000)
+	txns := n(500)
+	const shards = 4
+
+	env := core.NewEnv(core.Config{})
+	srvs := make([]*remote.Server, shards)
+	for i := range srvs {
+		srvs[i] = remote.NewServer(20 * time.Microsecond)
+		partsm.AttachServer(env, fmt.Sprintf("s%d", i), srvs[i])
+	}
+	rel := rig.MustCreate(env, "emp", "part", core.AttrList{
+		"key": "eno", "servers": "s0,s1,s2,s3", "batch": "100"})
+
+	msgs := func() []int64 {
+		out := make([]int64, shards)
+		for i, srv := range srvs {
+			out[i] = srv.Messages.Load()
+		}
+		return out
+	}
+	// touched reports how many shards exchanged messages since before, and
+	// the total message count across them.
+	touched := func(before []int64) (int, int64) {
+		moved, total := 0, int64(0)
+		for i, srv := range srvs {
+			if d := srv.Messages.Load() - before[i]; d > 0 {
+				moved++
+				total += d
+			}
+		}
+		return moved, total
+	}
+
+	t := rig.NewTable(fmt.Sprintf("PART — relation hash-sharded across %d foreign servers (20µs RTT)", shards),
+		"operation", "ops", "per op", "shards touched", "messages")
+	t.Note = "a point access by key routes to the single owning shard; scans scatter-gather " +
+		"per-shard cursors; multi-shard commits run prepare and decision rounds (2PC)"
+
+	before := msgs()
+	var keys []types.Key
+	dLoad := rig.Time(func() { keys = rig.Load(env, rel, rows, 40) })
+	loadShards, loadMsgs := touched(before)
+	t.Add("bulk load (one txn, one 2PC)", rows, rig.PerOp(dLoad, rows), loadShards, loadMsgs)
+
+	before = msgs()
+	dFetch := rig.Time(func() {
+		tx := env.Begin()
+		for i := 0; i < fetches; i++ {
+			if _, err := rel.Fetch(tx, keys[(i*13)%len(keys)], []int{0}, nil); err != nil {
+				panic(err)
+			}
+		}
+		tx.Commit()
+	})
+	fetchShards, fetchMsgs := touched(before)
+	t.Add("point reads by key (routed)", fetches, rig.PerOp(dFetch, fetches), fetchShards, fetchMsgs)
+
+	before = msgs()
+	count := 0
+	dScan := rig.Time(func() {
+		tx := env.Begin()
+		scan, err := rel.OpenScan(tx, core.ScanOptions{Fields: []int{0}})
+		if err != nil {
+			panic(err)
+		}
+		count = rig.Drain(scan)
+		tx.Commit()
+	})
+	scanShards, scanMsgs := touched(before)
+	t.Add("full scan (scatter-gather)", count, rig.PerOp(dScan, count), scanShards, scanMsgs)
+
+	before = msgs()
+	d2pc := rig.Time(func() {
+		for i := 0; i < txns; i++ {
+			tx := env.Begin()
+			for j := 0; j < 3; j++ {
+				if _, err := rel.Insert(tx, rig.EmpRecord(1_000_000+i*3+j, 40)); err != nil {
+					panic(err)
+				}
+			}
+			if err := tx.Commit(); err != nil {
+				panic(err)
+			}
+		}
+	})
+	txnShards, txnMsgs := touched(before)
+	t.Add("3-row insert txns (2PC each)", txns, rig.PerOp(d2pc, txns), txnShards, txnMsgs)
+
+	s := env.Obs.Snapshot().Part
+	ct := rig.NewTable("PART — coordinator counters for the run above", "counter", "value")
+	ct.Note = "from env.Obs (also visible per relation through sys.stat_shards)"
+	ct.Add("routed point reads", s.RoutedReads)
+	ct.Add("routed single-shard scans", s.RoutedScans)
+	ct.Add("scatter-gather scans", s.ScatterScans)
+	ct.Add("shard prepares", s.Prepares)
+	ct.Add("shard commit deliveries", s.Commits)
+	ct.Add("shard abort deliveries", s.Aborts)
+	ct.Add("commit acks lost", s.AckLost)
+	ct.Add("in-doubt resolved at recovery", s.Resolved)
+	return []*rig.Table{t, ct}
 }
 
 // --- A1: ablation — skip index maintenance when no indexed field changed ---

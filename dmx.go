@@ -44,6 +44,7 @@ import (
 	_ "dmx/internal/sm/btreesm"
 	_ "dmx/internal/sm/heap"
 	_ "dmx/internal/sm/memsm"
+	"dmx/internal/sm/partsm"
 	"dmx/internal/sm/remotesm"
 	_ "dmx/internal/sm/syssm"
 	_ "dmx/internal/sm/tempsm"
@@ -322,6 +323,12 @@ func (db *DB) RegisterCheckPredicate(token string, e *Expr) {
 // created with USING remote WITH (server=<name>).
 func (db *DB) AttachForeignServer(name string, srv *ForeignServer) {
 	remotesm.AttachServer(db.Env, name, srv)
+}
+
+// AttachShardServer makes a shard backend reachable from partitioned
+// relations created with USING part WITH (servers=<name>,...).
+func (db *DB) AttachShardServer(name string, srv *ForeignServer) {
+	partsm.AttachServer(db.Env, name, srv)
 }
 
 // Authorization levels, re-exported.

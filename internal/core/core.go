@@ -58,6 +58,7 @@ const (
 	SMAppend SMID = 5 // read-only/append-only "database publishing" storage
 	SMRemote SMID = 6 // foreign-database relations over a network protocol
 	SMSys    SMID = 7 // read-only virtual relations over live engine state
+	SMPart   SMID = 8 // hash-partitioned relations across remote backends
 )
 
 // Well-known attachment type identifiers.

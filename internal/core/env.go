@@ -354,16 +354,16 @@ func (env *Env) InvalidateRelation(relID uint32) error {
 // method and attachment implementations to undo the effects of a logged
 // modification, dispatching through the procedure vectors.
 func (env *Env) Undo(txnID wal.TxnID, owner wal.Owner, payload []byte) error {
-	return env.applyLogged(owner, payload, true)
+	return env.applyLogged(txnID, owner, payload, true)
 }
 
 // Redo implements wal.Redoer for restart recovery. Compensation records
 // re-apply the inverse of the logged modification.
 func (env *Env) Redo(txnID wal.TxnID, owner wal.Owner, payload []byte, compensation bool) error {
-	return env.applyLogged(owner, payload, compensation)
+	return env.applyLogged(txnID, owner, payload, compensation)
 }
 
-func (env *Env) applyLogged(owner wal.Owner, payload []byte, undo bool) error {
+func (env *Env) applyLogged(txnID wal.TxnID, owner wal.Owner, payload []byte, undo bool) error {
 	switch owner.Class {
 	case wal.OwnerSystem:
 		return env.Cat.ApplySystemLogged(payload, undo)
@@ -375,6 +375,14 @@ func (env *Env) applyLogged(owner wal.Owner, payload []byte, undo bool) error {
 		inst, err := env.StorageInstance(rd)
 		if err != nil {
 			return err
+		}
+		// Storage methods that track which transaction a logged
+		// modification belongs to (partitioned relations route a live
+		// rollback's compensation through the transaction's staged
+		// shard writes) get the owning transaction id; the rest see
+		// only the payload.
+		if ta, ok := inst.(TxnLoggedApplier); ok {
+			return ta.ApplyLoggedTxn(txnID, payload, undo)
 		}
 		return inst.ApplyLogged(payload, undo)
 	case wal.OwnerAttachment:
@@ -446,7 +454,22 @@ func (env *Env) Recover() error {
 		}
 	}
 	env.Txns.RestoreStamps(maxStamp)
-	return env.rebuildAttachments()
+	if err := env.rebuildAttachments(); err != nil {
+		return err
+	}
+	// Storage methods that keep state outside the local environment get a
+	// post-recovery hook: partitioned relations use it to resolve shards
+	// left in doubt by a crash between prepare and decision delivery.
+	for id := SMID(1); id < MaxStorageMethods; id++ {
+		sops := env.Reg.StorageOps(id)
+		if sops == nil || sops.AfterRecovery == nil {
+			continue
+		}
+		if err := sops.AfterRecovery(env); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // rebuildAttachments repopulates every attachment instance from its

@@ -201,6 +201,25 @@ type StorageOps struct {
 	// WAL records are going away. Relations of non-MVCC methods fall back
 	// to ordinary share-locked reads for read-only transactions.
 	MVCC bool
+	// AfterRecovery runs at the end of Env.Recover, after redo/undo and
+	// attachment rebuild. Storage methods whose durable state lives
+	// outside the local log use it to reconcile that state with the
+	// recovered local decision history — partitioned relations resolve
+	// shards left prepared-but-undecided by a coordinator crash.
+	// Optional.
+	AfterRecovery func(env *Env) error
+}
+
+// TxnLoggedApplier is implemented by storage instances that need the
+// owning transaction id alongside a logged modification. When a live
+// transaction rolls back, a partitioned relation must route the
+// compensation through that transaction's staged shard writes rather
+// than the committed shard state; at restart recovery there is no live
+// transaction and the id selects the direct-apply path. Instances that
+// implement this receive ApplyLoggedTxn instead of ApplyLogged from the
+// recovery driver.
+type TxnLoggedApplier interface {
+	ApplyLoggedTxn(txnID wal.TxnID, payload []byte, undo bool) error
 }
 
 // VersionedStorage is implemented by MVCC storage instances. It answers

@@ -50,6 +50,24 @@ type LSMIntrospector interface {
 	RunInfos() []LSMRunInfo
 }
 
+// ShardInfo describes one shard of a partitioned storage instance.
+// Messages is the owning server's total message counter (server-wide, not
+// per-table: one server may host several shards or relations).
+type ShardInfo struct {
+	Shard    int
+	Server   string
+	Table    string
+	Records  int
+	InDoubt  int // prepared transactions on the shard awaiting a decision
+	Messages int64
+}
+
+// ShardIntrospector is implemented by storage instances that spread a
+// relation across shards; sys.stat_shards materializes it.
+type ShardIntrospector interface {
+	ShardInfos() []ShardInfo
+}
+
 var systemRelations []SystemRelation
 
 // RegisterSystemRelation adds a virtual relation to the set installed by

@@ -48,6 +48,11 @@ const (
 	// merged run replaces its inputs: the crash lands on a half-compacted
 	// in-memory state whose durable truth is still only the WAL.
 	SiteLSMCompact Site = "lsm.compact"
+	// SitePartDecide fires after every shard of a partitioned relation
+	// has acknowledged prepare but before the coordinator's commit
+	// decision reaches the local log: the crash leaves the shards
+	// prepared and in doubt, with no decision record to recover.
+	SitePartDecide Site = "part.decide"
 )
 
 // Sites lists the crash sites every engine workload reaches (WAL,
@@ -62,6 +67,13 @@ func Sites() []Site {
 // compaction boundaries, for workloads that drive it.
 func LSMSites() []Site {
 	return []Site{SiteLSMFlush, SiteLSMCompact}
+}
+
+// PartSites lists the crash sites of the partitioned storage method's
+// two-phase commit, for workloads that drive multi-shard transactions.
+// Excluded from Sites for the same reason as the LSM sites.
+func PartSites() []Site {
+	return []Site{SitePartDecide}
 }
 
 // ErrInjected is the failure returned at an armed crash site and by every

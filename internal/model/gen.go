@@ -20,6 +20,14 @@ type GenConfig struct {
 	// one workload, and most DML lands on x. Crash workloads additionally
 	// draw the lsm.flush and lsm.compact sites.
 	Ingest bool
+	// Partitioned biases the scenario at the partitioned storage method:
+	// relation x is always "part", hash-sharded across three servers with
+	// a small scan batch so scans cross shard and batch boundaries, and
+	// most DML lands on x (multi-shard two-phase commits on nearly every
+	// transaction). Crash workloads additionally draw the part.decide
+	// site, landing crashes between shard prepare and the logged
+	// decision.
+	Partitioned bool
 }
 
 // Scenario is a generated fleet plus the op sequence to run over it.
@@ -39,8 +47,9 @@ func Generate(cfg GenConfig) Scenario {
 		cfg.Ops = 120
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	fleet := genFleet(rng, cfg.Crash, cfg.Ingest)
-	g := &generator{rng: rng, m: NewModel(fleet), crash: cfg.Crash, ingest: cfg.Ingest}
+	fleet := genFleet(rng, cfg.Crash, cfg.Ingest, cfg.Partitioned)
+	g := &generator{rng: rng, m: NewModel(fleet), crash: cfg.Crash,
+		ingest: cfg.Ingest || cfg.Partitioned}
 	ops := make([]Op, 0, cfg.Ops)
 	for len(ops) < cfg.Ops {
 		op, ok := g.next(len(ops))
@@ -65,7 +74,7 @@ func Generate(cfg GenConfig) Scenario {
 // genFleet picks the three-relation fleet for one seed: a parent "p"
 // carrying the constraint-heavy attachment load, a child "c" referencing
 // it, and an extra "x" cycling through the remaining storage methods.
-func genFleet(rng *rand.Rand, crash, ingest bool) Fleet {
+func genFleet(rng *rand.Rand, crash, ingest, part bool) Fleet {
 	fk := &FKDef{
 		Name:       "pc",
 		OwnFields:  []int{ColGrp},
@@ -124,12 +133,20 @@ func genFleet(rng *rand.Rand, crash, ingest bool) Fleet {
 	if ingest {
 		x.SM = "append"
 	}
+	if part {
+		x.SM = "part"
+	}
 	switch x.SM {
 	case "btree":
 		x.SMAttrs = core.AttrList{"key": "id"}
 		x.KeyFields = []int{ColID}
 	case "remote":
 		x.SMAttrs = core.AttrList{"server": "srv"}
+	case "part":
+		// Three shards and a small batch make scans cross shard and
+		// batch boundaries constantly; the harness attaches s0..s2.
+		x.SMAttrs = core.AttrList{"key": "id", "servers": "s0,s1,s2", "batch": "7"}
+		x.KeyFields = []int{ColID}
 	case "append":
 		// A tiny memtable and minimum fanout make flushes and merges
 		// happen within a short workload; sync compaction keeps the run
@@ -232,6 +249,11 @@ func (g *generator) next(i int) (Op, bool) {
 			string(fault.SiteWALAppend), string(fault.SiteWALFlush), string(fault.SiteWALSynced)}
 		if g.m.Cfg("x").SM == "append" {
 			for _, s := range fault.LSMSites() {
+				sites = append(sites, string(s))
+			}
+		}
+		if g.m.Cfg("x").SM == "part" {
+			for _, s := range fault.PartSites() {
 				sites = append(sites, string(s))
 			}
 		}

@@ -8,6 +8,7 @@ import (
 	"dmx/internal/att/unique"
 	"dmx/internal/core"
 	"dmx/internal/sm/btreesm"
+	"dmx/internal/sm/partsm"
 	"dmx/internal/types"
 )
 
@@ -100,6 +101,18 @@ type Outcome struct {
 
 func success() Outcome                   { return Outcome{OK: true} }
 func veto(ext string, err error) Outcome { return Outcome{Ext: ext, Err: err} }
+
+// keyedSM reports whether a storage method is key-organised: its key
+// fields are the primary key and inserts/updates colliding on them are
+// vetoed by the method itself.
+func keyedSM(sm string) bool { return sm == "btree" || sm == "part" }
+
+func dupKeyErr(sm string) error {
+	if sm == "part" {
+		return partsm.ErrDuplicateKey
+	}
+	return btreesm.ErrDuplicateKey
+}
 
 // Row is one live record in the oracle: the record value plus the engine
 // record key once the harness has learned it (nil in generator mode).
@@ -542,8 +555,8 @@ func (m *Model) insert(rel string, rid int, rec types.Record) Outcome {
 
 	// Storage method first: a key-organised method rejects duplicates
 	// before any attached procedure runs.
-	if cfg.SM == "btree" && m.findMatch(rs, cfg.KeyFields, rec, -1) >= 0 {
-		return veto(cfg.SM, btreesm.ErrDuplicateKey)
+	if keyedSM(cfg.SM) && m.findMatch(rs, cfg.KeyFields, rec, -1) >= 0 {
+		return veto(cfg.SM, dupKeyErr(cfg.SM))
 	}
 
 	// Attached procedures in attachment-identifier order. The deferred
@@ -577,9 +590,9 @@ func (m *Model) update(rel string, rid int, rec types.Record) Outcome {
 	cfg := rs.cfg
 	old := rs.rows[rid]
 
-	if cfg.SM == "btree" && fieldsChanged(cfg.KeyFields, old.Rec, rec) &&
+	if keyedSM(cfg.SM) && fieldsChanged(cfg.KeyFields, old.Rec, rec) &&
 		m.findMatch(rs, cfg.KeyFields, rec, rid) >= 0 {
-		return veto(cfg.SM, btreesm.ErrDuplicateKey)
+		return veto(cfg.SM, dupKeyErr(cfg.SM))
 	}
 
 	var cascade []int

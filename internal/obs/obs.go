@@ -362,6 +362,20 @@ type TxnStats struct {
 	RowsWritten     Counter // rows modified by finished txns
 }
 
+// PartStats instruments the partitioned storage method: request routing
+// (single-shard point ops vs scatter-gather scans) and the two-phase
+// commit protocol driving multi-shard transactions.
+type PartStats struct {
+	RoutedReads  Counter // point reads routed to exactly one shard
+	RoutedScans  Counter // single-key scan ranges routed to one shard
+	ScatterScans Counter // scans fanned out across every shard
+	Prepares     Counter // shard prepare requests sent (phase one)
+	Commits      Counter // shard commit decisions delivered (phase two)
+	Aborts       Counter // shard abort decisions delivered
+	AckLost      Counter // decision deliveries whose acknowledgement was lost
+	Resolved     Counter // in-doubt shard transactions resolved at recovery
+}
+
 // Engine aggregates every component's metrics into one registry. All
 // fields are recorded into concurrently without locks.
 type Engine struct {
@@ -375,6 +389,7 @@ type Engine struct {
 	LSM       LSMStats
 	Plan      PlanStats
 	Txn       TxnStats
+	Part      PartStats
 }
 
 // NewEngine returns a fresh engine metric registry.
@@ -392,6 +407,7 @@ type Snapshot struct {
 	LSM    LSMSnapshot    `json:"lsm"`
 	Plan   PlanSnapshot   `json:"plan"`
 	Txn    TxnSnapshot    `json:"txn"`
+	Part   PartSnapshot   `json:"part"`
 }
 
 // ExtSnapshot is the per-extension view: one entry per operation with
@@ -483,6 +499,18 @@ type TxnSnapshot struct {
 	WALBytes        int64 `json:"wal_bytes"`
 	RowsRead        int64 `json:"rows_read"`
 	RowsWritten     int64 `json:"rows_written"`
+}
+
+// PartSnapshot is the partitioned storage-method view.
+type PartSnapshot struct {
+	RoutedReads  int64 `json:"routed_reads"`
+	RoutedScans  int64 `json:"routed_scans"`
+	ScatterScans int64 `json:"scatter_scans"`
+	Prepares     int64 `json:"prepares"`
+	Commits      int64 `json:"commits"`
+	Aborts       int64 `json:"aborts"`
+	AckLost      int64 `json:"ack_lost"`
+	Resolved     int64 `json:"resolved"`
 }
 
 // BufferSnapshot is the buffer-pool view.
@@ -606,6 +634,16 @@ func (e *Engine) Snapshot() Snapshot {
 			WALBytes:        e.Txn.WALBytes.Load(),
 			RowsRead:        e.Txn.RowsRead.Load(),
 			RowsWritten:     e.Txn.RowsWritten.Load(),
+		},
+		Part: PartSnapshot{
+			RoutedReads:  e.Part.RoutedReads.Load(),
+			RoutedScans:  e.Part.RoutedScans.Load(),
+			ScatterScans: e.Part.ScatterScans.Load(),
+			Prepares:     e.Part.Prepares.Load(),
+			Commits:      e.Part.Commits.Load(),
+			Aborts:       e.Part.Aborts.Load(),
+			AckLost:      e.Part.AckLost.Load(),
+			Resolved:     e.Part.Resolved.Load(),
 		},
 	}
 }

@@ -130,6 +130,23 @@ func WritePrometheus(w io.Writer, s Snapshot) error {
 	p.sample("plan_workers_max", "", float64(s.Plan.WorkersMax))
 	p.family("plan_worker_rows_total", "counter", "rows produced inside parallel workers")
 	p.sample("plan_worker_rows_total", "", float64(s.Plan.WorkerRows))
+
+	p.family("part_routed_reads_total", "counter", "point reads routed to exactly one shard")
+	p.sample("part_routed_reads_total", "", float64(s.Part.RoutedReads))
+	p.family("part_routed_scans_total", "counter", "single-key scan ranges routed to one shard")
+	p.sample("part_routed_scans_total", "", float64(s.Part.RoutedScans))
+	p.family("part_scatter_scans_total", "counter", "scans fanned out across every shard")
+	p.sample("part_scatter_scans_total", "", float64(s.Part.ScatterScans))
+	p.family("part_prepares_total", "counter", "shard prepare requests sent (2PC phase one)")
+	p.sample("part_prepares_total", "", float64(s.Part.Prepares))
+	p.family("part_commits_total", "counter", "shard commit decisions delivered (2PC phase two)")
+	p.sample("part_commits_total", "", float64(s.Part.Commits))
+	p.family("part_aborts_total", "counter", "shard abort decisions delivered")
+	p.sample("part_aborts_total", "", float64(s.Part.Aborts))
+	p.family("part_ack_lost_total", "counter", "shard decision deliveries whose acknowledgement was lost")
+	p.sample("part_ack_lost_total", "", float64(s.Part.AckLost))
+	p.family("part_resolved_total", "counter", "in-doubt shard transactions resolved at recovery")
+	p.sample("part_resolved_total", "", float64(s.Part.Resolved))
 	return p.err
 }
 

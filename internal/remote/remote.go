@@ -16,6 +16,7 @@ import (
 	"encoding/gob"
 	"fmt"
 	"net"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -35,15 +36,63 @@ const (
 	OpCreate               // create a table
 	OpDrop                 // drop a table
 	OpCount                // record count
+
+	// Transactional operations for partitioned relations. Writes staged
+	// under a TxnID are buffered server-side, invisible to requests from
+	// other transactions (Get/Scan overlay only their own TxnID's staged
+	// writes), and reach the committed table state only at OpCommitTxn —
+	// the shard-side half of the coordinator's two-phase commit.
+	OpStagePut    // buffer a put under the request's TxnID
+	OpStageDelete // buffer a delete (tombstone) under the request's TxnID
+	OpPrepare     // phase one: promise the staged writes can commit
+	OpCommitTxn   // phase two: apply the staged writes and forget the txn
+	OpAbortTxn    // discard the staged writes and forget the txn
+	OpInDoubt     // list prepared transaction ids awaiting a decision
 )
 
-// Request is one client → server message.
+func (op Op) String() string {
+	switch op {
+	case OpPut:
+		return "put"
+	case OpDelete:
+		return "delete"
+	case OpGet:
+		return "get"
+	case OpScan:
+		return "scan"
+	case OpCreate:
+		return "create"
+	case OpDrop:
+		return "drop"
+	case OpCount:
+		return "count"
+	case OpStagePut:
+		return "stageput"
+	case OpStageDelete:
+		return "stagedelete"
+	case OpPrepare:
+		return "prepare"
+	case OpCommitTxn:
+		return "committxn"
+	case OpAbortTxn:
+		return "aborttxn"
+	case OpInDoubt:
+		return "indoubt"
+	default:
+		return fmt.Sprintf("op%d", uint8(op))
+	}
+}
+
+// Request is one client → server message. TxnID scopes staged writes and
+// read-your-writes visibility; zero means "no transaction" (committed
+// state only), which is what the non-transactional ops use.
 type Request struct {
 	Op    Op
 	Table string
 	Key   []byte
 	Rec   []byte // encoded types.Record
 	Limit int
+	TxnID uint64
 }
 
 // Entry is one (key, record) pair in a scan response.
@@ -59,6 +108,7 @@ type Response struct {
 	Rec     []byte
 	Entries []Entry
 	Count   int
+	TxnIDs  []uint64 // OpInDoubt: prepared transactions awaiting a decision
 }
 
 // table is one foreign relation.
@@ -69,21 +119,92 @@ type table struct {
 	nextSeq uint64
 }
 
+// stagedWrite is one buffered transactional write: a pending record value
+// or (rec nil) a tombstone.
+type stagedWrite struct {
+	rec []byte
+}
+
+// serverTxn is the shard-side state of one distributed transaction: the
+// staged writes per table (last write per key wins, so compensating
+// stage ops net out) and whether phase one has promised the commit.
+type serverTxn struct {
+	writes   map[string]map[string]*stagedWrite // table -> key -> pending
+	prepared bool
+}
+
+// FaultMode selects how an injected per-operation fault misbehaves.
+type FaultMode int
+
+const (
+	// FaultReject refuses the request without executing it — the message
+	// was "lost" on the way in.
+	FaultReject FaultMode = iota + 1
+	// FaultAckLoss executes the request but reports failure — the work
+	// happened and the acknowledgement was lost on the way back.
+	FaultAckLoss
+)
+
+// opFault is one armed per-operation fault with a remaining hit budget.
+type opFault struct {
+	mode  FaultMode
+	count int
+}
+
 // Server is the foreign database engine.
 type Server struct {
 	mu     sync.Mutex
 	tables map[string]*table
+
+	txMu sync.Mutex
+	txns map[uint64]*serverTxn
+
+	faultMu sync.Mutex
+	faults  map[Op]*opFault
 
 	// Latency is the simulated one-way network + processing delay added to
 	// every request.
 	Latency time.Duration
 	// Messages counts requests served.
 	Messages atomic.Int64
+	// Faulted counts requests that an injected fault made fail.
+	Faulted atomic.Int64
 }
 
 // NewServer returns an empty foreign database.
 func NewServer(latency time.Duration) *Server {
-	return &Server{tables: make(map[string]*table), Latency: latency}
+	return &Server{
+		tables:  make(map[string]*table),
+		txns:    make(map[uint64]*serverTxn),
+		faults:  make(map[Op]*opFault),
+		Latency: latency,
+	}
+}
+
+// InjectFault arms a fault on the next count requests with the given op:
+// FaultReject drops them before execution, FaultAckLoss executes them but
+// loses the acknowledgement. Tests use this to exercise the coordinator's
+// in-doubt resolution paths.
+func (s *Server) InjectFault(op Op, mode FaultMode, count int) {
+	s.faultMu.Lock()
+	defer s.faultMu.Unlock()
+	s.faults[op] = &opFault{mode: mode, count: count}
+}
+
+// takeFault consumes one armed fault hit for op (0 when none armed).
+func (s *Server) takeFault(op Op) FaultMode {
+	s.faultMu.Lock()
+	defer s.faultMu.Unlock()
+	f := s.faults[op]
+	if f == nil || f.count <= 0 {
+		return 0
+	}
+	f.count--
+	if f.count == 0 {
+		delete(s.faults, op)
+	}
+	s.Faulted.Add(1)
+	return f.mode
 }
 
 // Serve handles requests on conn until it closes. Run it in a goroutine.
@@ -112,11 +233,25 @@ func (s *Server) table(name string) (*table, error) {
 	return t, nil
 }
 
+// ErrFaulted is the error text injected faults report back to the client.
+const ErrFaulted = "remote: injected fault"
+
 func (s *Server) handle(req *Request) *Response {
 	s.Messages.Add(1)
 	if s.Latency > 0 {
 		time.Sleep(s.Latency)
 	}
+	switch s.takeFault(req.Op) {
+	case FaultReject:
+		return &Response{Err: ErrFaulted}
+	case FaultAckLoss:
+		s.execute(req) // the work happens; the acknowledgement is lost
+		return &Response{Err: ErrFaulted}
+	}
+	return s.execute(req)
+}
+
+func (s *Server) execute(req *Request) *Response {
 	switch req.Op {
 	case OpCreate:
 		s.mu.Lock()
@@ -130,6 +265,35 @@ func (s *Server) handle(req *Request) *Response {
 		delete(s.tables, req.Table)
 		s.mu.Unlock()
 		return &Response{}
+	case OpStagePut, OpStageDelete:
+		return s.stage(req)
+	case OpPrepare:
+		s.txMu.Lock()
+		defer s.txMu.Unlock()
+		// Preparing a transaction that staged nothing here is a trivial
+		// yes-vote; it is not registered, so there is nothing to resolve.
+		if tx := s.txns[req.TxnID]; tx != nil {
+			tx.prepared = true
+		}
+		return &Response{}
+	case OpCommitTxn:
+		return s.commitTxn(req.TxnID)
+	case OpAbortTxn:
+		s.txMu.Lock()
+		delete(s.txns, req.TxnID)
+		s.txMu.Unlock()
+		return &Response{}
+	case OpInDoubt:
+		s.txMu.Lock()
+		var ids []uint64
+		for id, tx := range s.txns {
+			if tx.prepared {
+				ids = append(ids, id)
+			}
+		}
+		s.txMu.Unlock()
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		return &Response{TxnIDs: ids}
 	}
 	t, err := s.table(req.Table)
 	if err != nil {
@@ -149,45 +313,188 @@ func (s *Server) handle(req *Request) *Response {
 				t.nextSeq = seq + 1
 			}
 		}
-		if _, exists := t.recs[string(key)]; !exists {
-			t.ordered = insertSorted(t.ordered, string(key))
-		}
-		t.recs[string(key)] = append([]byte(nil), req.Rec...)
+		t.put(key, req.Rec)
 		return &Response{Key: key}
 	case OpDelete:
 		if _, ok := t.recs[string(req.Key)]; !ok {
 			return &Response{Err: "remote: key not found"}
 		}
-		delete(t.recs, string(req.Key))
-		t.ordered = removeSorted(t.ordered, string(req.Key))
+		t.del(req.Key)
 		return &Response{}
 	case OpGet:
+		if st := s.stagedFor(req.TxnID, req.Table, req.Key); st != nil {
+			if st.rec == nil {
+				return &Response{Err: "remote: key not found"}
+			}
+			return &Response{Rec: st.rec}
+		}
 		rec, ok := t.recs[string(req.Key)]
 		if !ok {
 			return &Response{Err: "remote: key not found"}
 		}
 		return &Response{Rec: rec}
 	case OpScan:
-		limit := req.Limit
-		if limit <= 0 {
-			limit = 100
-		}
-		var out []Entry
-		for _, k := range t.ordered {
-			if req.Key != nil && k <= string(req.Key) {
-				continue
-			}
-			out = append(out, Entry{Key: []byte(k), Rec: t.recs[k]})
-			if len(out) >= limit {
-				break
-			}
-		}
-		return &Response{Entries: out}
+		return s.scan(req, t)
 	case OpCount:
 		return &Response{Count: len(t.recs)}
 	default:
 		return &Response{Err: fmt.Sprintf("remote: bad op %d", req.Op)}
 	}
+}
+
+// put installs rec at key in committed state; t.mu must be held.
+func (t *table) put(key, rec []byte) {
+	if _, exists := t.recs[string(key)]; !exists {
+		t.ordered = insertSorted(t.ordered, string(key))
+	}
+	t.recs[string(key)] = append([]byte(nil), rec...)
+}
+
+// del removes key from committed state; t.mu must be held.
+func (t *table) del(key []byte) {
+	delete(t.recs, string(key))
+	t.ordered = removeSorted(t.ordered, string(key))
+}
+
+// stage buffers one transactional write. The table must exist — staged
+// writes target shard tables the storage method created beforehand.
+func (s *Server) stage(req *Request) *Response {
+	if req.TxnID == 0 {
+		return &Response{Err: "remote: staged write without a transaction id"}
+	}
+	if _, err := s.table(req.Table); err != nil {
+		return &Response{Err: err.Error()}
+	}
+	s.txMu.Lock()
+	defer s.txMu.Unlock()
+	tx := s.txns[req.TxnID]
+	if tx == nil {
+		tx = &serverTxn{writes: make(map[string]map[string]*stagedWrite)}
+		s.txns[req.TxnID] = tx
+	}
+	tw := tx.writes[req.Table]
+	if tw == nil {
+		tw = make(map[string]*stagedWrite)
+		tx.writes[req.Table] = tw
+	}
+	if req.Op == OpStagePut {
+		tw[string(req.Key)] = &stagedWrite{rec: append([]byte(nil), req.Rec...)}
+	} else {
+		tw[string(req.Key)] = &stagedWrite{} // tombstone
+	}
+	return &Response{Key: req.Key}
+}
+
+// commitTxn applies a transaction's staged writes to committed state.
+// Committing an unknown transaction is a no-op success: the decision may
+// be redelivered after an acknowledgement was lost.
+func (s *Server) commitTxn(txnID uint64) *Response {
+	s.txMu.Lock()
+	tx := s.txns[txnID]
+	delete(s.txns, txnID)
+	s.txMu.Unlock()
+	if tx == nil {
+		return &Response{}
+	}
+	names := make([]string, 0, len(tx.writes))
+	for name := range tx.writes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		t, err := s.table(name)
+		if err != nil {
+			continue // table dropped while the txn was in flight
+		}
+		t.mu.Lock()
+		for key, st := range tx.writes[name] {
+			if st.rec == nil {
+				t.del([]byte(key))
+			} else {
+				t.put([]byte(key), st.rec)
+			}
+		}
+		t.mu.Unlock()
+	}
+	return &Response{}
+}
+
+// stagedFor returns the transaction's pending write for key (nil when the
+// transaction has none) so reads observe their own staged effects.
+func (s *Server) stagedFor(txnID uint64, tableName string, key []byte) *stagedWrite {
+	if txnID == 0 {
+		return nil
+	}
+	s.txMu.Lock()
+	defer s.txMu.Unlock()
+	if tx := s.txns[txnID]; tx != nil {
+		return tx.writes[tableName][string(key)]
+	}
+	return nil
+}
+
+// scan returns up to Limit entries with keys strictly after req.Key, in
+// key order, overlaying the requesting transaction's staged writes onto
+// committed state (staged puts appear, tombstones hide); t.mu is held.
+func (s *Server) scan(req *Request, t *table) *Response {
+	limit := req.Limit
+	if limit <= 0 {
+		limit = 100
+	}
+	// Snapshot the transaction's staged keys in sorted order for a merge.
+	var stagedKeys []string
+	var staged map[string]*stagedWrite
+	if req.TxnID != 0 {
+		s.txMu.Lock()
+		if tx := s.txns[req.TxnID]; tx != nil && tx.writes[req.Table] != nil {
+			staged = make(map[string]*stagedWrite, len(tx.writes[req.Table]))
+			for k, st := range tx.writes[req.Table] {
+				staged[k] = st
+				stagedKeys = append(stagedKeys, k)
+			}
+		}
+		s.txMu.Unlock()
+		sort.Strings(stagedKeys)
+	}
+	after := string(req.Key)
+	var out []Entry
+	ci, si := 0, 0
+	for len(out) < limit {
+		// Advance both streams past the exclusive-after position.
+		for ci < len(t.ordered) && (req.Key != nil && t.ordered[ci] <= after) {
+			ci++
+		}
+		for si < len(stagedKeys) && (req.Key != nil && stagedKeys[si] <= after) {
+			si++
+		}
+		if ci >= len(t.ordered) && si >= len(stagedKeys) {
+			break
+		}
+		var k string
+		switch {
+		case ci >= len(t.ordered):
+			k = stagedKeys[si]
+		case si >= len(stagedKeys):
+			k = t.ordered[ci]
+		case stagedKeys[si] <= t.ordered[ci]:
+			k = stagedKeys[si]
+		default:
+			k = t.ordered[ci]
+		}
+		if st, pending := staged[k]; pending {
+			if st.rec != nil {
+				out = append(out, Entry{Key: []byte(k), Rec: st.rec})
+			}
+			// Tombstone: the committed record (if any) is hidden.
+		} else {
+			out = append(out, Entry{Key: []byte(k), Rec: t.recs[k]})
+		}
+		after = k
+		if req.Key == nil {
+			req.Key = []byte{} // non-nil so the <= advance applies from now on
+		}
+	}
+	return &Response{Entries: out}
 }
 
 func insertSorted(s []string, k string) []string {
@@ -318,4 +625,68 @@ func (c *Client) Count(tableName string) (int, error) {
 		return 0, err
 	}
 	return resp.Count, nil
+}
+
+// GetTxn fetches the record at key, overlaying txnID's staged writes
+// (read-your-writes). txnID 0 sees committed state only.
+func (c *Client) GetTxn(txnID uint64, tableName string, key types.Key) (types.Record, error) {
+	resp, err := c.Call(&Request{Op: OpGet, TxnID: txnID, Table: tableName, Key: key})
+	if err != nil {
+		return nil, err
+	}
+	rec, _, err := types.DecodeRecord(resp.Rec)
+	return rec, err
+}
+
+// ScanBatchTxn returns up to limit records with keys strictly after
+// afterKey, overlaying txnID's staged writes onto committed state.
+func (c *Client) ScanBatchTxn(txnID uint64, tableName string, afterKey types.Key, limit int) ([]Entry, error) {
+	resp, err := c.Call(&Request{Op: OpScan, TxnID: txnID, Table: tableName, Key: afterKey, Limit: limit})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Entries, nil
+}
+
+// StagePut buffers a put under txnID; it becomes visible to other
+// transactions only after CommitTxn.
+func (c *Client) StagePut(txnID uint64, tableName string, key types.Key, rec types.Record) error {
+	_, err := c.Call(&Request{Op: OpStagePut, TxnID: txnID, Table: tableName, Key: key, Rec: rec.AppendEncode(nil)})
+	return err
+}
+
+// StageDelete buffers a delete (tombstone) under txnID.
+func (c *Client) StageDelete(txnID uint64, tableName string, key types.Key) error {
+	_, err := c.Call(&Request{Op: OpStageDelete, TxnID: txnID, Table: tableName, Key: key})
+	return err
+}
+
+// Prepare is phase one of two-phase commit: the server promises txnID's
+// staged writes can commit and keeps them across coordinator restarts
+// until it hears a decision.
+func (c *Client) Prepare(txnID uint64) error {
+	_, err := c.Call(&Request{Op: OpPrepare, TxnID: txnID})
+	return err
+}
+
+// CommitTxn is phase two: apply txnID's staged writes to committed state.
+// Unknown transaction ids succeed (decision redelivery is idempotent).
+func (c *Client) CommitTxn(txnID uint64) error {
+	_, err := c.Call(&Request{Op: OpCommitTxn, TxnID: txnID})
+	return err
+}
+
+// AbortTxn discards txnID's staged writes. Idempotent like CommitTxn.
+func (c *Client) AbortTxn(txnID uint64) error {
+	_, err := c.Call(&Request{Op: OpAbortTxn, TxnID: txnID})
+	return err
+}
+
+// InDoubt lists prepared transaction ids still awaiting a decision.
+func (c *Client) InDoubt() ([]uint64, error) {
+	resp, err := c.Call(&Request{Op: OpInDoubt})
+	if err != nil {
+		return nil, err
+	}
+	return resp.TxnIDs, nil
 }

@@ -1,0 +1,1058 @@
+// Package partsm implements the partitioned relation storage method: a
+// relation hash-sharded across N foreign servers behind the ordinary
+// storage-method procedure vector, the scale-out composition of the
+// paper's foreign-database storage method.
+//
+// Direct-by-key operations route to the single shard owning the key
+// (FNV-1a of the order-preserving key encoding modulo the shard count);
+// key-sequential scans scatter to every shard and merge the per-shard
+// cursors back into global key order. Multi-shard transactions commit
+// with two-phase commit: writes are staged on the shards under the local
+// transaction id, every touched shard is prepared before the local
+// commit record is appended, and the commit record — forced by the
+// existing WAL group-commit machinery — IS the coordinator's logged
+// decision. Recovery resolves shards left in doubt by a crash between
+// prepare and decision delivery from the surviving log (presumed abort:
+// no commit record means abort).
+package partsm
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"dmx/internal/core"
+	"dmx/internal/expr"
+	"dmx/internal/fault"
+	"dmx/internal/remote"
+	"dmx/internal/sm/smutil"
+	"dmx/internal/txn"
+	"dmx/internal/types"
+	"dmx/internal/wal"
+)
+
+// Name is the DDL name of the storage method.
+const Name = "part"
+
+// DefaultScanBatchSize is how many records one per-shard scan round trip
+// fetches unless the relation was created with a batch=<n> attribute.
+const DefaultScanBatchSize = 100
+
+// MaxShards bounds the shards=<n> attribute.
+const MaxShards = 64
+
+// ErrDuplicateKey is returned when inserting a record whose key fields
+// collide with an existing record (the key fields are the primary key).
+var ErrDuplicateKey = fmt.Errorf("partsm: duplicate key")
+
+const serverStateKey = "partsm.servers"
+
+// AttachServer makes a shard backend reachable from relations created
+// with servers=...,<name>,... in this environment.
+func AttachServer(env *core.Env, name string, srv *remote.Server) {
+	reg := servers(env)
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	reg.byName[name] = srv
+}
+
+type serverRegistry struct {
+	mu     sync.Mutex
+	byName map[string]*remote.Server
+}
+
+func servers(env *core.Env) *serverRegistry {
+	if v, ok := env.ExtState(serverStateKey); ok {
+		return v.(*serverRegistry)
+	}
+	reg := &serverRegistry{byName: make(map[string]*remote.Server)}
+	env.SetExtState(serverStateKey, reg)
+	return reg
+}
+
+func lookupServer(env *core.Env, name string) (*remote.Server, error) {
+	reg := servers(env)
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	srv, ok := reg.byName[name]
+	if !ok {
+		return nil, fmt.Errorf("partsm: no shard server %q attached to this environment", name)
+	}
+	return srv, nil
+}
+
+func init() {
+	core.RegisterStorageMethod(&core.StorageOps{
+		ID:   core.SMPart,
+		Name: Name,
+		// Shard contents live on the remote servers, but every
+		// modification is logged locally and checkpoints embed the full
+		// contents, so a crash that loses the servers can rebuild every
+		// shard from the local log alone. That also means attachments can
+		// be rebuilt by scanning at restart (servers are attached before
+		// Recover), so attachment log records are not replayed.
+		SnapshotContents: true,
+		ValidateAttrs: func(schema *types.Schema, attrs core.AttrList) error {
+			if err := attrs.CheckAllowed(Name, "key", "shards", "servers", "batch"); err != nil {
+				return err
+			}
+			if _, err := parseKeyAttr(schema, attrs); err != nil {
+				return err
+			}
+			if _, _, err := parseShardAttrs(attrs); err != nil {
+				return err
+			}
+			_, err := parseBatch(attrs)
+			return err
+		},
+		Create: func(env *core.Env, tx *txn.Txn, rd *core.RelDesc, attrs core.AttrList) ([]byte, error) {
+			fields, err := parseKeyAttr(rd.Schema, attrs)
+			if err != nil {
+				return nil, err
+			}
+			shards, names, err := parseShardAttrs(attrs)
+			if err != nil {
+				return nil, err
+			}
+			batch, err := parseBatch(attrs)
+			if err != nil {
+				return nil, err
+			}
+			for i := 0; i < shards; i++ {
+				srv, err := lookupServer(env, names[i%len(names)])
+				if err != nil {
+					return nil, err
+				}
+				client := remote.Dial(srv)
+				err = client.CreateTable(shardTable(rd.Name, i))
+				client.Close()
+				if err != nil {
+					return nil, err
+				}
+			}
+			return encodeDesc(fields, shards, names, batch), nil
+		},
+		Open: func(env *core.Env, rd *core.RelDesc) (core.StorageInstance, error) {
+			fields, shards, names, batch, err := decodeDesc(rd.SMDesc)
+			if err != nil {
+				return nil, err
+			}
+			s := &store{
+				env:       env,
+				rd:        rd,
+				keyFields: fields,
+				batch:     batch,
+				sessions:  make(map[wal.TxnID]*session),
+				pending:   make(map[uint64]bool),
+			}
+			for i := 0; i < shards; i++ {
+				name := names[i%len(names)]
+				srv, err := lookupServer(env, name)
+				if err != nil {
+					return nil, err
+				}
+				client := remote.Dial(srv)
+				// Shard servers are volatile: a restart reattaches them
+				// empty, and log replay only touches shards with logged
+				// records. Creating the table is idempotent and keeps
+				// scans over untouched shards from failing.
+				if err := client.CreateTable(shardTable(rd.Name, i)); err != nil {
+					client.Close()
+					return nil, err
+				}
+				s.shards = append(s.shards, shard{
+					server: name,
+					table:  shardTable(rd.Name, i),
+					srv:    srv,
+					client: client,
+				})
+			}
+			return s, nil
+		},
+		Drop: func(env *core.Env, rd *core.RelDesc) error {
+			_, shards, names, _, err := decodeDesc(rd.SMDesc)
+			if err != nil {
+				return err
+			}
+			for i := 0; i < shards; i++ {
+				srv, err := lookupServer(env, names[i%len(names)])
+				if err != nil {
+					continue // server gone: nothing left to drop
+				}
+				client := remote.Dial(srv)
+				client.DropTable(shardTable(rd.Name, i))
+				client.Close()
+			}
+			return nil
+		},
+		AfterRecovery: Resolve,
+	})
+}
+
+func shardTable(relName string, i int) string {
+	return fmt.Sprintf("%s#%d", relName, i)
+}
+
+func parseKeyAttr(schema *types.Schema, attrs core.AttrList) ([]int, error) {
+	spec, ok := attrs.Get("key")
+	if !ok || spec == "" {
+		return nil, fmt.Errorf("partsm: the part storage method requires a key=col,... attribute")
+	}
+	var fields []int
+	for _, name := range strings.Split(spec, ",") {
+		i := schema.ColIndex(strings.TrimSpace(name))
+		if i < 0 {
+			return nil, fmt.Errorf("partsm: key column %q not in schema", strings.TrimSpace(name))
+		}
+		fields = append(fields, i)
+	}
+	return fields, nil
+}
+
+func parseShardAttrs(attrs core.AttrList) (shards int, names []string, err error) {
+	spec, ok := attrs.Get("servers")
+	if !ok || spec == "" {
+		return 0, nil, fmt.Errorf("partsm: the part storage method requires a servers=<name>,... attribute")
+	}
+	for _, name := range strings.Split(spec, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			return 0, nil, fmt.Errorf("partsm: empty server name in servers=%q", spec)
+		}
+		names = append(names, name)
+	}
+	shards = len(names)
+	if spec, ok := attrs.Get("shards"); ok {
+		n, err := strconv.Atoi(spec)
+		if err != nil || n < 1 || n > MaxShards {
+			return 0, nil, fmt.Errorf("partsm: shards must be 1..%d, got %q", MaxShards, spec)
+		}
+		shards = n
+	}
+	return shards, names, nil
+}
+
+func parseBatch(attrs core.AttrList) (int, error) {
+	spec, ok := attrs.Get("batch")
+	if !ok {
+		return DefaultScanBatchSize, nil
+	}
+	n, err := strconv.Atoi(spec)
+	if err != nil || n < 1 || n > 10000 {
+		return 0, fmt.Errorf("partsm: batch must be 1..10000, got %q", spec)
+	}
+	return n, nil
+}
+
+func encodeDesc(fields []int, shards int, names []string, batch int) []byte {
+	out := []byte{byte(len(fields))}
+	for _, f := range fields {
+		out = binary.BigEndian.AppendUint16(out, uint16(f))
+	}
+	out = append(out, byte(shards))
+	out = binary.BigEndian.AppendUint16(out, uint16(batch))
+	out = append(out, byte(len(names)))
+	for _, n := range names {
+		out = append(out, byte(len(n)))
+		out = append(out, n...)
+	}
+	return out
+}
+
+func decodeDesc(b []byte) (fields []int, shards int, names []string, batch int, err error) {
+	bad := func() ([]int, int, []string, int, error) {
+		return nil, 0, nil, 0, fmt.Errorf("partsm: truncated storage descriptor")
+	}
+	if len(b) < 1 {
+		return bad()
+	}
+	nf := int(b[0])
+	pos := 1
+	if len(b) < pos+2*nf+4 {
+		return bad()
+	}
+	for i := 0; i < nf; i++ {
+		fields = append(fields, int(binary.BigEndian.Uint16(b[pos:])))
+		pos += 2
+	}
+	shards = int(b[pos])
+	pos++
+	batch = int(binary.BigEndian.Uint16(b[pos:]))
+	pos += 2
+	nn := int(b[pos])
+	pos++
+	for i := 0; i < nn; i++ {
+		if len(b) < pos+1 {
+			return bad()
+		}
+		ln := int(b[pos])
+		pos++
+		if len(b) < pos+ln {
+			return bad()
+		}
+		names = append(names, string(b[pos:pos+ln]))
+		pos += ln
+	}
+	if shards < 1 || batch < 1 || len(names) < 1 {
+		return bad()
+	}
+	return fields, shards, names, batch, nil
+}
+
+// shard is one partition's backend binding.
+type shard struct {
+	server string
+	table  string
+	srv    *remote.Server
+	client *remote.Client
+}
+
+// session tracks one local transaction's footprint across the shards, so
+// prepare and the decision are delivered only where writes were staged.
+type session struct {
+	touched map[int]bool
+}
+
+// store is the partitioned storage instance for one relation.
+type store struct {
+	env       *core.Env
+	rd        *core.RelDesc
+	keyFields []int
+	batch     int
+	shards    []shard
+
+	mu       sync.Mutex
+	sessions map[wal.TxnID]*session
+	// pending remembers decided transactions whose decision delivery
+	// failed on some shard (true = commit): Resolve redelivers them. It
+	// covers in-process delivery failures; across a restart the WAL's
+	// commit records are the authoritative decision history.
+	pending map[uint64]bool
+}
+
+// KeyOf composes the record key from the record's key fields.
+func (s *store) KeyOf(rec types.Record) types.Key {
+	return types.EncodeKeyFields(rec, s.keyFields)
+}
+
+// shardOf routes a record key to its owning shard.
+func (s *store) shardOf(key types.Key) int {
+	h := fnv.New32a()
+	h.Write(key)
+	return int(h.Sum32() % uint32(len(s.shards)))
+}
+
+func txnID(tx *txn.Txn) uint64 {
+	if tx == nil {
+		return 0
+	}
+	return uint64(tx.ID())
+}
+
+// ensure registers the transaction's 2PC session on first write: the
+// prepare/decision/cleanup hooks subscribe to the transaction's commit
+// pipeline once, and the touched-shard set starts accumulating.
+func (s *store) ensure(tx *txn.Txn) (*session, error) {
+	s.mu.Lock()
+	sess, ok := s.sessions[tx.ID()]
+	if ok {
+		s.mu.Unlock()
+		return sess, nil
+	}
+	sess = &session{touched: make(map[int]bool)}
+	s.sessions[tx.ID()] = sess
+	s.mu.Unlock()
+	if err := tx.Subscribe(txn.EventBeforePrepare, func(tx *txn.Txn, _ string) error {
+		return s.prepare(tx, sess)
+	}); err != nil {
+		return nil, err
+	}
+	if err := tx.Subscribe(txn.EventCommit, func(tx *txn.Txn, _ string) error {
+		s.decide(tx, sess, true)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	if err := tx.Subscribe(txn.EventAbort, func(tx *txn.Txn, _ string) error {
+		s.decide(tx, sess, false)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	if err := tx.Subscribe(txn.EventEnd, func(tx *txn.Txn, _ string) error {
+		s.mu.Lock()
+		delete(s.sessions, tx.ID())
+		s.mu.Unlock()
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return sess, nil
+}
+
+// prepare is phase one, fired before the commit record is appended: every
+// touched shard must promise the staged writes can commit. A refusal
+// vetoes the commit. The part.decide fault site sits between the last
+// prepare acknowledgement and the local decision append — a crash there
+// leaves every touched shard prepared and in doubt.
+func (s *store) prepare(tx *txn.Txn, sess *session) error {
+	for _, i := range sortedShards(sess) {
+		s.env.Obs.Part.Prepares.Add(1)
+		if err := s.shards[i].client.Prepare(uint64(tx.ID())); err != nil {
+			return fmt.Errorf("partsm: shard %d prepare: %w", i, err)
+		}
+	}
+	if s.env.Faults != nil && len(sess.touched) > 0 {
+		if err := s.env.Faults.Hit(fault.SitePartDecide); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// decide is phase two, fired after the local decision is durable (commit)
+// or the rollback is complete (abort). Delivery failures cannot change
+// the decision — the transaction has already committed or aborted
+// locally — so they are counted, remembered for redelivery, and
+// swallowed.
+func (s *store) decide(tx *txn.Txn, sess *session, commit bool) {
+	var lost bool
+	for _, i := range sortedShards(sess) {
+		var err error
+		if commit {
+			s.env.Obs.Part.Commits.Add(1)
+			err = s.shards[i].client.CommitTxn(uint64(tx.ID()))
+		} else {
+			s.env.Obs.Part.Aborts.Add(1)
+			err = s.shards[i].client.AbortTxn(uint64(tx.ID()))
+		}
+		if err != nil {
+			s.env.Obs.Part.AckLost.Add(1)
+			lost = true
+		}
+	}
+	if lost {
+		s.mu.Lock()
+		s.pending[uint64(tx.ID())] = commit
+		s.mu.Unlock()
+	}
+}
+
+func sortedShards(sess *session) []int {
+	out := make([]int, 0, len(sess.touched))
+	for i := range sess.touched {
+		out = append(out, i)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Insert implements core.StorageInstance: the record is staged on its
+// owning shard under the transaction id, invisible to other transactions
+// until the commit decision reaches the shard.
+func (s *store) Insert(tx *txn.Txn, rec types.Record) (types.Key, error) {
+	key := s.KeyOf(rec)
+	sh := s.shardOf(key)
+	sess, err := s.ensure(tx)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := s.shards[sh].client.GetTxn(uint64(tx.ID()), s.shards[sh].table, key); err == nil {
+		return nil, fmt.Errorf("%w: %v", ErrDuplicateKey, rec.Project(s.keyFields))
+	}
+	if err := core.LogSM(tx, s.rd, core.ModPayload{Op: core.ModInsert, Key: key, New: rec}); err != nil {
+		return nil, err
+	}
+	if err := s.shards[sh].client.StagePut(uint64(tx.ID()), s.shards[sh].table, key, rec); err != nil {
+		return nil, err
+	}
+	sess.touched[sh] = true
+	return key, nil
+}
+
+// Update implements core.StorageInstance: updating key fields moves the
+// record to its new key's owning shard — a genuinely multi-shard write.
+func (s *store) Update(tx *txn.Txn, key types.Key, oldRec, newRec types.Record) (types.Key, error) {
+	newKey := s.KeyOf(newRec)
+	oldShard, newShard := s.shardOf(key), s.shardOf(newKey)
+	sess, err := s.ensure(tx)
+	if err != nil {
+		return nil, err
+	}
+	if !newKey.Equal(key) {
+		if _, err := s.shards[newShard].client.GetTxn(uint64(tx.ID()), s.shards[newShard].table, newKey); err == nil {
+			return nil, fmt.Errorf("%w: %v", ErrDuplicateKey, newRec.Project(s.keyFields))
+		}
+	}
+	if err := core.LogSM(tx, s.rd, core.ModPayload{Op: core.ModUpdate, Key: key, NewKey: newKey, Old: oldRec, New: newRec}); err != nil {
+		return nil, err
+	}
+	if !newKey.Equal(key) {
+		if err := s.shards[oldShard].client.StageDelete(uint64(tx.ID()), s.shards[oldShard].table, key); err != nil {
+			return nil, err
+		}
+		sess.touched[oldShard] = true
+	}
+	if err := s.shards[newShard].client.StagePut(uint64(tx.ID()), s.shards[newShard].table, newKey, newRec); err != nil {
+		return nil, err
+	}
+	sess.touched[newShard] = true
+	return newKey, nil
+}
+
+// Delete implements core.StorageInstance: a tombstone is staged on the
+// owning shard.
+func (s *store) Delete(tx *txn.Txn, key types.Key, oldRec types.Record) error {
+	sh := s.shardOf(key)
+	sess, err := s.ensure(tx)
+	if err != nil {
+		return err
+	}
+	if err := core.LogSM(tx, s.rd, core.ModPayload{Op: core.ModDelete, Key: key, Old: oldRec}); err != nil {
+		return err
+	}
+	if err := s.shards[sh].client.StageDelete(uint64(tx.ID()), s.shards[sh].table, key); err != nil {
+		return err
+	}
+	sess.touched[sh] = true
+	return nil
+}
+
+// FetchByKey implements core.StorageInstance: one round trip to the
+// single shard owning the key, overlaying the transaction's own staged
+// writes; the filter runs locally on the fetched record.
+func (s *store) FetchByKey(tx *txn.Txn, key types.Key, fields []int, filter *expr.Expr) (types.Record, error) {
+	sh := s.shardOf(key)
+	s.env.Obs.Part.RoutedReads.Add(1)
+	rec, err := s.shards[sh].client.GetTxn(txnID(tx), s.shards[sh].table, key)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", core.ErrNotFound, err)
+	}
+	if filter != nil {
+		match, err := s.env.Eval.EvalBool(filter, rec, nil)
+		if err != nil {
+			return nil, err
+		}
+		if !match {
+			return nil, core.ErrFiltered
+		}
+	}
+	if fields != nil {
+		return rec.Project(fields), nil
+	}
+	return rec, nil
+}
+
+// fullKeyLen walks the order-preserving key encoding and returns the
+// number of complete field encodings it holds, or -1 when it ends inside
+// a field. Scan routing uses it to distinguish a whole-key bound (safe
+// to route to one shard) from an equality prefix over leading key fields
+// (whose matching keys hash to arbitrary shards).
+func fullKeyLen(b []byte) int {
+	n := 0
+	for len(b) > 0 {
+		switch types.Kind(b[0]) {
+		case types.KindNull:
+			b = b[1:]
+		case types.KindInt, types.KindBool, types.KindFloat:
+			if len(b) < 9 {
+				return -1
+			}
+			b = b[9:]
+		case types.KindString, types.KindBytes:
+			b = b[1:]
+			for {
+				if len(b) == 0 {
+					return -1
+				}
+				if b[0] != 0x00 {
+					b = b[1:]
+					continue
+				}
+				if len(b) < 2 {
+					return -1
+				}
+				if b[1] == 0x00 {
+					b = b[2:] // terminator
+					break
+				}
+				b = b[2:] // escaped 0x00
+			}
+		default:
+			return -1
+		}
+		n++
+	}
+	return n
+}
+
+// OpenScan implements core.StorageInstance. A scan whose bounds pin a
+// single whole key ([k, successor(k)) — the planner's point access) is
+// routed to the key's owning shard; the key encoding is prefix-free per
+// field, so no other same-arity key falls in that range. Everything else
+// scatters to every shard and merges the per-shard cursors.
+func (s *store) OpenScan(tx *txn.Txn, opts core.ScanOptions) (core.Scan, error) {
+	sc := &scan{store: s, tx: txnID(tx), opts: opts}
+	routed := -1
+	if len(opts.Start) > 0 && len(opts.End) > 0 &&
+		bytes.Equal(opts.End, smutil.PrefixSuccessor(opts.Start)) &&
+		fullKeyLen(opts.Start) == len(s.keyFields) {
+		routed = s.shardOf(opts.Start)
+	}
+	if routed >= 0 {
+		s.env.Obs.Part.RoutedScans.Add(1)
+		sc.cursors = []*cursor{{shard: routed}}
+	} else {
+		s.env.Obs.Part.ScatterScans.Add(1)
+		for i := range s.shards {
+			sc.cursors = append(sc.cursors, &cursor{shard: i})
+		}
+	}
+	if opts.Start != nil {
+		// Start is inclusive; the remote protocol is exclusive-after, so
+		// position every cursor just before Start.
+		sc.after = beforeKey(opts.Start)
+		sc.started = true
+		for _, c := range sc.cursors {
+			c.after = sc.after
+		}
+	}
+	return sc, nil
+}
+
+// beforeKey returns a key that sorts immediately before k (exclusive-after
+// semantics then include k itself).
+func beforeKey(k types.Key) types.Key {
+	out := append(types.Key(nil), k...)
+	for i := len(out) - 1; i >= 0; i-- {
+		if out[i] > 0 {
+			out[i]--
+			return append(out, 0xFF)
+		}
+		out = out[:i]
+	}
+	return nil
+}
+
+// EstimateCost implements core.StorageInstance: a whole-key point access
+// is one round trip to one shard; anything else pays a fan-out of at
+// least one round trip per shard, plus a batch round trip per batch of
+// qualifying records.
+func (s *store) EstimateCost(req core.CostRequest) core.CostEstimate {
+	n := float64(s.RecordCount())
+	fan := float64(len(s.shards))
+	start, end, handled, point, depth := smutil.KeyRange(s.keyFields, req.Conjuncts)
+	est := core.CostEstimate{Usable: true, Start: start, End: end, Handled: handled,
+		Ordered: smutil.OrderSatisfiedBy(s.keyFields, req.OrderBy)}
+	switch {
+	case point:
+		est.IO = 4 // one round trip, one shard
+		est.CPU = 1
+		est.Selectivity = 1 / maxf(n, 1)
+	case depth > 0:
+		frac := smutil.HandledSelectivity(req, handled)
+		est.IO = (n*frac/float64(s.batch) + fan) * 4
+		est.CPU = n * frac
+		est.Selectivity = frac * smutil.ResidualSelectivity(req, handled)
+	default:
+		est.IO = (n/float64(s.batch) + fan) * 4
+		est.CPU = n
+		est.Selectivity = smutil.RequestSelectivity(req)
+	}
+	return est
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// PartitionBounds implements core.RangePartitioner for parallel scans:
+// split points sampled from the first batch of keys on every shard.
+func (s *store) PartitionBounds(n int) []types.Key {
+	if n <= 1 {
+		return nil
+	}
+	var keys []string
+	for i := range s.shards {
+		entries, err := s.shards[i].client.ScanBatch(s.shards[i].table, nil, s.batch)
+		if err != nil {
+			return nil
+		}
+		for _, e := range entries {
+			keys = append(keys, string(e.Key))
+		}
+	}
+	sort.Strings(keys)
+	if len(keys) < n {
+		return nil
+	}
+	var bounds []types.Key
+	for i := 1; i < n; i++ {
+		k := keys[i*len(keys)/n]
+		bounds = append(bounds, types.Key(k))
+	}
+	return bounds
+}
+
+// RecordCount implements core.StorageInstance: one round trip per shard.
+func (s *store) RecordCount() int {
+	total := 0
+	for i := range s.shards {
+		n, err := s.shards[i].client.Count(s.shards[i].table)
+		if err != nil {
+			return total
+		}
+		total += n
+	}
+	return total
+}
+
+// ApplyLogged implements core.StorageInstance (restart recovery with no
+// live transaction context).
+func (s *store) ApplyLogged(payload []byte, undo bool) error {
+	return s.ApplyLoggedTxn(0, payload, undo)
+}
+
+// ApplyLoggedTxn implements core.TxnLoggedApplier. A live transaction's
+// rollback stages compensating writes under its own id, so the shard's
+// committed state never sees the retracted effects at all. With no live
+// session (restart recovery), the modification is applied directly to the
+// committed shard state: redo rebuilds fresh shards from the log, undo
+// retracts loser transactions — both idempotent, because 2PC resolution
+// may already have committed or discarded the same effects shard-side
+// (deletes tolerate absent keys, puts overwrite).
+func (s *store) ApplyLoggedTxn(id wal.TxnID, payload []byte, undo bool) error {
+	p, err := core.DecodeMod(payload)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	sess := s.sessions[id]
+	s.mu.Unlock()
+	if id != 0 && sess != nil {
+		return s.applyStaged(uint64(id), sess, p, undo)
+	}
+	return s.applyDirect(p, undo)
+}
+
+// applyStaged routes a live rollback's compensation through the
+// transaction's staged shard writes (last-op-wins staging makes the
+// compensation net out the original).
+func (s *store) applyStaged(id uint64, sess *session, p core.ModPayload, undo bool) error {
+	if !undo {
+		return fmt.Errorf("partsm: unexpected redo for live transaction %d", id)
+	}
+	put := func(key types.Key, rec types.Record) error {
+		sh := s.shardOf(key)
+		sess.touched[sh] = true
+		return s.shards[sh].client.StagePut(id, s.shards[sh].table, key, rec)
+	}
+	del := func(key types.Key) error {
+		sh := s.shardOf(key)
+		sess.touched[sh] = true
+		return s.shards[sh].client.StageDelete(id, s.shards[sh].table, key)
+	}
+	switch p.Op {
+	case core.ModInsert:
+		return del(p.Key)
+	case core.ModDelete:
+		return put(p.Key, p.Old)
+	case core.ModUpdate:
+		if !p.NewKey.Equal(p.Key) {
+			if err := del(p.NewKey); err != nil {
+				return err
+			}
+		}
+		return put(p.Key, p.Old)
+	default:
+		return fmt.Errorf("partsm: bad logged op %v", p.Op)
+	}
+}
+
+// applyDirect applies a logged modification to committed shard state
+// during restart recovery, creating shard tables idempotently (replay may
+// target fresh servers whose create round trips never re-ran).
+func (s *store) applyDirect(p core.ModPayload, undo bool) error {
+	put := func(key types.Key, rec types.Record) error {
+		sh := s.shardOf(key)
+		if err := s.shards[sh].client.CreateTable(s.shards[sh].table); err != nil {
+			return err
+		}
+		_, err := s.shards[sh].client.Put(s.shards[sh].table, key, rec)
+		return err
+	}
+	del := func(key types.Key) error {
+		sh := s.shardOf(key)
+		if err := s.shards[sh].client.CreateTable(s.shards[sh].table); err != nil {
+			return err
+		}
+		// A missing key is fine in both directions: the shard may already
+		// reflect the retraction (the decision arrived before the crash)
+		// or never received the staged write at all.
+		s.shards[sh].client.Delete(s.shards[sh].table, key)
+		return nil
+	}
+	op, key, rec := p.Op, p.Key, p.New
+	if undo {
+		switch p.Op {
+		case core.ModInsert:
+			return del(p.Key)
+		case core.ModDelete:
+			op, rec = core.ModInsert, p.Old
+		case core.ModUpdate:
+			if !p.NewKey.Equal(p.Key) {
+				if err := del(p.NewKey); err != nil {
+					return err
+				}
+			}
+			op, rec = core.ModInsert, p.Old
+		}
+	} else if p.Op == core.ModUpdate {
+		if !p.NewKey.Equal(p.Key) {
+			if err := del(p.Key); err != nil {
+				return err
+			}
+		}
+		key = p.NewKey
+	}
+	switch op {
+	case core.ModInsert, core.ModUpdate:
+		return put(key, rec)
+	case core.ModDelete:
+		return del(key)
+	default:
+		return fmt.Errorf("partsm: bad logged op %v", p.Op)
+	}
+}
+
+// ShardInfos implements core.ShardIntrospector for sys.stat_shards.
+// InDoubt and Messages are per-server figures (a server may host several
+// shards or relations).
+func (s *store) ShardInfos() []core.ShardInfo {
+	out := make([]core.ShardInfo, 0, len(s.shards))
+	for i := range s.shards {
+		info := core.ShardInfo{
+			Shard:    i,
+			Server:   s.shards[i].server,
+			Table:    s.shards[i].table,
+			Messages: s.shards[i].srv.Messages.Load(),
+		}
+		if n, err := s.shards[i].client.Count(s.shards[i].table); err == nil {
+			info.Records = n
+		}
+		if ids, err := s.shards[i].client.InDoubt(); err == nil {
+			info.InDoubt = len(ids)
+		}
+		out = append(out, info)
+	}
+	return out
+}
+
+var (
+	_ core.StorageInstance   = (*store)(nil)
+	_ core.TxnLoggedApplier  = (*store)(nil)
+	_ core.RangePartitioner  = (*store)(nil)
+	_ core.ShardIntrospector = (*store)(nil)
+)
+
+// Resolve drives every in-doubt shard transaction of every partitioned
+// relation to the coordinator's outcome: a commit record surviving in the
+// local log (or an in-process decision whose delivery failed) means
+// commit; no decision means abort — presumed abort, the coordinator never
+// logged one. Registered as the storage method's AfterRecovery hook and
+// callable directly to redeliver lost decisions without a restart.
+func Resolve(env *core.Env) error {
+	var committed map[wal.TxnID]bool
+	for _, name := range env.Cat.List() {
+		rd, ok := env.Cat.ByName(name)
+		if !ok || core.IsSystemRelID(rd.RelID) || rd.SM != core.SMPart {
+			continue
+		}
+		inst, err := env.StorageInstance(rd)
+		if err != nil {
+			return err
+		}
+		s, ok := inst.(*store)
+		if !ok {
+			continue
+		}
+		if committed == nil {
+			committed = make(map[wal.TxnID]bool)
+			for _, rec := range env.Log.Records() {
+				if rec.Kind == wal.RecCommit {
+					committed[rec.Txn] = true
+				}
+			}
+		}
+		if err := s.resolve(committed); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// resolve decides every prepared transaction on every distinct server
+// behind this relation. Decisions are per transaction, not per relation:
+// a server transaction's staged writes may span several partitioned
+// relations sharing the server, and the first resolver settles them all.
+func (s *store) resolve(committed map[wal.TxnID]bool) error {
+	s.mu.Lock()
+	pending := make(map[uint64]bool, len(s.pending))
+	for id, c := range s.pending {
+		pending[id] = c
+	}
+	s.pending = make(map[uint64]bool)
+	s.mu.Unlock()
+	seen := make(map[*remote.Server]bool)
+	for i := range s.shards {
+		if seen[s.shards[i].srv] {
+			continue
+		}
+		seen[s.shards[i].srv] = true
+		ids, err := s.shards[i].client.InDoubt()
+		if err != nil {
+			return fmt.Errorf("partsm: shard %d in-doubt query: %w", i, err)
+		}
+		for _, id := range ids {
+			commit := committed[wal.TxnID(id)] || pending[id]
+			var derr error
+			if commit {
+				derr = s.shards[i].client.CommitTxn(id)
+			} else {
+				derr = s.shards[i].client.AbortTxn(id)
+			}
+			if derr != nil {
+				return fmt.Errorf("partsm: resolve txn %d on shard %d: %w", id, i, derr)
+			}
+			s.env.Obs.Part.Resolved.Add(1)
+		}
+	}
+	return nil
+}
+
+// scan merges per-shard batched cursors back into global key order.
+type scan struct {
+	store   *store
+	tx      uint64
+	opts    core.ScanOptions
+	cursors []*cursor
+	after   types.Key // last key returned (global position)
+	started bool
+	closed  bool
+}
+
+// cursor is one shard's batched window into its key-ordered table.
+type cursor struct {
+	shard int
+	after types.Key
+	batch []remote.Entry
+	done  bool
+}
+
+// Next implements core.Scan: refill any empty cursor, then pop the
+// globally smallest head. Per-cursor strictly-after batching keeps
+// concurrent inserts and deletes from skipping or duplicating keys, same
+// as the single-backend remote scan.
+func (sc *scan) Next() (types.Key, types.Record, bool, error) {
+	if sc.closed {
+		return nil, nil, false, fmt.Errorf("partsm: scan is closed")
+	}
+	for {
+		best := -1
+		for ci, c := range sc.cursors {
+			if len(c.batch) == 0 && !c.done {
+				entries, err := sc.store.shards[c.shard].client.ScanBatchTxn(
+					sc.tx, sc.store.shards[c.shard].table, c.after, sc.store.batch)
+				if err != nil {
+					return nil, nil, false, err
+				}
+				if len(entries) == 0 {
+					c.done = true
+					continue
+				}
+				c.batch = entries
+			}
+			if len(c.batch) == 0 {
+				continue
+			}
+			if best < 0 || bytes.Compare(c.batch[0].Key, sc.cursors[best].batch[0].Key) < 0 {
+				best = ci
+			}
+		}
+		if best < 0 {
+			return nil, nil, false, nil
+		}
+		c := sc.cursors[best]
+		e := c.batch[0]
+		c.batch = c.batch[1:]
+		c.after = types.Key(e.Key)
+		key := types.Key(e.Key)
+		sc.after = key
+		sc.started = true
+		if sc.opts.End != nil && key.Compare(sc.opts.End) >= 0 {
+			return nil, nil, false, nil
+		}
+		rec, _, err := types.DecodeRecord(e.Rec)
+		if err != nil {
+			return nil, nil, false, err
+		}
+		if sc.opts.Filter != nil {
+			match, err := sc.store.env.Eval.EvalBool(sc.opts.Filter, rec, sc.opts.Params)
+			if err != nil {
+				return nil, nil, false, err
+			}
+			if !match {
+				continue
+			}
+		}
+		if sc.opts.Fields != nil {
+			rec = rec.Project(sc.opts.Fields)
+		}
+		return key, rec, true, nil
+	}
+}
+
+// Pos implements core.Scan: the global position is the last key returned.
+func (sc *scan) Pos() core.ScanPos {
+	if !sc.started {
+		return core.ScanPos{0}
+	}
+	return append(core.ScanPos{1}, sc.after...)
+}
+
+// Restore implements core.Scan: every cursor restarts strictly after the
+// restored global position (keys at or before it were already returned on
+// whichever shard owned them; shard data may have changed under partial
+// rollback, so the batches are refetched).
+func (sc *scan) Restore(pos core.ScanPos) error {
+	if len(pos) == 0 {
+		return fmt.Errorf("partsm: empty scan position")
+	}
+	if pos[0] == 0 {
+		sc.started = false
+		sc.after = nil
+	} else {
+		sc.started = true
+		sc.after = append(types.Key(nil), pos[1:]...)
+	}
+	for _, c := range sc.cursors {
+		c.batch = nil
+		c.done = false
+		c.after = sc.after
+	}
+	return nil
+}
+
+// Close implements core.Scan.
+func (sc *scan) Close() error {
+	sc.closed = true
+	return nil
+}

@@ -209,6 +209,106 @@ func TestRecoveryReplaysOntoFreshForeignDB(t *testing.T) {
 	}
 }
 
+// TestScanBatchBoundaryMutation pins the strictly-after refill contract.
+// A batched scan anchors every refill on the last key it returned; records
+// mutated on the foreign server between refills — including the anchor
+// itself, deleted out from under the scan by another of the server's
+// clients — must neither skip nor repeat anything the scan still owes.
+func TestScanBatchBoundaryMutation(t *testing.T) {
+	env := core.NewEnv(core.Config{})
+	srv := remote.NewServer(0)
+	remotesm.AttachServer(env, "fed", srv)
+	tx := env.Begin()
+	rd, err := env.CreateRelation(tx, "orders", schema(), "remote",
+		core.AttrList{"server": "fed", "table": "remote_orders", "batch": "8"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx.Commit()
+	r, err := env.OpenRelation(rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tx = env.Begin()
+	var keys []types.Key
+	for i := 0; i < 40; i++ {
+		k, err := r.Insert(tx, rec(int64(i), "x"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		keys = append(keys, k)
+	}
+	tx.Commit()
+
+	tx2 := env.Begin()
+	scan, err := r.OpenScan(tx2, core.ScanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer scan.Close()
+	var ids []int64
+	vals := map[int64]string{}
+	read := func() bool {
+		_, g, ok, err := scan.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			ids = append(ids, g[0].AsInt())
+			vals[g[0].AsInt()] = g[1].S
+		}
+		return ok
+	}
+	// Drain exactly the first batch; the next Next() must refill anchored
+	// on keys[7], the last record returned.
+	for i := 0; i < 8; i++ {
+		if !read() {
+			t.Fatalf("scan ended after %d records", i)
+		}
+	}
+
+	// Another client of the foreign server mutates around the boundary:
+	// the refill anchor vanishes, the first not-yet-returned record
+	// vanishes, an already-owed record changes, and a new record lands
+	// past the end.
+	c := remote.Dial(srv)
+	defer c.Close()
+	if err := c.Delete("remote_orders", keys[7]); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Delete("remote_orders", keys[8]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Put("remote_orders", keys[20], rec(20, "patched")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Put("remote_orders", nil, rec(100, "late")); err != nil {
+		t.Fatal(err)
+	}
+
+	for read() {
+	}
+
+	want := []int64{0, 1, 2, 3, 4, 5, 6, 7}
+	for i := int64(9); i < 40; i++ {
+		want = append(want, i)
+	}
+	want = append(want, 100)
+	if len(ids) != len(want) {
+		t.Fatalf("scanned %d ids %v, want %d %v", len(ids), ids, len(want), want)
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("position %d: got id %d, want %d (full: %v)", i, ids[i], want[i], ids)
+		}
+	}
+	if vals[20] != "patched" {
+		t.Fatalf("id 20 read %q, want the patched value", vals[20])
+	}
+	tx2.Commit()
+}
+
 func TestLatencyInjection(t *testing.T) {
 	env := core.NewEnv(core.Config{})
 	srv := remote.NewServer(2 * time.Millisecond)

@@ -56,6 +56,7 @@ var views = []view{
 	{"sys.stat_lsm", lsmSchema, lsmRows},
 	{"sys.stat_buffer", bufferSchema, bufferRows},
 	{"sys.stat_traces", tracesSchema, tracesRows},
+	{"sys.stat_shards", shardsSchema, shardsRows},
 }
 
 func init() {
@@ -488,6 +489,57 @@ func lsmRows(env *core.Env) ([]types.Record, error) {
 				types.Int(int64(ri.BloomBits)),
 				types.Int(int64(ri.MinSeq)),
 				types.Int(int64(ri.MaxSeq)),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// ---- sys.stat_shards ----
+
+var shardsSchema = types.MustSchema(
+	types.Column{Name: "rel_id", Kind: types.KindInt, NotNull: true},
+	types.Column{Name: "name", Kind: types.KindString, NotNull: true},
+	types.Column{Name: "shard", Kind: types.KindInt, NotNull: true},
+	types.Column{Name: "server", Kind: types.KindString, NotNull: true},
+	types.Column{Name: "table_name", Kind: types.KindString, NotNull: true},
+	types.Column{Name: "records", Kind: types.KindInt, NotNull: true},
+	types.Column{Name: "in_doubt", Kind: types.KindInt, NotNull: true},
+	types.Column{Name: "messages", Kind: types.KindInt, NotNull: true},
+)
+
+func shardsRows(env *core.Env) ([]types.Record, error) {
+	names := env.Cat.List()
+	sort.Strings(names)
+	var rows []types.Record
+	for _, name := range names {
+		rd, ok := env.Cat.ByName(name)
+		if !ok || core.IsSystemRelID(rd.RelID) {
+			continue
+		}
+		if rd.SM != core.SMPart {
+			continue
+		}
+		inst, err := env.StorageInstance(rd)
+		if err != nil {
+			return nil, err
+		}
+		si, ok := inst.(core.ShardIntrospector)
+		if !ok {
+			continue
+		}
+		// in_doubt and messages are per-server figures: one server may
+		// host several shards or relations.
+		for _, info := range si.ShardInfos() {
+			rows = append(rows, types.Record{
+				types.Int(int64(rd.RelID)),
+				types.Str(rd.Name),
+				types.Int(int64(info.Shard)),
+				types.Str(info.Server),
+				types.Str(info.Table),
+				types.Int(int64(info.Records)),
+				types.Int(int64(info.InDoubt)),
+				types.Int(info.Messages),
 			})
 		}
 	}

@@ -29,9 +29,9 @@ func envSeeds(name string, def int) int {
 // reference model in lockstep. On divergence it shrinks the workload to a
 // minimal failing prefix and reports the seed, the replay command, and the
 // reduced op script.
-func runModelSeed(t *testing.T, seed int64, crash, ingest bool) {
+func runModelSeed(t *testing.T, seed int64, crash, ingest, part bool) {
 	t.Helper()
-	sc := model.Generate(model.GenConfig{Seed: seed, Ops: 120, Crash: crash, Ingest: ingest})
+	sc := model.Generate(model.GenConfig{Seed: seed, Ops: 120, Crash: crash, Ingest: ingest, Partitioned: part})
 	run := func(ops []model.Op) *model.Divergence {
 		rc := model.RunConfig{Fleet: sc.Fleet, Ops: ops}
 		if crash {
@@ -46,6 +46,10 @@ func runModelSeed(t *testing.T, seed int64, crash, ingest bool) {
 	min, mdiv, runs := model.Shrink(sc.Ops, div.OpIndex, run, 300)
 	name := "TestModel$"
 	switch {
+	case part && crash:
+		name = "TestModelPartCrash"
+	case part:
+		name = "TestModelPart$"
 	case ingest && crash:
 		name = "TestModelIngestCrash"
 	case ingest:
@@ -62,11 +66,11 @@ func runModelSeed(t *testing.T, seed int64, crash, ingest bool) {
 // checkpoints across every storage method and attachment combination).
 func TestModel(t *testing.T) {
 	if *modelSeed != 0 {
-		runModelSeed(t, *modelSeed, false, false)
+		runModelSeed(t, *modelSeed, false, false, false)
 		return
 	}
 	for seed := 1; seed <= envSeeds("DMX_MODEL_SEEDS", 40); seed++ {
-		runModelSeed(t, int64(seed), false, false)
+		runModelSeed(t, int64(seed), false, false, false)
 	}
 }
 
@@ -76,11 +80,11 @@ func TestModel(t *testing.T) {
 // crash-consistent candidate states.
 func TestModelCrashRecovery(t *testing.T) {
 	if *modelSeed != 0 {
-		runModelSeed(t, *modelSeed, true, false)
+		runModelSeed(t, *modelSeed, true, false, false)
 		return
 	}
 	for seed := 1; seed <= envSeeds("DMX_MODEL_CRASH_SEEDS", 12); seed++ {
-		runModelSeed(t, int64(seed), true, false)
+		runModelSeed(t, int64(seed), true, false, false)
 	}
 }
 
@@ -92,11 +96,11 @@ func TestModelCrashRecovery(t *testing.T) {
 // against the reference oracle after every op.
 func TestModelIngest(t *testing.T) {
 	if *modelSeed != 0 {
-		runModelSeed(t, *modelSeed, false, true)
+		runModelSeed(t, *modelSeed, false, true, false)
 		return
 	}
 	for seed := 1; seed <= envSeeds("DMX_INGEST_SEEDS", 15); seed++ {
-		runModelSeed(t, int64(seed), false, true)
+		runModelSeed(t, int64(seed), false, true, false)
 	}
 }
 
@@ -107,11 +111,42 @@ func TestModelIngest(t *testing.T) {
 // engine is matched against the model's crash-consistent candidates.
 func TestModelIngestCrash(t *testing.T) {
 	if *modelSeed != 0 {
-		runModelSeed(t, *modelSeed, true, true)
+		runModelSeed(t, *modelSeed, true, true, false)
 		return
 	}
 	for seed := 1; seed <= envSeeds("DMX_INGEST_CRASH_SEEDS", 8); seed++ {
-		runModelSeed(t, int64(seed), true, true)
+		runModelSeed(t, int64(seed), true, true, false)
+	}
+}
+
+// TestModelPart soaks the differential model over the partitioned storage
+// method: relation x is hash-sharded across three foreign servers with a
+// small scan batch, so every scan merges per-shard cursors across batch
+// boundaries and nearly every commit runs two-phase across multiple
+// shards, all cross-checked against the reference oracle after every op.
+func TestModelPart(t *testing.T) {
+	if *modelSeed != 0 {
+		runModelSeed(t, *modelSeed, false, false, true)
+		return
+	}
+	for seed := 1; seed <= envSeeds("DMX_PART_SEEDS", 15); seed++ {
+		runModelSeed(t, int64(seed), false, false, true)
+	}
+}
+
+// TestModelPartCrash adds crash injection to the partitioned soak: the
+// generator draws the part.decide site alongside the WAL sites, landing
+// crashes between shard prepare and the logged commit decision. Recovery
+// reopens the environment over empty shard servers, replays the local log
+// to repopulate them, resolves any transaction left in doubt (presumed
+// abort), and the recovered state must match a crash-consistent candidate.
+func TestModelPartCrash(t *testing.T) {
+	if *modelSeed != 0 {
+		runModelSeed(t, *modelSeed, true, false, true)
+		return
+	}
+	for seed := 1; seed <= envSeeds("DMX_PART_CRASH_SEEDS", 8); seed++ {
+		runModelSeed(t, int64(seed), true, false, true)
 	}
 }
 
